@@ -1,0 +1,48 @@
+// Ablation: SRAM column depth vs read latency (paper Section 5.1).
+//
+// "The higher leakage current of OFF access transistors (in other cells
+// that are connected to the BLB) makes it tougher for the access
+// transistors to create the necessary voltage difference for sense
+// amplifiers."  The idle cells droop the reference bitline, so the
+// differential the sense amp needs takes longer to develop as the column
+// grows - and the effect is worst for the slowest (hybrid) cell.
+#include <iostream>
+
+#include "nemsim/core/sram.h"
+#include "nemsim/util/table.h"
+
+int main() {
+  using namespace nemsim;
+  using namespace nemsim::core;
+
+  std::cout << "Ablation: read latency vs column depth (idle cells "
+               "sharing the bitlines)\n\n";
+
+  const SramKind kinds[] = {SramKind::kConventional, SramKind::kDualVt,
+                            SramKind::kHybrid};
+  const std::size_t depths[] = {0, 64, 256, 1024};
+
+  Table t({"cell", "alone (ps)", "64 cells", "256 cells", "1024 cells",
+           "1024/alone"});
+  for (SramKind kind : kinds) {
+    SramConfig c;
+    c.kind = kind;
+    double lat[4];
+    for (int i = 0; i < 4; ++i) {
+      lat[i] = measure_column_read_latency(c, depths[i]);
+    }
+    t.begin_row()
+        .cell(sram_kind_name(kind))
+        .cell(lat[0] * 1e12, 4)
+        .cell(lat[1] * 1e12, 4)
+        .cell(lat[2] * 1e12, 4)
+        .cell(lat[3] * 1e12, 4)
+        .cell(Table::format(lat[3] / lat[0], 3) + "x");
+  }
+  t.print(std::cout);
+
+  std::cout << "\nDeep columns amplify every cell's latency; the hybrid "
+               "cell's weaker read current makes it the most sensitive, "
+               "which bounds practical column depth for hybrid arrays.\n";
+  return 0;
+}

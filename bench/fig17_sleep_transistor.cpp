@@ -1,0 +1,62 @@
+// Figure 17 reproduction: ON resistance and OFF current of NEMS vs CMOS
+// sleep transistors across normalized device area (area of a W/L = 5
+// CMOS device at 90 nm = 1).
+//
+// Paper: NEMS leaks up to three orders of magnitude less at every size;
+// its Ron disadvantage shrinks to "minimal" as the device is sized up, so
+// a sized-up NEMS sleep switch gives the leakage win with negligible
+// performance cost.  The gated-block study quantifies that cost.
+#include <iostream>
+
+#include "nemsim/core/power_gating.h"
+#include "nemsim/util/table.h"
+
+int main() {
+  using namespace nemsim;
+  using namespace nemsim::core;
+
+  std::cout << "Figure 17: sleep transistor Ron / Ioff vs normalized area\n\n";
+
+  const std::vector<double> areas = {1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0};
+  SleepSweepConfig cmos_cfg;
+  SleepSweepConfig nems_cfg;
+  nems_cfg.device = SleepDeviceType::kNems;
+  auto cmos = sweep_sleep_transistor(cmos_cfg, areas);
+  auto nems = sweep_sleep_transistor(nems_cfg, areas);
+
+  Table t({"area (norm)", "Ron cmos (Ohm)", "Ron nems (Ohm)", "Ron gap",
+           "Ioff cmos (A)", "Ioff nems (A)", "Ioff ratio"});
+  for (std::size_t i = 0; i < areas.size(); ++i) {
+    t.begin_row()
+        .cell(areas[i], 4)
+        .cell(cmos[i].ron, 4)
+        .cell(nems[i].ron, 4)
+        .cell(Table::format(nems[i].ron - cmos[i].ron, 4) + " Ohm")
+        .cell_sci(cmos[i].ioff, 3)
+        .cell_sci(nems[i].ioff, 3)
+        .cell_sci(cmos[i].ioff / nems[i].ioff, 3);
+  }
+  t.print(std::cout);
+
+  std::cout << "\nGated-block check (4-stage inverter chain behind a "
+               "footer switch, width 1 um):\n";
+  Table g({"sleep device", "delay gated/ungated", "vgnd droop (mV)",
+           "sleep leakage (nW)", "wake-up (ps)"});
+  for (SleepDeviceType dev : {SleepDeviceType::kCmos, SleepDeviceType::kNems}) {
+    GatedBlockConfig c;
+    c.device = dev;
+    GatedBlockResult r = measure_gated_block(c);
+    g.begin_row()
+        .cell(dev == SleepDeviceType::kCmos ? "CMOS" : "NEMS")
+        .cell(r.delay_gated / r.delay_ungated, 3)
+        .cell(r.vgnd_droop * 1e3, 3)
+        .cell(r.sleep_leakage * 1e9, 3)
+        .cell(r.wakeup_time * 1e12, 3);
+  }
+  g.print(std::cout);
+
+  std::cout << "\nPaper: up to three orders of magnitude lower OFF current "
+               "with negligible performance degradation when the NEMS "
+               "switch is sized up.\n";
+  return 0;
+}

@@ -1,0 +1,140 @@
+// Simulator kernel performance (google-benchmark): dense LU scaling,
+// dense-vs-sparse ablation (DESIGN.md decision #4), operating points and
+// transient throughput on the paper's actual circuits.
+#include <benchmark/benchmark.h>
+
+#include "nemsim/core/dynamic_or.h"
+#include "nemsim/core/sram.h"
+#include "nemsim/linalg/lu.h"
+#include "nemsim/linalg/sparse.h"
+#include "nemsim/spice/op.h"
+#include "nemsim/spice/transient.h"
+#include "nemsim/util/rng.h"
+
+namespace {
+
+using namespace nemsim;
+
+linalg::Matrix random_spd(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  linalg::Matrix a(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) a(r, c) = rng.uniform(-1.0, 1.0);
+    a(r, r) += static_cast<double>(n);
+  }
+  return a;
+}
+
+void BM_DenseLuFactorSolve(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  linalg::Matrix a = random_spd(n, 7);
+  linalg::Vector b(n, 1.0);
+  for (auto _ : state) {
+    linalg::LuDecomposition lu(a);
+    benchmark::DoNotOptimize(lu.solve(b));
+  }
+}
+BENCHMARK(BM_DenseLuFactorSolve)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_DenseMatVec(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  linalg::Matrix a = random_spd(n, 7);
+  linalg::Vector x(n, 1.0);
+  for (auto _ : state) benchmark::DoNotOptimize(a.multiply(x));
+}
+BENCHMARK(BM_DenseMatVec)->Arg(64)->Arg(256);
+
+void BM_SparseMatVec(benchmark::State& state) {
+  // MNA-like sparsity: ~5 entries per row.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(11);
+  std::vector<linalg::Triplet> trips;
+  for (std::size_t r = 0; r < n; ++r) {
+    trips.push_back({r, r, 4.0});
+    for (int k = 0; k < 4; ++k) {
+      trips.push_back({r, rng.index(n), rng.uniform(-1.0, 1.0)});
+    }
+  }
+  linalg::SparseMatrix a(n, n, std::move(trips));
+  linalg::Vector x(n, 1.0);
+  for (auto _ : state) benchmark::DoNotOptimize(a.multiply(x));
+}
+BENCHMARK(BM_SparseMatVec)->Arg(64)->Arg(256);
+
+void BM_SparseLuSolve(benchmark::State& state) {
+  // MNA-like pattern (~5/row): the dense-vs-sparse ablation of DESIGN.md
+  // decision #4.  At these sizes dense partial-pivot LU wins; sparse LU
+  // only pays off on genuinely sparse structures (see the tridiagonal
+  // variant below).
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(11);
+  std::vector<linalg::Triplet> trips;
+  for (std::size_t r = 0; r < n; ++r) {
+    trips.push_back({r, r, 8.0});
+    for (int k = 0; k < 4; ++k) {
+      trips.push_back({r, rng.index(n), rng.uniform(-1.0, 1.0)});
+    }
+  }
+  linalg::SparseMatrix a(n, n, std::move(trips));
+  linalg::Vector b(n, 1.0);
+  for (auto _ : state) benchmark::DoNotOptimize(a.lu_solve(b));
+}
+BENCHMARK(BM_SparseLuSolve)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_SparseLuTridiagonal(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<linalg::Triplet> trips;
+  for (std::size_t i = 0; i < n; ++i) {
+    trips.push_back({i, i, 2.0});
+    if (i > 0) trips.push_back({i, i - 1, -1.0});
+    if (i + 1 < n) trips.push_back({i, i + 1, -1.0});
+  }
+  linalg::SparseMatrix a(n, n, std::move(trips));
+  linalg::Vector b(n, 1.0);
+  for (auto _ : state) benchmark::DoNotOptimize(a.lu_solve(b));
+}
+BENCHMARK(BM_SparseLuTridiagonal)->Arg(128)->Arg(512);
+
+void BM_DynamicOrOperatingPoint(benchmark::State& state) {
+  core::DynamicOrConfig c;
+  c.fanin = static_cast<int>(state.range(0));
+  c.hybrid = state.range(1) != 0;
+  core::DynamicOrGate gate = core::build_dynamic_or(c);
+  spice::MnaSystem system(gate.ckt());
+  for (auto _ : state) {
+    system.reset_devices();
+    benchmark::DoNotOptimize(spice::operating_point(system));
+  }
+  state.SetLabel(c.hybrid ? "hybrid" : "cmos");
+}
+BENCHMARK(BM_DynamicOrOperatingPoint)
+    ->Args({8, 0})
+    ->Args({8, 1})
+    ->Args({16, 1});
+
+void BM_SramReadTransient(benchmark::State& state) {
+  core::SramConfig c;
+  c.kind = state.range(0) != 0 ? core::SramKind::kHybrid
+                               : core::SramKind::kConventional;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::measure_read_latency(c));
+  }
+  state.SetLabel(state.range(0) ? "hybrid" : "conventional");
+}
+BENCHMARK(BM_SramReadTransient)->Arg(0)->Arg(1);
+
+void BM_DynamicOrSwitchingCycle(benchmark::State& state) {
+  core::DynamicOrConfig c;
+  c.fanin = 8;
+  c.hybrid = state.range(0) != 0;
+  core::DynamicOrGate gate = core::build_dynamic_or(c);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::measure_worst_case_delay(gate));
+  }
+  state.SetLabel(state.range(0) ? "hybrid" : "cmos");
+}
+BENCHMARK(BM_DynamicOrSwitchingCycle)->Arg(0)->Arg(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

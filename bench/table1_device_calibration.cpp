@@ -1,0 +1,55 @@
+// Table 1 reproduction: Ion and Ioff of the calibrated CMOS and NEMS
+// devices, measured by driving the simulator exactly as the paper's
+// HSPICE runs did (Vgs sweep at Vds = Vdd, W = 1 um).
+//
+// Paper targets: CMOS Ion = 1110 uA/um, Ioff = 50 nA/um;
+//                NEMS Ion = 330 uA/um, Ioff = 110 pA/um.
+#include <iostream>
+
+#include "nemsim/tech/cards.h"
+#include "nemsim/tech/characterize.h"
+#include "nemsim/util/table.h"
+#include "nemsim/util/units.h"
+
+int main() {
+  using namespace nemsim;
+  using namespace nemsim::literals;
+  const double vdd = tech::node_90nm().vdd;
+
+  tech::DeviceIV cmos = tech::characterize_mosfet(
+      tech::nmos_90nm(), devices::MosPolarity::kNmos, 1.0_um, 0.1_um, vdd);
+  tech::NemsIV nems = tech::characterize_nemfet(tech::nems_90nm(), 1.0_um, vdd);
+
+  std::cout << "Table 1: Ion / Ioff of NEMS and CMOS devices (W = 1 um, "
+               "Vdd = "
+            << vdd << " V)\n\n";
+
+  Table t({"Device", "Ion (uA/um)", "paper Ion", "Ioff", "paper Ioff",
+           "swing (mV/dec)"});
+  t.begin_row()
+      .cell("CMOS [4]")
+      .cell(cmos.ion * 1e6, 4)
+      .cell("1110")
+      .cell(Table::format(cmos.ioff * 1e9, 3) + " nA/um")
+      .cell("50 nA/um")
+      .cell(cmos.swing_mv_dec, 3);
+  t.begin_row()
+      .cell("NEMS [13]")
+      .cell(nems.iv.ion * 1e6, 4)
+      .cell("330")
+      .cell(Table::format(nems.iv.ioff * 1e12, 3) + " pA/um")
+      .cell("110 pA/um")
+      .cell(nems.iv.swing_mv_dec, 3);
+  t.print(std::cout);
+
+  std::cout << "\nNEMS electromechanical window: pull-in "
+            << Table::format(nems.pull_in_v, 3) << " V (analytic "
+            << Table::format(
+                   tech::nems_90nm().analytic_pull_in_voltage(), 3)
+            << " V), pull-out " << Table::format(nems.pull_out_v, 3)
+            << " V\n";
+  std::cout << "Ion/Ioff ratio: CMOS "
+            << Table::format_sci(cmos.ion / cmos.ioff, 2) << ", NEMS "
+            << Table::format_sci(nems.iv.ion / nems.iv.ioff, 2) << "\n";
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Dynamic OR design exploration: compare the conventional and hybrid
+// gates at one design point, then explore the keeper-size tradeoff the
+// way a designer would before committing to a noise-margin target.
+#include <iostream>
+
+#include "nemsim/core/dynamic_or.h"
+#include "nemsim/core/metrics.h"
+#include "nemsim/util/table.h"
+
+int main() {
+  using namespace nemsim;
+  using namespace nemsim::core;
+
+  // ---- Side-by-side at the paper's central configuration --------------
+  DynamicOrConfig cfg;
+  cfg.fanin = 8;
+  cfg.fanout = 3;
+
+  std::cout << "8-input dynamic OR, fan-out 3\n\n";
+  Table t({"gate", "delay (ps)", "P_switch (uW)", "P_leak (nW)",
+           "noise margin (V)", "PDP @ alpha=0.2 (fJ)"});
+  for (bool hybrid : {false, true}) {
+    cfg.hybrid = hybrid;
+    DynamicOrGate gate = build_dynamic_or(cfg);
+    DynamicOrMetrics m = measure_dynamic_or(gate);
+    const double nm = measure_noise_margin(gate, 0.02);
+    const double pdp = power_delay_product(0.2, m.leakage_power,
+                                           m.switching_power,
+                                           m.worst_case_delay);
+    t.begin_row()
+        .cell(hybrid ? "hybrid NEMS-CMOS" : "CMOS")
+        .cell(m.worst_case_delay * 1e12, 4)
+        .cell(m.switching_power * 1e6, 4)
+        .cell(m.leakage_power * 1e9, 4)
+        .cell(nm, 3)
+        .cell(pdp * 1e15, 4);
+  }
+  t.print(std::cout);
+
+  // ---- Keeper sweep on the CMOS gate ----------------------------------
+  std::cout << "\nCMOS keeper sweep (the hybrid gate needs none of this - "
+               "its pull-down barely leaks):\n";
+  Table k({"keeper W (um)", "delay (ps)", "noise margin (V)"});
+  for (double w : {0.2e-6, 0.4e-6, 0.6e-6, 0.8e-6}) {
+    DynamicOrConfig c;
+    c.fanin = 8;
+    c.fanout = 3;
+    c.autosize_keeper = false;
+    c.keeper_width = w;
+    DynamicOrGate gate = build_dynamic_or(c);
+    const double d = measure_worst_case_delay(gate);
+    const double nm = measure_noise_margin(gate, 0.02);
+    k.begin_row().cell(w * 1e6, 3).cell(d * 1e12, 4).cell(nm, 3);
+  }
+  k.print(std::cout);
+  std::cout << "\nBigger keeper -> better noise margin, worse delay: the "
+               "Figure 9 tradeoff.\n";
+  return 0;
+}

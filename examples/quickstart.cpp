@@ -1,0 +1,80 @@
+// Quickstart: build a circuit, run the three analyses, measure things.
+//
+// The circuit is a CMOS inverter driving an RC load - enough to see the
+// netlist API, the operating point, a DC transfer sweep, and a transient
+// with delay/energy measurements.
+#include <iostream>
+
+#include "nemsim/core/metrics.h"
+#include "nemsim/devices/mosfet.h"
+#include "nemsim/devices/passives.h"
+#include "nemsim/devices/sources.h"
+#include "nemsim/spice/circuit.h"
+#include "nemsim/spice/dcsweep.h"
+#include "nemsim/spice/measure.h"
+#include "nemsim/spice/op.h"
+#include "nemsim/spice/transient.h"
+#include "nemsim/tech/cards.h"
+#include "nemsim/util/units.h"
+
+int main() {
+  using namespace nemsim;
+  using namespace nemsim::literals;
+  using devices::Capacitor;
+  using devices::Mosfet;
+  using devices::MosPolarity;
+  using devices::Resistor;
+  using devices::SourceWave;
+  using devices::VoltageSource;
+
+  // ---- 1. Build the netlist ------------------------------------------
+  spice::Circuit ckt;
+  spice::NodeId vdd = ckt.node("vdd");
+  spice::NodeId in = ckt.node("in");
+  spice::NodeId out = ckt.node("out");
+  spice::NodeId load = ckt.node("load");
+
+  ckt.add<VoltageSource>("Vdd", vdd, ckt.gnd(), SourceWave::dc(1.2));
+  auto& vin = ckt.add<VoltageSource>(
+      "Vin", in, ckt.gnd(),
+      SourceWave::pulse(0.0, 1.2, 0.2_ns, 20.0_ps, 20.0_ps, 1.0_ns));
+  // A 90 nm inverter from the technology cards...
+  ckt.add<Mosfet>("Mp", out, in, vdd, MosPolarity::kPmos, tech::pmos_90nm(),
+                  0.4_um, 0.1_um);
+  ckt.add<Mosfet>("Mn", out, in, ckt.gnd(), MosPolarity::kNmos,
+                  tech::nmos_90nm(), 0.2_um, 0.1_um);
+  // ... driving an RC wire.
+  ckt.add<Resistor>("Rw", out, load, 500.0);
+  ckt.add<Capacitor>("Cw", load, ckt.gnd(), 5.0_fF);
+
+  spice::MnaSystem system(ckt);
+
+  // ---- 2. Operating point --------------------------------------------
+  spice::OpResult op = spice::operating_point(system);
+  std::cout << "OP with input low: v(out) = " << op.v("out")
+            << " V, supply leakage = " << -op.value("i(Vdd)") * 1e9
+            << " nA\n";
+
+  // ---- 3. DC transfer sweep ------------------------------------------
+  auto points = spice::linspace(0.0, 1.2, 61);
+  spice::Waveform vtc = spice::dc_sweep(
+      system, [&](double v) { vin.set_dc(v); }, points);
+  const double vm =
+      spice::cross_time(vtc, "v(out)", 0.6, spice::Edge::kFalling);
+  std::cout << "Inverter switching threshold: " << vm << " V\n";
+
+  // ---- 4. Transient + measurements -----------------------------------
+  vin.set_wave(SourceWave::pulse(0.0, 1.2, 0.2_ns, 20.0_ps, 20.0_ps, 1.0_ns));
+  spice::TransientOptions tran;
+  tran.tstop = 2.5_ns;
+  spice::Waveform wave = spice::transient(system, tran);
+
+  const double tphl = spice::propagation_delay(
+      wave, "v(in)", 0.6, spice::Edge::kRising, "v(load)", 0.6,
+      spice::Edge::kFalling);
+  const double energy =
+      core::source_energy(ckt, wave, "Vdd", 0.0, wave.end_time());
+  std::cout << "High-to-low delay to the load: " << tphl * 1e12 << " ps\n";
+  std::cout << "Supply energy over the run:   " << energy * 1e15 << " fJ\n";
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Standard-cell-style building blocks shared by the experiment circuits:
+// CMOS inverters, fan-out loads, and static gates.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nemsim/spice/circuit.h"
+#include "nemsim/tech/cards.h"
+
+namespace nemsim::core {
+
+/// Sizing of one CMOS inverter (beta-matched default for 90 nm).
+struct InverterSizes {
+  double wp = 0.4e-6;
+  double wn = 0.2e-6;
+  double l = 1e-7;
+};
+
+/// Adds a CMOS inverter to `ckt`.  Devices are named "<prefix>.P" and
+/// "<prefix>.N"; the supply rail is `vdd`, the low rail ground.
+void add_inverter(spice::Circuit& ckt, const std::string& prefix,
+                  spice::NodeId in, spice::NodeId out, spice::NodeId vdd,
+                  const InverterSizes& sizes = {});
+
+/// Adds `fanout` inverter loads whose inputs all hang on `node` (their
+/// outputs go to fresh internal nodes).  This is how the paper loads the
+/// dynamic gate outputs: a fan-out of k = k receiver gates.
+void add_fanout_load(spice::Circuit& ckt, const std::string& prefix,
+                     spice::NodeId node, spice::NodeId vdd, int fanout,
+                     const InverterSizes& sizes = {});
+
+/// Input capacitance of one inverter with these sizes (gate caps only);
+/// the paper's "C_L = k" axis is k such input capacitances.
+double inverter_input_capacitance(const InverterSizes& sizes = {});
+
+/// Adds a 2-input static NAND gate ("<prefix>.PA/.PB/.NA/.NB"):
+/// parallel PMOS pull-ups, series NMOS pull-down stack.
+void add_nand2(spice::Circuit& ckt, const std::string& prefix,
+               spice::NodeId a, spice::NodeId b, spice::NodeId out,
+               spice::NodeId vdd, const InverterSizes& sizes = {});
+
+/// Adds a 2-input static NOR gate: series PMOS stack, parallel NMOS.
+void add_nor2(spice::Circuit& ckt, const std::string& prefix,
+              spice::NodeId a, spice::NodeId b, spice::NodeId out,
+              spice::NodeId vdd, const InverterSizes& sizes = {});
+
+/// Adds a chain of `stages` inverters from `in`; returns the node names
+/// of every stage output (fresh internal nodes).  Used by the power
+/// gating experiments as a representative logic block.
+std::vector<spice::NodeId> add_inverter_chain(spice::Circuit& ckt,
+                                              const std::string& prefix,
+                                              spice::NodeId in,
+                                              spice::NodeId vdd,
+                                              spice::NodeId low_rail,
+                                              int stages,
+                                              const InverterSizes& sizes = {});
+
+}  // namespace nemsim::core

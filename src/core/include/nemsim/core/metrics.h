@@ -1,0 +1,37 @@
+// Power/energy/delay metrics shared by the experiment harnesses,
+// including the paper's Equation 1 power-delay product.
+#pragma once
+
+#include <string>
+
+#include "nemsim/spice/circuit.h"
+#include "nemsim/spice/op.h"
+#include "nemsim/spice/waveform.h"
+
+namespace nemsim::core {
+
+/// Equation 1 of the paper:
+///   P.D. = ((1 - alpha) * P_L + alpha * P_S) * D
+/// where alpha is the activity factor, P_L leakage power, P_S switching
+/// power and D the worst-case delay.
+double power_delay_product(double alpha, double leakage_power,
+                           double switching_power, double delay);
+
+/// Total static power delivered by all voltage sources at an operating
+/// point: sum over sources of V * I(delivered).  This is the circuit's
+/// total dissipation in that state.
+double static_power(const spice::Circuit& circuit, const spice::OpResult& op);
+
+/// Energy delivered by the named voltage source over [t0, t1]:
+///   E = integral of v_src(t) * i_delivered(t) dt.
+/// For a DC supply this is Vdd * charge drawn.
+double source_energy(const spice::Circuit& circuit,
+                     const spice::Waveform& wave, const std::string& source,
+                     double t0, double t1);
+
+/// Average power from the named source over [t0, t1].
+double source_average_power(const spice::Circuit& circuit,
+                            const spice::Waveform& wave,
+                            const std::string& source, double t0, double t1);
+
+}  // namespace nemsim::core

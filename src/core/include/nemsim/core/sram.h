@@ -1,0 +1,127 @@
+// SRAM cells of paper Figure 13 and their evaluation metrics:
+// (a) conventional 6T, (b) dual-Vt, (c) asymmetric, (d) the proposed
+// hybrid NEMS-CMOS cell — plus static noise margin (butterfly curves),
+// read latency, and standby leakage (Figures 14-15).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nemsim/spice/circuit.h"
+#include "nemsim/spice/waveform.h"
+
+namespace nemsim::core {
+
+enum class SramKind {
+  kConventional,  ///< Figure 13 (a): all nominal-Vt 6T
+  kDualVt,        ///< Figure 13 (b): high-Vt cross-coupled inverters [25]
+  kAsymmetric,    ///< Figure 13 (c): high-Vt on the zero-state leakage paths [26]
+  kHybrid,        ///< Figure 13 (d): NEMS pull-up and pull-down devices
+  /// The paper's Section 5.3 alternative: only the PMOS pull-ups become
+  /// NEMS.  Read latency is untouched (PMOS is off during a read) but
+  /// the leaky NMOS pull-downs remain, so the leakage saving is smaller.
+  kHybridPullupOnly,
+};
+
+const char* sram_kind_name(SramKind kind);
+
+struct SramConfig {
+  SramKind kind = SramKind::kConventional;
+  double vdd = 1.2;
+  double w_access = 0.2e-6;   ///< AL / AR
+  double w_pulldown = 0.3e-6; ///< NL / NR
+  double w_pullup = 0.15e-6;  ///< PL / PR
+  double l = 1e-7;
+  /// NEMS device sizing (calibrated so the hybrid cell reproduces the
+  /// paper's ~14 % SNM reduction at minor latency cost).
+  double w_nems_pulldown = 0.3e-6;
+  double w_nems_pullup = 0.3e-6;
+  double bitline_cap = 20e-15;  ///< lumped BL capacitance (array + wire)
+  /// Stored value: true means QL = Vdd ("1"), false QL = 0 ("0").
+  bool stored_one = false;
+};
+
+/// A built cell with its testbench sources.
+///
+/// Nodes: "ql", "qr", "bl", "blb", "wl".  Sources: "Vdd", "Vwl"; plus
+/// "Vbl"/"Vblb" when the bitlines are driven (read/SNM benches) — the
+/// standby bench leaves them floating behind capacitors.
+struct SramCell {
+  SramConfig config;
+  std::unique_ptr<spice::Circuit> circuit;
+  spice::Circuit& ckt() { return *circuit; }
+};
+
+/// Options controlling how the testbench dresses the cell.
+struct SramBenchMode {
+  bool drive_bitlines = true;   ///< Vbl/Vblb sources present
+  double wordline = 0.0;        ///< DC wordline voltage
+};
+
+SramCell build_sram_cell(const SramConfig& config,
+                         const SramBenchMode& mode = {});
+
+/// One butterfly lobe: the VTC of one half-cell under read stress
+/// (wordline high, both bitlines precharged to Vdd).
+struct ButterflyCurves {
+  std::vector<double> v_in;    ///< swept storage-node voltage
+  std::vector<double> v_fwd;   ///< QL -> QR transfer
+  std::vector<double> v_rev;   ///< QR -> QL transfer
+  double snm = 0.0;            ///< largest embedded square (V)
+};
+
+/// Sweeps both half-cell transfer curves in the read condition and
+/// extracts the static noise margin (largest square between the lobes,
+/// Seevinck's rotated-axis method).
+ButterflyCurves measure_butterfly(const SramConfig& config,
+                                  std::size_t points = 121);
+
+/// Read latency: wordline pulse with bitlines precharged to Vdd through
+/// their lumped capacitance; time from WL 50 % rising until the read
+/// bitline has discharged by `sense_margin` volts.
+double measure_read_latency(const SramConfig& config,
+                            double sense_margin = 0.1);
+
+/// Standby leakage power: wordline low, bitlines floating (precharge
+/// gated off in standby), cell holding its value.  Total static power
+/// from all supplies.
+double measure_standby_leakage(const SramConfig& config);
+
+/// Standby leakage with bitlines held at Vdd (precharge kept on); the
+/// alternative convention, reported by the bench for comparison.
+double measure_standby_leakage_precharged(const SramConfig& config);
+
+/// Seevinck SNM extraction from two transfer curves sampled on the same
+/// input grid.  Exposed for tests.
+double extract_snm(const std::vector<double>& v_in,
+                   const std::vector<double>& v_fwd,
+                   const std::vector<double>& v_rev);
+
+/// Write operation result.
+struct WriteResult {
+  bool flipped = false;     ///< the cell took the new value
+  double latency = 0.0;     ///< WL 50 % to storage-node crossing (s)
+};
+
+/// Writes the opposite of the stored value through the access transistors
+/// (bitlines driven full-rail, wordline pulsed for `wl_pulse` seconds)
+/// and reports whether the cell flipped and how fast.  Hybrid cells must
+/// also move their beams, which shows up as write latency.
+WriteResult measure_write(const SramConfig& config, double wl_pulse = 1e-9);
+
+/// Minimum wordline pulse width that reliably flips the cell (bisection
+/// between lo and hi); a writability margin metric.
+double measure_min_write_pulse(const SramConfig& config, double lo = 2e-11,
+                               double hi = 2e-9);
+
+/// Column study (paper Section 5.1): reading one cell on a bitline shared
+/// with `idle_cells` other cells.  The idle cells' OFF access transistors
+/// leak INTO the discharging bitline (they all store the opposite value),
+/// fighting the read and stretching the latency - worse the leakier the
+/// access devices.  Returns the read latency of the accessed cell.
+double measure_column_read_latency(const SramConfig& config,
+                                   std::size_t idle_cells,
+                                   double sense_margin = 0.1);
+
+}  // namespace nemsim::core

@@ -1,0 +1,260 @@
+#include "nemsim/core/dynamic_or.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nemsim/core/metrics.h"
+#include "nemsim/devices/mosfet.h"
+#include "nemsim/devices/nemfet.h"
+#include "nemsim/devices/sources.h"
+#include "nemsim/spice/measure.h"
+#include "nemsim/spice/op.h"
+#include "nemsim/util/error.h"
+#include "nemsim/util/root.h"
+
+namespace nemsim::core {
+
+using devices::Mosfet;
+using devices::MosPolarity;
+using devices::Nemfet;
+using devices::NemsPolarity;
+using devices::SourceWave;
+using devices::VoltageSource;
+using spice::Circuit;
+using spice::Edge;
+using spice::MnaSystem;
+
+namespace {
+
+/// One full clock cycle of the testbench.
+double cycle_time(const DynamicOrConfig& c) {
+  return c.t_precharge + c.t_evaluate + 2.0 * c.t_edge;
+}
+
+/// The clock waveform: low (precharge) for t_precharge, then one evaluate
+/// phase, repeating.
+SourceWave clock_wave(const DynamicOrConfig& c) {
+  return SourceWave::pulse(0.0, c.vdd, c.t_precharge, c.t_edge, c.t_edge,
+                           c.t_evaluate, cycle_time(c));
+}
+
+/// Input pulse asserted `skew` after the evaluate edge; it returns low
+/// before the evaluate phase ends (domino discipline - otherwise the
+/// next precharge would crowbar through the still-on pull-down).
+SourceWave input_pulse(const DynamicOrConfig& c, double level) {
+  const double width = c.t_evaluate - c.input_skew - 2.0 * c.t_edge;
+  return SourceWave::pulse(0.0, level, c.t_precharge + c.t_edge + c.input_skew,
+                           c.t_edge, c.t_edge, width);
+}
+
+/// Restores the testbench to its quiescent configuration.
+void park_sources(DynamicOrGate& gate) {
+  Circuit& ckt = gate.ckt();
+  ckt.find<VoltageSource>("Vclk").set_wave(clock_wave(gate.config));
+  for (int i = 0; i < gate.config.fanin; ++i) {
+    ckt.find<VoltageSource>(gate.input_source(i)).set_dc(0.0);
+  }
+}
+
+}  // namespace
+
+DynamicOrGate build_dynamic_or(const DynamicOrConfig& config) {
+  require(config.fanin >= 1, "build_dynamic_or: fanin must be >= 1");
+  require(config.fanout >= 0, "build_dynamic_or: fanout must be >= 0");
+
+  DynamicOrGate gate;
+  gate.config = config;
+  gate.circuit = std::make_unique<Circuit>();
+  Circuit& ckt = *gate.circuit;
+
+  spice::NodeId vdd = ckt.node("vdd");
+  spice::NodeId clk = ckt.node("clk");
+  spice::NodeId dyn = ckt.node("dyn");
+  spice::NodeId out = ckt.node("out");
+
+  ckt.add<VoltageSource>("Vdd", vdd, ckt.gnd(), SourceWave::dc(config.vdd));
+  ckt.add<VoltageSource>("Vclk", clk, ckt.gnd(), clock_wave(config));
+
+  // Precharge device and feedback keeper (Figure 8).
+  ckt.add<Mosfet>("Mpre", dyn, clk, vdd, MosPolarity::kPmos,
+                  tech::pmos_90nm(), config.precharge_width, 1e-7);
+  double keeper_w = config.keeper_width;
+  if (config.hybrid) {
+    keeper_w = config.hybrid_keeper_width;
+  } else if (config.autosize_keeper) {
+    keeper_w = std::clamp(config.keeper_per_input * config.fanin,
+                          config.keeper_min_width, config.keeper_max_width);
+  }
+  ckt.add<Mosfet>("Mkeep", dyn, out, vdd, MosPolarity::kPmos,
+                  tech::pmos_90nm(), keeper_w, 1e-7);
+
+  // Output inverter and fan-out load.
+  add_inverter(ckt, "INVout", dyn, out, vdd, config.output_inverter);
+  add_fanout_load(ckt, "LD", out, vdd, config.fanout,
+                  config.output_inverter);
+
+  // Pull-down network.  Footless domino: inputs are guaranteed low during
+  // precharge by the testbench (as in a domino pipeline).
+  for (int i = 0; i < config.fanin; ++i) {
+    spice::NodeId in = ckt.node(gate.input_node(i));
+    ckt.add<VoltageSource>(gate.input_source(i), in, ckt.gnd(),
+                           SourceWave::dc(0.0));
+    if (config.hybrid) {
+      // NMOS on top, NEMFET in series below (Figure 8 (b)).
+      spice::NodeId mid = ckt.node("mid" + std::to_string(i));
+      ckt.add<Mosfet>("Mpd" + std::to_string(i), dyn, in, mid,
+                      MosPolarity::kNmos, tech::nmos_90nm(),
+                      config.input_nmos_width, 1e-7);
+      ckt.add<Nemfet>("Xpd" + std::to_string(i), mid, in, ckt.gnd(),
+                      NemsPolarity::kN, config.nems_card,
+                      config.nems_width);
+    } else {
+      ckt.add<Mosfet>("Mpd" + std::to_string(i), dyn, in, ckt.gnd(),
+                      MosPolarity::kNmos, tech::nmos_90nm(),
+                      config.input_nmos_width, 1e-7);
+    }
+  }
+  return gate;
+}
+
+namespace {
+
+/// Runs the standard one-hot switching cycle (input 0 asserted during the
+/// evaluate phase) and returns the waveform over `cycles` full cycles.
+spice::Waveform run_switching_cycle(DynamicOrGate& gate, double extra_time) {
+  Circuit& ckt = gate.ckt();
+  const DynamicOrConfig& c = gate.config;
+  park_sources(gate);
+  ckt.find<VoltageSource>(gate.input_source(0))
+      .set_wave(input_pulse(c, c.vdd));
+
+  MnaSystem system(ckt);
+  spice::TransientOptions options;
+  options.tstop = cycle_time(c) + extra_time;
+  options.dt_initial = 1e-13;
+  spice::Waveform wave = spice::transient(system, options);
+  park_sources(gate);
+  return wave;
+}
+
+}  // namespace
+
+double measure_worst_case_delay(DynamicOrGate& gate) {
+  spice::Waveform wave = run_switching_cycle(gate, 0.0);
+  const double half = 0.5 * gate.config.vdd;
+  return spice::propagation_delay(wave, "v(in0)", half, Edge::kRising,
+                                  "v(out)", half, Edge::kRising,
+                                  gate.config.t_precharge);
+}
+
+double measure_switching_power(DynamicOrGate& gate) {
+  // One full cycle plus the next precharge phase, so the energy includes
+  // recharging the dynamic node (the complete switching event).
+  const DynamicOrConfig& c = gate.config;
+  spice::Waveform wave = run_switching_cycle(gate, c.t_precharge);
+  const double energy =
+      source_energy(gate.ckt(), wave, "Vdd", 0.0, wave.end_time());
+  return energy / wave.end_time();
+}
+
+DynamicOrMetrics measure_dynamic_or(DynamicOrGate& gate) {
+  const DynamicOrConfig& c = gate.config;
+  spice::Waveform wave = run_switching_cycle(gate, c.t_precharge);
+  const double half = 0.5 * c.vdd;
+
+  DynamicOrMetrics m;
+  m.worst_case_delay = spice::propagation_delay(
+      wave, "v(in0)", half, Edge::kRising, "v(out)", half, Edge::kRising,
+      c.t_precharge);
+  m.switching_energy =
+      source_energy(gate.ckt(), wave, "Vdd", 0.0, wave.end_time());
+  m.switching_power = m.switching_energy / wave.end_time();
+  m.leakage_power = measure_leakage_power(gate);
+  return m;
+}
+
+double measure_leakage_power(DynamicOrGate& gate) {
+  Circuit& ckt = gate.ckt();
+  const DynamicOrConfig& c = gate.config;
+  park_sources(gate);
+  // Evaluate phase, all inputs low: keeper fights PDN leakage.
+  ckt.find<VoltageSource>("Vclk").set_dc(c.vdd);
+
+  MnaSystem system(ckt);
+  system.reset_devices();
+  system.set_nodeset(ckt.find_node("dyn"), c.vdd);
+  system.set_nodeset(ckt.find_node("out"), 0.0);
+  spice::OpResult op = spice::operating_point(system);
+
+  // Sanity: the keeper must actually be holding the dynamic node.
+  const double v_dyn = op.v("dyn");
+  require(v_dyn > 0.8 * c.vdd,
+          "measure_leakage_power: dynamic node collapsed (keeper too weak "
+          "for this leakage)");
+
+  const devices::VoltageSource& vdd_src = ckt.find<VoltageSource>("Vdd");
+  const double leak = c.vdd * (-op.x(vdd_src.branch()));
+  park_sources(gate);
+  return leak;
+}
+
+double measure_noise_margin(DynamicOrGate& gate, double v_resolution) {
+  Circuit& ckt = gate.ckt();
+  const DynamicOrConfig& c = gate.config;
+
+  auto tolerates = [&](double v_noise) {
+    park_sources(gate);
+    for (int i = 0; i < c.fanin; ++i) {
+      ckt.find<VoltageSource>(gate.input_source(i))
+          .set_wave(SourceWave::pulse(0.0, v_noise,
+                                      c.t_precharge + c.t_edge, c.t_edge,
+                                      c.t_edge, c.t_evaluate));
+    }
+    MnaSystem system(ckt);
+    spice::TransientOptions options;
+    options.tstop = c.t_precharge + c.t_edge + c.t_evaluate;
+    options.dt_initial = 1e-13;
+    bool ok = true;
+    try {
+      spice::Waveform wave = spice::transient(system, options);
+      const double out_peak = spice::max_value(
+          wave, "v(out)", c.t_precharge, wave.end_time());
+      ok = out_peak < 0.5 * c.vdd;
+    } catch (const ConvergenceError&) {
+      ok = false;  // treat numerical collapse as gate failure
+    }
+    return ok;
+  };
+
+  const double nm =
+      monotone_threshold(tolerates, 0.0, c.vdd, v_resolution);
+  park_sources(gate);
+  return nm;
+}
+
+double size_keeper_for_noise_margin(const DynamicOrConfig& base,
+                                    double nm_target, double w_lo,
+                                    double w_hi, double w_resolution) {
+  require(w_lo > 0.0 && w_hi > w_lo, "size_keeper: bad width bracket");
+  auto nm_at = [&](double w) {
+    DynamicOrConfig c = base;
+    c.hybrid = false;
+    c.autosize_keeper = false;
+    c.keeper_width = w;
+    DynamicOrGate gate = build_dynamic_or(c);
+    return measure_noise_margin(gate, 0.02);
+  };
+  if (nm_at(w_hi) < nm_target) {
+    throw ConvergenceError(
+        "size_keeper_for_noise_margin: target unreachable at w_hi");
+  }
+  if (nm_at(w_lo) >= nm_target) return w_lo;
+  double lo = w_lo, hi = w_hi;
+  while (hi - lo > w_resolution) {
+    const double mid = 0.5 * (lo + hi);
+    if (nm_at(mid) >= nm_target) hi = mid; else lo = mid;
+  }
+  return hi;
+}
+
+}  // namespace nemsim::core

@@ -1,0 +1,94 @@
+#include "nemsim/core/gates.h"
+
+#include "nemsim/devices/mosfet.h"
+#include "nemsim/util/error.h"
+
+namespace nemsim::core {
+
+using devices::Mosfet;
+using devices::MosPolarity;
+
+void add_inverter(spice::Circuit& ckt, const std::string& prefix,
+                  spice::NodeId in, spice::NodeId out, spice::NodeId vdd,
+                  const InverterSizes& sizes) {
+  ckt.add<Mosfet>(prefix + ".P", out, in, vdd, MosPolarity::kPmos,
+                  tech::pmos_90nm(), sizes.wp, sizes.l);
+  ckt.add<Mosfet>(prefix + ".N", out, in, ckt.gnd(), MosPolarity::kNmos,
+                  tech::nmos_90nm(), sizes.wn, sizes.l);
+}
+
+void add_fanout_load(spice::Circuit& ckt, const std::string& prefix,
+                     spice::NodeId node, spice::NodeId vdd, int fanout,
+                     const InverterSizes& sizes) {
+  require(fanout >= 0, "add_fanout_load: fanout must be >= 0");
+  for (int k = 0; k < fanout; ++k) {
+    spice::NodeId out = ckt.internal_node(prefix + "_fo" + std::to_string(k));
+    add_inverter(ckt, prefix + ".FO" + std::to_string(k), node, out, vdd,
+                 sizes);
+  }
+}
+
+double inverter_input_capacitance(const InverterSizes& sizes) {
+  const devices::MosParams n = tech::nmos_90nm();
+  const devices::MosParams p = tech::pmos_90nm();
+  const double cg_n = n.cox_area * sizes.wn * sizes.l + 2.0 * n.cov * sizes.wn;
+  const double cg_p = p.cox_area * sizes.wp * sizes.l + 2.0 * p.cov * sizes.wp;
+  return cg_n + cg_p;
+}
+
+void add_nand2(spice::Circuit& ckt, const std::string& prefix,
+               spice::NodeId a, spice::NodeId b, spice::NodeId out,
+               spice::NodeId vdd, const InverterSizes& sizes) {
+  // Parallel pull-ups at nominal width; the series NMOS stack is doubled
+  // so the gate's worst-case pull-down matches an inverter's.
+  ckt.add<Mosfet>(prefix + ".PA", out, a, vdd, MosPolarity::kPmos,
+                  tech::pmos_90nm(), sizes.wp, sizes.l);
+  ckt.add<Mosfet>(prefix + ".PB", out, b, vdd, MosPolarity::kPmos,
+                  tech::pmos_90nm(), sizes.wp, sizes.l);
+  spice::NodeId mid = ckt.internal_node(prefix + "_nstack");
+  ckt.add<Mosfet>(prefix + ".NA", out, a, mid, MosPolarity::kNmos,
+                  tech::nmos_90nm(), 2.0 * sizes.wn, sizes.l);
+  ckt.add<Mosfet>(prefix + ".NB", mid, b, ckt.gnd(), MosPolarity::kNmos,
+                  tech::nmos_90nm(), 2.0 * sizes.wn, sizes.l);
+}
+
+void add_nor2(spice::Circuit& ckt, const std::string& prefix,
+              spice::NodeId a, spice::NodeId b, spice::NodeId out,
+              spice::NodeId vdd, const InverterSizes& sizes) {
+  // Series pull-up stack doubled; parallel pull-downs nominal.
+  spice::NodeId mid = ckt.internal_node(prefix + "_pstack");
+  ckt.add<Mosfet>(prefix + ".PA", mid, a, vdd, MosPolarity::kPmos,
+                  tech::pmos_90nm(), 2.0 * sizes.wp, sizes.l);
+  ckt.add<Mosfet>(prefix + ".PB", out, b, mid, MosPolarity::kPmos,
+                  tech::pmos_90nm(), 2.0 * sizes.wp, sizes.l);
+  ckt.add<Mosfet>(prefix + ".NA", out, a, ckt.gnd(), MosPolarity::kNmos,
+                  tech::nmos_90nm(), sizes.wn, sizes.l);
+  ckt.add<Mosfet>(prefix + ".NB", out, b, ckt.gnd(), MosPolarity::kNmos,
+                  tech::nmos_90nm(), sizes.wn, sizes.l);
+}
+
+std::vector<spice::NodeId> add_inverter_chain(spice::Circuit& ckt,
+                                              const std::string& prefix,
+                                              spice::NodeId in,
+                                              spice::NodeId vdd,
+                                              spice::NodeId low_rail,
+                                              int stages,
+                                              const InverterSizes& sizes) {
+  require(stages >= 1, "add_inverter_chain: need at least one stage");
+  std::vector<spice::NodeId> outputs;
+  outputs.reserve(stages);
+  spice::NodeId prev = in;
+  for (int s = 0; s < stages; ++s) {
+    spice::NodeId out = ckt.internal_node(prefix + "_s" + std::to_string(s));
+    const std::string stage = prefix + ".S" + std::to_string(s);
+    ckt.add<Mosfet>(stage + ".P", out, prev, vdd, MosPolarity::kPmos,
+                    tech::pmos_90nm(), sizes.wp, sizes.l);
+    ckt.add<Mosfet>(stage + ".N", out, prev, low_rail, MosPolarity::kNmos,
+                    tech::nmos_90nm(), sizes.wn, sizes.l);
+    outputs.push_back(out);
+    prev = out;
+  }
+  return outputs;
+}
+
+}  // namespace nemsim::core

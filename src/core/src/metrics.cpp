@@ -1,0 +1,58 @@
+#include "nemsim/core/metrics.h"
+
+#include <algorithm>
+
+#include "nemsim/devices/sources.h"
+#include "nemsim/util/error.h"
+
+namespace nemsim::core {
+
+double power_delay_product(double alpha, double leakage_power,
+                           double switching_power, double delay) {
+  require(alpha >= 0.0 && alpha <= 1.0,
+          "power_delay_product: alpha must be in [0, 1]");
+  return ((1.0 - alpha) * leakage_power + alpha * switching_power) * delay;
+}
+
+double static_power(const spice::Circuit& circuit,
+                    const spice::OpResult& op) {
+  double total = 0.0;
+  circuit.for_each<devices::VoltageSource>(
+      [&](const devices::VoltageSource& src) {
+        // Branch current flows p -> n through the source; the power the
+        // source delivers to the circuit is V * (-i).
+        const double i = op.x(src.branch());
+        const double v = src.value(0.0);
+        total += v * (-i);
+      });
+  return total;
+}
+
+double source_energy(const spice::Circuit& circuit,
+                     const spice::Waveform& wave, const std::string& source,
+                     double t0, double t1) {
+  require(t1 > t0, "source_energy: empty window");
+  const auto& src = circuit.find<devices::VoltageSource>(source);
+  const std::size_t isig = wave.signal_index("i(" + source + ")");
+
+  // Trapezoidal integral of v(t) * (-i(t)) over the sample grid.
+  const auto& ts = wave.times();
+  double energy = 0.0;
+  for (std::size_t k = 1; k < ts.size(); ++k) {
+    const double a = std::max(ts[k - 1], t0);
+    const double b = std::min(ts[k], t1);
+    if (b <= a) continue;
+    const double pa = src.value(a) * (-wave.at(isig, a));
+    const double pb = src.value(b) * (-wave.at(isig, b));
+    energy += 0.5 * (pa + pb) * (b - a);
+  }
+  return energy;
+}
+
+double source_average_power(const spice::Circuit& circuit,
+                            const spice::Waveform& wave,
+                            const std::string& source, double t0, double t1) {
+  return source_energy(circuit, wave, source, t0, t1) / (t1 - t0);
+}
+
+}  // namespace nemsim::core

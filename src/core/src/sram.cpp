@@ -1,0 +1,450 @@
+#include "nemsim/core/sram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nemsim/core/metrics.h"
+#include "nemsim/devices/mosfet.h"
+#include "nemsim/devices/nemfet.h"
+#include "nemsim/devices/passives.h"
+#include "nemsim/devices/sources.h"
+#include "nemsim/spice/dcsweep.h"
+#include "nemsim/spice/measure.h"
+#include "nemsim/spice/op.h"
+#include "nemsim/spice/transient.h"
+#include "nemsim/tech/cards.h"
+#include "nemsim/util/error.h"
+#include "nemsim/util/interp.h"
+
+namespace nemsim::core {
+
+using devices::Capacitor;
+using devices::Mosfet;
+using devices::MosPolarity;
+using devices::Nemfet;
+using devices::NemsPolarity;
+using devices::SourceWave;
+using devices::VoltageSource;
+using spice::Circuit;
+using spice::MnaSystem;
+
+const char* sram_kind_name(SramKind kind) {
+  switch (kind) {
+    case SramKind::kConventional: return "Conv.";
+    case SramKind::kDualVt: return "Dual Vt";
+    case SramKind::kAsymmetric: return "Asym.";
+    case SramKind::kHybrid: return "Hybrid";
+    case SramKind::kHybridPullupOnly: return "Hybrid-PU";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Adds the cross-coupled core + access transistors per Figure 13.
+/// Node/device names follow the paper: QL/QR storage nodes, AL/AR access,
+/// PL/PR pull-ups, NL/NR pull-downs.
+void add_cell_core(Circuit& ckt, const SramConfig& c) {
+  spice::NodeId vdd = ckt.node("vdd");
+  spice::NodeId ql = ckt.node("ql");
+  spice::NodeId qr = ckt.node("qr");
+  spice::NodeId bl = ckt.node("bl");
+  spice::NodeId blb = ckt.node("blb");
+  spice::NodeId wl = ckt.node("wl");
+
+  // Access transistors: always CMOS (replacing them with NEMS would be
+  // disastrous for latency, as the paper argues).  The dual-Vt cell [25]
+  // pairs low-Vt access devices with a high-Vt core - fast bitline
+  // access at the cost of read stability, which is exactly the tradeoff
+  // the paper attributes to that architecture.
+  const devices::MosParams access_card = c.kind == SramKind::kDualVt
+                                             ? tech::nmos_90nm_lvt()
+                                             : tech::nmos_90nm();
+  ckt.add<Mosfet>("AL", bl, wl, ql, MosPolarity::kNmos, access_card,
+                  c.w_access, c.l);
+  ckt.add<Mosfet>("AR", blb, wl, qr, MosPolarity::kNmos, access_card,
+                  c.w_access, c.l);
+
+  // Device-flavour selection per architecture.
+  const bool hybrid = c.kind == SramKind::kHybrid;
+  const bool hybrid_pu = c.kind == SramKind::kHybridPullupOnly;
+  auto nmos_card = [&](bool zero_state_leaker) {
+    if (c.kind == SramKind::kDualVt) return tech::nmos_90nm_hvt();
+    if (c.kind == SramKind::kAsymmetric && zero_state_leaker) {
+      return tech::nmos_90nm_hvt();
+    }
+    return tech::nmos_90nm();
+  };
+  auto pmos_card = [&](bool zero_state_leaker) {
+    if (c.kind == SramKind::kDualVt) return tech::pmos_90nm_hvt();
+    if (c.kind == SramKind::kAsymmetric && zero_state_leaker) {
+      return tech::pmos_90nm_hvt();
+    }
+    return tech::pmos_90nm();
+  };
+
+  if (hybrid) {
+    // Figure 13 (d): both pull-downs and pull-ups become NEMS devices.
+    auto& nl = ckt.add<Nemfet>("NL", ql, qr, ckt.gnd(), NemsPolarity::kN,
+                               tech::nems_90nm(), c.w_nems_pulldown);
+    auto& nr = ckt.add<Nemfet>("NR", qr, ql, ckt.gnd(), NemsPolarity::kN,
+                               tech::nems_90nm(), c.w_nems_pulldown);
+    auto& pl = ckt.add<Nemfet>("PL", ql, qr, vdd, NemsPolarity::kP,
+                               tech::nems_90nm(), c.w_nems_pullup);
+    auto& pr = ckt.add<Nemfet>("PR", qr, ql, vdd, NemsPolarity::kP,
+                               tech::nems_90nm(), c.w_nems_pullup);
+    // Seed beam states consistent with the stored value so bistable DC
+    // solves land on the right branch.
+    if (c.stored_one) {
+      // QL = 1, QR = 0: NR and PL conduct.
+      nr.set_initially_closed();
+      pl.set_initially_closed();
+    } else {
+      nl.set_initially_closed();
+      pr.set_initially_closed();
+    }
+  } else if (hybrid_pu) {
+    // Section 5.3 alternative: NEMS pull-ups over a CMOS pull-down pair.
+    ckt.add<Mosfet>("NL", ql, qr, ckt.gnd(), MosPolarity::kNmos,
+                    tech::nmos_90nm(), c.w_pulldown, c.l);
+    ckt.add<Mosfet>("NR", qr, ql, ckt.gnd(), MosPolarity::kNmos,
+                    tech::nmos_90nm(), c.w_pulldown, c.l);
+    auto& pl = ckt.add<Nemfet>("PL", ql, qr, vdd, NemsPolarity::kP,
+                               tech::nems_90nm(), c.w_nems_pullup);
+    auto& pr = ckt.add<Nemfet>("PR", qr, ql, vdd, NemsPolarity::kP,
+                               tech::nems_90nm(), c.w_nems_pullup);
+    if (c.stored_one) {
+      pl.set_initially_closed();
+    } else {
+      pr.set_initially_closed();
+    }
+  } else {
+    // For the asymmetric cell [26] the preferred state stores a zero at
+    // QL; the devices that are OFF (and leak) in that state - PL and NR -
+    // get the high threshold.
+    ckt.add<Mosfet>("NL", ql, qr, ckt.gnd(), MosPolarity::kNmos,
+                    nmos_card(false), c.w_pulldown, c.l);
+    ckt.add<Mosfet>("NR", qr, ql, ckt.gnd(), MosPolarity::kNmos,
+                    nmos_card(true), c.w_pulldown, c.l);
+    ckt.add<Mosfet>("PL", ql, qr, vdd, MosPolarity::kPmos, pmos_card(true),
+                    c.w_pullup, c.l);
+    ckt.add<Mosfet>("PR", qr, ql, vdd, MosPolarity::kPmos, pmos_card(false),
+                    c.w_pullup, c.l);
+  }
+}
+
+void nodeset_stored_value(MnaSystem& system, const SramConfig& c) {
+  Circuit& ckt = system.circuit();
+  const double vql = c.stored_one ? c.vdd : 0.0;
+  system.set_nodeset(ckt.find_node("ql"), vql);
+  system.set_nodeset(ckt.find_node("qr"), c.vdd - vql);
+}
+
+}  // namespace
+
+SramCell build_sram_cell(const SramConfig& config,
+                         const SramBenchMode& mode) {
+  SramCell cell;
+  cell.config = config;
+  cell.circuit = std::make_unique<Circuit>();
+  Circuit& ckt = *cell.circuit;
+
+  spice::NodeId vdd = ckt.node("vdd");
+  spice::NodeId bl = ckt.node("bl");
+  spice::NodeId blb = ckt.node("blb");
+  spice::NodeId wl = ckt.node("wl");
+
+  ckt.add<VoltageSource>("Vdd", vdd, ckt.gnd(), SourceWave::dc(config.vdd));
+  ckt.add<VoltageSource>("Vwl", wl, ckt.gnd(),
+                         SourceWave::dc(mode.wordline));
+  ckt.add<Capacitor>("Cbl", bl, ckt.gnd(), config.bitline_cap);
+  ckt.add<Capacitor>("Cblb", blb, ckt.gnd(), config.bitline_cap);
+  if (mode.drive_bitlines) {
+    ckt.add<VoltageSource>("Vbl", bl, ckt.gnd(), SourceWave::dc(config.vdd));
+    ckt.add<VoltageSource>("Vblb", blb, ckt.gnd(),
+                           SourceWave::dc(config.vdd));
+  }
+  add_cell_core(ckt, config);
+  return cell;
+}
+
+// ------------------------------------------------------------ butterfly
+
+namespace {
+
+/// Transfer curve of one half-cell under read stress: drive the input
+/// storage node with a source, read the other storage node.
+std::vector<double> half_cell_transfer(const SramConfig& config,
+                                       bool drive_ql,
+                                       const std::vector<double>& points) {
+  SramBenchMode mode;
+  mode.drive_bitlines = true;
+  mode.wordline = config.vdd;  // read condition
+  SramCell cell = build_sram_cell(config, mode);
+  Circuit& ckt = cell.ckt();
+
+  const std::string driven = drive_ql ? "ql" : "qr";
+  const std::string sensed = drive_ql ? "qr" : "ql";
+  auto& sweep_src = ckt.add<VoltageSource>(
+      "Vsweep", ckt.find_node(driven), ckt.gnd(), SourceWave::dc(0.0));
+
+  MnaSystem system(ckt);
+  spice::Waveform sweep = spice::dc_sweep(
+      system, [&](double v) { sweep_src.set_dc(v); }, points);
+  return sweep.series("v(" + sensed + ")");
+}
+
+}  // namespace
+
+double extract_snm(const std::vector<double>& v_in,
+                   const std::vector<double>& v_fwd,
+                   const std::vector<double>& v_rev) {
+  require(v_in.size() == v_fwd.size() && v_in.size() == v_rev.size() &&
+              v_in.size() >= 3,
+          "extract_snm: need matched sampled curves");
+  // Rotate 45 degrees: u = (x - y)/sqrt2 (monotone along a VTC),
+  // v = (x + y)/sqrt2.  The largest axis-aligned square between the
+  // curves has its diagonal along v; side = max |v1(u) - v2(u)| / sqrt2
+  // per lobe (Seevinck's method).
+  const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+  std::vector<double> u1, w1, u2, w2;
+  for (std::size_t i = 0; i < v_in.size(); ++i) {
+    // Curve 1: (x = v_in, y = v_fwd).
+    u1.push_back((v_in[i] - v_fwd[i]) * inv_sqrt2);
+    w1.push_back((v_in[i] + v_fwd[i]) * inv_sqrt2);
+    // Curve 2: (x = v_rev, y = v_in).
+    u2.push_back((v_rev[i] - v_in[i]) * inv_sqrt2);
+    w2.push_back((v_rev[i] + v_in[i]) * inv_sqrt2);
+  }
+  // u2 runs descending (y = v_in ascending while x decreasing): reverse.
+  std::reverse(u2.begin(), u2.end());
+  std::reverse(w2.begin(), w2.end());
+  // Make both u axes strictly increasing for interpolation (drop ties).
+  auto dedupe = [](std::vector<double>& u, std::vector<double>& w) {
+    std::vector<double> uu, ww;
+    for (std::size_t i = 0; i < u.size(); ++i) {
+      if (uu.empty() || u[i] > uu.back() + 1e-12) {
+        uu.push_back(u[i]);
+        ww.push_back(w[i]);
+      }
+    }
+    u = std::move(uu);
+    w = std::move(ww);
+  };
+  dedupe(u1, w1);
+  dedupe(u2, w2);
+  require(u1.size() >= 2 && u2.size() >= 2, "extract_snm: degenerate curves");
+
+  PiecewiseLinear f1(u1, w1);
+  PiecewiseLinear f2(u2, w2);
+  const double u_lo = std::max(u1.front(), u2.front());
+  const double u_hi = std::min(u1.back(), u2.back());
+  require(u_hi > u_lo, "extract_snm: curves do not overlap");
+
+  double max_pos = 0.0;  // lobe where curve 2 is above curve 1
+  double max_neg = 0.0;  // the other lobe
+  constexpr int kSamples = 400;
+  for (int i = 0; i <= kSamples; ++i) {
+    const double u = u_lo + (u_hi - u_lo) * i / kSamples;
+    const double d = f2(u) - f1(u);
+    max_pos = std::max(max_pos, d);
+    max_neg = std::max(max_neg, -d);
+  }
+  return std::min(max_pos, max_neg) * inv_sqrt2;
+}
+
+ButterflyCurves measure_butterfly(const SramConfig& config,
+                                  std::size_t points) {
+  ButterflyCurves out;
+  out.v_in = spice::linspace(0.0, config.vdd, points);
+  out.v_fwd = half_cell_transfer(config, /*drive_ql=*/true, out.v_in);
+  out.v_rev = half_cell_transfer(config, /*drive_ql=*/false, out.v_in);
+  out.snm = extract_snm(out.v_in, out.v_fwd, out.v_rev);
+  return out;
+}
+
+// ---------------------------------------------------------- read latency
+
+namespace {
+
+double read_latency_impl(const SramConfig& config, std::size_t idle_cells,
+                         double sense_margin) {
+  SramBenchMode mode;
+  mode.drive_bitlines = false;  // bitlines precharged via PMOS, then float
+  SramCell cell = build_sram_cell(config, mode);
+  Circuit& ckt = cell.ckt();
+  const double vdd = config.vdd;
+
+  // Precharge devices, switched off before the wordline rises.
+  spice::NodeId pc = ckt.node("pc");
+  ckt.add<Mosfet>("Mpcl", ckt.find_node("bl"), pc, ckt.find_node("vdd"),
+                  MosPolarity::kPmos, tech::pmos_90nm(), 1e-6, config.l);
+  ckt.add<Mosfet>("Mpcr", ckt.find_node("blb"), pc, ckt.find_node("vdd"),
+                  MosPolarity::kPmos, tech::pmos_90nm(), 1e-6, config.l);
+  const double t_pc_off = 0.2e-9;
+  const double t_wl = 0.4e-9;
+  ckt.add<VoltageSource>(
+      "Vpc", pc, ckt.gnd(),
+      SourceWave::pulse(0.0, vdd, t_pc_off, 20e-12, 20e-12, 1.0));
+  ckt.find<VoltageSource>("Vwl").set_wave(
+      SourceWave::pulse(0.0, vdd, t_wl, 20e-12, 20e-12, 1.0));
+
+  const std::string ref_bl = config.stored_one ? "bl" : "blb";
+  if (idle_cells > 0) {
+    // Lumped model of the other cells on the column (paper Section 5.1):
+    // their OFF access transistors leak from the *reference* bitline into
+    // storage nodes holding 0, drooping it and shrinking the sense
+    // differential.  One wide device stands in for the parallel
+    // combination; worst case assumes every idle cell stores the value
+    // that discharges the reference side.
+    spice::NodeId qidle = ckt.node("qidle");
+    ckt.add<VoltageSource>("Vqidle", qidle, ckt.gnd(), SourceWave::dc(0.0));
+    ckt.add<Mosfet>("Midle", ckt.find_node(ref_bl), ckt.gnd(), qidle,
+                    MosPolarity::kNmos, tech::nmos_90nm(),
+                    static_cast<double>(idle_cells) * config.w_access,
+                    config.l);
+  }
+
+  MnaSystem system(ckt);
+  nodeset_stored_value(system, config);
+  system.set_nodeset(ckt.find_node("bl"), vdd);
+  system.set_nodeset(ckt.find_node("blb"), vdd);
+
+  spice::TransientOptions options;
+  options.tstop = 3e-9;
+  options.dt_initial = 1e-13;
+  spice::Waveform wave = spice::transient(system, options);
+
+  // The bitline on the zero-storing side discharges through access +
+  // pull-down; sensing completes when the differential against the
+  // (possibly drooping) reference bitline reaches the margin.
+  const std::string read_bl = config.stored_one ? "v(blb)" : "v(bl)";
+  const std::string ref_sig = "v(" + ref_bl + ")";
+  const double t_wl_half =
+      spice::cross_time(wave, "v(wl)", 0.5 * vdd, spice::Edge::kRising);
+  const std::size_t s_read = wave.signal_index(read_bl);
+  const std::size_t s_ref = wave.signal_index(ref_sig);
+  const auto& ts = wave.times();
+  for (std::size_t k = 1; k < ts.size(); ++k) {
+    if (ts[k] < t_wl_half) continue;
+    const double diff = wave.sample(s_ref, k) - wave.sample(s_read, k);
+    if (diff >= sense_margin) {
+      // Linear refinement between samples.
+      const double d0 =
+          wave.sample(s_ref, k - 1) - wave.sample(s_read, k - 1);
+      const double frac = (sense_margin - d0) / (diff - d0);
+      return ts[k - 1] + frac * (ts[k] - ts[k - 1]) - t_wl_half;
+    }
+  }
+  throw MeasurementError("read latency: sense margin never reached");
+}
+
+}  // namespace
+
+double measure_read_latency(const SramConfig& config, double sense_margin) {
+  return read_latency_impl(config, 0, sense_margin);
+}
+
+double measure_column_read_latency(const SramConfig& config,
+                                   std::size_t idle_cells,
+                                   double sense_margin) {
+  return read_latency_impl(config, idle_cells, sense_margin);
+}
+
+// ---------------------------------------------------------------- write
+
+WriteResult measure_write(const SramConfig& config, double wl_pulse) {
+  require(wl_pulse > 1e-12, "measure_write: pulse too short");
+  // Bitlines driven to the value being written: write the OPPOSITE of
+  // the stored value (write 1 to QL when it holds 0 and vice versa).
+  const bool write_one = !config.stored_one;
+  const double vdd = config.vdd;
+
+  SramBenchMode mode;
+  mode.drive_bitlines = true;
+  SramCell cell = build_sram_cell(config, mode);
+  Circuit& ckt = cell.ckt();
+  ckt.find<VoltageSource>("Vbl").set_dc(write_one ? vdd : 0.0);
+  ckt.find<VoltageSource>("Vblb").set_dc(write_one ? 0.0 : vdd);
+  const double t_wl = 0.2e-9;
+  const double edge = 20e-12;
+  ckt.find<VoltageSource>("Vwl").set_wave(
+      SourceWave::pulse(0.0, vdd, t_wl, edge, edge, wl_pulse));
+
+  MnaSystem system(ckt);
+  nodeset_stored_value(system, config);
+
+  spice::TransientOptions options;
+  options.tstop = t_wl + wl_pulse + 2.0 * edge + 1e-9;  // settle after WL
+  options.dt_initial = 1e-13;
+  spice::Waveform wave = spice::transient(system, options);
+
+  WriteResult result;
+  const double vql_final = spice::final_value(wave, "v(ql)");
+  result.flipped = write_one ? (vql_final > 0.8 * vdd)
+                             : (vql_final < 0.2 * vdd);
+  if (result.flipped) {
+    const double t_wl_half =
+        spice::cross_time(wave, "v(wl)", 0.5 * vdd, spice::Edge::kRising);
+    const double t_q = spice::cross_time(
+        wave, "v(ql)", 0.5 * vdd,
+        write_one ? spice::Edge::kRising : spice::Edge::kFalling, 1,
+        t_wl_half);
+    result.latency = t_q - t_wl_half;
+  }
+  return result;
+}
+
+double measure_min_write_pulse(const SramConfig& config, double lo,
+                               double hi) {
+  require(hi > lo && lo > 0.0, "measure_min_write_pulse: bad bracket");
+  if (measure_write(config, lo).flipped) return lo;
+  require(measure_write(config, hi).flipped,
+          "measure_min_write_pulse: cell not writable even at hi");
+  while (hi - lo > 0.05 * lo) {
+    const double mid = std::sqrt(lo * hi);  // bisect in log space
+    if (measure_write(config, mid).flipped) hi = mid; else lo = mid;
+  }
+  return hi;
+}
+
+// -------------------------------------------------------------- leakage
+
+namespace {
+
+double standby_leakage_impl(const SramConfig& config, bool precharged) {
+  SramBenchMode mode;
+  mode.drive_bitlines = precharged;
+  mode.wordline = 0.0;
+  SramCell cell = build_sram_cell(config, mode);
+  Circuit& ckt = cell.ckt();
+
+  MnaSystem system(ckt);
+  nodeset_stored_value(system, config);
+  if (!precharged) {
+    // Floating bitlines start near the rail they last saw.
+    system.set_nodeset(ckt.find_node("bl"), config.vdd);
+    system.set_nodeset(ckt.find_node("blb"), config.vdd);
+  }
+  spice::OpResult op = spice::operating_point(system);
+
+  // Sanity: the cell must still hold its value.
+  const double vql = op.v("ql");
+  const double expect = config.stored_one ? config.vdd : 0.0;
+  require(std::abs(vql - expect) < 0.3 * config.vdd,
+          "standby leakage: cell lost its state in the operating point");
+
+  return static_power(ckt, op);
+}
+
+}  // namespace
+
+double measure_standby_leakage(const SramConfig& config) {
+  return standby_leakage_impl(config, /*precharged=*/false);
+}
+
+double measure_standby_leakage_precharged(const SramConfig& config) {
+  return standby_leakage_impl(config, /*precharged=*/true);
+}
+
+}  // namespace nemsim::core

@@ -1,0 +1,87 @@
+// Shared companion-model helper for capacitive branches.
+//
+// Implements the trapezoidal integration companion with a backward-Euler
+// restart after discontinuities (the standard SPICE recipe).  Used by the
+// standalone Capacitor device and by the internal capacitances of the
+// MOSFET and NEMFET models.
+#pragma once
+
+#include "nemsim/spice/engine.h"
+
+namespace nemsim::devices {
+
+/// Companion state/stamps for one two-terminal capacitive branch.
+///
+/// In transient, stamps the Norton companion
+///   i(v) = geq * (v - v0) - i0_term
+/// where for trapezoidal geq = 2C/dt, i0_term = i0, and for backward Euler
+/// geq = C/dt, i0_term = 0.  In DC the branch is an open circuit.
+class CapCompanion {
+ public:
+  CapCompanion() = default;
+  explicit CapCompanion(double capacitance) : c_(capacitance) {}
+
+  double capacitance() const { return c_; }
+  void set_capacitance(double c) { c_ = c; }
+
+  /// Current through the branch at iterate voltage `v` for the context's
+  /// step, and the conductance to stamp.
+  double current(const spice::StampContext& ctx, double v) const {
+    if (ctx.mode() == spice::AnalysisMode::kDcOperatingPoint) return 0.0;
+    return geq(ctx) * (v - v0_) - (use_be_ ? 0.0 : i0_);
+  }
+
+  double geq(const spice::StampContext& ctx) const {
+    if (ctx.mode() == spice::AnalysisMode::kDcOperatingPoint) return 0.0;
+    const double dt = ctx.dt();
+    return use_be_ ? c_ / dt : 2.0 * c_ / dt;
+  }
+
+  /// Stamps KCL rows/Jacobian for the branch between nodes p and n.
+  void stamp(spice::StampContext& ctx, spice::NodeId p, spice::NodeId n) const {
+    if (ctx.mode() == spice::AnalysisMode::kDcOperatingPoint) return;
+    const double v = ctx.v(p) - ctx.v(n);
+    const double i = current(ctx, v);
+    const double g = geq(ctx);
+    ctx.add_f(p, i);
+    ctx.add_f(n, -i);
+    ctx.add_J(p, p, g);
+    ctx.add_J(p, n, -g);
+    ctx.add_J(n, p, -g);
+    ctx.add_J(n, n, g);
+  }
+
+  /// Commits state after a converged solve at branch voltage `v`.
+  void accept(const spice::AcceptContext& ctx, double v) {
+    if (ctx.mode() == spice::AnalysisMode::kDcOperatingPoint) {
+      v0_ = v;
+      i0_ = 0.0;
+      use_be_ = true;  // self-start the first transient step
+      return;
+    }
+    i0_ = current_at_accept(ctx.dt(), v);
+    v0_ = v;
+    use_be_ = false;
+  }
+
+  void reset() {
+    v0_ = 0.0;
+    i0_ = 0.0;
+    use_be_ = true;
+  }
+
+  void discontinuity() { use_be_ = true; }
+
+ private:
+  double current_at_accept(double dt, double v) const {
+    return use_be_ ? c_ / dt * (v - v0_)
+                   : 2.0 * c_ / dt * (v - v0_) - i0_;
+  }
+
+  double c_ = 0.0;
+  double v0_ = 0.0;
+  double i0_ = 0.0;
+  bool use_be_ = true;
+};
+
+}  // namespace nemsim::devices

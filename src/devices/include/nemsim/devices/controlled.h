@@ -1,0 +1,50 @@
+// Linear controlled sources: VCVS (E) and VCCS (G).
+#pragma once
+
+#include "nemsim/spice/device.h"
+#include "nemsim/spice/engine.h"
+
+namespace nemsim::devices {
+
+/// Voltage-controlled voltage source: v(p,n) = gain * v(cp,cn).
+class Vcvs : public spice::Device {
+ public:
+  Vcvs(std::string name, spice::NodeId p, spice::NodeId n, spice::NodeId cp,
+       spice::NodeId cn, double gain);
+
+  spice::UnknownId branch() const { return branch_; }
+  void set_gain(double gain) { gain_ = gain; }
+
+  void setup(spice::SetupContext& ctx) override;
+  void stamp(spice::StampContext& ctx) const override;
+  void stamp_ac(spice::AcStampContext& ctx) const override;
+  std::string netlist_line(
+      const std::function<std::string(spice::NodeId)>& node_namer)
+      const override;
+
+ private:
+  spice::NodeId p_, n_, cp_, cn_;
+  double gain_;
+  spice::UnknownId branch_;
+};
+
+/// Voltage-controlled current source: i(p->n) = gm * v(cp,cn).
+class Vccs : public spice::Device {
+ public:
+  Vccs(std::string name, spice::NodeId p, spice::NodeId n, spice::NodeId cp,
+       spice::NodeId cn, double gm);
+
+  void set_gm(double gm) { gm_ = gm; }
+
+  void stamp(spice::StampContext& ctx) const override;
+  void stamp_ac(spice::AcStampContext& ctx) const override;
+  std::string netlist_line(
+      const std::function<std::string(spice::NodeId)>& node_namer)
+      const override;
+
+ private:
+  spice::NodeId p_, n_, cp_, cn_;
+  double gm_;
+};
+
+}  // namespace nemsim::devices

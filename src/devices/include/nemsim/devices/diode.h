@@ -1,0 +1,41 @@
+// Junction diode with exponential I-V and overflow-safe linearization.
+#pragma once
+
+#include "nemsim/spice/device.h"
+#include "nemsim/spice/engine.h"
+
+namespace nemsim::devices {
+
+struct DiodeParams {
+  double is = 1e-14;        ///< saturation current (A)
+  double n = 1.0;           ///< ideality factor
+  double temp = 300.0;      ///< K
+  double gmin_shunt = 1e-15;///< parallel conductance (aids convergence)
+};
+
+/// Ideal-law diode from anode to cathode:
+///   i = Is (exp(v / (n vt)) - 1) + gmin_shunt * v
+/// Above ~40 thermal voltages the exponential is continued linearly so
+/// intermediate Newton iterates cannot overflow.
+class Diode : public spice::Device {
+ public:
+  Diode(std::string name, spice::NodeId anode, spice::NodeId cathode,
+        DiodeParams params = {});
+
+  const DiodeParams& params() const { return params_; }
+
+  /// Model evaluation (exposed for tests): current and conductance at v.
+  void evaluate(double v, double& i, double& g) const;
+
+  void stamp(spice::StampContext& ctx) const override;
+  void stamp_ac(spice::AcStampContext& ctx) const override;
+  std::string netlist_line(
+      const std::function<std::string(spice::NodeId)>& node_namer)
+      const override;
+
+ private:
+  spice::NodeId anode_, cathode_;
+  DiodeParams params_;
+};
+
+}  // namespace nemsim::devices

@@ -1,0 +1,108 @@
+// Shared EKV-style channel current evaluation.
+//
+// The long-channel EKV interpolation gives one smooth equation covering
+// weak inversion (exponential, slope factor n) through strong inversion
+// (square law) with a continuous Jacobian — which is exactly what the
+// Newton loop wants (no piecewise-region chatter).  Both the MOSFET and
+// the NEMFET channel use it; the NEMFET additionally modulates Vth and n
+// with the beam position.
+#pragma once
+
+#include <cmath>
+
+namespace nemsim::devices::ekv {
+
+/// ln(1 + exp(x)) with overflow/underflow guards.
+inline double softplus(double x) {
+  if (x > 40.0) return x;
+  if (x < -40.0) return std::exp(x);
+  return std::log1p(std::exp(x));
+}
+
+/// Logistic function with guards.
+inline double sigmoid(double x) {
+  if (x > 40.0) return 1.0;
+  if (x < -40.0) return std::exp(x);
+  return 1.0 / (1.0 + std::exp(-x));
+}
+
+/// Inputs to one channel evaluation (canonical polarity: all voltages
+/// source-referenced and non-negative vds).
+struct ChannelBias {
+  double vgs = 0.0;
+  double vds = 0.0;  ///< must be >= 0 (caller swaps terminals otherwise)
+};
+
+/// Device-point parameters for one evaluation.
+struct ChannelParams {
+  double vth = 0.25;    ///< effective threshold (after DIBL/shift/gap)
+  double n = 1.35;      ///< slope factor
+  double kp = 350e-6;   ///< transconductance parameter (A/V^2)
+  double w_over_l = 10; ///< geometry ratio
+  double lambda = 0.06; ///< channel-length modulation (1/V)
+  double eta = 0.04;    ///< DIBL coefficient: vth_eff = vth - eta*vds
+  double vt = 0.025852; ///< thermal voltage
+};
+
+/// Outputs: drain current and its partial derivatives.
+struct ChannelResult {
+  double id = 0.0;   ///< drain->source current (A)
+  double gm = 0.0;   ///< d id / d vgs
+  double gds = 0.0;  ///< d id / d vds
+  /// Sensitivities used by the NEMFET: d id / d vth and d id / d n at
+  /// fixed bias (zero cost to compute alongside).
+  double did_dvth = 0.0;
+  double did_dn = 0.0;
+};
+
+/// Evaluates the EKV interpolation
+///   id = Ispec (L(xf)^2 - L(xr)^2) (1 + lambda vds),
+///   L(x) = ln(1 + e^{x/2}),  Ispec = 2 n kp (W/L) vt^2,
+///   xf = vp/vt, xr = (vp - vds)/vt,  vp = (vgs - vth + eta vds)/n.
+inline ChannelResult evaluate(const ChannelBias& bias,
+                              const ChannelParams& p) {
+  const double vt = p.vt;
+  const double vp = (bias.vgs - p.vth + p.eta * bias.vds) / p.n;
+  const double xf = vp / vt;
+  const double xr = (vp - bias.vds) / vt;
+
+  const double lf = softplus(0.5 * xf);
+  const double lr = softplus(0.5 * xr);
+  const double sf = sigmoid(0.5 * xf);
+  const double sr = sigmoid(0.5 * xr);
+
+  const double ispec = 2.0 * p.n * p.kp * p.w_over_l * vt * vt;
+  const double i0 = ispec * (lf * lf - lr * lr);
+  const double clm = 1.0 + p.lambda * bias.vds;
+
+  // d(L^2)/dx = L(x/..) * sigmoid(...): with L = softplus(x/2),
+  // d(L^2)/dx = L * sigmoid(x/2).
+  const double dLf2_dxf = lf * sf;
+  const double dLr2_dxr = lr * sr;
+
+  const double dvp_dvgs = 1.0 / p.n;
+  const double dvp_dvds = p.eta / p.n;
+  const double dxf_dvgs = dvp_dvgs / vt;
+  const double dxf_dvds = dvp_dvds / vt;
+  const double dxr_dvgs = dvp_dvgs / vt;
+  const double dxr_dvds = (dvp_dvds - 1.0) / vt;
+
+  ChannelResult r;
+  r.id = i0 * clm;
+  r.gm = ispec * clm * (dLf2_dxf * dxf_dvgs - dLr2_dxr * dxr_dvgs);
+  r.gds = ispec * clm * (dLf2_dxf * dxf_dvds - dLr2_dxr * dxr_dvds) +
+          i0 * p.lambda;
+
+  // d id / d vth at fixed bias: dvp/dvth = -1/n → dx/dvth = -1/(n vt).
+  const double dx_dvth = -1.0 / (p.n * vt);
+  r.did_dvth = ispec * clm * (dLf2_dxf - dLr2_dxr) * dx_dvth;
+
+  // d id / d n: through both Ispec (∝ n) and vp (∝ 1/n).
+  const double dvp_dn = -vp / p.n;
+  const double dx_dn = dvp_dn / vt;
+  r.did_dn = (i0 / p.n) * clm +
+             ispec * clm * (dLf2_dxf - dLr2_dxr) * dx_dn;
+  return r;
+}
+
+}  // namespace nemsim::devices::ekv

@@ -1,0 +1,166 @@
+// NEMFET: suspended-gate MOSFET (nano-electro-mechanical FET).
+//
+// The movable gate beam is a spring-mass-damper pulled toward the channel
+// by the electrostatic force of the gate bias.  Its displacement and
+// velocity are *MNA unknowns*: the discretized mechanical equations are
+// extra rows solved self-consistently with the circuit by the same Newton
+// iteration (DESIGN.md decision #1).  The channel is the shared EKV model
+// with air-gap-modulated threshold and slope factor: while the beam is up,
+// the series air-gap capacitor divides the gate coupling so the channel is
+// deeply off (only a tunneling floor conducts); when the beam pulls in,
+// the device behaves as a normal (lower-Ion) MOSFET.  The snap between the
+// two branches is what gives the experimentally observed ~2 mV/decade
+// effective subthreshold swing and the pull-in/pull-out hysteresis.
+#pragma once
+
+#include "nemsim/devices/companion.h"
+#include "nemsim/spice/device.h"
+#include "nemsim/spice/engine.h"
+
+namespace nemsim::devices {
+
+enum class NemsPolarity { kN, kP };
+
+/// Technology card for a NEMFET.  Mechanical quantities are specified at
+/// a reference width `w_ref` and scale linearly with instance width
+/// (wider beam: proportionally stiffer, heavier, larger electrode), which
+/// keeps the pull-in voltage size-independent.
+struct NemsParams {
+  // --- Beam mechanics (at w_ref) ---
+  double gap0 = 2e-9;          ///< air gap at rest (m)
+  double spring_k = 8.0;       ///< beam stiffness (N/m)
+  double mass = 2e-20;         ///< effective beam mass (kg)
+  double damping = 5e-10;      ///< damping coefficient (N*s/m)
+  double area = 1.5e-14;       ///< electrostatic actuation area (m^2)
+  double contact_k = 2e4;      ///< contact (stop) penalty stiffness (N/m)
+  double contact_softness = 5e-11;  ///< softplus width of the stop (m)
+  double gap_softness = 5e-11;      ///< softplus width of gap closure (m)
+  double w_ref = 1e-6;         ///< width the mechanical numbers refer to
+
+  // --- Gate stack ---
+  double tox = 1e-9;           ///< oxide under the beam (m)
+  double eps_ox = 3.9;         ///< oxide relative permittivity
+
+  // --- Channel (valid with the beam in contact) ---
+  double vth_ch = 0.15;        ///< threshold with gap closed (V)
+  double n_ch = 1.2;           ///< slope factor with gap closed
+  double kp = 72e-6;           ///< transconductance parameter (A/V^2)
+  double lambda = 0.05;        ///< channel-length modulation (1/V)
+  double eta_dibl = 0.0;       ///< DIBL (the MEMS gate screens the drain)
+  double dvth_per_alpha = 0.8; ///< Vth increase per unit of coupling loss
+  double l_ch = 1e-7;          ///< channel length (m)
+  double goff = 9.2e-5;        ///< tunneling/Brownian leakage floor (S/m)
+  double cov = 2e-10;          ///< overlap capacitance per width (F/m)
+  double cj = 8e-10;           ///< junction capacitance per width (F/m)
+  double temp = 300.0;         ///< K
+
+  /// Effective electrostatic gap at rest: air gap plus oxide divided by
+  /// its permittivity.
+  double electrostatic_gap() const { return gap0 + tox / eps_ox; }
+
+  /// Analytic parallel-plate pull-in voltage sqrt(8 k d^3 / 27 eps0 A)
+  /// (width-independent by the scaling rule above).
+  double analytic_pull_in_voltage() const;
+
+  /// Analytic release (pull-out) voltage: bias at which the electrostatic
+  /// force at contact equals the spring restoring force.
+  double analytic_pull_out_voltage() const;
+};
+
+/// The NEMFET device.  Terminals: drain, gate (beam), source.
+class Nemfet : public spice::Device {
+ public:
+  Nemfet(std::string name, spice::NodeId drain, spice::NodeId gate,
+         spice::NodeId source, NemsPolarity polarity, NemsParams params,
+         double width);
+
+  NemsPolarity polarity() const { return polarity_; }
+  const NemsParams& params() const { return params_; }
+  double width() const { return w_; }
+  void set_width(double width);
+
+  /// Monte-Carlo threshold shift on the channel threshold magnitude.
+  void set_vth_shift(double dv) { vth_shift_ = dv; }
+  double vth_shift() const { return vth_shift_; }
+
+  /// Initial beam displacement used as the Newton cold-start guess
+  /// (0 = fully up; params.gap0 = in contact).  Must be called before the
+  /// MnaSystem is constructed.  Lets bistable circuits (SRAM) start on a
+  /// chosen branch.
+  void set_initial_position(double x0) {
+    initial_position_ = x0;
+    x_state_ = x0;  // also seed the DC branch memory
+  }
+  void set_initially_closed() { set_initial_position(params_.gap0); }
+
+  /// Display names of the mechanical unknowns are "<name>.x"/"<name>.v".
+  spice::UnknownId unknown_x() const { return ux_; }
+  spice::UnknownId unknown_v() const { return uv_; }
+
+  /// Accepted beam displacement after the last converged solve.
+  double position() const { return x_state_; }
+
+  /// Static electromechanical helpers (exposed for tests/calibration).
+  double air_gap(double x) const;
+  double electrostatic_force(double v_beam, double x) const;
+  double contact_force(double x) const;
+  /// Channel current in canonical polarity at beam position x.
+  double drain_current(double vgs, double vds, double x) const;
+  /// Channel current and its partial derivatives (canonical polarity,
+  /// vds >= 0).  Exposed for model verification.
+  void channel_gradients(double vgs, double vds, double x, double& id,
+                         double& gm, double& gds, double& did_dx) const;
+  /// Gate-stack capacitance at beam position x (excludes overlaps).
+  double gate_capacitance(double x) const;
+
+  void setup(spice::SetupContext& ctx) override;
+  void stamp(spice::StampContext& ctx) const override;
+  void begin_step(double time, double dt) override;
+  void accept_step(const spice::AcceptContext& ctx) override;
+  void reset_state() override;
+  void stamp_ac(spice::AcStampContext& ctx) const override;
+  std::string netlist_line(
+      const std::function<std::string(spice::NodeId)>& node_namer)
+      const override;
+  void notify_discontinuity() override;
+
+ private:
+  /// Width scale factor for mechanical quantities.
+  double sw() const { return w_ / params_.w_ref; }
+
+  struct ChannelEval {
+    double id, gm, gds, did_dx;
+  };
+  ChannelEval eval_channel(double vgs, double vds, double x) const;
+
+  /// Static equilibrium of the beam at actuation magnitude |v|.
+  ///
+  /// The DC force balance k x + Fc(x) = Fe(v, x) is bistable; Newton on
+  /// the raw residual cannot traverse the pull-in fold (the up-branch
+  /// root vanishes in a saddle-node).  This helper finds all stable
+  /// roots by scan + bisection and returns the one closest to the
+  /// device's remembered position (branch memory = hysteresis), plus the
+  /// implicit-function derivative dx/d|v| on that branch.
+  struct StaticEq {
+    double x;
+    double dx_dv;
+  };
+  StaticEq static_equilibrium(double v_abs) const;
+
+  spice::NodeId d_, g_, s_;
+  NemsPolarity polarity_;
+  NemsParams params_;
+  double w_;
+  double vth_shift_ = 0.0;
+  double initial_position_ = 0.0;
+
+  spice::UnknownId ux_, uv_;
+  // Accepted mechanical state (start values for the next step).
+  double x_state_ = 0.0;
+  double v_state_ = 0.0;
+
+  CapCompanion cg_gap_;  // beam-to-channel stack cap, position-dependent
+  CapCompanion cgd_ov_, cgs_ov_, cdb_, csb_;
+};
+
+}  // namespace nemsim::devices

@@ -1,0 +1,82 @@
+// Linear passive devices: resistor, capacitor, inductor.
+#pragma once
+
+#include "nemsim/devices/companion.h"
+#include "nemsim/spice/device.h"
+#include "nemsim/spice/engine.h"
+
+namespace nemsim::devices {
+
+/// Ideal linear resistor between nodes p and n.
+class Resistor : public spice::Device {
+ public:
+  Resistor(std::string name, spice::NodeId p, spice::NodeId n,
+           double resistance);
+
+  double resistance() const { return r_; }
+  void set_resistance(double r);
+
+  void stamp(spice::StampContext& ctx) const override;
+  void stamp_ac(spice::AcStampContext& ctx) const override;
+  std::string netlist_line(
+      const std::function<std::string(spice::NodeId)>& node_namer)
+      const override;
+
+ private:
+  spice::NodeId p_, n_;
+  double r_;
+};
+
+/// Ideal linear capacitor; open in DC, trapezoidal companion in transient.
+class Capacitor : public spice::Device {
+ public:
+  Capacitor(std::string name, spice::NodeId p, spice::NodeId n,
+            double capacitance);
+
+  double capacitance() const { return companion_.capacitance(); }
+  void set_capacitance(double c) { companion_.set_capacitance(c); }
+
+  void stamp(spice::StampContext& ctx) const override;
+  void accept_step(const spice::AcceptContext& ctx) override;
+  void reset_state() override;
+  void stamp_ac(spice::AcStampContext& ctx) const override;
+  std::string netlist_line(
+      const std::function<std::string(spice::NodeId)>& node_namer)
+      const override;
+  void notify_discontinuity() override;
+
+ private:
+  spice::NodeId p_, n_;
+  CapCompanion companion_;
+};
+
+/// Ideal linear inductor; short in DC, trapezoidal companion in transient.
+/// Carries a branch-current unknown.
+class Inductor : public spice::Device {
+ public:
+  Inductor(std::string name, spice::NodeId p, spice::NodeId n,
+           double inductance);
+
+  double inductance() const { return l_; }
+  spice::UnknownId branch() const { return branch_; }
+
+  void setup(spice::SetupContext& ctx) override;
+  void stamp(spice::StampContext& ctx) const override;
+  void accept_step(const spice::AcceptContext& ctx) override;
+  void reset_state() override;
+  void stamp_ac(spice::AcStampContext& ctx) const override;
+  std::string netlist_line(
+      const std::function<std::string(spice::NodeId)>& node_namer)
+      const override;
+  void notify_discontinuity() override;
+
+ private:
+  spice::NodeId p_, n_;
+  double l_;
+  spice::UnknownId branch_;
+  double i0_ = 0.0;   // accepted branch current
+  double vl0_ = 0.0;  // accepted inductor voltage
+  bool use_be_ = true;
+};
+
+}  // namespace nemsim::devices

@@ -1,0 +1,78 @@
+#include "nemsim/devices/controlled.h"
+
+#include "nemsim/spice/ac.h"
+
+#include <sstream>
+
+namespace nemsim::devices {
+
+Vcvs::Vcvs(std::string name, spice::NodeId p, spice::NodeId n,
+           spice::NodeId cp, spice::NodeId cn, double gain)
+    : Device(std::move(name)), p_(p), n_(n), cp_(cp), cn_(cn), gain_(gain) {}
+
+void Vcvs::setup(spice::SetupContext& ctx) {
+  branch_ = ctx.add_branch_current(name());
+}
+
+void Vcvs::stamp(spice::StampContext& ctx) const {
+  const double i = ctx.x(branch_);
+  ctx.add_f(p_, i);
+  ctx.add_f(n_, -i);
+  ctx.add_J(p_, branch_, 1.0);
+  ctx.add_J(n_, branch_, -1.0);
+
+  ctx.add_f(branch_,
+            ctx.v(p_) - ctx.v(n_) - gain_ * (ctx.v(cp_) - ctx.v(cn_)));
+  ctx.add_J(branch_, p_, 1.0);
+  ctx.add_J(branch_, n_, -1.0);
+  ctx.add_J(branch_, cp_, -gain_);
+  ctx.add_J(branch_, cn_, gain_);
+}
+
+void Vcvs::stamp_ac(spice::AcStampContext& ctx) const {
+  ctx.add_G(p_, branch_, 1.0);
+  ctx.add_G(n_, branch_, -1.0);
+  ctx.add_G(branch_, p_, 1.0);
+  ctx.add_G(branch_, n_, -1.0);
+  ctx.add_G(branch_, cp_, -gain_);
+  ctx.add_G(branch_, cn_, gain_);
+}
+
+std::string Vcvs::netlist_line(
+    const std::function<std::string(spice::NodeId)>& node_namer) const {
+  std::ostringstream os;
+  os << name() << " " << node_namer(p_) << " " << node_namer(n_) << " "
+     << node_namer(cp_) << " " << node_namer(cn_) << " " << gain_;
+  return os.str();
+}
+
+Vccs::Vccs(std::string name, spice::NodeId p, spice::NodeId n,
+           spice::NodeId cp, spice::NodeId cn, double gm)
+    : Device(std::move(name)), p_(p), n_(n), cp_(cp), cn_(cn), gm_(gm) {}
+
+void Vccs::stamp(spice::StampContext& ctx) const {
+  const double i = gm_ * (ctx.v(cp_) - ctx.v(cn_));
+  ctx.add_f(p_, i);
+  ctx.add_f(n_, -i);
+  ctx.add_J(p_, cp_, gm_);
+  ctx.add_J(p_, cn_, -gm_);
+  ctx.add_J(n_, cp_, -gm_);
+  ctx.add_J(n_, cn_, gm_);
+}
+
+void Vccs::stamp_ac(spice::AcStampContext& ctx) const {
+  ctx.add_G(p_, cp_, gm_);
+  ctx.add_G(p_, cn_, -gm_);
+  ctx.add_G(n_, cp_, -gm_);
+  ctx.add_G(n_, cn_, gm_);
+}
+
+std::string Vccs::netlist_line(
+    const std::function<std::string(spice::NodeId)>& node_namer) const {
+  std::ostringstream os;
+  os << name() << " " << node_namer(p_) << " " << node_namer(n_) << " "
+     << node_namer(cp_) << " " << node_namer(cn_) << " " << gm_;
+  return os.str();
+}
+
+}  // namespace nemsim::devices

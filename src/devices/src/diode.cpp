@@ -1,0 +1,66 @@
+#include "nemsim/devices/diode.h"
+
+#include <cmath>
+
+#include <sstream>
+
+#include "nemsim/spice/ac.h"
+#include "nemsim/util/error.h"
+#include "nemsim/util/units.h"
+
+namespace nemsim::devices {
+
+Diode::Diode(std::string name, spice::NodeId anode, spice::NodeId cathode,
+             DiodeParams params)
+    : Device(std::move(name)), anode_(anode), cathode_(cathode),
+      params_(params) {
+  require(params_.is > 0.0, "Diode: Is must be positive");
+  require(params_.n > 0.0, "Diode: ideality must be positive");
+}
+
+void Diode::evaluate(double v, double& i, double& g) const {
+  const double nvt = params_.n * phys::thermal_voltage(params_.temp);
+  const double arg = v / nvt;
+  constexpr double kMaxArg = 40.0;
+  if (arg <= kMaxArg) {
+    const double e = std::exp(arg);
+    i = params_.is * (e - 1.0);
+    g = params_.is * e / nvt;
+  } else {
+    // Linear continuation: value and slope continuous at kMaxArg.
+    const double e = std::exp(kMaxArg);
+    g = params_.is * e / nvt;
+    i = params_.is * (e - 1.0) + g * (v - kMaxArg * nvt);
+  }
+  i += params_.gmin_shunt * v;
+  g += params_.gmin_shunt;
+}
+
+void Diode::stamp(spice::StampContext& ctx) const {
+  const double v = ctx.v(anode_) - ctx.v(cathode_);
+  double i = 0.0, g = 0.0;
+  evaluate(v, i, g);
+  ctx.add_f(anode_, i);
+  ctx.add_f(cathode_, -i);
+  ctx.add_J(anode_, anode_, g);
+  ctx.add_J(anode_, cathode_, -g);
+  ctx.add_J(cathode_, anode_, -g);
+  ctx.add_J(cathode_, cathode_, g);
+}
+
+void Diode::stamp_ac(spice::AcStampContext& ctx) const {
+  const double v = ctx.v(anode_) - ctx.v(cathode_);
+  double i = 0.0, g = 0.0;
+  evaluate(v, i, g);
+  ctx.stamp_conductance(anode_, cathode_, g);
+}
+
+std::string Diode::netlist_line(
+    const std::function<std::string(spice::NodeId)>& node_namer) const {
+  std::ostringstream os;
+  os << name() << " " << node_namer(anode_) << " " << node_namer(cathode_)
+     << " IS=" << params_.is << " N=" << params_.n;
+  return os.str();
+}
+
+}  // namespace nemsim::devices

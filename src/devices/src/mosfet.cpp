@@ -1,0 +1,181 @@
+#include "nemsim/devices/mosfet.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "nemsim/devices/ekv.h"
+#include <sstream>
+
+#include "nemsim/spice/ac.h"
+#include "nemsim/util/error.h"
+#include "nemsim/util/units.h"
+
+namespace nemsim::devices {
+
+Mosfet::Mosfet(std::string name, spice::NodeId drain, spice::NodeId gate,
+               spice::NodeId source, MosPolarity polarity, MosParams params,
+               double width, double length)
+    : Device(std::move(name)), d_(drain), g_(gate), s_(source),
+      polarity_(polarity), params_(params), w_(width), l_(length) {
+  require(width > 0.0 && length > 0.0, "Mosfet: W and L must be positive");
+  refresh_capacitances();
+}
+
+void Mosfet::set_width(double width) {
+  require(width > 0.0, "Mosfet: W must be positive");
+  w_ = width;
+  refresh_capacitances();
+}
+
+void Mosfet::refresh_capacitances() {
+  const double cgate_half = 0.5 * params_.cox_area * w_ * l_;
+  cgs_.set_capacitance(cgate_half + params_.cov * w_);
+  cgd_.set_capacitance(cgate_half + params_.cov * w_);
+  cdb_.set_capacitance(params_.cj * w_);
+  csb_.set_capacitance(params_.cj * w_);
+}
+
+double Mosfet::drain_current(double vgs, double vds) const {
+  ekv::ChannelBias bias;
+  ekv::ChannelParams cp;
+  cp.vth = params_.vth0 + vth_shift_;
+  cp.n = params_.n;
+  cp.kp = params_.kp;
+  cp.w_over_l = w_ / l_;
+  cp.lambda = params_.lambda;
+  cp.eta = params_.eta_dibl;
+  cp.vt = phys::thermal_voltage(params_.temp);
+
+  double sign = 1.0;
+  if (vds < 0.0) {
+    // Symmetric device: swap source/drain roles.
+    bias.vgs = vgs - vds;
+    bias.vds = -vds;
+    sign = -1.0;
+  } else {
+    bias.vgs = vgs;
+    bias.vds = vds;
+  }
+  const ekv::ChannelResult r = ekv::evaluate(bias, cp);
+  return sign * (r.id + params_.goff * w_ * bias.vds);
+}
+
+void Mosfet::stamp(spice::StampContext& ctx) const {
+  const double sign = polarity_ == MosPolarity::kNmos ? 1.0 : -1.0;
+
+  // Canonical terminal roles: nd carries positive vds after an optional
+  // source/drain swap (the model is symmetric).
+  spice::NodeId nd = d_;
+  spice::NodeId ns = s_;
+  double vds = sign * (ctx.v(nd) - ctx.v(ns));
+  if (vds < 0.0) {
+    std::swap(nd, ns);
+    vds = -vds;
+  }
+  const double vgs = sign * (ctx.v(g_) - ctx.v(ns));
+
+  ekv::ChannelBias bias{vgs, vds};
+  ekv::ChannelParams cp;
+  cp.vth = params_.vth0 + vth_shift_;
+  cp.n = params_.n;
+  cp.kp = params_.kp;
+  cp.w_over_l = w_ / l_;
+  cp.lambda = params_.lambda;
+  cp.eta = params_.eta_dibl;
+  cp.vt = phys::thermal_voltage(params_.temp);
+  const ekv::ChannelResult r = ekv::evaluate(bias, cp);
+
+  const double gfloor = params_.goff * w_;
+  const double id = r.id + gfloor * vds;
+  const double gm = r.gm;
+  const double gds = r.gds + gfloor;
+
+  // Current of magnitude id flows nd -> ns in sign-space; as computed in
+  // the header comment, the sign factors cancel in the Jacobian.
+  ctx.add_f(nd, sign * id);
+  ctx.add_f(ns, -sign * id);
+  ctx.add_J(nd, g_, gm);
+  ctx.add_J(nd, nd, gds);
+  ctx.add_J(nd, ns, -(gm + gds));
+  ctx.add_J(ns, g_, -gm);
+  ctx.add_J(ns, nd, -gds);
+  ctx.add_J(ns, ns, gm + gds);
+
+  // Parasitic capacitances (bias-independent).
+  cgs_.stamp(ctx, g_, s_);
+  cgd_.stamp(ctx, g_, d_);
+  cdb_.stamp(ctx, d_, spice::kGround);
+  csb_.stamp(ctx, s_, spice::kGround);
+}
+
+void Mosfet::accept_step(const spice::AcceptContext& ctx) {
+  cgs_.accept(ctx, ctx.v(g_) - ctx.v(s_));
+  cgd_.accept(ctx, ctx.v(g_) - ctx.v(d_));
+  cdb_.accept(ctx, ctx.v(d_));
+  csb_.accept(ctx, ctx.v(s_));
+}
+
+void Mosfet::reset_state() {
+  cgs_.reset();
+  cgd_.reset();
+  cdb_.reset();
+  csb_.reset();
+}
+
+void Mosfet::notify_discontinuity() {
+  cgs_.discontinuity();
+  cgd_.discontinuity();
+  cdb_.discontinuity();
+  csb_.discontinuity();
+}
+
+void Mosfet::stamp_ac(spice::AcStampContext& ctx) const {
+  const double sign = polarity_ == MosPolarity::kNmos ? 1.0 : -1.0;
+  spice::NodeId nd = d_;
+  spice::NodeId ns = s_;
+  double vds = sign * (ctx.v(nd) - ctx.v(ns));
+  if (vds < 0.0) {
+    std::swap(nd, ns);
+    vds = -vds;
+  }
+  const double vgs = sign * (ctx.v(g_) - ctx.v(ns));
+
+  ekv::ChannelBias bias{vgs, vds};
+  ekv::ChannelParams cp;
+  cp.vth = params_.vth0 + vth_shift_;
+  cp.n = params_.n;
+  cp.kp = params_.kp;
+  cp.w_over_l = w_ / l_;
+  cp.lambda = params_.lambda;
+  cp.eta = params_.eta_dibl;
+  cp.vt = phys::thermal_voltage(params_.temp);
+  const ekv::ChannelResult r = ekv::evaluate(bias, cp);
+  const double gm = r.gm;
+  const double gds = r.gds + params_.goff * w_;
+
+  // Same sign-cancelled pattern as the large-signal stamp.
+  ctx.add_G(nd, g_, gm);
+  ctx.add_G(nd, nd, gds);
+  ctx.add_G(nd, ns, -(gm + gds));
+  ctx.add_G(ns, g_, -gm);
+  ctx.add_G(ns, nd, -gds);
+  ctx.add_G(ns, ns, gm + gds);
+
+  ctx.stamp_capacitance(g_, s_, cgs_.capacitance());
+  ctx.stamp_capacitance(g_, d_, cgd_.capacitance());
+  ctx.stamp_capacitance(d_, spice::kGround, cdb_.capacitance());
+  ctx.stamp_capacitance(s_, spice::kGround, csb_.capacitance());
+}
+
+std::string Mosfet::netlist_line(
+    const std::function<std::string(spice::NodeId)>& node_namer) const {
+  std::ostringstream os;
+  os << name() << " " << node_namer(d_) << " " << node_namer(g_) << " "
+     << node_namer(s_) << " "
+     << (polarity_ == MosPolarity::kNmos ? "NMOS" : "PMOS") << " W=" << w_
+     << " L=" << l_ << " VTH0=" << params_.vth0 + vth_shift_
+     << " KP=" << params_.kp;
+  return os.str();
+}
+
+}  // namespace nemsim::devices

@@ -1,0 +1,401 @@
+#include "nemsim/devices/nemfet.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "nemsim/devices/ekv.h"
+#include <sstream>
+
+#include "nemsim/spice/ac.h"
+#include "nemsim/util/error.h"
+#include "nemsim/util/units.h"
+
+namespace nemsim::devices {
+
+using ekv::sigmoid;
+using ekv::softplus;
+
+double NemsParams::analytic_pull_in_voltage() const {
+  const double d = electrostatic_gap();
+  return std::sqrt(8.0 * spring_k * d * d * d /
+                   (27.0 * phys::kEps0 * area));
+}
+
+double NemsParams::analytic_pull_out_voltage() const {
+  // At contact the remaining electrostatic gap is tox/eps_ox; release
+  // happens when Fe there can no longer hold the stretched spring.
+  const double d_contact = tox / eps_ox;
+  const double fe_per_v2 = 0.5 * phys::kEps0 * area / (d_contact * d_contact);
+  return std::sqrt(spring_k * gap0 / fe_per_v2);
+}
+
+Nemfet::Nemfet(std::string name, spice::NodeId drain, spice::NodeId gate,
+               spice::NodeId source, NemsPolarity polarity, NemsParams params,
+               double width)
+    : Device(std::move(name)), d_(drain), g_(gate), s_(source),
+      polarity_(polarity), params_(params), w_(width) {
+  require(width > 0.0, "Nemfet: width must be positive");
+  require(params_.gap0 > 0.0 && params_.tox > 0.0,
+          "Nemfet: geometry must be positive");
+  require(params_.spring_k > 0.0 && params_.mass > 0.0 &&
+              params_.damping >= 0.0,
+          "Nemfet: mechanical parameters must be positive");
+  cg_gap_.set_capacitance(gate_capacitance(0.0));
+  cgd_ov_.set_capacitance(params_.cov * w_);
+  cgs_ov_.set_capacitance(params_.cov * w_);
+  cdb_.set_capacitance(params_.cj * w_);
+  csb_.set_capacitance(params_.cj * w_);
+}
+
+void Nemfet::set_width(double width) {
+  require(width > 0.0, "Nemfet: width must be positive");
+  w_ = width;
+  cg_gap_.set_capacitance(gate_capacitance(x_state_));
+  cgd_ov_.set_capacitance(params_.cov * w_);
+  cgs_ov_.set_capacitance(params_.cov * w_);
+  cdb_.set_capacitance(params_.cj * w_);
+  csb_.set_capacitance(params_.cj * w_);
+}
+
+double Nemfet::air_gap(double x) const {
+  // Smooth max(gap0 - x, 0): the beam cannot penetrate the oxide; the
+  // softplus keeps the Jacobian continuous through contact.
+  const double wg = params_.gap_softness;
+  return wg * softplus((params_.gap0 - x) / wg);
+}
+
+double Nemfet::electrostatic_force(double v_beam, double x) const {
+  const double d = air_gap(x) + params_.tox / params_.eps_ox;
+  const double a = params_.area * sw();
+  return 0.5 * phys::kEps0 * a * v_beam * v_beam / (d * d);
+}
+
+double Nemfet::contact_force(double x) const {
+  const double wc = params_.contact_softness;
+  return params_.contact_k * sw() * wc *
+         softplus((x - params_.gap0) / wc);
+}
+
+double Nemfet::gate_capacitance(double x) const {
+  const double d = air_gap(x) + params_.tox / params_.eps_ox;
+  return phys::kEps0 * params_.area * sw() / d;
+}
+
+Nemfet::ChannelEval Nemfet::eval_channel(double vgs, double vds,
+                                         double x) const {
+  // Gate-coupling divider: alpha = C_ox / C_stack(x) >= 1.
+  const double t_eq = params_.tox / params_.eps_ox;
+  const double ga = air_gap(x);
+  const double alpha = (t_eq + ga) / t_eq;
+  const double dga_dx = -sigmoid((params_.gap0 - x) / params_.gap_softness);
+  const double dalpha_dx = dga_dx / t_eq;
+
+  ekv::ChannelBias bias{vgs, vds};
+  ekv::ChannelParams cp;
+  cp.vth = params_.vth_ch + vth_shift_ +
+           params_.dvth_per_alpha * (alpha - 1.0);
+  cp.n = params_.n_ch * alpha;
+  cp.kp = params_.kp;
+  cp.w_over_l = w_ / params_.l_ch;
+  cp.lambda = params_.lambda;
+  cp.eta = params_.eta_dibl;
+  cp.vt = phys::thermal_voltage(params_.temp);
+  const ekv::ChannelResult r = ekv::evaluate(bias, cp);
+
+  ChannelEval out;
+  const double gfloor = params_.goff * w_;
+  out.id = r.id + gfloor * vds;
+  out.gm = r.gm;
+  out.gds = r.gds + gfloor;
+  const double dvth_dx = params_.dvth_per_alpha * dalpha_dx;
+  const double dn_dx = params_.n_ch * dalpha_dx;
+  out.did_dx = r.did_dvth * dvth_dx + r.did_dn * dn_dx;
+  return out;
+}
+
+void Nemfet::channel_gradients(double vgs, double vds, double x, double& id,
+                               double& gm, double& gds,
+                               double& did_dx) const {
+  require(vds >= 0.0, "channel_gradients: canonical polarity requires vds >= 0");
+  const ChannelEval e = eval_channel(vgs, vds, x);
+  id = e.id;
+  gm = e.gm;
+  gds = e.gds;
+  did_dx = e.did_dx;
+}
+
+double Nemfet::drain_current(double vgs, double vds, double x) const {
+  if (vds < 0.0) {
+    return -eval_channel(vgs - vds, -vds, x).id;
+  }
+  return eval_channel(vgs, vds, x).id;
+}
+
+Nemfet::StaticEq Nemfet::static_equilibrium(double v_abs) const {
+  const double k = params_.spring_k * sw();
+  auto residual = [&](double x) {
+    return k * x + contact_force(x) - electrostatic_force(v_abs, x);
+  };
+  auto residual_slope = [&](double x) {
+    const double d = air_gap(x) + params_.tox / params_.eps_ox;
+    const double fe = electrostatic_force(v_abs, x);
+    const double dga = -sigmoid((params_.gap0 - x) / params_.gap_softness);
+    const double dfe = -2.0 * fe / d * dga;
+    const double dfc = params_.contact_k * sw() *
+                       sigmoid((x - params_.gap0) / params_.contact_softness);
+    return k + dfc - dfe;
+  };
+
+  // Upper scan bound: walk past the contact stop until the stiff stop
+  // spring dominates and the residual is positive.
+  double x_hi = params_.gap0;
+  for (int i = 0; i < 200 && residual(x_hi) <= 0.0; ++i) {
+    x_hi += 0.05 * params_.gap0;
+  }
+
+  // Scan for stable roots: residual sign changes from - to +.
+  constexpr int kScanPoints = 256;
+  std::vector<double> stable_roots;
+  double x_prev = 0.0;
+  double r_prev = residual(0.0);
+  if (r_prev == 0.0) stable_roots.push_back(0.0);  // exactly unbiased
+  for (int i = 1; i <= kScanPoints; ++i) {
+    const double xx = x_hi * static_cast<double>(i) / kScanPoints;
+    const double rr = residual(xx);
+    if (r_prev < 0.0 && rr >= 0.0) {
+      // Bisection refinement of the bracketed stable root.
+      double lo = x_prev, hi = xx;
+      for (int it = 0; it < 80; ++it) {
+        const double mid = 0.5 * (lo + hi);
+        if (residual(mid) < 0.0) lo = mid; else hi = mid;
+      }
+      stable_roots.push_back(0.5 * (lo + hi));
+    }
+    x_prev = xx;
+    r_prev = rr;
+  }
+
+  StaticEq eq;
+  if (stable_roots.empty()) {
+    // v_abs == 0 and no deflection: the trivial equilibrium.
+    eq.x = 0.0;
+    eq.dx_dv = 0.0;
+    return eq;
+  }
+  // Branch memory: stay on the branch the beam currently occupies.
+  eq.x = stable_roots.front();
+  for (double root : stable_roots) {
+    if (std::abs(root - x_state_) < std::abs(eq.x - x_state_)) eq.x = root;
+  }
+  // Implicit-function derivative dx/d|v| = (dFe/d|v|) / r'(x); r' > 0 on
+  // a stable branch, clamped away from the fold singularity.
+  const double d = air_gap(eq.x) + params_.tox / params_.eps_ox;
+  const double a = params_.area * sw();
+  const double dfe_dv = phys::kEps0 * a * v_abs / (d * d);
+  const double slope = std::max(residual_slope(eq.x), 1e-3 * k);
+  eq.dx_dv = dfe_dv / slope;
+  return eq;
+}
+
+void Nemfet::setup(spice::SetupContext& ctx) {
+  // Displacement: meters; velocity: meters/second.  Row units: the x-row
+  // is the kinematic equation (m/s in transient, m/s in DC where it pins
+  // v = 0 ... volts-free), the v-row is the force balance (newtons).
+  ux_ = ctx.add_internal(name() + ".x", /*abstol=*/1e-13,
+                         /*row_abstol=*/1e-4,
+                         /*max_newton_step=*/params_.gap0 * 0.25,
+                         /*initial_guess=*/initial_position_);
+  uv_ = ctx.add_internal(name() + ".v", /*abstol=*/1e-6,
+                         /*row_abstol=*/1e-15 * std::max(1.0, sw()),
+                         /*max_newton_step=*/0.0,
+                         /*initial_guess=*/0.0);
+}
+
+void Nemfet::stamp(spice::StampContext& ctx) const {
+  const double sign = polarity_ == NemsPolarity::kN ? 1.0 : -1.0;
+  const double x = ctx.x(ux_);
+  const double vel = ctx.x(uv_);
+
+  // ---- Channel current (canonical polarity with source/drain swap) ----
+  spice::NodeId nd = d_;
+  spice::NodeId ns = s_;
+  double vds = sign * (ctx.v(nd) - ctx.v(ns));
+  if (vds < 0.0) {
+    std::swap(nd, ns);
+    vds = -vds;
+  }
+  const double vgs = sign * (ctx.v(g_) - ctx.v(ns));
+  const ChannelEval ch = eval_channel(vgs, vds, x);
+
+  ctx.add_f(nd, sign * ch.id);
+  ctx.add_f(ns, -sign * ch.id);
+  ctx.add_J(nd, g_, ch.gm);
+  ctx.add_J(nd, nd, ch.gds);
+  ctx.add_J(nd, ns, -(ch.gm + ch.gds));
+  ctx.add_J(ns, g_, -ch.gm);
+  ctx.add_J(ns, nd, -ch.gds);
+  ctx.add_J(ns, ns, ch.gm + ch.gds);
+  ctx.add_J(nd, ux_, sign * ch.did_dx);
+  ctx.add_J(ns, ux_, -sign * ch.did_dx);
+
+  // ---- Mechanics (actuation voltage = beam-to-source) ----
+  const double vgf = sign * (ctx.v(g_) - ctx.v(ns));
+
+  if (ctx.mode() == spice::AnalysisMode::kDcOperatingPoint) {
+    // Velocity is zero in statics.
+    ctx.add_f(ux_, vel);
+    ctx.add_J(ux_, uv_, 1.0);
+
+    // Pin x to the stable static-equilibrium branch (see the helper's
+    // comment: raw Newton cannot cross the pull-in fold).  Row:
+    //   x - x_dc(|vgf|) = 0.
+    const StaticEq eq = static_equilibrium(std::abs(vgf));
+    const double dsign = sign * (vgf >= 0.0 ? 1.0 : -1.0);
+    ctx.add_f(uv_, x - eq.x);
+    ctx.add_J(uv_, ux_, 1.0);
+    ctx.add_J(uv_, g_, -eq.dx_dv * dsign);
+    ctx.add_J(uv_, ns, eq.dx_dv * dsign);
+  } else {
+    const double d_el = air_gap(x) + params_.tox / params_.eps_ox;
+    const double a = params_.area * sw();
+    const double fe = 0.5 * phys::kEps0 * a * vgf * vgf / (d_el * d_el);
+    const double dga_dx = -sigmoid((params_.gap0 - x) / params_.gap_softness);
+    const double dfe_dx = -2.0 * fe / d_el * dga_dx;
+    const double dfe_dvgf = phys::kEps0 * a * vgf / (d_el * d_el);
+
+    const double k = params_.spring_k * sw();
+    const double fc = contact_force(x);
+    const double dfc_dx =
+        params_.contact_k * sw() *
+        sigmoid((x - params_.gap0) / params_.contact_softness);
+
+    // Backward Euler on the beam ODE (numerically damped: no spurious
+    // contact bounce from trapezoidal ringing).
+    const double dt = ctx.dt();
+    // Kinematics: (x - x0)/dt - v = 0.
+    ctx.add_f(ux_, (x - x_state_) / dt - vel);
+    ctx.add_J(ux_, ux_, 1.0 / dt);
+    ctx.add_J(ux_, uv_, -1.0);
+
+    // Momentum: m (v - v0)/dt + c v + k x + Fc - Fe = 0.
+    const double m = params_.mass * sw();
+    const double c = params_.damping * sw();
+    ctx.add_f(uv_, m * (vel - v_state_) / dt + c * vel + k * x + fc - fe);
+    ctx.add_J(uv_, uv_, m / dt + c);
+    ctx.add_J(uv_, ux_, k + dfc_dx - dfe_dx);
+    ctx.add_J(uv_, g_, -dfe_dvgf * sign);
+    ctx.add_J(uv_, ns, dfe_dvgf * sign);
+  }
+
+  // ---- Capacitances ----
+  cg_gap_.stamp(ctx, g_, s_);
+  cgs_ov_.stamp(ctx, g_, s_);
+  cgd_ov_.stamp(ctx, g_, d_);
+  cdb_.stamp(ctx, d_, spice::kGround);
+  csb_.stamp(ctx, s_, spice::kGround);
+}
+
+void Nemfet::begin_step(double time, double dt) {
+  (void)time;
+  (void)dt;
+  // History (x_state_, v_state_) is the accepted state; nothing else to
+  // capture, and repeated calls with shrinking dt are naturally safe.
+}
+
+void Nemfet::accept_step(const spice::AcceptContext& ctx) {
+  x_state_ = ctx.x(ux_);
+  v_state_ = ctx.x(uv_);
+  // Quasi-static update of the moving-plate capacitor.
+  cg_gap_.set_capacitance(gate_capacitance(x_state_));
+  cg_gap_.accept(ctx, ctx.v(g_) - ctx.v(s_));
+  cgs_ov_.accept(ctx, ctx.v(g_) - ctx.v(s_));
+  cgd_ov_.accept(ctx, ctx.v(g_) - ctx.v(d_));
+  cdb_.accept(ctx, ctx.v(d_));
+  csb_.accept(ctx, ctx.v(s_));
+}
+
+void Nemfet::reset_state() {
+  x_state_ = initial_position_;
+  v_state_ = 0.0;
+  cg_gap_.reset();
+  cg_gap_.set_capacitance(gate_capacitance(x_state_));
+  cgs_ov_.reset();
+  cgd_ov_.reset();
+  cdb_.reset();
+  csb_.reset();
+}
+
+void Nemfet::notify_discontinuity() {
+  cg_gap_.discontinuity();
+  cgs_ov_.discontinuity();
+  cgd_ov_.discontinuity();
+  cdb_.discontinuity();
+  csb_.discontinuity();
+}
+
+void Nemfet::stamp_ac(spice::AcStampContext& ctx) const {
+  const double sign = polarity_ == NemsPolarity::kN ? 1.0 : -1.0;
+  const double x = ctx.x(ux_);
+
+  // ---- Channel small-signal (same swap rules as the transient stamp) --
+  spice::NodeId nd = d_;
+  spice::NodeId ns = s_;
+  double vds = sign * (ctx.v(nd) - ctx.v(ns));
+  if (vds < 0.0) {
+    std::swap(nd, ns);
+    vds = -vds;
+  }
+  const double vgs = sign * (ctx.v(g_) - ctx.v(ns));
+  const ChannelEval ch = eval_channel(vgs, vds, x);
+
+  ctx.add_G(nd, g_, ch.gm);
+  ctx.add_G(nd, nd, ch.gds);
+  ctx.add_G(nd, ns, -(ch.gm + ch.gds));
+  ctx.add_G(ns, g_, -ch.gm);
+  ctx.add_G(ns, nd, -ch.gds);
+  ctx.add_G(ns, ns, ch.gm + ch.gds);
+  ctx.add_G(nd, ux_, sign * ch.did_dx);
+  ctx.add_G(ns, ux_, -sign * ch.did_dx);
+
+  // ---- Mechanics: x' - v = 0 and m v' + c v + k x + Fc - Fe = 0 -------
+  const double vgf = sign * (ctx.v(g_) - ctx.v(ns));
+  const double d_el = air_gap(x) + params_.tox / params_.eps_ox;
+  const double a = params_.area * sw();
+  const double fe = 0.5 * phys::kEps0 * a * vgf * vgf / (d_el * d_el);
+  const double dga_dx = -sigmoid((params_.gap0 - x) / params_.gap_softness);
+  const double dfe_dx = -2.0 * fe / d_el * dga_dx;
+  const double dfe_dvgf = phys::kEps0 * a * vgf / (d_el * d_el);
+  const double k = params_.spring_k * sw();
+  const double dfc_dx = params_.contact_k * sw() *
+                        sigmoid((x - params_.gap0) / params_.contact_softness);
+
+  ctx.add_C(ux_, ux_, 1.0);
+  ctx.add_G(ux_, uv_, -1.0);
+
+  ctx.add_C(uv_, uv_, params_.mass * sw());
+  ctx.add_G(uv_, uv_, params_.damping * sw());
+  ctx.add_G(uv_, ux_, k + dfc_dx - dfe_dx);
+  ctx.add_G(uv_, g_, -dfe_dvgf * sign);
+  ctx.add_G(uv_, ns, dfe_dvgf * sign);
+
+  // ---- Capacitances at the bias position ------------------------------
+  ctx.stamp_capacitance(g_, s_, gate_capacitance(x) + params_.cov * w_);
+  ctx.stamp_capacitance(g_, d_, params_.cov * w_);
+  ctx.stamp_capacitance(d_, spice::kGround, params_.cj * w_);
+  ctx.stamp_capacitance(s_, spice::kGround, params_.cj * w_);
+}
+
+std::string Nemfet::netlist_line(
+    const std::function<std::string(spice::NodeId)>& node_namer) const {
+  std::ostringstream os;
+  os << name() << " " << node_namer(d_) << " " << node_namer(g_) << " "
+     << node_namer(s_) << " "
+     << (polarity_ == NemsPolarity::kN ? "NEMFET_N" : "NEMFET_P")
+     << " W=" << w_ << " GAP0=" << params_.gap0 << " K=" << params_.spring_k
+     << " M=" << params_.mass << " VPI="
+     << params_.analytic_pull_in_voltage();
+  return os.str();
+}
+
+}  // namespace nemsim::devices

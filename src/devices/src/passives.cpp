@@ -1,0 +1,158 @@
+#include "nemsim/devices/passives.h"
+
+#include <sstream>
+
+#include "nemsim/spice/ac.h"
+#include "nemsim/util/error.h"
+
+namespace nemsim::devices {
+
+using spice::AnalysisMode;
+
+// -------------------------------------------------------------- Resistor
+
+Resistor::Resistor(std::string name, spice::NodeId p, spice::NodeId n,
+                   double resistance)
+    : Device(std::move(name)), p_(p), n_(n), r_(resistance) {
+  require(resistance > 0.0, "Resistor: resistance must be positive");
+}
+
+void Resistor::set_resistance(double r) {
+  require(r > 0.0, "Resistor: resistance must be positive");
+  r_ = r;
+}
+
+void Resistor::stamp_ac(spice::AcStampContext& ctx) const {
+  ctx.stamp_conductance(p_, n_, 1.0 / r_);
+}
+
+std::string Resistor::netlist_line(
+    const std::function<std::string(spice::NodeId)>& node_namer) const {
+  return name() + " " + node_namer(p_) + " " + node_namer(n_) + " " +
+         std::to_string(r_);
+}
+
+void Resistor::stamp(spice::StampContext& ctx) const {
+  const double g = 1.0 / r_;
+  const double i = g * (ctx.v(p_) - ctx.v(n_));
+  ctx.add_f(p_, i);
+  ctx.add_f(n_, -i);
+  ctx.add_J(p_, p_, g);
+  ctx.add_J(p_, n_, -g);
+  ctx.add_J(n_, p_, -g);
+  ctx.add_J(n_, n_, g);
+}
+
+// ------------------------------------------------------------- Capacitor
+
+Capacitor::Capacitor(std::string name, spice::NodeId p, spice::NodeId n,
+                     double capacitance)
+    : Device(std::move(name)), p_(p), n_(n), companion_(capacitance) {
+  require(capacitance >= 0.0, "Capacitor: capacitance must be non-negative");
+}
+
+void Capacitor::stamp_ac(spice::AcStampContext& ctx) const {
+  ctx.stamp_capacitance(p_, n_, companion_.capacitance());
+}
+
+std::string Capacitor::netlist_line(
+    const std::function<std::string(spice::NodeId)>& node_namer) const {
+  std::ostringstream os;
+  os << name() << " " << node_namer(p_) << " " << node_namer(n_) << " "
+     << companion_.capacitance();
+  return os.str();
+}
+
+void Capacitor::stamp(spice::StampContext& ctx) const {
+  companion_.stamp(ctx, p_, n_);
+}
+
+void Capacitor::accept_step(const spice::AcceptContext& ctx) {
+  companion_.accept(ctx, ctx.v(p_) - ctx.v(n_));
+}
+
+void Capacitor::reset_state() { companion_.reset(); }
+
+void Capacitor::notify_discontinuity() { companion_.discontinuity(); }
+
+// -------------------------------------------------------------- Inductor
+
+Inductor::Inductor(std::string name, spice::NodeId p, spice::NodeId n,
+                   double inductance)
+    : Device(std::move(name)), p_(p), n_(n), l_(inductance) {
+  require(inductance > 0.0, "Inductor: inductance must be positive");
+}
+
+void Inductor::stamp_ac(spice::AcStampContext& ctx) const {
+  ctx.add_G(p_, branch_, 1.0);
+  ctx.add_G(n_, branch_, -1.0);
+  // KVL row: v_p - v_n - L di/dt = 0.
+  ctx.add_G(branch_, p_, 1.0);
+  ctx.add_G(branch_, n_, -1.0);
+  ctx.add_C(branch_, branch_, -l_);
+}
+
+std::string Inductor::netlist_line(
+    const std::function<std::string(spice::NodeId)>& node_namer) const {
+  std::ostringstream os;
+  os << name() << " " << node_namer(p_) << " " << node_namer(n_) << " " << l_;
+  return os.str();
+}
+
+void Inductor::setup(spice::SetupContext& ctx) {
+  branch_ = ctx.add_branch_current(name());
+}
+
+void Inductor::stamp(spice::StampContext& ctx) const {
+  const double i = ctx.x(branch_);
+  // KCL: branch current flows p -> n.
+  ctx.add_f(p_, i);
+  ctx.add_f(n_, -i);
+  ctx.add_J(p_, branch_, 1.0);
+  ctx.add_J(n_, branch_, -1.0);
+
+  // Branch (KVL) row.
+  const double v = ctx.v(p_) - ctx.v(n_);
+  if (ctx.mode() == AnalysisMode::kDcOperatingPoint) {
+    // Short circuit: v = 0.
+    ctx.add_f(branch_, v);
+    ctx.add_J(branch_, p_, 1.0);
+    ctx.add_J(branch_, n_, -1.0);
+    return;
+  }
+  const double dt = ctx.dt();
+  if (use_be_) {
+    // v = L (i - i0)/dt
+    ctx.add_f(branch_, v - l_ * (i - i0_) / dt);
+    ctx.add_J(branch_, p_, 1.0);
+    ctx.add_J(branch_, n_, -1.0);
+    ctx.add_J(branch_, branch_, -l_ / dt);
+  } else {
+    // (v + v0)/2 = L (i - i0)/dt
+    ctx.add_f(branch_, 0.5 * (v + vl0_) - l_ * (i - i0_) / dt);
+    ctx.add_J(branch_, p_, 0.5);
+    ctx.add_J(branch_, n_, -0.5);
+    ctx.add_J(branch_, branch_, -l_ / dt);
+  }
+}
+
+void Inductor::accept_step(const spice::AcceptContext& ctx) {
+  i0_ = ctx.x(branch_);
+  if (ctx.mode() == AnalysisMode::kDcOperatingPoint) {
+    vl0_ = 0.0;
+    use_be_ = true;
+    return;
+  }
+  vl0_ = ctx.v(p_) - ctx.v(n_);
+  use_be_ = false;
+}
+
+void Inductor::reset_state() {
+  i0_ = 0.0;
+  vl0_ = 0.0;
+  use_be_ = true;
+}
+
+void Inductor::notify_discontinuity() { use_be_ = true; }
+
+}  // namespace nemsim::devices

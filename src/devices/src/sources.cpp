@@ -1,0 +1,235 @@
+#include "nemsim/devices/sources.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <sstream>
+
+#include "nemsim/spice/ac.h"
+#include <complex>
+#include "nemsim/util/error.h"
+
+namespace nemsim::devices {
+
+using spice::AnalysisMode;
+
+// ------------------------------------------------------------ SourceWave
+
+SourceWave SourceWave::dc(double value) {
+  SourceWave w;
+  w.kind_ = Kind::kDc;
+  w.v1_ = value;
+  return w;
+}
+
+SourceWave SourceWave::pulse(double v1, double v2, double delay, double rise,
+                             double fall, double width, double period) {
+  require(rise > 0.0 && fall > 0.0, "pulse: rise/fall must be positive");
+  require(width >= 0.0 && delay >= 0.0, "pulse: width/delay must be >= 0");
+  if (period > 0.0) {
+    require(period >= rise + fall + width,
+            "pulse: period shorter than one pulse");
+  }
+  SourceWave w;
+  w.kind_ = Kind::kPulse;
+  w.v1_ = v1;
+  w.v2_ = v2;
+  w.delay_ = delay;
+  w.rise_ = rise;
+  w.fall_ = fall;
+  w.width_ = width;
+  w.period_ = period;
+  return w;
+}
+
+SourceWave SourceWave::pwl(std::vector<std::pair<double, double>> points) {
+  require(!points.empty(), "pwl: need at least one point");
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    require(points[i].first > points[i - 1].first,
+            "pwl: times must be strictly increasing");
+  }
+  SourceWave w;
+  w.kind_ = Kind::kPwl;
+  w.points_ = std::move(points);
+  return w;
+}
+
+SourceWave SourceWave::sine(double offset, double amplitude, double freq,
+                            double delay) {
+  require(freq > 0.0, "sine: frequency must be positive");
+  SourceWave w;
+  w.kind_ = Kind::kSine;
+  w.v1_ = offset;
+  w.v2_ = amplitude;
+  w.freq_ = freq;
+  w.delay_ = delay;
+  return w;
+}
+
+double SourceWave::value(double t) const {
+  switch (kind_) {
+    case Kind::kDc:
+      return v1_;
+    case Kind::kPulse: {
+      if (t < delay_) return v1_;
+      double local = t - delay_;
+      if (period_ > 0.0) local = std::fmod(local, period_);
+      if (local < rise_) return v1_ + (v2_ - v1_) * (local / rise_);
+      if (local < rise_ + width_) return v2_;
+      if (local < rise_ + width_ + fall_) {
+        return v2_ + (v1_ - v2_) * ((local - rise_ - width_) / fall_);
+      }
+      return v1_;
+    }
+    case Kind::kPwl: {
+      if (t <= points_.front().first) return points_.front().second;
+      if (t >= points_.back().first) return points_.back().second;
+      for (std::size_t i = 1; i < points_.size(); ++i) {
+        if (t <= points_[i].first) {
+          const auto& [t0, y0] = points_[i - 1];
+          const auto& [t1, y1] = points_[i];
+          return y0 + (y1 - y0) * (t - t0) / (t1 - t0);
+        }
+      }
+      return points_.back().second;
+    }
+    case Kind::kSine: {
+      if (t < delay_) return v1_;
+      return v1_ + v2_ * std::sin(2.0 * std::numbers::pi * freq_ * (t - delay_));
+    }
+  }
+  return 0.0;
+}
+
+void SourceWave::breakpoints(double tstop, std::vector<double>& out) const {
+  switch (kind_) {
+    case Kind::kDc:
+    case Kind::kSine:
+      return;
+    case Kind::kPulse: {
+      const double one = rise_ + width_ + fall_;
+      double base = delay_;
+      while (base <= tstop) {
+        out.push_back(base);
+        out.push_back(base + rise_);
+        out.push_back(base + rise_ + width_);
+        out.push_back(base + one);
+        if (period_ <= 0.0) break;
+        base += period_;
+      }
+      return;
+    }
+    case Kind::kPwl: {
+      for (const auto& [t, v] : points_) {
+        (void)v;
+        if (t > 0.0 && t <= tstop) out.push_back(t);
+      }
+      return;
+    }
+  }
+}
+
+std::string SourceWave::to_spice() const {
+  std::ostringstream os;
+  switch (kind_) {
+    case Kind::kDc:
+      os << "DC " << v1_;
+      break;
+    case Kind::kPulse:
+      os << "PULSE(" << v1_ << " " << v2_ << " " << delay_ << " " << rise_
+         << " " << fall_ << " " << width_;
+      if (period_ > 0.0) os << " " << period_;
+      os << ")";
+      break;
+    case Kind::kPwl:
+      os << "PWL(";
+      for (std::size_t i = 0; i < points_.size(); ++i) {
+        if (i) os << " ";
+        os << points_[i].first << " " << points_[i].second;
+      }
+      os << ")";
+      break;
+    case Kind::kSine:
+      os << "SIN(" << v1_ << " " << v2_ << " " << freq_ << " " << delay_
+         << ")";
+      break;
+  }
+  return os.str();
+}
+
+// --------------------------------------------------------- VoltageSource
+
+VoltageSource::VoltageSource(std::string name, spice::NodeId p,
+                             spice::NodeId n, SourceWave wave)
+    : Device(std::move(name)), p_(p), n_(n), wave_(std::move(wave)) {}
+
+void VoltageSource::setup(spice::SetupContext& ctx) {
+  branch_ = ctx.add_branch_current(name());
+}
+
+void VoltageSource::stamp(spice::StampContext& ctx) const {
+  const double i = ctx.x(branch_);
+  ctx.add_f(p_, i);
+  ctx.add_f(n_, -i);
+  ctx.add_J(p_, branch_, 1.0);
+  ctx.add_J(n_, branch_, -1.0);
+
+  const double target = wave_.value(ctx.time()) * ctx.source_factor();
+  ctx.add_f(branch_, ctx.v(p_) - ctx.v(n_) - target);
+  ctx.add_J(branch_, p_, 1.0);
+  ctx.add_J(branch_, n_, -1.0);
+}
+
+void VoltageSource::breakpoints(double tstop, std::vector<double>& out) const {
+  wave_.breakpoints(tstop, out);
+}
+
+void VoltageSource::stamp_ac(spice::AcStampContext& ctx) const {
+  ctx.add_G(p_, branch_, 1.0);
+  ctx.add_G(n_, branch_, -1.0);
+  ctx.add_G(branch_, p_, 1.0);
+  ctx.add_G(branch_, n_, -1.0);
+  const double phase = ac_phase_deg_ * std::numbers::pi / 180.0;
+  ctx.add_rhs(branch_, std::polar(ac_magnitude_, phase));
+}
+
+std::string VoltageSource::netlist_line(
+    const std::function<std::string(spice::NodeId)>& node_namer) const {
+  return name() + " " + node_namer(p_) + " " + node_namer(n_) + " " +
+         wave_.to_spice();
+}
+
+// --------------------------------------------------------- CurrentSource
+
+CurrentSource::CurrentSource(std::string name, spice::NodeId p,
+                             spice::NodeId n, SourceWave wave)
+    : Device(std::move(name)), p_(p), n_(n), wave_(std::move(wave)) {}
+
+void CurrentSource::stamp(spice::StampContext& ctx) const {
+  const double i = wave_.value(ctx.time()) * ctx.source_factor();
+  // Convention: the source drives current out of p (through the external
+  // circuit) into n; at node p the device removes +i.
+  ctx.add_f(p_, i);
+  ctx.add_f(n_, -i);
+}
+
+void CurrentSource::breakpoints(double tstop, std::vector<double>& out) const {
+  wave_.breakpoints(tstop, out);
+}
+
+void CurrentSource::stamp_ac(spice::AcStampContext& ctx) const {
+  // DC convention: +i leaves node p.  Moving the excitation to the right
+  // hand side flips the sign.
+  const double phase = ac_phase_deg_ * std::numbers::pi / 180.0;
+  const linalg::Complex i = std::polar(ac_magnitude_, phase);
+  ctx.add_rhs(p_, -i);
+  ctx.add_rhs(n_, i);
+}
+
+std::string CurrentSource::netlist_line(
+    const std::function<std::string(spice::NodeId)>& node_namer) const {
+  return name() + " " + node_namer(p_) + " " + node_namer(n_) + " " +
+         wave_.to_spice();
+}
+
+}  // namespace nemsim::devices

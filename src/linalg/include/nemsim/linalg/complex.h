@@ -1,0 +1,84 @@
+// Complex dense vector/matrix and LU solve, for AC (small-signal)
+// analysis: (G + j*omega*C) x = b.
+#pragma once
+
+#include <cassert>
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+#include "nemsim/linalg/matrix.h"
+
+namespace nemsim::linalg {
+
+using Complex = std::complex<double>;
+
+/// Dense complex column vector.
+class CVector {
+ public:
+  CVector() = default;
+  explicit CVector(std::size_t n, Complex fill = {}) : data_(n, fill) {}
+
+  std::size_t size() const { return data_.size(); }
+  Complex& operator[](std::size_t i) {
+    assert(i < data_.size());
+    return data_[i];
+  }
+  Complex operator[](std::size_t i) const {
+    assert(i < data_.size());
+    return data_[i];
+  }
+  double inf_norm() const;
+
+ private:
+  std::vector<Complex> data_;
+};
+
+/// Dense row-major complex matrix.
+class CMatrix {
+ public:
+  CMatrix() = default;
+  CMatrix(std::size_t rows, std::size_t cols, Complex fill = {})
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// G + j*omega*C from two real matrices of identical shape.
+  static CMatrix from_real_pair(const Matrix& g, const Matrix& c,
+                                double omega);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  Complex& operator()(std::size_t r, std::size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  Complex operator()(std::size_t r, std::size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  CVector multiply(const CVector& x) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<Complex> data_;
+};
+
+/// PA = LU with row equilibration and partial pivoting (complex).
+class CLuDecomposition {
+ public:
+  explicit CLuDecomposition(CMatrix a);
+
+  std::size_t size() const { return lu_.rows(); }
+  CVector solve(const CVector& b) const;
+
+ private:
+  CMatrix lu_;
+  std::vector<std::size_t> perm_;
+  std::vector<double> row_scale_;
+};
+
+/// One-shot convenience solve.
+CVector solve(CMatrix a, const CVector& b);
+
+}  // namespace nemsim::linalg

@@ -1,0 +1,48 @@
+// LU factorization with partial pivoting, the linear kernel of the MNA
+// Newton loop.
+#pragma once
+
+#include <vector>
+
+#include "nemsim/linalg/matrix.h"
+
+namespace nemsim::linalg {
+
+/// PA = LU factorization with row partial pivoting.
+///
+/// The factorization is computed once and can solve many right-hand sides;
+/// the Newton loop refactors per iteration (the Jacobian changes), so the
+/// constructor is the hot path.
+class LuDecomposition {
+ public:
+  /// Factors `a` (must be square).  Throws SingularMatrixError when a pivot
+  /// falls below `pivot_tolerance` in magnitude.
+  explicit LuDecomposition(Matrix a, double pivot_tolerance = 0.0);
+
+  std::size_t size() const { return lu_.rows(); }
+
+  /// Solves A x = b.
+  Vector solve(const Vector& b) const;
+  /// Solves in place: x enters as b, leaves as the solution.
+  void solve_in_place(Vector& x) const;
+
+  /// Determinant of A (product of pivots with permutation sign,
+  /// compensated for row equilibration).
+  double determinant() const;
+
+  /// Reciprocal condition estimate: min|pivot| / max|pivot| — a cheap
+  /// diagnostic the Newton solver uses to spot near-singular Jacobians.
+  double rcond_estimate() const { return rcond_; }
+
+ private:
+  Matrix lu_;
+  std::vector<std::size_t> perm_;
+  std::vector<double> row_scale_;
+  int perm_sign_ = 1;
+  double rcond_ = 0.0;
+};
+
+/// One-shot convenience: solve A x = b.
+Vector solve(Matrix a, const Vector& b);
+
+}  // namespace nemsim::linalg

@@ -1,0 +1,40 @@
+// Least-squares polynomial fitting.
+//
+// The paper's NEMFET electrical-equivalent model approximates the
+// electrostatic force f(Vg) by a fitted polynomial; we expose the same
+// facility so users can extract fitted force curves from the physical model.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace nemsim::linalg {
+
+/// Polynomial with coefficients in ascending power order: c0 + c1 x + ...
+class Polynomial {
+ public:
+  Polynomial() = default;
+  explicit Polynomial(std::vector<double> coefficients);
+
+  std::size_t degree() const { return coeffs_.empty() ? 0 : coeffs_.size() - 1; }
+  std::span<const double> coefficients() const { return coeffs_; }
+
+  double operator()(double x) const;
+  /// First derivative evaluated at x.
+  double derivative_at(double x) const;
+  Polynomial derivative() const;
+
+ private:
+  std::vector<double> coeffs_;
+};
+
+/// Fits a degree-`degree` polynomial through (xs, ys) in the least-squares
+/// sense via the normal equations.  Requires xs.size() >= degree + 1.
+Polynomial polyfit(std::span<const double> xs, std::span<const double> ys,
+                   std::size_t degree);
+
+/// Root-mean-square residual of `poly` over the samples.
+double fit_rms_error(const Polynomial& poly, std::span<const double> xs,
+                     std::span<const double> ys);
+
+}  // namespace nemsim::linalg

@@ -1,0 +1,62 @@
+// Compressed-sparse-row matrix.
+//
+// The MNA engine defaults to the dense LU path (design decision #4 in
+// DESIGN.md); CSR exists for the perf ablation bench and for users who
+// want to export stamped Jacobians.  A Gauss-Seidel solver is provided for
+// diagonally-dominant systems (e.g. resistor networks).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "nemsim/linalg/matrix.h"
+
+namespace nemsim::linalg {
+
+/// One (row, col, value) coordinate entry.
+struct Triplet {
+  std::size_t row;
+  std::size_t col;
+  double value;
+};
+
+/// Immutable CSR matrix; duplicate triplets are summed (stamp semantics).
+class SparseMatrix {
+ public:
+  SparseMatrix(std::size_t rows, std::size_t cols,
+               std::vector<Triplet> triplets);
+
+  /// Converts a dense matrix, dropping exact zeros.
+  static SparseMatrix from_dense(const Matrix& dense);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t nonzeros() const { return values_.size(); }
+
+  /// Entry lookup (zero when not stored).
+  double at(std::size_t row, std::size_t col) const;
+
+  Vector multiply(const Vector& x) const;
+  Matrix to_dense() const;
+
+  /// Gauss-Seidel iteration for A x = b; returns the iterate after
+  /// convergence (relative residual < tol) or throws ConvergenceError.
+  Vector gauss_seidel(const Vector& b, double tol = 1e-10,
+                      int max_iterations = 10000) const;
+
+  /// Direct sparse LU solve (row-map Gaussian elimination with partial
+  /// pivoting; fill-in tracked per row).  For the tiny, fairly dense MNA
+  /// systems of this project the dense path wins (DESIGN.md decision #4,
+  /// quantified in perf_simulator) - this exists to make that ablation
+  /// honest and to serve genuinely sparse systems (e.g. ladder networks).
+  Vector lu_solve(const Vector& b) const;
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<std::size_t> row_start_;  // size rows_+1
+  std::vector<std::size_t> col_index_;
+  std::vector<double> values_;
+};
+
+}  // namespace nemsim::linalg

@@ -1,0 +1,109 @@
+#include "nemsim/linalg/complex.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nemsim/util/error.h"
+
+namespace nemsim::linalg {
+
+double CVector::inf_norm() const {
+  double n = 0.0;
+  for (const Complex& z : data_) n = std::max(n, std::abs(z));
+  return n;
+}
+
+CMatrix CMatrix::from_real_pair(const Matrix& g, const Matrix& c,
+                                double omega) {
+  require(g.rows() == c.rows() && g.cols() == c.cols(),
+          "CMatrix::from_real_pair: shape mismatch");
+  CMatrix out(g.rows(), g.cols());
+  for (std::size_t r = 0; r < g.rows(); ++r) {
+    for (std::size_t col = 0; col < g.cols(); ++col) {
+      out(r, col) = Complex(g(r, col), omega * c(r, col));
+    }
+  }
+  return out;
+}
+
+CVector CMatrix::multiply(const CVector& x) const {
+  require(cols_ == x.size(), "CMatrix::multiply: shape mismatch");
+  CVector y(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    Complex sum = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) sum += (*this)(r, c) * x[c];
+    y[r] = sum;
+  }
+  return y;
+}
+
+CLuDecomposition::CLuDecomposition(CMatrix a) : lu_(std::move(a)) {
+  require(lu_.rows() == lu_.cols(), "CLU: matrix must be square");
+  const std::size_t n = lu_.rows();
+  perm_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
+
+  row_scale_.assign(n, 1.0);
+  for (std::size_t r = 0; r < n; ++r) {
+    double m = 0.0;
+    for (std::size_t c = 0; c < n; ++c) m = std::max(m, std::abs(lu_(r, c)));
+    if (m == 0.0) throw SingularMatrixError("CLU: zero row");
+    row_scale_[r] = 1.0 / m;
+    for (std::size_t c = 0; c < n; ++c) lu_(r, c) *= row_scale_[r];
+  }
+
+  for (std::size_t k = 0; k < n; ++k) {
+    std::size_t pivot_row = k;
+    double pivot_mag = std::abs(lu_(k, k));
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double mag = std::abs(lu_(r, k));
+      if (mag > pivot_mag) {
+        pivot_mag = mag;
+        pivot_row = r;
+      }
+    }
+    if (pivot_mag == 0.0) {
+      throw SingularMatrixError("CLU: singular at column " +
+                                std::to_string(k));
+    }
+    if (pivot_row != k) {
+      for (std::size_t c = 0; c < n; ++c) {
+        std::swap(lu_(k, c), lu_(pivot_row, c));
+      }
+      std::swap(perm_[k], perm_[pivot_row]);
+    }
+    const Complex inv_pivot = 1.0 / lu_(k, k);
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const Complex m = lu_(r, k) * inv_pivot;
+      if (m == Complex{}) continue;
+      lu_(r, k) = m;
+      for (std::size_t c = k + 1; c < n; ++c) lu_(r, c) -= m * lu_(k, c);
+    }
+  }
+}
+
+CVector CLuDecomposition::solve(const CVector& b) const {
+  require(b.size() == size(), "CLU::solve: rhs size mismatch");
+  const std::size_t n = size();
+  CVector x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = b[perm_[i]] * row_scale_[perm_[i]];
+  }
+  for (std::size_t r = 1; r < n; ++r) {
+    Complex sum = x[r];
+    for (std::size_t c = 0; c < r; ++c) sum -= lu_(r, c) * x[c];
+    x[r] = sum;
+  }
+  for (std::size_t ri = n; ri-- > 0;) {
+    Complex sum = x[ri];
+    for (std::size_t c = ri + 1; c < n; ++c) sum -= lu_(ri, c) * x[c];
+    x[ri] = sum / lu_(ri, ri);
+  }
+  return x;
+}
+
+CVector solve(CMatrix a, const CVector& b) {
+  return CLuDecomposition(std::move(a)).solve(b);
+}
+
+}  // namespace nemsim::linalg

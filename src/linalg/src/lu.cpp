@@ -1,0 +1,109 @@
+#include "nemsim/linalg/lu.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "nemsim/util/error.h"
+
+namespace nemsim::linalg {
+
+LuDecomposition::LuDecomposition(Matrix a, double pivot_tolerance)
+    : lu_(std::move(a)) {
+  require(lu_.rows() == lu_.cols(), "LU: matrix must be square");
+  const std::size_t n = lu_.rows();
+  perm_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
+
+  // Row equilibration: MNA rows mix units (amperes for KCL, volts for
+  // KVL, newtons for electromechanical rows); scaling each row by its
+  // max magnitude makes partial pivoting meaningful across them.
+  row_scale_.assign(n, 1.0);
+  for (std::size_t r = 0; r < n; ++r) {
+    double m = 0.0;
+    for (std::size_t c = 0; c < n; ++c) m = std::max(m, std::abs(lu_(r, c)));
+    if (m == 0.0) {
+      throw SingularMatrixError("LU: zero row " + std::to_string(r));
+    }
+    row_scale_[r] = 1.0 / m;
+    for (std::size_t c = 0; c < n; ++c) lu_(r, c) *= row_scale_[r];
+  }
+
+  double min_pivot = std::numeric_limits<double>::infinity();
+  double max_pivot = 0.0;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivoting: pick the largest magnitude in column k at/below k.
+    std::size_t pivot_row = k;
+    double pivot_mag = std::abs(lu_(k, k));
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double mag = std::abs(lu_(r, k));
+      if (mag > pivot_mag) {
+        pivot_mag = mag;
+        pivot_row = r;
+      }
+    }
+    if (pivot_mag <= pivot_tolerance || pivot_mag == 0.0) {
+      throw SingularMatrixError("LU: singular matrix at column " +
+                                std::to_string(k));
+    }
+    if (pivot_row != k) {
+      for (std::size_t c = 0; c < n; ++c) {
+        std::swap(lu_(k, c), lu_(pivot_row, c));
+      }
+      std::swap(perm_[k], perm_[pivot_row]);
+      perm_sign_ = -perm_sign_;
+    }
+    min_pivot = std::min(min_pivot, pivot_mag);
+    max_pivot = std::max(max_pivot, pivot_mag);
+
+    const double inv_pivot = 1.0 / lu_(k, k);
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double m = lu_(r, k) * inv_pivot;
+      if (m == 0.0) continue;
+      lu_(r, k) = m;
+      for (std::size_t c = k + 1; c < n; ++c) {
+        lu_(r, c) -= m * lu_(k, c);
+      }
+    }
+  }
+  rcond_ = n == 0 ? 1.0 : min_pivot / max_pivot;
+}
+
+Vector LuDecomposition::solve(const Vector& b) const {
+  require(b.size() == size(), "LU::solve: rhs size mismatch");
+  Vector x(size());
+  for (std::size_t i = 0; i < size(); ++i) {
+    x[i] = b[perm_[i]] * row_scale_[perm_[i]];
+  }
+  // Forward substitution (L has implicit unit diagonal).
+  for (std::size_t r = 1; r < size(); ++r) {
+    double sum = x[r];
+    for (std::size_t c = 0; c < r; ++c) sum -= lu_(r, c) * x[c];
+    x[r] = sum;
+  }
+  // Back substitution with U.
+  for (std::size_t ri = size(); ri-- > 0;) {
+    double sum = x[ri];
+    for (std::size_t c = ri + 1; c < size(); ++c) sum -= lu_(ri, c) * x[c];
+    x[ri] = sum / lu_(ri, ri);
+  }
+  return x;
+}
+
+void LuDecomposition::solve_in_place(Vector& x) const {
+  x = solve(x);
+}
+
+double LuDecomposition::determinant() const {
+  double det = perm_sign_;
+  for (std::size_t i = 0; i < size(); ++i) det *= lu_(i, i);
+  for (double s : row_scale_) det /= s;
+  return det;
+}
+
+Vector solve(Matrix a, const Vector& b) {
+  return LuDecomposition(std::move(a)).solve(b);
+}
+
+}  // namespace nemsim::linalg

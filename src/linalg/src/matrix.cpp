@@ -1,0 +1,181 @@
+#include "nemsim/linalg/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+#include "nemsim/util/error.h"
+
+namespace nemsim::linalg {
+
+double& Vector::at(std::size_t i) {
+  require(i < data_.size(), "Vector::at: index out of range");
+  return data_[i];
+}
+
+double Vector::at(std::size_t i) const {
+  require(i < data_.size(), "Vector::at: index out of range");
+  return data_[i];
+}
+
+void Vector::fill(double value) { std::fill(data_.begin(), data_.end(), value); }
+
+Vector& Vector::operator+=(const Vector& other) {
+  require(size() == other.size(), "Vector+=: size mismatch");
+  for (std::size_t i = 0; i < size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Vector& Vector::operator-=(const Vector& other) {
+  require(size() == other.size(), "Vector-=: size mismatch");
+  for (std::size_t i = 0; i < size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Vector& Vector::operator*=(double scale) {
+  for (double& x : data_) x *= scale;
+  return *this;
+}
+
+double Vector::inf_norm() const {
+  double n = 0.0;
+  for (double x : data_) n = std::max(n, std::abs(x));
+  return n;
+}
+
+double Vector::two_norm() const { return std::sqrt(dot(*this, *this)); }
+
+Vector operator+(Vector a, const Vector& b) { return a += b; }
+Vector operator-(Vector a, const Vector& b) { return a -= b; }
+Vector operator*(double s, Vector v) { return v *= s; }
+
+double dot(const Vector& a, const Vector& b) {
+  require(a.size() == b.size(), "dot: size mismatch");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> init) {
+  rows_ = init.size();
+  cols_ = rows_ ? init.begin()->size() : 0;
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : init) {
+    require(row.size() == cols_, "Matrix: ragged initializer rows");
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+double& Matrix::at(std::size_t r, std::size_t c) {
+  require(r < rows_ && c < cols_, "Matrix::at: index out of range");
+  return data_[r * cols_ + c];
+}
+
+double Matrix::at(std::size_t r, std::size_t c) const {
+  require(r < rows_ && c < cols_, "Matrix::at: index out of range");
+  return data_[r * cols_ + c];
+}
+
+void Matrix::fill(double value) { std::fill(data_.begin(), data_.end(), value); }
+
+void Matrix::reset(std::size_t rows, std::size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.assign(rows * cols, 0.0);
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  require(rows_ == other.rows_ && cols_ == other.cols_, "Matrix+=: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  require(rows_ == other.rows_ && cols_ == other.cols_, "Matrix-=: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double scale) {
+  for (double& x : data_) x *= scale;
+  return *this;
+}
+
+Vector Matrix::multiply(const Vector& x) const {
+  require(cols_ == x.size(), "Matrix::multiply: shape mismatch");
+  Vector y(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double sum = 0.0;
+    const double* row = data_.data() + r * cols_;
+    for (std::size_t c = 0; c < cols_; ++c) sum += row[c] * x[c];
+    y[r] = sum;
+  }
+  return y;
+}
+
+Matrix Matrix::multiply(const Matrix& other) const {
+  require(cols_ == other.rows_, "Matrix::multiply: shape mismatch");
+  Matrix out(rows_, other.cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(r, k);
+      if (a == 0.0) continue;
+      for (std::size_t c = 0; c < other.cols_; ++c) {
+        out(r, c) += a * other(k, c);
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) out(c, r) = (*this)(r, c);
+  }
+  return out;
+}
+
+double Matrix::inf_norm() const {
+  double best = 0.0;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) sum += std::abs((*this)(r, c));
+    best = std::max(best, sum);
+  }
+  return best;
+}
+
+Matrix operator+(Matrix a, const Matrix& b) { return a += b; }
+Matrix operator-(Matrix a, const Matrix& b) { return a -= b; }
+Matrix operator*(const Matrix& a, const Matrix& b) { return a.multiply(b); }
+Vector operator*(const Matrix& a, const Vector& x) { return a.multiply(x); }
+
+std::ostream& operator<<(std::ostream& os, const Vector& v) {
+  os << '[';
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i) os << ", ";
+    os << v[i];
+  }
+  return os << ']';
+}
+
+std::ostream& operator<<(std::ostream& os, const Matrix& m) {
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    os << (r == 0 ? "[[" : " [");
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      if (c) os << ", ";
+      os << m(r, c);
+    }
+    os << (r + 1 == m.rows() ? "]]" : "]\n");
+  }
+  return os;
+}
+
+}  // namespace nemsim::linalg

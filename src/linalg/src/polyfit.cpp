@@ -1,0 +1,83 @@
+#include "nemsim/linalg/polyfit.h"
+
+#include <cmath>
+
+#include "nemsim/linalg/lu.h"
+#include "nemsim/util/error.h"
+
+namespace nemsim::linalg {
+
+Polynomial::Polynomial(std::vector<double> coefficients)
+    : coeffs_(std::move(coefficients)) {
+  require(!coeffs_.empty(), "Polynomial: need at least one coefficient");
+}
+
+double Polynomial::operator()(double x) const {
+  double acc = 0.0;
+  // Horner evaluation from the highest power down.
+  for (std::size_t i = coeffs_.size(); i-- > 0;) acc = acc * x + coeffs_[i];
+  return acc;
+}
+
+double Polynomial::derivative_at(double x) const {
+  double acc = 0.0;
+  for (std::size_t i = coeffs_.size(); i-- > 1;) {
+    acc = acc * x + coeffs_[i] * static_cast<double>(i);
+  }
+  return acc;
+}
+
+Polynomial Polynomial::derivative() const {
+  if (coeffs_.size() <= 1) return Polynomial({0.0});
+  std::vector<double> d(coeffs_.size() - 1);
+  for (std::size_t i = 1; i < coeffs_.size(); ++i) {
+    d[i - 1] = coeffs_[i] * static_cast<double>(i);
+  }
+  return Polynomial(std::move(d));
+}
+
+Polynomial polyfit(std::span<const double> xs, std::span<const double> ys,
+                   std::size_t degree) {
+  require(xs.size() == ys.size(), "polyfit: xs and ys sizes differ");
+  require(xs.size() >= degree + 1, "polyfit: not enough samples for degree");
+  const std::size_t m = degree + 1;
+
+  // Normal equations: (V^T V) c = V^T y with Vandermonde V.
+  Matrix ata(m, m, 0.0);
+  Vector aty(m, 0.0);
+  std::vector<double> powers(2 * degree + 1);
+  for (std::size_t s = 0; s < xs.size(); ++s) {
+    double p = 1.0;
+    for (std::size_t k = 0; k < powers.size(); ++k) {
+      if (s == 0) powers[k] = 0.0;
+      powers[k] += p;
+      p *= xs[s];
+    }
+    p = 1.0;
+    for (std::size_t r = 0; r < m; ++r) {
+      aty[r] += p * ys[s];
+      p *= xs[s];
+    }
+  }
+  for (std::size_t r = 0; r < m; ++r) {
+    for (std::size_t c = 0; c < m; ++c) ata(r, c) = powers[r + c];
+  }
+
+  Vector coeffs = solve(std::move(ata), aty);
+  std::vector<double> out(coeffs.begin(), coeffs.end());
+  return Polynomial(std::move(out));
+}
+
+double fit_rms_error(const Polynomial& poly, std::span<const double> xs,
+                     std::span<const double> ys) {
+  require(xs.size() == ys.size() && !xs.empty(),
+          "fit_rms_error: bad sample spans");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double e = poly(xs[i]) - ys[i];
+    sum += e * e;
+  }
+  return std::sqrt(sum / static_cast<double>(xs.size()));
+}
+
+}  // namespace nemsim::linalg

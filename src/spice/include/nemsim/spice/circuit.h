@@ -1,0 +1,110 @@
+// Circuit: the netlist container (nodes + devices).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "nemsim/spice/device.h"
+#include "nemsim/spice/ids.h"
+#include "nemsim/util/error.h"
+
+namespace nemsim::spice {
+
+/// A flat netlist: named nodes and owned devices.
+///
+/// Typical use:
+/// ```
+/// Circuit ckt;
+/// NodeId out = ckt.node("out");
+/// ckt.add<Resistor>("R1", out, ckt.gnd(), 1e3);
+/// ckt.add<VoltageSource>("V1", ckt.node("in"), ckt.gnd(), SourceWave::dc(1.0));
+/// ```
+class Circuit {
+ public:
+  Circuit();
+
+  /// The ground node (always node 0, named "0").
+  NodeId gnd() const { return kGround; }
+
+  /// Returns the node named `name`, creating it on first use.
+  NodeId node(const std::string& name);
+
+  /// Creates a fresh internal node with a unique name derived from `hint`.
+  NodeId internal_node(const std::string& hint);
+
+  /// Looks up an existing node; throws NetlistError when absent.
+  NodeId find_node(const std::string& name) const;
+  bool has_node(const std::string& name) const;
+
+  const std::string& node_name(NodeId node) const;
+
+  /// Total node count including ground.
+  std::size_t num_nodes() const { return node_names_.size(); }
+
+  /// Constructs a device in place and returns a reference to it.
+  /// Device names must be unique within the circuit.
+  template <typename T, typename... Args>
+  T& add(std::string name, Args&&... args) {
+    require_unique_device_name(name);
+    auto device = std::make_unique<T>(std::move(name), std::forward<Args>(args)...);
+    T& ref = *device;
+    register_device(std::move(device));
+    return ref;
+  }
+
+  std::size_t num_devices() const { return devices_.size(); }
+  Device& device(std::size_t i) { return *devices_.at(i); }
+  const Device& device(std::size_t i) const { return *devices_.at(i); }
+
+  /// Finds a device by name; throws NetlistError when absent.
+  Device& find_device(const std::string& name);
+  const Device& find_device(const std::string& name) const;
+
+  /// Finds a device by name and casts it; throws NetlistError on missing
+  /// name or wrong type.
+  template <typename T>
+  T& find(const std::string& name) {
+    T* p = dynamic_cast<T*>(&find_device(name));
+    if (!p) throw NetlistError("device '" + name + "' has unexpected type");
+    return *p;
+  }
+
+  /// Finds a device by name and casts it (const).
+  template <typename T>
+  const T& find(const std::string& name) const {
+    const T* p = dynamic_cast<const T*>(&find_device(name));
+    if (!p) throw NetlistError("device '" + name + "' has unexpected type");
+    return *p;
+  }
+
+  /// Iterates over devices of a given type.
+  template <typename T, typename Fn>
+  void for_each(Fn&& fn) {
+    for (auto& d : devices_) {
+      if (T* p = dynamic_cast<T*>(d.get())) fn(*p);
+    }
+  }
+
+  /// Iterates over devices of a given type (const).
+  template <typename T, typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& d : devices_) {
+      if (const T* p = dynamic_cast<const T*>(d.get())) fn(*p);
+    }
+  }
+
+ private:
+  void require_unique_device_name(const std::string& name) const;
+  void register_device(std::unique_ptr<Device> device);
+
+  std::vector<std::string> node_names_;
+  std::unordered_map<std::string, std::size_t> node_index_;
+  std::vector<std::unique_ptr<Device>> devices_;
+  std::unordered_map<std::string, std::size_t> device_index_;
+  std::size_t internal_counter_ = 0;
+};
+
+}  // namespace nemsim::spice

@@ -1,0 +1,85 @@
+// Device abstraction: everything that stamps the MNA system.
+//
+// A device contributes residual (KCL/KVL) entries and Jacobian entries at
+// the current Newton iterate.  Devices own their dynamic state (capacitor
+// history, NEMS beam position) and commit it in `accept_step` after a
+// transient step converges.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "nemsim/spice/ids.h"
+
+namespace nemsim::spice {
+
+class SetupContext;
+class StampContext;
+class AcceptContext;
+class AcStampContext;
+
+/// Which analysis the stamp is being evaluated for.
+enum class AnalysisMode {
+  kDcOperatingPoint,  ///< capacitors open, inductors short, mechanics static
+  kTransient,         ///< companion models active
+};
+
+/// Base class for all circuit devices.
+class Device {
+ public:
+  explicit Device(std::string name) : name_(std::move(name)) {}
+  virtual ~Device() = default;
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  /// Requests extra unknowns (branch currents, internal states) and caches
+  /// their ids.  Called once per analysis setup.
+  virtual void setup(SetupContext& ctx) { (void)ctx; }
+
+  /// Adds residual and Jacobian contributions at the context's iterate.
+  /// Must be side-effect free with respect to device state.
+  virtual void stamp(StampContext& ctx) const = 0;
+
+  /// Adds small-signal G/C/rhs contributions at the bias point in `ctx`.
+  /// The default implementation throws: a device without an AC model must
+  /// not silently vanish from an AC analysis.
+  virtual void stamp_ac(AcStampContext& ctx) const;
+
+  /// Called once before each transient step's Newton solve; `dt` is the
+  /// step about to be taken and `time` its end point.  Devices capture
+  /// whatever history their companion model needs.
+  virtual void begin_step(double time, double dt) { (void)time; (void)dt; }
+
+  /// Commits state after a converged solve (OP or transient step).
+  virtual void accept_step(const AcceptContext& ctx) { (void)ctx; }
+
+  /// Clears all dynamic state (new analysis from scratch).
+  virtual void reset_state() {}
+
+  /// Signals a derivative discontinuity (source edge).  Devices whose
+  /// companion models use history across steps should fall back to a
+  /// self-starting method (backward Euler) for the next step.
+  virtual void notify_discontinuity() {}
+
+  /// Time points the transient must land on exactly (source edges).
+  virtual void breakpoints(double tstop, std::vector<double>& out) const {
+    (void)tstop; (void)out;
+  }
+
+  /// One line of SPICE-style netlist for this device (node names resolved
+  /// through `node_namer`).  The default emits a comment placeholder.
+  virtual std::string netlist_line(
+      const std::function<std::string(NodeId)>& node_namer) const {
+    (void)node_namer;
+    return "* " + name_ + " (no netlist exporter)";
+  }
+
+ private:
+  std::string name_;
+};
+
+}  // namespace nemsim::spice

@@ -1,0 +1,190 @@
+// MNA engine: unknown allocation, stamping contexts, system assembly.
+//
+// Residual convention: for every node n (except ground) the equation is
+//   f_n(x) = sum of currents *leaving* node n through all devices = 0
+// Devices add current contributions with `add_f` and the matching partial
+// derivatives with `add_J`; Newton then solves J*dx = -f.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nemsim/linalg/matrix.h"
+#include "nemsim/spice/circuit.h"
+#include "nemsim/spice/device.h"
+#include "nemsim/spice/ids.h"
+
+namespace nemsim::spice {
+
+class MnaSystem;
+
+/// Handed to Device::setup so devices can claim extra unknowns.
+class SetupContext {
+ public:
+  explicit SetupContext(MnaSystem& system) : system_(system) {}
+
+  /// Claims a branch-current unknown (for voltage sources, inductors).
+  UnknownId add_branch_current(const std::string& name);
+
+  /// Claims a device-internal unknown with explicit tolerances/limits.
+  /// `row_abstol` is the absolute residual floor of the matching equation.
+  UnknownId add_internal(const std::string& name, double abstol,
+                         double row_abstol, double max_newton_step,
+                         double initial_guess);
+
+ private:
+  MnaSystem& system_;
+};
+
+/// Read-only access to a converged solution vector, with node helpers.
+class Solution {
+ public:
+  Solution(const MnaSystem& system, const linalg::Vector& x)
+      : system_(&system), x_(&x) {}
+
+  /// Voltage of `node` (0 for ground).
+  double v(NodeId node) const;
+  /// Value of any unknown.
+  double x(UnknownId unknown) const;
+
+  const linalg::Vector& raw() const { return *x_; }
+  const MnaSystem& system() const { return *system_; }
+
+ private:
+  const MnaSystem* system_;
+  const linalg::Vector* x_;
+};
+
+/// Stamping interface passed to Device::stamp.
+class StampContext {
+ public:
+  StampContext(const MnaSystem& system, const linalg::Vector& x,
+               linalg::Matrix& jacobian, linalg::Vector& residual,
+               linalg::Vector& residual_scale);
+
+  AnalysisMode mode() const { return mode_; }
+  /// End time of the step being solved (transient), or 0 for OP.
+  double time() const { return time_; }
+  /// Step size (transient only; 0 for OP).
+  double dt() const { return dt_; }
+  /// Shunt conductance to ground added at every node (homotopy aid).
+  double gmin() const { return gmin_; }
+  /// Scale factor applied by sources during source stepping, in [0,1].
+  double source_factor() const { return source_factor_; }
+
+  /// Value of node voltage at the current Newton iterate.
+  double v(NodeId node) const;
+  /// Value of any unknown at the current Newton iterate.
+  double x(UnknownId unknown) const;
+
+  /// Adds `current` (amperes, leaving the node) to node equation `eq`.
+  void add_f(NodeId eq, double current);
+  /// Adds `value` to an arbitrary equation row (branch/internal rows).
+  void add_f(UnknownId eq, double value);
+
+  /// Jacobian entries d f(eq) / d x(var); ground rows/cols are dropped.
+  void add_J(NodeId eq, NodeId var, double dfdx);
+  void add_J(NodeId eq, UnknownId var, double dfdx);
+  void add_J(UnknownId eq, NodeId var, double dfdx);
+  void add_J(UnknownId eq, UnknownId var, double dfdx);
+
+  // Engine-side configuration (not for devices).
+  void configure(AnalysisMode mode, double time, double dt, double gmin,
+                 double source_factor);
+
+ private:
+  void raw_f(UnknownId eq, double value);
+  void raw_J(UnknownId eq, UnknownId var, double value);
+
+  const MnaSystem& system_;
+  const linalg::Vector& x_;
+  linalg::Matrix& jacobian_;
+  linalg::Vector& residual_;
+  linalg::Vector& residual_scale_;
+  AnalysisMode mode_ = AnalysisMode::kDcOperatingPoint;
+  double time_ = 0.0;
+  double dt_ = 0.0;
+  double gmin_ = 0.0;
+  double source_factor_ = 1.0;
+};
+
+/// Passed to Device::accept_step after a converged solve.
+class AcceptContext {
+ public:
+  AcceptContext(const Solution& solution, AnalysisMode mode, double time,
+                double dt)
+      : solution_(solution), mode_(mode), time_(time), dt_(dt) {}
+
+  double v(NodeId node) const { return solution_.v(node); }
+  double x(UnknownId unknown) const { return solution_.x(unknown); }
+  AnalysisMode mode() const { return mode_; }
+  double time() const { return time_; }
+  double dt() const { return dt_; }
+  const Solution& solution() const { return solution_; }
+
+ private:
+  const Solution& solution_;
+  AnalysisMode mode_;
+  double time_;
+  double dt_;
+};
+
+/// The assembled MNA problem over a circuit.
+///
+/// Owns the unknown table (node voltages first, then device-claimed
+/// unknowns) and provides assembly of residual + Jacobian at an iterate.
+class MnaSystem {
+ public:
+  /// Builds the unknown table by running Device::setup on every device.
+  explicit MnaSystem(Circuit& circuit);
+
+  Circuit& circuit() { return circuit_; }
+  const Circuit& circuit() const { return circuit_; }
+
+  std::size_t num_unknowns() const { return unknowns_.size(); }
+  const UnknownInfo& unknown_info(std::size_t i) const { return unknowns_.at(i); }
+
+  /// Unknown for a node's voltage; invalid for ground.
+  UnknownId unknown_of(NodeId node) const;
+  /// Unknown by display name ("v(out)", "i(Vdd)", ...); throws if absent.
+  UnknownId unknown_by_name(const std::string& name) const;
+  bool has_unknown(const std::string& name) const;
+
+  /// Initial iterate: zeros for node voltages (unless a nodeset entry
+  /// overrides) and per-unknown initial guesses for device internals.
+  linalg::Vector initial_guess() const;
+
+  /// Overrides the cold-start guess of a node voltage (SPICE .nodeset).
+  void set_nodeset(NodeId node, double volts);
+  void clear_nodesets();
+
+  /// Assembles residual/Jacobian at iterate `x`.  `residual_scale`
+  /// accumulates sum(|contribution|) per row for relative convergence
+  /// checks.  The StampContext must have been `configure`d by the caller.
+  void assemble(const linalg::Vector& x, linalg::Matrix& jacobian,
+                linalg::Vector& residual, linalg::Vector& residual_scale,
+                AnalysisMode mode, double time, double dt, double gmin,
+                double source_factor) const;
+
+  /// Calls begin_step on every device.
+  void begin_step(double time, double dt);
+  /// Calls accept_step on every device.
+  void accept(const linalg::Vector& x, AnalysisMode mode, double time,
+              double dt);
+  /// Calls reset_state on every device.
+  void reset_devices();
+  /// Calls notify_discontinuity on every device.
+  void notify_discontinuity();
+
+  /// Collects and sorts distinct breakpoints in (0, tstop].
+  std::vector<double> breakpoints(double tstop) const;
+
+  // Used by SetupContext.
+  UnknownId allocate_unknown(UnknownInfo info);
+
+ private:
+  Circuit& circuit_;
+  std::vector<UnknownInfo> unknowns_;
+};
+
+}  // namespace nemsim::spice

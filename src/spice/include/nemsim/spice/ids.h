@@ -1,0 +1,59 @@
+// Strong identifier types for circuit nodes and MNA unknowns.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <string>
+
+namespace nemsim::spice {
+
+/// A circuit node.  Index 0 is always ground; other indices are assigned by
+/// `Circuit::node()` in creation order.
+struct NodeId {
+  std::size_t index = 0;
+
+  bool is_ground() const { return index == 0; }
+  friend bool operator==(NodeId a, NodeId b) { return a.index == b.index; }
+  friend bool operator!=(NodeId a, NodeId b) { return a.index != b.index; }
+};
+
+/// Ground node constant.
+inline constexpr NodeId kGround{0};
+
+/// What an MNA unknown represents; drives per-unknown tolerances and
+/// Newton step limiting.
+enum class UnknownKind {
+  kNodeVoltage,    ///< KCL row, volt-scaled
+  kBranchCurrent,  ///< source/inductor branch current, ampere-scaled
+  kInternal,       ///< device-internal state (e.g. NEMS displacement)
+};
+
+/// Index into the MNA unknown/equation vector.
+struct UnknownId {
+  std::size_t index = std::numeric_limits<std::size_t>::max();
+
+  bool valid() const {
+    return index != std::numeric_limits<std::size_t>::max();
+  }
+  friend bool operator==(UnknownId a, UnknownId b) { return a.index == b.index; }
+};
+
+/// Invalid/absent unknown (also used for the ground row, which has no
+/// equation).
+inline constexpr UnknownId kNoUnknown{};
+
+/// Descriptor of one unknown: how to display it, how to bound Newton
+/// updates on it, and which absolute tolerance applies.
+struct UnknownInfo {
+  std::string name;          ///< e.g. "v(out)", "i(Vdd)", "Mn1.x"
+  UnknownKind kind = UnknownKind::kNodeVoltage;
+  double max_newton_step = 0.0;  ///< 0 = unlimited; else |dx| clamp
+  double abstol = 1e-6;          ///< convergence floor for this unknown
+  /// Absolute floor for the matching equation row's residual.  Node rows
+  /// are KCL (amperes), branch rows are KVL (volts), internal rows are in
+  /// whatever unit the owning device's equation uses.
+  double row_abstol = 1e-12;
+  double initial_guess = 0.0;    ///< starting value for cold Newton solves
+};
+
+}  // namespace nemsim::spice

@@ -1,0 +1,56 @@
+// Waveform measurements: crossings, delays, integrals, averages.
+//
+// These are the primitives every experiment harness builds on: 50 %
+// propagation delays, switching energy (integral of supply current),
+// steady-state leakage (late-window average).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "nemsim/spice/waveform.h"
+
+namespace nemsim::spice {
+
+enum class Edge { kRising, kFalling, kEither };
+
+/// Time of the `occurrence`-th (1-based) crossing of `level` by `signal`,
+/// searching within [t_from, t_to] (0/inf mean full range).  Uses linear
+/// interpolation between samples.  Throws MeasurementError when the
+/// requested crossing does not exist.
+double cross_time(const Waveform& wave, const std::string& signal,
+                  double level, Edge edge = Edge::kEither,
+                  std::size_t occurrence = 1, double t_from = 0.0,
+                  double t_to = 0.0);
+
+/// True when the crossing exists (same search as cross_time).
+bool has_crossing(const Waveform& wave, const std::string& signal,
+                  double level, Edge edge = Edge::kEither,
+                  std::size_t occurrence = 1, double t_from = 0.0,
+                  double t_to = 0.0);
+
+/// Propagation delay: time from `from_signal` crossing `from_level` to the
+/// next `to_signal` crossing of `to_level` at/after that instant.
+double propagation_delay(const Waveform& wave, const std::string& from_signal,
+                         double from_level, Edge from_edge,
+                         const std::string& to_signal, double to_level,
+                         Edge to_edge, double t_from = 0.0);
+
+/// Trapezoidal integral of `signal` over [t0, t1].
+double integrate(const Waveform& wave, const std::string& signal, double t0,
+                 double t1);
+
+/// Time average of `signal` over [t0, t1].
+double average(const Waveform& wave, const std::string& signal, double t0,
+               double t1);
+
+/// Extrema of `signal` over [t0, t1] (sample-based).
+double max_value(const Waveform& wave, const std::string& signal,
+                 double t0 = 0.0, double t1 = 0.0);
+double min_value(const Waveform& wave, const std::string& signal,
+                 double t0 = 0.0, double t1 = 0.0);
+
+/// Value of `signal` at the final sample.
+double final_value(const Waveform& wave, const std::string& signal);
+
+}  // namespace nemsim::spice

@@ -1,0 +1,25 @@
+// SPICE-style netlist export.
+//
+// Writes a Circuit in a conventional .sp-like text form so a design built
+// with the C++ API can be inspected, diffed, or cross-checked against an
+// external simulator.  Device lines carry the element letter conventions
+// (R/C/L/V/I/E/G/D/M) plus an X line with parameters for the NEMFET,
+// which has no standard SPICE primitive.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "nemsim/spice/circuit.h"
+
+namespace nemsim::spice {
+
+/// Writes the netlist to `os`.  `title` becomes the first (title) line.
+void export_netlist(const Circuit& circuit, std::ostream& os,
+                    const std::string& title = "nemsim netlist");
+
+/// Convenience: the netlist as a string.
+std::string netlist_string(const Circuit& circuit,
+                           const std::string& title = "nemsim netlist");
+
+}  // namespace nemsim::spice

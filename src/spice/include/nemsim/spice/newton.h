@@ -1,0 +1,58 @@
+// Damped Newton-Raphson over the MNA system, with gmin stepping and
+// source stepping fallbacks for hard DC problems (classic SPICE homotopy
+// ladder).
+#pragma once
+
+#include "nemsim/linalg/matrix.h"
+#include "nemsim/spice/engine.h"
+
+namespace nemsim::spice {
+
+struct NewtonOptions {
+  int max_iterations = 150;
+  /// Relative tolerance on unknown updates and residual-vs-scale.
+  /// Kept well below the transient LTE tolerance so integration error
+  /// control sees truncation error, not Newton convergence noise.
+  double reltol = 1e-7;
+  /// Maximum halvings of the Newton step during damping.
+  int max_damping_halvings = 8;
+  /// Shunt conductance left in place even in the final solve; 0 for a
+  /// clean system.  A tiny nonzero value (1e-15) guards floating nodes.
+  double gmin_final = 1e-15;
+  /// Enables the gmin-ramp fallback when the plain solve fails.
+  bool gmin_stepping = true;
+  /// Enables the source-ramp fallback when gmin stepping also fails.
+  bool source_stepping = true;
+};
+
+struct NewtonStats {
+  int iterations = 0;      ///< iterations of the successful (final) solve
+  int total_iterations = 0;///< including homotopy ladder solves
+  int gmin_steps = 0;
+  int source_steps = 0;
+};
+
+/// Solves f(x) = 0 for the configured analysis point.
+class NewtonSolver {
+ public:
+  NewtonSolver(MnaSystem& system, NewtonOptions options)
+      : system_(system), options_(options) {}
+
+  /// Plain damped Newton from `x0` with fixed gmin/source factor.
+  /// Throws ConvergenceError / SingularMatrixError on failure.
+  linalg::Vector solve_plain(const linalg::Vector& x0, AnalysisMode mode,
+                             double time, double dt, double gmin,
+                             double source_factor, NewtonStats* stats = nullptr);
+
+  /// Full ladder: plain solve, then gmin stepping, then source stepping.
+  linalg::Vector solve(const linalg::Vector& x0, AnalysisMode mode,
+                       double time, double dt, NewtonStats* stats = nullptr);
+
+  const NewtonOptions& options() const { return options_; }
+
+ private:
+  MnaSystem& system_;
+  NewtonOptions options_;
+};
+
+}  // namespace nemsim::spice

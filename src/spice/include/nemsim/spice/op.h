@@ -1,0 +1,50 @@
+// DC operating point analysis.
+#pragma once
+
+#include <string>
+
+#include "nemsim/linalg/matrix.h"
+#include "nemsim/spice/engine.h"
+#include "nemsim/spice/newton.h"
+
+namespace nemsim::spice {
+
+struct OpOptions {
+  NewtonOptions newton;
+};
+
+/// Result of an operating-point solve; values accessible by node/unknown
+/// or by display name ("out" for node voltage, "i(Vdd)" for a branch).
+///
+/// Holds a reference to the MnaSystem for name resolution: do not keep an
+/// OpResult alive past the system that produced it (AcResult, which is
+/// routinely returned across scopes, owns its name table instead).
+class OpResult {
+ public:
+  OpResult(const MnaSystem& system, linalg::Vector x)
+      : system_(&system), x_(std::move(x)) {}
+
+  double v(NodeId node) const { return Solution(*system_, x_).v(node); }
+  /// Voltage of the node named `node_name`.
+  double v(const std::string& node_name) const;
+  /// Value of the unknown with display name `name` (e.g. "i(Vdd)").
+  double value(const std::string& name) const;
+  double x(UnknownId unknown) const { return Solution(*system_, x_).x(unknown); }
+
+  const linalg::Vector& raw() const { return x_; }
+  Solution solution() const { return Solution(*system_, x_); }
+
+ private:
+  const MnaSystem* system_;
+  linalg::Vector x_;
+};
+
+/// Solves the DC operating point and commits it to device state (so a
+/// following transient starts from this bias point).
+OpResult operating_point(MnaSystem& system, const OpOptions& options = {});
+
+/// Same, but starting Newton from `x0` (continuation use).
+OpResult operating_point_from(MnaSystem& system, const linalg::Vector& x0,
+                              const OpOptions& options = {});
+
+}  // namespace nemsim::spice

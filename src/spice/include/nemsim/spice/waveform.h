@@ -1,0 +1,62 @@
+// Waveform: sampled multi-signal result of a transient or sweep analysis.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "nemsim/linalg/matrix.h"
+
+namespace nemsim::spice {
+
+/// A set of signals sampled on a shared, strictly-increasing axis
+/// (time for transients, the swept variable for DC sweeps).
+class Waveform {
+ public:
+  /// `signal_names` fixes the column layout; samples are appended row-wise.
+  explicit Waveform(std::vector<std::string> signal_names);
+
+  /// Appends one sample; `values` must match the signal count.  The axis
+  /// may run in either direction (descending sweeps), but interpolation
+  /// via `at()` requires an ascending axis.
+  void append(double t, const linalg::Vector& values);
+
+  /// True while the axis is (still) strictly ascending.
+  bool ascending_axis() const { return ascending_; }
+
+  std::size_t num_signals() const { return names_.size(); }
+  std::size_t num_samples() const { return times_.size(); }
+  bool empty() const { return times_.empty(); }
+
+  const std::vector<std::string>& signal_names() const { return names_; }
+  bool has_signal(const std::string& name) const;
+  std::size_t signal_index(const std::string& name) const;
+
+  const std::vector<double>& times() const { return times_; }
+  double start_time() const;
+  double end_time() const;
+
+  /// Sample k of signal `index`.
+  double sample(std::size_t signal, std::size_t k) const;
+  /// Full series of one signal (copied).
+  std::vector<double> series(const std::string& name) const;
+
+  /// Linear interpolation of signal `name` at time t (clamped at ends).
+  double at(const std::string& name, double t) const;
+  double at(std::size_t signal, double t) const;
+
+  /// Writes a CSV dump ("t,<sig1>,<sig2>,..." header then one row per
+  /// sample).  `signals` selects and orders columns; empty = all.
+  void write_csv(std::ostream& os,
+                 const std::vector<std::string>& signals = {}) const;
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, std::size_t> index_;
+  std::vector<double> times_;
+  std::vector<double> data_;  // row-major: sample k at data_[k*num_signals+s]
+  bool ascending_ = true;
+};
+
+}  // namespace nemsim::spice

@@ -1,0 +1,70 @@
+#include "nemsim/spice/circuit.h"
+
+namespace nemsim::spice {
+
+Circuit::Circuit() {
+  node_names_.push_back("0");
+  node_index_.emplace("0", 0);
+}
+
+NodeId Circuit::node(const std::string& name) {
+  require(!name.empty(), "Circuit::node: empty node name");
+  auto [it, inserted] = node_index_.try_emplace(name, node_names_.size());
+  if (inserted) node_names_.push_back(name);
+  return NodeId{it->second};
+}
+
+NodeId Circuit::internal_node(const std::string& hint) {
+  std::string name;
+  do {
+    name = "_" + hint + "#" + std::to_string(internal_counter_++);
+  } while (node_index_.count(name));
+  return node(name);
+}
+
+NodeId Circuit::find_node(const std::string& name) const {
+  auto it = node_index_.find(name);
+  if (it == node_index_.end()) {
+    throw NetlistError("unknown node '" + name + "'");
+  }
+  return NodeId{it->second};
+}
+
+bool Circuit::has_node(const std::string& name) const {
+  return node_index_.count(name) != 0;
+}
+
+const std::string& Circuit::node_name(NodeId node) const {
+  require(node.index < node_names_.size(), "node_name: node out of range");
+  return node_names_[node.index];
+}
+
+void Circuit::require_unique_device_name(const std::string& name) const {
+  if (name.empty()) throw NetlistError("device name must be non-empty");
+  if (device_index_.count(name)) {
+    throw NetlistError("duplicate device name '" + name + "'");
+  }
+}
+
+void Circuit::register_device(std::unique_ptr<Device> device) {
+  device_index_.emplace(device->name(), devices_.size());
+  devices_.push_back(std::move(device));
+}
+
+Device& Circuit::find_device(const std::string& name) {
+  auto it = device_index_.find(name);
+  if (it == device_index_.end()) {
+    throw NetlistError("unknown device '" + name + "'");
+  }
+  return *devices_[it->second];
+}
+
+const Device& Circuit::find_device(const std::string& name) const {
+  auto it = device_index_.find(name);
+  if (it == device_index_.end()) {
+    throw NetlistError("unknown device '" + name + "'");
+  }
+  return *devices_[it->second];
+}
+
+}  // namespace nemsim::spice

@@ -1,0 +1,49 @@
+#include "nemsim/spice/dcsweep.h"
+
+#include "nemsim/spice/op.h"
+#include "nemsim/util/error.h"
+
+namespace nemsim::spice {
+
+Waveform dc_sweep(MnaSystem& system,
+                  const std::function<void(double)>& set_param,
+                  std::span<const double> points,
+                  const DcSweepOptions& options) {
+  require(!points.empty(), "dc_sweep: no sweep points");
+
+  std::vector<std::string> names;
+  names.reserve(system.num_unknowns());
+  for (std::size_t i = 0; i < system.num_unknowns(); ++i) {
+    names.push_back(system.unknown_info(i).name);
+  }
+  Waveform wave(std::move(names));
+
+  OpOptions op_options;
+  op_options.newton = options.newton;
+
+  linalg::Vector previous = system.initial_guess();
+  bool have_previous = false;
+  for (double value : points) {
+    set_param(value);
+    OpResult op = (options.continuation && have_previous)
+                      ? operating_point_from(system, previous, op_options)
+                      : operating_point(system, op_options);
+    previous = op.raw();
+    have_previous = true;
+    wave.append(value, op.raw());
+  }
+  return wave;
+}
+
+std::vector<double> linspace(double first, double last, std::size_t count) {
+  require(count >= 2, "linspace: need at least two points");
+  std::vector<double> out(count);
+  const double step = (last - first) / static_cast<double>(count - 1);
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = first + step * static_cast<double>(i);
+  }
+  out.back() = last;
+  return out;
+}
+
+}  // namespace nemsim::spice

@@ -1,0 +1,254 @@
+#include "nemsim/spice/engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nemsim/util/error.h"
+
+namespace nemsim::spice {
+
+namespace {
+// Default Newton clamps: node voltages move at most 0.5 V per iteration
+// (keeps exponential device models in range); branch currents unlimited.
+constexpr double kVoltageStepLimit = 0.5;
+constexpr double kVoltageAbstol = 1e-9;
+constexpr double kCurrentAbstol = 1e-12;
+}  // namespace
+
+// ---------------------------------------------------------------- Setup
+
+UnknownId SetupContext::add_branch_current(const std::string& name) {
+  UnknownInfo info;
+  info.name = "i(" + name + ")";
+  info.kind = UnknownKind::kBranchCurrent;
+  info.max_newton_step = 0.0;
+  info.abstol = kCurrentAbstol;
+  info.row_abstol = kVoltageAbstol;  // branch rows are KVL equations
+  return system_.allocate_unknown(std::move(info));
+}
+
+UnknownId SetupContext::add_internal(const std::string& name, double abstol,
+                                     double row_abstol, double max_newton_step,
+                                     double initial_guess) {
+  UnknownInfo info;
+  info.name = name;
+  info.kind = UnknownKind::kInternal;
+  info.abstol = abstol;
+  info.row_abstol = row_abstol;
+  info.max_newton_step = max_newton_step;
+  info.initial_guess = initial_guess;
+  return system_.allocate_unknown(std::move(info));
+}
+
+// ------------------------------------------------------------- Solution
+
+double Solution::v(NodeId node) const {
+  if (node.is_ground()) return 0.0;
+  return (*x_)[system_->unknown_of(node).index];
+}
+
+double Solution::x(UnknownId unknown) const {
+  require(unknown.valid(), "Solution::x: invalid unknown");
+  return (*x_)[unknown.index];
+}
+
+// --------------------------------------------------------- StampContext
+
+StampContext::StampContext(const MnaSystem& system, const linalg::Vector& x,
+                           linalg::Matrix& jacobian, linalg::Vector& residual,
+                           linalg::Vector& residual_scale)
+    : system_(system),
+      x_(x),
+      jacobian_(jacobian),
+      residual_(residual),
+      residual_scale_(residual_scale) {}
+
+void StampContext::configure(AnalysisMode mode, double time, double dt,
+                             double gmin, double source_factor) {
+  mode_ = mode;
+  time_ = time;
+  dt_ = dt;
+  gmin_ = gmin;
+  source_factor_ = source_factor;
+}
+
+double StampContext::v(NodeId node) const {
+  if (node.is_ground()) return 0.0;
+  return x_[system_.unknown_of(node).index];
+}
+
+double StampContext::x(UnknownId unknown) const {
+  require(unknown.valid(), "StampContext::x: invalid unknown");
+  return x_[unknown.index];
+}
+
+void StampContext::raw_f(UnknownId eq, double value) {
+  if (!eq.valid()) return;  // ground row: dropped
+  residual_[eq.index] += value;
+  residual_scale_[eq.index] += std::abs(value);
+}
+
+void StampContext::raw_J(UnknownId eq, UnknownId var, double value) {
+  if (!eq.valid() || !var.valid()) return;
+  jacobian_(eq.index, var.index) += value;
+}
+
+void StampContext::add_f(NodeId eq, double current) {
+  raw_f(system_.unknown_of(eq), current);
+}
+
+void StampContext::add_f(UnknownId eq, double value) { raw_f(eq, value); }
+
+void StampContext::add_J(NodeId eq, NodeId var, double dfdx) {
+  raw_J(system_.unknown_of(eq), system_.unknown_of(var), dfdx);
+}
+
+void StampContext::add_J(NodeId eq, UnknownId var, double dfdx) {
+  raw_J(system_.unknown_of(eq), var, dfdx);
+}
+
+void StampContext::add_J(UnknownId eq, NodeId var, double dfdx) {
+  raw_J(eq, system_.unknown_of(var), dfdx);
+}
+
+void StampContext::add_J(UnknownId eq, UnknownId var, double dfdx) {
+  raw_J(eq, var, dfdx);
+}
+
+// ------------------------------------------------------------ MnaSystem
+
+MnaSystem::MnaSystem(Circuit& circuit) : circuit_(circuit) {
+  // Node voltages first: node i (1-based) -> unknown i-1.
+  unknowns_.reserve(circuit.num_nodes() - 1);
+  for (std::size_t n = 1; n < circuit.num_nodes(); ++n) {
+    UnknownInfo info;
+    info.name = "v(" + circuit.node_name(NodeId{n}) + ")";
+    info.kind = UnknownKind::kNodeVoltage;
+    info.max_newton_step = kVoltageStepLimit;
+    info.abstol = kVoltageAbstol;
+    info.row_abstol = kCurrentAbstol;  // node rows are KCL equations
+    unknowns_.push_back(std::move(info));
+  }
+  SetupContext setup(*this);
+  for (std::size_t i = 0; i < circuit.num_devices(); ++i) {
+    circuit.device(i).setup(setup);
+  }
+}
+
+UnknownId MnaSystem::unknown_of(NodeId node) const {
+  if (node.is_ground()) return kNoUnknown;
+  require(node.index < circuit_.num_nodes(), "unknown_of: node out of range");
+  return UnknownId{node.index - 1};
+}
+
+UnknownId MnaSystem::unknown_by_name(const std::string& name) const {
+  for (std::size_t i = 0; i < unknowns_.size(); ++i) {
+    if (unknowns_[i].name == name) return UnknownId{i};
+  }
+  throw InvalidArgument("unknown signal '" + name + "'");
+}
+
+bool MnaSystem::has_unknown(const std::string& name) const {
+  for (const auto& u : unknowns_) {
+    if (u.name == name) return true;
+  }
+  return false;
+}
+
+UnknownId MnaSystem::allocate_unknown(UnknownInfo info) {
+  unknowns_.push_back(std::move(info));
+  return UnknownId{unknowns_.size() - 1};
+}
+
+linalg::Vector MnaSystem::initial_guess() const {
+  linalg::Vector x(num_unknowns(), 0.0);
+  for (std::size_t i = 0; i < unknowns_.size(); ++i) {
+    x[i] = unknowns_[i].initial_guess;
+  }
+  return x;
+}
+
+void MnaSystem::set_nodeset(NodeId node, double volts) {
+  UnknownId u = unknown_of(node);
+  require(u.valid(), "set_nodeset: cannot nodeset ground");
+  unknowns_[u.index].initial_guess = volts;
+}
+
+void MnaSystem::clear_nodesets() {
+  for (auto& u : unknowns_) {
+    if (u.kind == UnknownKind::kNodeVoltage) u.initial_guess = 0.0;
+  }
+}
+
+void MnaSystem::assemble(const linalg::Vector& x, linalg::Matrix& jacobian,
+                         linalg::Vector& residual,
+                         linalg::Vector& residual_scale, AnalysisMode mode,
+                         double time, double dt, double gmin,
+                         double source_factor) const {
+  const std::size_t n = num_unknowns();
+  require(x.size() == n, "assemble: iterate size mismatch");
+  jacobian.reset(n, n);
+  residual.assign(n, 0.0);
+  residual_scale.assign(n, 0.0);
+
+  StampContext ctx(*this, x, jacobian, residual, residual_scale);
+  ctx.configure(mode, time, dt, gmin, source_factor);
+  for (std::size_t i = 0; i < circuit_.num_devices(); ++i) {
+    circuit_.device(i).stamp(ctx);
+  }
+
+  if (gmin > 0.0) {
+    // Homotopy shunt from every node to ground; does not enter the scale
+    // so convergence is still judged against physical currents.
+    for (std::size_t i = 0; i < n; ++i) {
+      if (unknowns_[i].kind == UnknownKind::kNodeVoltage) {
+        residual[i] += gmin * x[i];
+        jacobian(i, i) += gmin;
+      }
+    }
+  }
+}
+
+void MnaSystem::begin_step(double time, double dt) {
+  for (std::size_t i = 0; i < circuit_.num_devices(); ++i) {
+    circuit_.device(i).begin_step(time, dt);
+  }
+}
+
+void MnaSystem::accept(const linalg::Vector& x, AnalysisMode mode, double time,
+                       double dt) {
+  Solution solution(*this, x);
+  AcceptContext ctx(solution, mode, time, dt);
+  for (std::size_t i = 0; i < circuit_.num_devices(); ++i) {
+    circuit_.device(i).accept_step(ctx);
+  }
+}
+
+void MnaSystem::reset_devices() {
+  for (std::size_t i = 0; i < circuit_.num_devices(); ++i) {
+    circuit_.device(i).reset_state();
+  }
+}
+
+void MnaSystem::notify_discontinuity() {
+  for (std::size_t i = 0; i < circuit_.num_devices(); ++i) {
+    circuit_.device(i).notify_discontinuity();
+  }
+}
+
+std::vector<double> MnaSystem::breakpoints(double tstop) const {
+  std::vector<double> points;
+  for (std::size_t i = 0; i < circuit_.num_devices(); ++i) {
+    circuit_.device(i).breakpoints(tstop, points);
+  }
+  std::sort(points.begin(), points.end());
+  std::vector<double> out;
+  for (double t : points) {
+    if (t <= 0.0 || t > tstop) continue;
+    if (!out.empty() && t - out.back() < 1e-18) continue;
+    out.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace nemsim::spice

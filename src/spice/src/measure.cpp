@@ -1,0 +1,149 @@
+#include "nemsim/spice/measure.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "nemsim/util/error.h"
+
+namespace nemsim::spice {
+
+namespace {
+
+struct Window {
+  double t0;
+  double t1;
+};
+
+Window resolve_window(const Waveform& wave, double t_from, double t_to) {
+  require(!wave.empty(), "measure: empty waveform");
+  require(wave.ascending_axis(), "measure: waveform axis must be ascending");
+  Window w;
+  w.t0 = t_from;
+  w.t1 = t_to > 0.0 ? t_to : wave.end_time();
+  require(w.t1 >= w.t0, "measure: window end before start");
+  return w;
+}
+
+bool edge_matches(Edge edge, double before, double after) {
+  switch (edge) {
+    case Edge::kRising: return after > before;
+    case Edge::kFalling: return after < before;
+    case Edge::kEither: return true;
+  }
+  return false;
+}
+
+/// Scans for crossings; returns time of the `occurrence`-th or NaN.
+double find_crossing(const Waveform& wave, const std::string& signal,
+                     double level, Edge edge, std::size_t occurrence,
+                     double t_from, double t_to) {
+  require(occurrence >= 1, "measure: occurrence is 1-based");
+  const Window w = resolve_window(wave, t_from, t_to);
+  const std::size_t s = wave.signal_index(signal);
+  const auto& ts = wave.times();
+  std::size_t found = 0;
+  for (std::size_t k = 1; k < ts.size(); ++k) {
+    if (ts[k] < w.t0 || ts[k - 1] > w.t1) continue;
+    const double v0 = wave.sample(s, k - 1);
+    const double v1 = wave.sample(s, k);
+    const bool crosses = (v0 - level) * (v1 - level) <= 0.0 && v0 != v1;
+    if (!crosses || !edge_matches(edge, v0, v1)) continue;
+    const double frac = (level - v0) / (v1 - v0);
+    const double t = ts[k - 1] + frac * (ts[k] - ts[k - 1]);
+    if (t < w.t0 || t > w.t1) continue;
+    if (++found == occurrence) return t;
+  }
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+}  // namespace
+
+double cross_time(const Waveform& wave, const std::string& signal,
+                  double level, Edge edge, std::size_t occurrence,
+                  double t_from, double t_to) {
+  const double t =
+      find_crossing(wave, signal, level, edge, occurrence, t_from, t_to);
+  if (std::isnan(t)) {
+    throw MeasurementError("cross_time: signal '" + signal +
+                           "' does not cross " + std::to_string(level));
+  }
+  return t;
+}
+
+bool has_crossing(const Waveform& wave, const std::string& signal,
+                  double level, Edge edge, std::size_t occurrence,
+                  double t_from, double t_to) {
+  return !std::isnan(
+      find_crossing(wave, signal, level, edge, occurrence, t_from, t_to));
+}
+
+double propagation_delay(const Waveform& wave, const std::string& from_signal,
+                         double from_level, Edge from_edge,
+                         const std::string& to_signal, double to_level,
+                         Edge to_edge, double t_from) {
+  const double t_launch =
+      cross_time(wave, from_signal, from_level, from_edge, 1, t_from);
+  const double t_arrive =
+      cross_time(wave, to_signal, to_level, to_edge, 1, t_launch);
+  return t_arrive - t_launch;
+}
+
+double integrate(const Waveform& wave, const std::string& signal, double t0,
+                 double t1) {
+  const Window w = resolve_window(wave, t0, t1);
+  const std::size_t s = wave.signal_index(signal);
+  const auto& ts = wave.times();
+  double acc = 0.0;
+  for (std::size_t k = 1; k < ts.size(); ++k) {
+    const double a = std::max(ts[k - 1], w.t0);
+    const double b = std::min(ts[k], w.t1);
+    if (b <= a) continue;
+    const double va = wave.at(s, a);
+    const double vb = wave.at(s, b);
+    acc += 0.5 * (va + vb) * (b - a);
+  }
+  return acc;
+}
+
+double average(const Waveform& wave, const std::string& signal, double t0,
+               double t1) {
+  const Window w = resolve_window(wave, t0, t1);
+  require(w.t1 > w.t0, "average: zero-length window");
+  return integrate(wave, signal, w.t0, w.t1) / (w.t1 - w.t0);
+}
+
+double max_value(const Waveform& wave, const std::string& signal, double t0,
+                 double t1) {
+  const Window w = resolve_window(wave, t0, t1);
+  const std::size_t s = wave.signal_index(signal);
+  const auto& ts = wave.times();
+  double best = -std::numeric_limits<double>::infinity();
+  for (std::size_t k = 0; k < ts.size(); ++k) {
+    if (ts[k] < w.t0 || ts[k] > w.t1) continue;
+    best = std::max(best, wave.sample(s, k));
+  }
+  require(std::isfinite(best), "max_value: empty window");
+  return best;
+}
+
+double min_value(const Waveform& wave, const std::string& signal, double t0,
+                 double t1) {
+  const Window w = resolve_window(wave, t0, t1);
+  const std::size_t s = wave.signal_index(signal);
+  const auto& ts = wave.times();
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t k = 0; k < ts.size(); ++k) {
+    if (ts[k] < w.t0 || ts[k] > w.t1) continue;
+    best = std::min(best, wave.sample(s, k));
+  }
+  require(std::isfinite(best), "min_value: empty window");
+  return best;
+}
+
+double final_value(const Waveform& wave, const std::string& signal) {
+  require(!wave.empty(), "final_value: empty waveform");
+  return wave.sample(wave.signal_index(signal), wave.num_samples() - 1);
+}
+
+}  // namespace nemsim::spice

@@ -1,0 +1,24 @@
+#include "nemsim/spice/netlist_export.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace nemsim::spice {
+
+void export_netlist(const Circuit& circuit, std::ostream& os,
+                    const std::string& title) {
+  os << "* " << title << "\n";
+  auto namer = [&](NodeId n) { return circuit.node_name(n); };
+  for (std::size_t i = 0; i < circuit.num_devices(); ++i) {
+    os << circuit.device(i).netlist_line(namer) << "\n";
+  }
+  os << ".end\n";
+}
+
+std::string netlist_string(const Circuit& circuit, const std::string& title) {
+  std::ostringstream os;
+  export_netlist(circuit, os, title);
+  return os.str();
+}
+
+}  // namespace nemsim::spice

@@ -1,0 +1,192 @@
+#include "nemsim/spice/newton.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nemsim/linalg/lu.h"
+#include "nemsim/util/error.h"
+#include "nemsim/util/logging.h"
+
+namespace nemsim::spice {
+
+namespace {
+
+/// Residual norm weighted per-row by reltol*scale + row_abstol; a value
+/// <= 1 means every row satisfies its convergence criterion.
+double weighted_residual_norm(const MnaSystem& system,
+                              const linalg::Vector& residual,
+                              const linalg::Vector& scale, double reltol) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < residual.size(); ++i) {
+    const double tol =
+        reltol * scale[i] + system.unknown_info(i).row_abstol;
+    worst = std::max(worst, std::abs(residual[i]) / tol);
+  }
+  return worst;
+}
+
+/// Update norm weighted by reltol*max(|x|,|x_new|) + abstol.
+double weighted_update_norm(const MnaSystem& system, const linalg::Vector& x,
+                            const linalg::Vector& x_new, double reltol) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double tol = reltol * std::max(std::abs(x[i]), std::abs(x_new[i])) +
+                       system.unknown_info(i).abstol;
+    worst = std::max(worst, std::abs(x_new[i] - x[i]) / tol);
+  }
+  return worst;
+}
+
+}  // namespace
+
+linalg::Vector NewtonSolver::solve_plain(const linalg::Vector& x0,
+                                         AnalysisMode mode, double time,
+                                         double dt, double gmin,
+                                         double source_factor,
+                                         NewtonStats* stats) {
+  const std::size_t n = system_.num_unknowns();
+  require(x0.size() == n, "NewtonSolver: initial guess size mismatch");
+
+  linalg::Vector x = x0;
+  linalg::Matrix jacobian;
+  linalg::Vector residual, scale;
+  linalg::Vector x_trial, residual_trial, scale_trial;
+  linalg::Matrix jacobian_trial;
+
+  system_.assemble(x, jacobian, residual, scale, mode, time, dt, gmin,
+                   source_factor);
+  double res_norm =
+      weighted_residual_norm(system_, residual, scale, options_.reltol);
+
+  for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    if (stats) {
+      ++stats->iterations;
+      ++stats->total_iterations;
+    }
+
+    // Newton direction: J dx = -f.
+    linalg::Vector dx;
+    try {
+      linalg::LuDecomposition lu(jacobian);
+      linalg::Vector rhs = residual;
+      rhs *= -1.0;
+      dx = lu.solve(rhs);
+    } catch (const SingularMatrixError&) {
+      throw ConvergenceError(
+          "Newton: singular Jacobian (floating node or unstable device?)");
+    }
+
+    // Direction-preserving clamp so no unknown exceeds its per-iteration
+    // step limit (keeps exponential models in their valid range).
+    double clamp = 1.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double limit = system_.unknown_info(i).max_newton_step;
+      if (limit > 0.0 && std::abs(dx[i]) > limit) {
+        clamp = std::min(clamp, limit / std::abs(dx[i]));
+      }
+    }
+
+    // Damped accept: halve the step while the weighted residual norm
+    // increases badly.
+    double alpha = clamp;
+    double trial_norm = 0.0;
+    bool accepted = false;
+    for (int halving = 0; halving <= options_.max_damping_halvings;
+         ++halving) {
+      x_trial = x;
+      for (std::size_t i = 0; i < n; ++i) x_trial[i] += alpha * dx[i];
+      system_.assemble(x_trial, jacobian_trial, residual_trial, scale_trial,
+                       mode, time, dt, gmin, source_factor);
+      trial_norm = weighted_residual_norm(system_, residual_trial, scale_trial,
+                                          options_.reltol);
+      // Accept descent, any sub-tolerance point, or a mild increase when
+      // the step was clamped (the model may need to traverse a barrier).
+      if (trial_norm <= std::max(1.0, res_norm) ||
+          (halving == options_.max_damping_halvings)) {
+        accepted = true;
+        break;
+      }
+      alpha *= 0.5;
+    }
+    (void)accepted;
+
+    const double update_norm =
+        weighted_update_norm(system_, x, x_trial, options_.reltol);
+
+    x = x_trial;
+    jacobian = jacobian_trial;
+    residual = residual_trial;
+    scale = scale_trial;
+    res_norm = trial_norm;
+
+    if (res_norm <= 1.0 && update_norm <= 1.0) {
+      return x;
+    }
+  }
+  throw ConvergenceError("Newton: no convergence after " +
+                         std::to_string(options_.max_iterations) +
+                         " iterations (weighted residual " +
+                         std::to_string(res_norm) + ")");
+}
+
+linalg::Vector NewtonSolver::solve(const linalg::Vector& x0, AnalysisMode mode,
+                                   double time, double dt,
+                                   NewtonStats* stats) {
+  NewtonStats local;
+  NewtonStats* st = stats ? stats : &local;
+
+  try {
+    return solve_plain(x0, mode, time, dt, options_.gmin_final, 1.0, st);
+  } catch (const ConvergenceError&) {
+    log_debug("Newton: plain solve failed, trying gmin stepping");
+  }
+
+  if (options_.gmin_stepping) {
+    try {
+      linalg::Vector x = x0;
+      // Ramp the shunt conductance down decade by decade, reusing each
+      // converged point as the next start.
+      for (double gmin = 1e-3; gmin >= options_.gmin_final * 0.99 &&
+                               gmin >= 1e-15;
+           gmin *= 0.1) {
+        st->iterations = 0;
+        ++st->gmin_steps;
+        x = solve_plain(x, mode, time, dt, gmin, 1.0, st);
+      }
+      st->iterations = 0;
+      return solve_plain(x, mode, time, dt, options_.gmin_final, 1.0, st);
+    } catch (const ConvergenceError&) {
+      log_debug("Newton: gmin stepping failed, trying source stepping");
+    }
+  }
+
+  if (options_.source_stepping) {
+    linalg::Vector x(system_.num_unknowns(), 0.0);
+    double factor = 0.0;
+    double step = 0.1;
+    // At factor 0 all sources are off; x = 0 is the exact solution for
+    // most circuits, so Newton converges immediately and we walk up.
+    while (factor < 1.0) {
+      const double next = std::min(1.0, factor + step);
+      try {
+        st->iterations = 0;
+        ++st->source_steps;
+        x = solve_plain(x, mode, time, dt, options_.gmin_final, next, st);
+        factor = next;
+        step = std::min(0.25, step * 1.5);
+      } catch (const ConvergenceError&) {
+        step *= 0.5;
+        if (step < 1e-4) {
+          throw ConvergenceError(
+              "Newton: source stepping stalled at factor " +
+              std::to_string(factor));
+        }
+      }
+    }
+    return x;
+  }
+
+  throw ConvergenceError("Newton: all strategies failed");
+}
+
+}  // namespace nemsim::spice

@@ -1,0 +1,27 @@
+#include "nemsim/spice/op.h"
+
+namespace nemsim::spice {
+
+double OpResult::v(const std::string& node_name) const {
+  return v(system_->circuit().find_node(node_name));
+}
+
+double OpResult::value(const std::string& name) const {
+  return x_[system_->unknown_by_name(name).index];
+}
+
+OpResult operating_point(MnaSystem& system, const OpOptions& options) {
+  return operating_point_from(system, system.initial_guess(), options);
+}
+
+OpResult operating_point_from(MnaSystem& system, const linalg::Vector& x0,
+                              const OpOptions& options) {
+  NewtonSolver newton(system, options.newton);
+  linalg::Vector x =
+      newton.solve(x0, AnalysisMode::kDcOperatingPoint, /*time=*/0.0,
+                   /*dt=*/0.0);
+  system.accept(x, AnalysisMode::kDcOperatingPoint, 0.0, 0.0);
+  return OpResult(system, std::move(x));
+}
+
+}  // namespace nemsim::spice

@@ -1,0 +1,187 @@
+#include "nemsim/spice/transient.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "nemsim/spice/op.h"
+#include "nemsim/util/error.h"
+#include "nemsim/util/logging.h"
+
+namespace nemsim::spice {
+
+namespace {
+
+/// Quadratic extrapolation of each unknown through the last three accepted
+/// points, evaluated at `t`.  Used both as the Newton predictor and as the
+/// reference for the LTE estimate.
+linalg::Vector extrapolate(const std::vector<double>& ts,
+                           const std::vector<linalg::Vector>& xs, double t) {
+  const std::size_t m = ts.size();
+  if (m == 1) return xs.back();
+  if (m == 2) {
+    const double w = (t - ts[0]) / (ts[1] - ts[0]);
+    linalg::Vector out = xs[1];
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      out[i] = xs[0][i] + w * (xs[1][i] - xs[0][i]);
+    }
+    return out;
+  }
+  // Lagrange through the last three points.
+  const double t0 = ts[m - 3], t1 = ts[m - 2], t2 = ts[m - 1];
+  const double l0 = (t - t1) * (t - t2) / ((t0 - t1) * (t0 - t2));
+  const double l1 = (t - t0) * (t - t2) / ((t1 - t0) * (t1 - t2));
+  const double l2 = (t - t0) * (t - t1) / ((t2 - t0) * (t2 - t1));
+  linalg::Vector out(xs.back().size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = l0 * xs[m - 3][i] + l1 * xs[m - 2][i] + l2 * xs[m - 1][i];
+  }
+  return out;
+}
+
+}  // namespace
+
+Waveform transient(MnaSystem& system, const TransientOptions& options) {
+  require(options.tstop > 0.0, "transient: tstop must be positive");
+  const double dt_max =
+      options.dt_max > 0.0 ? options.dt_max : options.tstop / 50.0;
+  require(options.dt_initial > 0.0 && options.dt_initial <= dt_max,
+          "transient: dt_initial must be in (0, dt_max]");
+
+  system.reset_devices();
+
+  // Bias point at t = 0 (commits device state).
+  OpOptions op_options;
+  op_options.newton = options.newton;
+  OpResult op = operating_point(system, op_options);
+
+  std::vector<std::string> names;
+  names.reserve(system.num_unknowns());
+  for (std::size_t i = 0; i < system.num_unknowns(); ++i) {
+    names.push_back(system.unknown_info(i).name);
+  }
+  Waveform wave(std::move(names));
+  wave.append(0.0, op.raw());
+
+  std::vector<double> breakpoints = system.breakpoints(options.tstop);
+  std::size_t next_bp = 0;
+
+  NewtonSolver newton(system, options.newton);
+
+  // Rolling history of the last few accepted points for the predictor.
+  std::vector<double> hist_t{0.0};
+  std::vector<linalg::Vector> hist_x{op.raw()};
+  auto push_history = [&](double t, const linalg::Vector& x) {
+    hist_t.push_back(t);
+    hist_x.push_back(x);
+    if (hist_t.size() > 3) {
+      hist_t.erase(hist_t.begin());
+      hist_x.erase(hist_x.begin());
+    }
+  };
+  auto clear_history_to = [&](double t, const linalg::Vector& x) {
+    hist_t.assign(1, t);
+    hist_x.assign(1, x);
+  };
+
+  double t = 0.0;
+  double dt = options.dt_initial;
+  linalg::Vector x = op.raw();
+
+  TransientStats local_stats;
+  TransientStats& stats = options.stats ? *options.stats : local_stats;
+  stats = TransientStats{};
+
+  while (t < options.tstop - 1e-18 * options.tstop) {
+    // Clamp the step to the next breakpoint / stop time.
+    double dt_eff = std::min(dt, dt_max);
+    bool lands_on_bp = false;
+    if (next_bp < breakpoints.size()) {
+      const double gap = breakpoints[next_bp] - t;
+      if (dt_eff >= gap - 1e-21) {
+        dt_eff = gap;
+        lands_on_bp = true;
+      }
+    }
+    if (t + dt_eff > options.tstop) {
+      dt_eff = options.tstop - t;
+      lands_on_bp = false;
+    }
+
+    const double t_new = t + dt_eff;
+    system.begin_step(t_new, dt_eff);
+
+    linalg::Vector guess = extrapolate(hist_t, hist_x, t_new);
+    linalg::Vector x_new;
+    bool solved = false;
+    try {
+      x_new = newton.solve_plain(guess, AnalysisMode::kTransient, t_new,
+                                 dt_eff, options.newton.gmin_final, 1.0);
+      solved = true;
+    } catch (const ConvergenceError&) {
+      solved = false;
+    }
+
+    if (solved && hist_t.size() == 3) {
+      // LTE control: distance between the converged point and the
+      // quadratic predictor, relative to per-unknown tolerance.
+      double ratio = 0.0;
+      for (std::size_t i = 0; i < x_new.size(); ++i) {
+        // Branch currents are excluded (standard SPICE practice): the
+        // trapezoidal companion recurrence is marginally stable, so
+        // source currents carry a non-decaying +-eps ripple that is not
+        // truncation error and must not drive the step size.
+        if (system.unknown_info(i).kind == UnknownKind::kBranchCurrent) {
+          continue;
+        }
+        const double tol =
+            options.lte_reltol * std::max(std::abs(x_new[i]), std::abs(x[i])) +
+            10.0 * system.unknown_info(i).abstol;
+        ratio = std::max(ratio, std::abs(x_new[i] - guess[i]) / tol);
+      }
+      if (ratio > options.reject_factor && dt_eff > options.dt_min) {
+        ++stats.lte_rejects;
+        dt = std::max(options.dt_min, dt_eff * 0.25);
+        continue;  // reject; device state untouched since not accepted
+      }
+      // Smooth step adaptation (trapezoidal is 2nd order: exponent 1/3).
+      const double grow =
+          ratio > 0.0 ? 0.9 * std::pow(1.0 / ratio, 1.0 / 3.0) : 2.0;
+      dt = dt_eff * std::clamp(grow, 0.25, 2.0);
+    } else if (solved) {
+      dt = dt_eff * 1.5;  // not enough history for LTE yet: grow gently
+    } else {
+      ++stats.newton_failures;
+      const double dt_retry = dt_eff * 0.125;
+      if (dt_retry < options.dt_min) {
+        throw ConvergenceError("transient: step failed at t = " +
+                               std::to_string(t) + " with dt below dt_min");
+      }
+      dt = dt_retry;
+      continue;
+    }
+    dt = std::min(dt, dt_max);
+    dt = std::max(dt, options.dt_min);
+
+    ++stats.accepted_steps;
+    stats.min_dt = stats.min_dt == 0.0 ? dt_eff : std::min(stats.min_dt, dt_eff);
+    stats.max_dt = std::max(stats.max_dt, dt_eff);
+
+    system.accept(x_new, AnalysisMode::kTransient, t_new, dt_eff);
+    wave.append(t_new, x_new);
+    t = t_new;
+    x = x_new;
+
+    if (lands_on_bp) {
+      ++next_bp;
+      system.notify_discontinuity();
+      clear_history_to(t, x);
+      dt = options.dt_initial;
+    } else {
+      push_history(t, x);
+    }
+  }
+  return wave;
+}
+
+}  // namespace nemsim::spice

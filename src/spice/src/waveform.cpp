@@ -1,0 +1,99 @@
+#include "nemsim/spice/waveform.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "nemsim/util/error.h"
+
+namespace nemsim::spice {
+
+Waveform::Waveform(std::vector<std::string> signal_names)
+    : names_(std::move(signal_names)) {
+  require(!names_.empty(), "Waveform: need at least one signal");
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    auto [it, inserted] = index_.emplace(names_[i], i);
+    (void)it;
+    require(inserted, "Waveform: duplicate signal name '" + names_[i] + "'");
+  }
+}
+
+void Waveform::append(double t, const linalg::Vector& values) {
+  require(values.size() == names_.size(), "Waveform::append: arity mismatch");
+  require(times_.empty() || t != times_.back(),
+          "Waveform::append: repeated axis value");
+  if (times_.size() >= 1 && t < times_.back()) ascending_ = false;
+  times_.push_back(t);
+  data_.insert(data_.end(), values.begin(), values.end());
+}
+
+bool Waveform::has_signal(const std::string& name) const {
+  return index_.count(name) != 0;
+}
+
+std::size_t Waveform::signal_index(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) {
+    throw MeasurementError("Waveform: no signal named '" + name + "'");
+  }
+  return it->second;
+}
+
+double Waveform::start_time() const {
+  require(!times_.empty(), "Waveform: empty");
+  return times_.front();
+}
+
+double Waveform::end_time() const {
+  require(!times_.empty(), "Waveform: empty");
+  return times_.back();
+}
+
+double Waveform::sample(std::size_t signal, std::size_t k) const {
+  require(signal < names_.size() && k < times_.size(),
+          "Waveform::sample: out of range");
+  return data_[k * names_.size() + signal];
+}
+
+std::vector<double> Waveform::series(const std::string& name) const {
+  const std::size_t s = signal_index(name);
+  std::vector<double> out(times_.size());
+  for (std::size_t k = 0; k < times_.size(); ++k) out[k] = sample(s, k);
+  return out;
+}
+
+double Waveform::at(const std::string& name, double t) const {
+  return at(signal_index(name), t);
+}
+
+double Waveform::at(std::size_t signal, double t) const {
+  require(!times_.empty(), "Waveform::at: empty waveform");
+  require(ascending_, "Waveform::at: axis is not ascending");
+  if (t <= times_.front()) return sample(signal, 0);
+  if (t >= times_.back()) return sample(signal, times_.size() - 1);
+  const auto it = std::upper_bound(times_.begin(), times_.end(), t);
+  const auto hi = static_cast<std::size_t>(it - times_.begin());
+  const std::size_t lo = hi - 1;
+  const double frac = (t - times_[lo]) / (times_[hi] - times_[lo]);
+  return sample(signal, lo) * (1.0 - frac) + sample(signal, hi) * frac;
+}
+
+void Waveform::write_csv(std::ostream& os,
+                         const std::vector<std::string>& signals) const {
+  std::vector<std::size_t> cols;
+  if (signals.empty()) {
+    cols.resize(names_.size());
+    for (std::size_t i = 0; i < names_.size(); ++i) cols[i] = i;
+  } else {
+    for (const std::string& s : signals) cols.push_back(signal_index(s));
+  }
+  os << "t";
+  for (std::size_t c : cols) os << "," << names_[c];
+  os << "\n";
+  for (std::size_t k = 0; k < times_.size(); ++k) {
+    os << times_[k];
+    for (std::size_t c : cols) os << "," << sample(c, k);
+    os << "\n";
+  }
+}
+
+}  // namespace nemsim::spice

@@ -1,0 +1,42 @@
+// Technology cards: 90 nm CMOS flavours and the NEMS device, calibrated
+// to the paper's Table 1:
+//   CMOS  Ion = 1110 uA/um, Ioff = 50 nA/um   (ITRS/PTM 90 nm HP, [4][14])
+//   NEMS  Ion =  330 uA/um, Ioff = 110 pA/um  (Kam et al. NEMFET, [13])
+// at Vdd = 1.2 V.  The regression suite checks the calibration against
+// these targets via full device characterization.
+#pragma once
+
+#include "nemsim/devices/mosfet.h"
+#include "nemsim/devices/nemfet.h"
+
+namespace nemsim::tech {
+
+/// Global numbers of the 90 nm node used throughout the experiments.
+struct TechNode {
+  double vdd = 1.2;      ///< nominal supply (V)
+  double lmin = 1e-7;    ///< minimum channel length (m)
+  double wmin = 1.2e-7;  ///< minimum device width (m)
+};
+
+/// The 90 nm node the paper evaluates at.
+TechNode node_90nm();
+
+/// Nominal-Vt high-performance devices (Table 1 calibration).
+devices::MosParams nmos_90nm();
+devices::MosParams pmos_90nm();
+
+/// High-Vt (low-leakage) flavours used by the dual-Vt / asymmetric SRAM
+/// cells of Figure 13 (b)/(c): +120 mV threshold.
+devices::MosParams nmos_90nm_hvt();
+devices::MosParams pmos_90nm_hvt();
+
+/// Low-Vt (fast, leaky) flavours: -60 mV threshold.
+devices::MosParams nmos_90nm_lvt();
+devices::MosParams pmos_90nm_lvt();
+
+/// The NEMS (suspended-gate) device card; used for both polarities.
+/// Mechanical numbers assume the aggressively scaled nm-gap device of
+/// [13] (the paper: "the need to form gaps of a few nanometers").
+devices::NemsParams nems_90nm();
+
+}  // namespace nemsim::tech

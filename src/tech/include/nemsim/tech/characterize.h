@@ -1,0 +1,51 @@
+// Device characterization harness: Ion / Ioff / subthreshold swing and
+// the NEMS hysteresis window, measured by driving the actual simulator
+// (not closed-form shortcuts), exactly the way Table 1 and Figure 2 are
+// produced.
+#pragma once
+
+#include <vector>
+
+#include "nemsim/devices/mosfet.h"
+#include "nemsim/devices/nemfet.h"
+
+namespace nemsim::tech {
+
+/// Characterization of one device flavour at a given supply.
+struct DeviceIV {
+  double ion = 0.0;        ///< drain current at Vgs = Vds = Vdd (A)
+  double ioff = 0.0;       ///< drain current at Vgs = 0, Vds = Vdd (A)
+  double swing_mv_dec = 0.0;  ///< min dVgs/dlog10(Id) over the sweep (mV/dec)
+};
+
+/// Id-Vgs transfer sweep result (one direction).
+struct TransferCurve {
+  std::vector<double> vgs;
+  std::vector<double> id;
+};
+
+/// Full NEMS characterization including the hysteresis window.
+struct NemsIV {
+  DeviceIV iv;
+  double pull_in_v = 0.0;   ///< measured Vgs of the up->down current jump
+  double pull_out_v = 0.0;  ///< measured Vgs of the down->up release
+  TransferCurve up_sweep;   ///< Vgs ascending (beam initially up)
+  TransferCurve down_sweep; ///< Vgs descending (beam pulled in)
+};
+
+/// Measures a MOSFET flavour with a Vd + Vg source pair and a DC sweep.
+DeviceIV characterize_mosfet(const devices::MosParams& params,
+                             devices::MosPolarity polarity, double width,
+                             double length, double vdd,
+                             std::size_t sweep_points = 121);
+
+/// Measures the NEMFET: ascending and descending Vgs sweeps with solution
+/// continuation to capture both hysteresis branches.
+NemsIV characterize_nemfet(const devices::NemsParams& params, double width,
+                           double vdd, std::size_t sweep_points = 241);
+
+/// Steepest slope of a transfer curve in mV/decade (minimum over
+/// adjacent sample pairs with both currents positive).
+double extract_swing_mv_per_decade(const TransferCurve& curve);
+
+}  // namespace nemsim::tech

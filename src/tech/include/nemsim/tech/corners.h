@@ -1,0 +1,39 @@
+// Process corners and temperature transforms for the technology cards.
+//
+// The paper's introduction stresses the strong temperature dependence of
+// leakage ([5]); these helpers let any experiment be re-run at a corner
+// or temperature.  The NEMS switch's OFF floor is a mechanical/tunneling
+// current, essentially temperature-insensitive - which is the interesting
+// contrast the ablation bench shows.
+#pragma once
+
+#include "nemsim/devices/mosfet.h"
+#include "nemsim/devices/nemfet.h"
+
+namespace nemsim::tech {
+
+/// Classic three process corners.
+enum class Corner {
+  kTypical,  ///< TT
+  kFast,     ///< FF: lower Vth, higher mobility (fast and leaky)
+  kSlow,     ///< SS: higher Vth, lower mobility (slow and tight)
+};
+
+const char* corner_name(Corner corner);
+
+/// Applies a corner to a MOSFET card (delta Vth -/+ 40 mV, kp +/- 8 %).
+devices::MosParams at_corner(devices::MosParams card, Corner corner);
+
+/// Re-targets a MOSFET card to temperature `temp_k`:
+///  - threshold drops ~0.8 mV/K above 300 K,
+///  - mobility scales as (T/300)^-1.5,
+///  - the model's internal thermal voltage follows `temp`.
+/// Subthreshold leakage consequently grows steeply with temperature.
+devices::MosParams at_temperature(devices::MosParams card, double temp_k);
+
+/// Re-targets the NEMS card: only the channel (thermal voltage, slight
+/// mobility loss) responds; the mechanical pull-in and the tunneling
+/// leakage floor are temperature-insensitive.
+devices::NemsParams at_temperature(devices::NemsParams card, double temp_k);
+
+}  // namespace nemsim::tech

@@ -1,0 +1,28 @@
+// ITRS-style technology scaling trend (paper Figure 1).
+//
+// Figure 1 plots the supply/threshold scaling trend and the resulting
+// subthreshold leakage explosion, sourced from the ITRS roadmap.  We
+// embed an ITRS-2005-flavoured high-performance logic table; the bench
+// reproduces the plotted series from it.
+#pragma once
+
+#include <vector>
+
+namespace nemsim::tech {
+
+/// One roadmap node.
+struct ItrsNode {
+  int node_nm;            ///< technology node (nm)
+  int year;               ///< approximate production year
+  double vdd;             ///< nominal supply (V)
+  double vth;             ///< nominal saturation threshold (V)
+  double ioff_na_per_um;  ///< HP NMOS subthreshold leakage (nA/um, 25 C)
+};
+
+/// The roadmap table, 250 nm through 32 nm, ordered by decreasing node.
+const std::vector<ItrsNode>& itrs_trend();
+
+/// Leakage growth factor between the first and last roadmap nodes.
+double leakage_growth_factor();
+
+}  // namespace nemsim::tech

@@ -1,0 +1,40 @@
+// SPICE-style netlist parser: the inverse of spice::export_netlist.
+//
+// Reads the subset this library writes (plus common hand-written forms):
+//   * title and comment lines ("*...")
+//   Rname p n <value>            Cname p n <value>       Lname p n <value>
+//   Vname p n DC <v> | PULSE(v1 v2 td tr tf pw [per]) | SIN(off amp f [td])
+//   Iname p n DC <v> | ...
+//   Ename p n cp cn <gain>       Gname p n cp cn <gm>
+//   Dname a c [IS=..] [N=..]
+//   Mname d g s NMOS|PMOS W=<m> L=<m> [VTH0=..] [KP=..]
+//   Xname d g s NEMFET_N|NEMFET_P W=<m> [GAP0=..] [K=..] [M=..]
+//   .end
+// Values accept SPICE suffixes (f p n u m k meg g t).  Device type is
+// dispatched on the first letter of the element name (the classic SPICE
+// convention) - circuits built programmatically with free-form device
+// names (e.g. "INVout.P") export fine but only re-parse when their names
+// follow the letter convention.  MOSFET/NEMFET
+// lines start from the 90 nm technology cards and apply any parameter
+// overrides given on the line.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "nemsim/spice/circuit.h"
+
+namespace nemsim::tech {
+
+/// Parses a netlist from `text` into a fresh Circuit.
+/// Throws NetlistError with a line number on malformed input.
+spice::Circuit parse_netlist(const std::string& text);
+
+/// Stream overload.
+spice::Circuit parse_netlist(std::istream& is);
+
+/// Parses one SPICE number with magnitude suffix ("2.5k", "10n", "3meg");
+/// exposed for tests.
+double parse_spice_value(const std::string& token);
+
+}  // namespace nemsim::tech

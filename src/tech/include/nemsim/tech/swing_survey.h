@@ -1,0 +1,27 @@
+// Subthreshold-swing survey (paper Figure 2).
+//
+// Figure 2 compares the minimum reported subthreshold swings of classical
+// and non-classical devices [7]-[12].  The literature values are embedded
+// here; the bench additionally cross-checks the two devices this library
+// actually models (bulk CMOS and the NEMS switch) against their measured
+// swings from the characterization harness.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace nemsim::tech {
+
+struct SwingEntry {
+  std::string device;       ///< short device name as plotted
+  double swing_mv_dec;      ///< minimum reported swing (mV/decade)
+  bool modeled_here;        ///< true when this library implements the device
+};
+
+/// The Figure 2 bar values, in plot order.
+const std::vector<SwingEntry>& swing_survey();
+
+/// The thermionic limit of bulk CMOS at room temperature (~59.6 mV/dec).
+double cmos_thermionic_limit_mv_dec();
+
+}  // namespace nemsim::tech

@@ -1,0 +1,127 @@
+#include "nemsim/tech/characterize.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <span>
+
+#include "nemsim/devices/sources.h"
+#include "nemsim/spice/circuit.h"
+#include "nemsim/spice/dcsweep.h"
+#include "nemsim/util/error.h"
+
+namespace nemsim::tech {
+
+namespace {
+
+using devices::Mosfet;
+using devices::Nemfet;
+using devices::SourceWave;
+using devices::VoltageSource;
+
+/// Drain current flowing into the drain terminal = -i(Vd) (the source
+/// convention: i(Vd) is the current from the supply's + node through it).
+TransferCurve run_transfer_sweep(spice::MnaSystem& system,
+                                 VoltageSource& vg_source,
+                                 std::span<const double> vgs_points) {
+  spice::DcSweepOptions sweep_options;
+  spice::Waveform sweep = spice::dc_sweep(
+      system, [&](double v) { vg_source.set_dc(v); }, vgs_points,
+      sweep_options);
+  TransferCurve curve;
+  curve.vgs.assign(vgs_points.begin(), vgs_points.end());
+  std::vector<double> branch = sweep.series("i(Vd)");
+  curve.id.resize(branch.size());
+  for (std::size_t i = 0; i < branch.size(); ++i) {
+    curve.id[i] = std::abs(branch[i]);
+  }
+  return curve;
+}
+
+}  // namespace
+
+double extract_swing_mv_per_decade(const TransferCurve& curve) {
+  require(curve.vgs.size() == curve.id.size() && curve.vgs.size() >= 2,
+          "extract_swing: need a sweep");
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 1; i < curve.vgs.size(); ++i) {
+    const double i0 = curve.id[i - 1];
+    const double i1 = curve.id[i];
+    if (i0 <= 0.0 || i1 <= 0.0 || i1 <= i0) continue;
+    const double decades = std::log10(i1 / i0);
+    if (decades < 1e-6) continue;
+    const double dv = std::abs(curve.vgs[i] - curve.vgs[i - 1]);
+    best = std::min(best, dv / decades * 1e3);
+  }
+  require(std::isfinite(best), "extract_swing: no rising region found");
+  return best;
+}
+
+DeviceIV characterize_mosfet(const devices::MosParams& params,
+                             devices::MosPolarity polarity, double width,
+                             double length, double vdd,
+                             std::size_t sweep_points) {
+  const double sign = polarity == devices::MosPolarity::kNmos ? 1.0 : -1.0;
+  spice::Circuit ckt;
+  spice::NodeId d = ckt.node("d");
+  spice::NodeId g = ckt.node("g");
+  ckt.add<VoltageSource>("Vd", d, ckt.gnd(), SourceWave::dc(sign * vdd));
+  auto& vg = ckt.add<VoltageSource>("Vg", g, ckt.gnd(), SourceWave::dc(0.0));
+  ckt.add<Mosfet>("M1", d, g, ckt.gnd(), polarity, params, width, length);
+
+  spice::MnaSystem system(ckt);
+  std::vector<double> points = spice::linspace(0.0, sign * vdd, sweep_points);
+  TransferCurve curve = run_transfer_sweep(system, vg, points);
+
+  DeviceIV iv;
+  iv.ioff = curve.id.front();
+  iv.ion = curve.id.back();
+  iv.swing_mv_dec = extract_swing_mv_per_decade(curve);
+  return iv;
+}
+
+NemsIV characterize_nemfet(const devices::NemsParams& params, double width,
+                           double vdd, std::size_t sweep_points) {
+  spice::Circuit ckt;
+  spice::NodeId d = ckt.node("d");
+  spice::NodeId g = ckt.node("g");
+  ckt.add<VoltageSource>("Vd", d, ckt.gnd(), SourceWave::dc(vdd));
+  auto& vg = ckt.add<VoltageSource>("Vg", g, ckt.gnd(), SourceWave::dc(0.0));
+  ckt.add<Nemfet>("X1", d, g, ckt.gnd(), devices::NemsPolarity::kN, params,
+                  width);
+
+  spice::MnaSystem system(ckt);
+
+  NemsIV out;
+  // Ascending branch: beam starts up, snaps in at pull-in.
+  std::vector<double> up = spice::linspace(0.0, vdd, sweep_points);
+  out.up_sweep = run_transfer_sweep(system, vg, up);
+  // Descending branch: continuation from the pulled-in state.
+  std::vector<double> down = spice::linspace(vdd, 0.0, sweep_points);
+  out.down_sweep = run_transfer_sweep(system, vg, down);
+
+  out.iv.ioff = out.up_sweep.id.front();
+  out.iv.ion = out.up_sweep.id.back();
+  out.iv.swing_mv_dec = extract_swing_mv_per_decade(out.up_sweep);
+
+  // Hysteresis edges: largest relative jump between adjacent samples.
+  auto jump_voltage = [](const TransferCurve& c) {
+    double best_ratio = 0.0;
+    double v = 0.0;
+    for (std::size_t i = 1; i < c.id.size(); ++i) {
+      const double lo = std::min(c.id[i - 1], c.id[i]);
+      const double hi = std::max(c.id[i - 1], c.id[i]);
+      if (lo <= 0.0) continue;
+      if (hi / lo > best_ratio) {
+        best_ratio = hi / lo;
+        v = 0.5 * (c.vgs[i - 1] + c.vgs[i]);
+      }
+    }
+    return v;
+  };
+  out.pull_in_v = jump_voltage(out.up_sweep);
+  out.pull_out_v = jump_voltage(out.down_sweep);
+  return out;
+}
+
+}  // namespace nemsim::tech

@@ -1,0 +1,54 @@
+#include "nemsim/tech/corners.h"
+
+#include <cmath>
+
+#include "nemsim/util/error.h"
+
+namespace nemsim::tech {
+
+const char* corner_name(Corner corner) {
+  switch (corner) {
+    case Corner::kTypical: return "TT";
+    case Corner::kFast: return "FF";
+    case Corner::kSlow: return "SS";
+  }
+  return "?";
+}
+
+devices::MosParams at_corner(devices::MosParams card, Corner corner) {
+  switch (corner) {
+    case Corner::kTypical:
+      break;
+    case Corner::kFast:
+      card.vth0 -= 0.04;
+      card.kp *= 1.08;
+      break;
+    case Corner::kSlow:
+      card.vth0 += 0.04;
+      card.kp *= 0.92;
+      break;
+  }
+  return card;
+}
+
+devices::MosParams at_temperature(devices::MosParams card, double temp_k) {
+  require(temp_k > 0.0, "at_temperature: temperature must be positive");
+  const double dt = temp_k - 300.0;
+  card.vth0 -= 8e-4 * dt;
+  card.kp *= std::pow(temp_k / 300.0, -1.5);
+  card.temp = temp_k;
+  return card;
+}
+
+devices::NemsParams at_temperature(devices::NemsParams card, double temp_k) {
+  require(temp_k > 0.0, "at_temperature: temperature must be positive");
+  const double dt = temp_k - 300.0;
+  card.vth_ch -= 8e-4 * dt;
+  card.kp *= std::pow(temp_k / 300.0, -1.5);
+  card.temp = temp_k;
+  // gap0/spring/mass/damping/goff untouched: the beam's restoring force
+  // and the vacuum-gap tunneling floor do not follow kT.
+  return card;
+}
+
+}  // namespace nemsim::tech

@@ -1,0 +1,27 @@
+#include "nemsim/tech/itrs.h"
+
+namespace nemsim::tech {
+
+const std::vector<ItrsNode>& itrs_trend() {
+  // ITRS-style high-performance logic trend.  Values follow the public
+  // roadmap editions' shape: Vdd scales ~0.85x/node while Vth must scale
+  // more slowly to control leakage, so Ioff rises by ~5 orders of
+  // magnitude from 250 nm to 32 nm.
+  static const std::vector<ItrsNode> kTable = {
+      {250, 1997, 2.50, 0.500, 0.01},
+      {180, 1999, 1.80, 0.450, 0.10},
+      {130, 2001, 1.50, 0.400, 1.0},
+      {90, 2004, 1.20, 0.350, 50.0},
+      {65, 2007, 1.10, 0.300, 200.0},
+      {45, 2010, 1.00, 0.260, 280.0},
+      {32, 2013, 0.90, 0.220, 300.0},
+  };
+  return kTable;
+}
+
+double leakage_growth_factor() {
+  const auto& t = itrs_trend();
+  return t.back().ioff_na_per_um / t.front().ioff_na_per_um;
+}
+
+}  // namespace nemsim::tech

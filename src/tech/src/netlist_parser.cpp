@@ -1,0 +1,245 @@
+#include "nemsim/tech/netlist_parser.h"
+
+#include <algorithm>
+#include <cctype>
+#include <istream>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "nemsim/devices/controlled.h"
+#include "nemsim/devices/diode.h"
+#include "nemsim/devices/mosfet.h"
+#include "nemsim/devices/nemfet.h"
+#include "nemsim/devices/passives.h"
+#include "nemsim/devices/sources.h"
+#include "nemsim/tech/cards.h"
+#include "nemsim/util/error.h"
+
+namespace nemsim::tech {
+
+namespace {
+
+using devices::SourceWave;
+
+std::string to_upper(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  return s;
+}
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& what) {
+  throw NetlistError("netlist line " + std::to_string(line_no) + ": " + what);
+}
+
+/// Splits a line into tokens, treating '(' ')' as separators and keeping
+/// "KEY=VALUE" as one token.
+std::vector<std::string> tokenize(const std::string& line) {
+  std::string spaced;
+  for (char c : line) {
+    if (c == '(' || c == ')' || c == ',') {
+      spaced += ' ';
+    } else {
+      spaced += c;
+    }
+  }
+  std::istringstream is(spaced);
+  std::vector<std::string> tokens;
+  std::string tok;
+  while (is >> tok) tokens.push_back(tok);
+  return tokens;
+}
+
+/// Key=value parameters from the tail of a token list.
+std::unordered_map<std::string, double> parse_params(
+    const std::vector<std::string>& tokens, std::size_t from,
+    std::size_t line_no) {
+  std::unordered_map<std::string, double> out;
+  for (std::size_t i = from; i < tokens.size(); ++i) {
+    const auto eq = tokens[i].find('=');
+    if (eq == std::string::npos) {
+      fail(line_no, "expected KEY=VALUE, got '" + tokens[i] + "'");
+    }
+    out[to_upper(tokens[i].substr(0, eq))] =
+        parse_spice_value(tokens[i].substr(eq + 1));
+  }
+  return out;
+}
+
+struct SourceSpec {
+  SourceWave wave = SourceWave::dc(0.0);
+};
+
+/// Parses the source tail: "DC v" | "PULSE v1 v2 td tr tf pw [per]" |
+/// "SIN off amp freq [td]" | bare value.
+SourceSpec parse_source_tail(const std::vector<std::string>& tokens,
+                             std::size_t from, std::size_t line_no) {
+  SourceSpec spec;
+  if (from >= tokens.size()) fail(line_no, "missing source value");
+  const std::string kind = to_upper(tokens[from]);
+  auto num = [&](std::size_t i) {
+    if (i >= tokens.size()) fail(line_no, "missing source parameter");
+    return parse_spice_value(tokens[i]);
+  };
+  if (kind == "DC") {
+    spec.wave = SourceWave::dc(num(from + 1));
+  } else if (kind == "PULSE") {
+    const std::size_t n_args = tokens.size() - (from + 1);
+    if (n_args < 6) fail(line_no, "PULSE needs at least 6 parameters");
+    const double period = n_args >= 7 ? num(from + 7) : 0.0;
+    spec.wave = SourceWave::pulse(num(from + 1), num(from + 2), num(from + 3),
+                                  num(from + 4), num(from + 5), num(from + 6),
+                                  period);
+  } else if (kind == "SIN") {
+    const std::size_t n_args = tokens.size() - (from + 1);
+    if (n_args < 3) fail(line_no, "SIN needs at least 3 parameters");
+    const double delay = n_args >= 4 ? num(from + 4) : 0.0;
+    spec.wave = SourceWave::sine(num(from + 1), num(from + 2), num(from + 3),
+                                 delay);
+  } else {
+    spec.wave = SourceWave::dc(parse_spice_value(tokens[from]));
+  }
+  return spec;
+}
+
+}  // namespace
+
+double parse_spice_value(const std::string& token) {
+  require(!token.empty(), "parse_spice_value: empty token");
+  std::size_t pos = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(token, &pos);
+  } catch (const std::exception&) {
+    throw NetlistError("bad numeric value '" + token + "'");
+  }
+  std::string suffix = to_upper(token.substr(pos));
+  if (suffix.empty()) return value;
+  // SPICE magnitude suffixes; trailing unit letters are ignored ("pF").
+  static const std::vector<std::pair<std::string, double>> kSuffixes = {
+      {"MEG", 1e6}, {"T", 1e12}, {"G", 1e9}, {"K", 1e3}, {"M", 1e-3},
+      {"U", 1e-6},  {"N", 1e-9}, {"P", 1e-12}, {"F", 1e-15},
+  };
+  for (const auto& [s, scale] : kSuffixes) {
+    if (suffix.rfind(s, 0) == 0) return value * scale;
+  }
+  throw NetlistError("unknown value suffix '" + suffix + "'");
+}
+
+spice::Circuit parse_netlist(const std::string& text) {
+  std::istringstream is(text);
+  return parse_netlist(is);
+}
+
+spice::Circuit parse_netlist(std::istream& is) {
+  spice::Circuit ckt;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    // Strip comments and whitespace.
+    if (const auto c = line.find(';'); c != std::string::npos) {
+      line.erase(c);
+    }
+    std::vector<std::string> t = tokenize(line);
+    if (t.empty()) continue;
+    if (t[0][0] == '*') continue;  // comment / title
+    if (to_upper(t[0]) == ".END") break;
+    if (t[0][0] == '.') continue;  // other directives ignored
+
+    const std::string& name = t[0];
+    const char kind = static_cast<char>(std::toupper(t[0][0]));
+    auto node = [&](std::size_t i) -> spice::NodeId {
+      if (i >= t.size()) fail(line_no, "missing node");
+      return ckt.node(t[i]);
+    };
+    try {
+      switch (kind) {
+        case 'R':
+          ckt.add<devices::Resistor>(name, node(1), node(2),
+                                     parse_spice_value(t.at(3)));
+          break;
+        case 'C':
+          ckt.add<devices::Capacitor>(name, node(1), node(2),
+                                      parse_spice_value(t.at(3)));
+          break;
+        case 'L':
+          ckt.add<devices::Inductor>(name, node(1), node(2),
+                                     parse_spice_value(t.at(3)));
+          break;
+        case 'V': {
+          SourceSpec s = parse_source_tail(t, 3, line_no);
+          ckt.add<devices::VoltageSource>(name, node(1), node(2), s.wave);
+          break;
+        }
+        case 'I': {
+          SourceSpec s = parse_source_tail(t, 3, line_no);
+          ckt.add<devices::CurrentSource>(name, node(1), node(2), s.wave);
+          break;
+        }
+        case 'E':
+          ckt.add<devices::Vcvs>(name, node(1), node(2), node(3), node(4),
+                                 parse_spice_value(t.at(5)));
+          break;
+        case 'G':
+          ckt.add<devices::Vccs>(name, node(1), node(2), node(3), node(4),
+                                 parse_spice_value(t.at(5)));
+          break;
+        case 'D': {
+          devices::DiodeParams p;
+          auto params = parse_params(t, 3, line_no);
+          if (params.count("IS")) p.is = params["IS"];
+          if (params.count("N")) p.n = params["N"];
+          ckt.add<devices::Diode>(name, node(1), node(2), p);
+          break;
+        }
+        case 'M': {
+          const std::string model = to_upper(t.at(4));
+          const bool nmos = model == "NMOS";
+          if (!nmos && model != "PMOS") {
+            fail(line_no, "MOSFET model must be NMOS or PMOS");
+          }
+          devices::MosParams card = nmos ? nmos_90nm() : pmos_90nm();
+          auto params = parse_params(t, 5, line_no);
+          if (params.count("VTH0")) card.vth0 = params["VTH0"];
+          if (params.count("KP")) card.kp = params["KP"];
+          const double w = params.count("W") ? params["W"] : 1e-6;
+          const double l = params.count("L") ? params["L"] : 1e-7;
+          ckt.add<devices::Mosfet>(name, node(1), node(2), node(3),
+                                   nmos ? devices::MosPolarity::kNmos
+                                        : devices::MosPolarity::kPmos,
+                                   card, w, l);
+          break;
+        }
+        case 'X': {
+          const std::string model = to_upper(t.at(4));
+          const bool n_type = model == "NEMFET_N";
+          if (!n_type && model != "NEMFET_P") {
+            fail(line_no, "X element model must be NEMFET_N or NEMFET_P");
+          }
+          devices::NemsParams card = nems_90nm();
+          auto params = parse_params(t, 5, line_no);
+          if (params.count("GAP0")) card.gap0 = params["GAP0"];
+          if (params.count("K")) card.spring_k = params["K"];
+          if (params.count("M")) card.mass = params["M"];
+          params.erase("VPI");  // informational in exports
+          const double w = params.count("W") ? params["W"] : 1e-6;
+          ckt.add<devices::Nemfet>(name, node(1), node(2), node(3),
+                                   n_type ? devices::NemsPolarity::kN
+                                          : devices::NemsPolarity::kP,
+                                   card, w);
+          break;
+        }
+        default:
+          fail(line_no, std::string("unknown element type '") + kind + "'");
+      }
+    } catch (const NetlistError&) {
+      throw;
+    } catch (const std::exception& e) {
+      fail(line_no, e.what());
+    }
+  }
+  return ckt;
+}
+
+}  // namespace nemsim::tech

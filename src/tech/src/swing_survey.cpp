@@ -1,0 +1,28 @@
+#include "nemsim/tech/swing_survey.h"
+
+#include <cmath>
+
+#include "nemsim/util/units.h"
+
+namespace nemsim::tech {
+
+const std::vector<SwingEntry>& swing_survey() {
+  // Values as cited by the paper (refs [7]-[12]); all CMOS-based devices
+  // sit above the 60 mV/dec thermionic limit, the NEMS switch far below.
+  static const std::vector<SwingEntry> kTable = {
+      {"Bulk CMOS", 85.0, true},
+      {"FDSOI", 70.0, false},
+      {"FinFET", 65.0, false},
+      {"T-CNFET", 40.0, false},
+      {"NW-FET", 35.0, false},
+      {"IMOS", 8.9, false},
+      {"NEMS (SG-MOSFET)", 2.0, true},
+  };
+  return kTable;
+}
+
+double cmos_thermionic_limit_mv_dec() {
+  return phys::thermal_voltage(phys::kRoomTemperature) * std::log(10.0) * 1e3;
+}
+
+}  // namespace nemsim::tech

@@ -1,0 +1,55 @@
+// Exception hierarchy for nemsim.
+//
+// All recoverable failures in the simulator are reported via exceptions
+// derived from `nemsim::Error`, so callers can distinguish numerical
+// failures (convergence, singular systems) from usage errors (bad netlist,
+// bad arguments) with a single catch site.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace nemsim {
+
+/// Base class of all nemsim exceptions.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A function was called with arguments that violate its preconditions.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// A netlist is structurally invalid (unknown node, duplicate name, ...).
+class NetlistError : public Error {
+ public:
+  explicit NetlistError(const std::string& what) : Error(what) {}
+};
+
+/// A linear system could not be factored (matrix numerically singular).
+class SingularMatrixError : public Error {
+ public:
+  explicit SingularMatrixError(const std::string& what) : Error(what) {}
+};
+
+/// Newton iteration (or one of its homotopy fallbacks) failed to converge.
+class ConvergenceError : public Error {
+ public:
+  explicit ConvergenceError(const std::string& what) : Error(what) {}
+};
+
+/// A requested signal/measurement does not exist or is ill-posed.
+class MeasurementError : public Error {
+ public:
+  explicit MeasurementError(const std::string& what) : Error(what) {}
+};
+
+/// Throws InvalidArgument with `msg` when `cond` is false.
+inline void require(bool cond, const std::string& msg) {
+  if (!cond) throw InvalidArgument(msg);
+}
+
+}  // namespace nemsim

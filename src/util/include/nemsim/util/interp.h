@@ -1,0 +1,35 @@
+// Piecewise-linear interpolation over sampled curves.
+//
+// Used by waveform measurements (crossing times) and the PWL source.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace nemsim {
+
+/// Linear interpolation of y(x) through sorted sample points.
+///
+/// Outside the sample range the curve is clamped to the end values
+/// (the natural behaviour for source waveforms and measured curves).
+class PiecewiseLinear {
+ public:
+  /// `xs` must be strictly increasing and the spans equally sized.
+  PiecewiseLinear(std::span<const double> xs, std::span<const double> ys);
+
+  double operator()(double x) const;
+
+  std::size_t size() const { return xs_.size(); }
+  std::span<const double> xs() const { return xs_; }
+  std::span<const double> ys() const { return ys_; }
+
+ private:
+  std::vector<double> xs_;
+  std::vector<double> ys_;
+};
+
+/// One-shot interpolation through (xs, ys) at `x` (same rules as above).
+double lerp_at(std::span<const double> xs, std::span<const double> ys,
+               double x);
+
+}  // namespace nemsim

@@ -1,0 +1,45 @@
+// Minimal leveled logger.
+//
+// The simulator logs convergence diagnostics at Debug level; benches and
+// examples run quietly by default.  A single global level keeps the
+// interface small — this is a library used from single-threaded harnesses.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace nemsim {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Returns the current global log threshold.
+LogLevel log_level();
+/// Sets the global log threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& message);
+}
+
+/// Logs `message` at `level` if it passes the global threshold.
+inline void log(LogLevel level, const std::string& message) {
+  if (level >= log_level() && log_level() != LogLevel::kOff) {
+    detail::log_emit(level, message);
+  }
+}
+
+inline void log_debug(const std::string& m) { log(LogLevel::kDebug, m); }
+inline void log_info(const std::string& m) { log(LogLevel::kInfo, m); }
+inline void log_warn(const std::string& m) { log(LogLevel::kWarn, m); }
+inline void log_error(const std::string& m) { log(LogLevel::kError, m); }
+
+/// Builds a log message from streamable parts: logf(LogLevel::kInfo, "x=", x).
+template <typename... Parts>
+void logf(LogLevel level, const Parts&... parts) {
+  if (level < log_level() || log_level() == LogLevel::kOff) return;
+  std::ostringstream os;
+  (os << ... << parts);
+  detail::log_emit(level, os.str());
+}
+
+}  // namespace nemsim

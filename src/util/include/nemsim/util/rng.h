@@ -1,0 +1,49 @@
+// Deterministic random number streams for Monte-Carlo analyses.
+//
+// Every Monte-Carlo trial derives its own child stream from (seed, trial
+// index) so results are reproducible and independent of evaluation order.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace nemsim {
+
+/// A seeded normal/uniform generator wrapping the standard engine.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed), seed_mix_(seed) {}
+
+  /// Derives a statistically-independent child stream for `index`.
+  Rng child(std::uint64_t index) const {
+    // SplitMix64-style mix of seed and index; avoids correlated streams.
+    std::uint64_t z = seed_mix_ + index * 0x9E3779B97F4A7C15ull;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return Rng(z ^ (z >> 31));
+  }
+
+  /// Standard normal draw scaled to (mean, sigma).
+  double normal(double mean = 0.0, double sigma = 1.0) {
+    return mean + sigma * normal_(engine_);
+  }
+
+  /// Uniform draw in [lo, hi).
+  double uniform(double lo = 0.0, double hi = 1.0) {
+    return lo + (hi - lo) * uniform_(engine_);
+  }
+
+  /// Uniform integer in [0, n).
+  std::uint64_t index(std::uint64_t n) {
+    std::uniform_int_distribution<std::uint64_t> d(0, n - 1);
+    return d(engine_);
+  }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uint64_t seed_mix_ = 0;
+  std::normal_distribution<double> normal_{0.0, 1.0};
+  std::uniform_real_distribution<double> uniform_{0.0, 1.0};
+};
+
+}  // namespace nemsim

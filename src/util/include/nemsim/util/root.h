@@ -1,0 +1,40 @@
+// Scalar root finding and extremum search.
+//
+// Used by the measurement layer: noise-margin bisection, pull-in voltage
+// extraction, SNM maximum-square search.
+#pragma once
+
+#include <functional>
+
+namespace nemsim {
+
+/// Options for bracketing root finders.
+struct RootOptions {
+  double xtol = 1e-9;      ///< stop when bracket width < xtol
+  double ftol = 0.0;       ///< stop when |f| < ftol (0 disables)
+  int max_iterations = 200;
+};
+
+/// Finds x in [lo, hi] with f(x) = 0 by bisection.
+///
+/// Requires f(lo) and f(hi) to have opposite signs (or one of them to be
+/// exactly zero); throws InvalidArgument otherwise and ConvergenceError if
+/// the iteration budget is exhausted before tolerances are met.
+double bisect(const std::function<double(double)>& f, double lo, double hi,
+              const RootOptions& options = {});
+
+/// Brent's method: bisection safety with superlinear convergence.
+double brent(const std::function<double(double)>& f, double lo, double hi,
+             const RootOptions& options = {});
+
+/// Golden-section search for the minimum of a unimodal f on [lo, hi].
+double golden_minimize(const std::function<double(double)>& f, double lo,
+                       double hi, double xtol = 1e-9);
+
+/// Largest x in [lo, hi] such that pred(x) holds, assuming pred is
+/// monotone (true on [lo, x*], false after).  Returns lo if pred(lo) is
+/// false.  Used for "largest noise voltage the gate tolerates" searches.
+double monotone_threshold(const std::function<bool(double)>& pred, double lo,
+                          double hi, double xtol = 1e-6);
+
+}  // namespace nemsim

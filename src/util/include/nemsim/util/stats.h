@@ -1,0 +1,38 @@
+// Summary statistics for Monte-Carlo results and measurement sweeps.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace nemsim {
+
+/// Running summary of a scalar sample stream (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  /// Unbiased sample variance; 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Mean of `xs`; throws InvalidArgument when empty.
+double mean(std::span<const double> xs);
+/// Unbiased sample standard deviation; throws when fewer than 2 samples.
+double stddev(std::span<const double> xs);
+/// Linear-interpolated percentile, p in [0, 100]; throws when empty.
+double percentile(std::vector<double> xs, double p);
+
+}  // namespace nemsim

@@ -1,0 +1,52 @@
+// ASCII / CSV table formatting used by the bench harnesses.
+//
+// Every bench binary reproduces one table or figure of the paper by printing
+// the underlying data series; `Table` gives them a uniform, aligned look and
+// an optional CSV dump for external plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace nemsim {
+
+/// A simple column-aligned table builder.
+///
+/// Cells are strings; numeric helpers format with engineering-friendly
+/// precision.  Rows must have exactly as many cells as there are columns.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns);
+
+  /// Number of columns fixed at construction.
+  std::size_t num_columns() const { return columns_.size(); }
+  std::size_t num_rows() const { return rows_.size(); }
+
+  /// Appends a fully-formed row. Throws InvalidArgument on arity mismatch.
+  void add_row(std::vector<std::string> cells);
+
+  /// Row-building helpers: call `begin_row`, then `cell(...)` per column.
+  Table& begin_row();
+  Table& cell(const std::string& text);
+  Table& cell(double value, int precision = 4);
+  Table& cell_sci(double value, int precision = 3);
+  Table& cell(int value);
+
+  /// Renders an aligned ASCII table (with header separator) to `os`.
+  void print(std::ostream& os) const;
+
+  /// Renders RFC-4180-ish CSV (no quoting of embedded commas needed here).
+  void print_csv(std::ostream& os) const;
+
+  /// Formats a double with `precision` significant digits (general format).
+  static std::string format(double value, int precision = 4);
+  /// Formats a double in scientific notation.
+  static std::string format_sci(double value, int precision = 3);
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace nemsim

@@ -1,0 +1,76 @@
+// Physical constants and unit helpers used throughout nemsim.
+//
+// All internal quantities are SI: volts, amperes, seconds, meters, farads,
+// henries, kilograms, newtons.  The user-facing literals below exist so that
+// device geometry and waveform parameters can be written the way a circuit
+// designer writes them ("0.12_um", "10_fF", "50_ps") without unit mistakes.
+#pragma once
+
+namespace nemsim {
+
+/// Fundamental physical constants (CODATA values, SI units).
+namespace phys {
+inline constexpr double kBoltzmann = 1.380649e-23;   ///< J/K
+inline constexpr double kElementaryCharge = 1.602176634e-19;  ///< C
+inline constexpr double kEps0 = 8.8541878128e-12;    ///< F/m, vacuum permittivity
+inline constexpr double kEpsRSi = 11.7;              ///< relative permittivity of silicon
+inline constexpr double kEpsRSiO2 = 3.9;             ///< relative permittivity of SiO2
+inline constexpr double kRoomTemperature = 300.0;    ///< K, default simulation temperature
+
+/// Thermal voltage kT/q at temperature `temp_k` (about 25.85 mV at 300 K).
+constexpr double thermal_voltage(double temp_k) {
+  return kBoltzmann * temp_k / kElementaryCharge;
+}
+}  // namespace phys
+
+/// User-defined literals for common circuit units.  All convert to SI.
+namespace literals {
+// clang-format off
+constexpr double operator""_m(long double v)   { return static_cast<double>(v); }
+constexpr double operator""_mm(long double v)  { return static_cast<double>(v) * 1e-3; }
+constexpr double operator""_um(long double v)  { return static_cast<double>(v) * 1e-6; }
+constexpr double operator""_nm(long double v)  { return static_cast<double>(v) * 1e-9; }
+constexpr double operator""_um(unsigned long long v) { return static_cast<double>(v) * 1e-6; }
+constexpr double operator""_nm(unsigned long long v) { return static_cast<double>(v) * 1e-9; }
+
+constexpr double operator""_s(long double v)   { return static_cast<double>(v); }
+constexpr double operator""_ms(long double v)  { return static_cast<double>(v) * 1e-3; }
+constexpr double operator""_us(long double v)  { return static_cast<double>(v) * 1e-6; }
+constexpr double operator""_ns(long double v)  { return static_cast<double>(v) * 1e-9; }
+constexpr double operator""_ps(long double v)  { return static_cast<double>(v) * 1e-12; }
+constexpr double operator""_ns(unsigned long long v) { return static_cast<double>(v) * 1e-9; }
+constexpr double operator""_ps(unsigned long long v) { return static_cast<double>(v) * 1e-12; }
+
+constexpr double operator""_V(long double v)   { return static_cast<double>(v); }
+constexpr double operator""_mV(long double v)  { return static_cast<double>(v) * 1e-3; }
+constexpr double operator""_mV(unsigned long long v) { return static_cast<double>(v) * 1e-3; }
+
+constexpr double operator""_A(long double v)   { return static_cast<double>(v); }
+constexpr double operator""_mA(long double v)  { return static_cast<double>(v) * 1e-3; }
+constexpr double operator""_uA(long double v)  { return static_cast<double>(v) * 1e-6; }
+constexpr double operator""_nA(long double v)  { return static_cast<double>(v) * 1e-9; }
+constexpr double operator""_pA(long double v)  { return static_cast<double>(v) * 1e-12; }
+
+constexpr double operator""_F(long double v)   { return static_cast<double>(v); }
+constexpr double operator""_uF(long double v)  { return static_cast<double>(v) * 1e-6; }
+constexpr double operator""_nF(long double v)  { return static_cast<double>(v) * 1e-9; }
+constexpr double operator""_pF(long double v)  { return static_cast<double>(v) * 1e-12; }
+constexpr double operator""_fF(long double v)  { return static_cast<double>(v) * 1e-15; }
+constexpr double operator""_fF(unsigned long long v) { return static_cast<double>(v) * 1e-15; }
+
+constexpr double operator""_Ohm(long double v) { return static_cast<double>(v); }
+constexpr double operator""_kOhm(long double v){ return static_cast<double>(v) * 1e3; }
+constexpr double operator""_MOhm(long double v){ return static_cast<double>(v) * 1e6; }
+
+constexpr double operator""_H(long double v)   { return static_cast<double>(v); }
+constexpr double operator""_uH(long double v)  { return static_cast<double>(v) * 1e-6; }
+constexpr double operator""_nH(long double v)  { return static_cast<double>(v) * 1e-9; }
+
+constexpr double operator""_W(long double v)   { return static_cast<double>(v); }
+constexpr double operator""_uW(long double v)  { return static_cast<double>(v) * 1e-6; }
+constexpr double operator""_nW(long double v)  { return static_cast<double>(v) * 1e-9; }
+constexpr double operator""_pW(long double v)  { return static_cast<double>(v) * 1e-12; }
+// clang-format on
+}  // namespace literals
+
+}  // namespace nemsim

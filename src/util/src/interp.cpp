@@ -1,0 +1,47 @@
+#include "nemsim/util/interp.h"
+
+#include <algorithm>
+
+#include "nemsim/util/error.h"
+
+namespace nemsim {
+namespace {
+
+double interp_impl(std::span<const double> xs, std::span<const double> ys,
+                   double x) {
+  if (x <= xs.front()) return ys.front();
+  if (x >= xs.back()) return ys.back();
+  const auto it = std::upper_bound(xs.begin(), xs.end(), x);
+  const auto hi = static_cast<std::size_t>(it - xs.begin());
+  const std::size_t lo = hi - 1;
+  const double t = (x - xs[lo]) / (xs[hi] - xs[lo]);
+  return ys[lo] * (1.0 - t) + ys[hi] * t;
+}
+
+void check_sorted(std::span<const double> xs, std::span<const double> ys) {
+  require(xs.size() == ys.size(), "interp: xs and ys sizes differ");
+  require(!xs.empty(), "interp: empty sample");
+  for (std::size_t i = 1; i < xs.size(); ++i) {
+    require(xs[i] > xs[i - 1], "interp: xs must be strictly increasing");
+  }
+}
+
+}  // namespace
+
+PiecewiseLinear::PiecewiseLinear(std::span<const double> xs,
+                                 std::span<const double> ys)
+    : xs_(xs.begin(), xs.end()), ys_(ys.begin(), ys.end()) {
+  check_sorted(xs_, ys_);
+}
+
+double PiecewiseLinear::operator()(double x) const {
+  return interp_impl(xs_, ys_, x);
+}
+
+double lerp_at(std::span<const double> xs, std::span<const double> ys,
+               double x) {
+  check_sorted(xs, ys);
+  return interp_impl(xs, ys, x);
+}
+
+}  // namespace nemsim

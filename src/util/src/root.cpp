@@ -1,0 +1,127 @@
+#include "nemsim/util/root.h"
+
+#include <cmath>
+
+#include "nemsim/util/error.h"
+
+namespace nemsim {
+
+double bisect(const std::function<double(double)>& f, double lo, double hi,
+              const RootOptions& options) {
+  require(lo <= hi, "bisect: lo must be <= hi");
+  double flo = f(lo);
+  double fhi = f(hi);
+  if (flo == 0.0) return lo;
+  if (fhi == 0.0) return hi;
+  require(std::signbit(flo) != std::signbit(fhi),
+          "bisect: f(lo) and f(hi) must bracket a root");
+  for (int i = 0; i < options.max_iterations; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    const double fmid = f(mid);
+    if (fmid == 0.0 || hi - lo < options.xtol ||
+        (options.ftol > 0.0 && std::abs(fmid) < options.ftol)) {
+      return mid;
+    }
+    if (std::signbit(fmid) == std::signbit(flo)) {
+      lo = mid;
+      flo = fmid;
+    } else {
+      hi = mid;
+    }
+  }
+  throw ConvergenceError("bisect: iteration budget exhausted");
+}
+
+double brent(const std::function<double(double)>& f, double a, double b,
+             const RootOptions& options) {
+  double fa = f(a);
+  double fb = f(b);
+  if (fa == 0.0) return a;
+  if (fb == 0.0) return b;
+  require(std::signbit(fa) != std::signbit(fb),
+          "brent: f(lo) and f(hi) must bracket a root");
+  double c = a, fc = fa;
+  double d = b - a, e = d;
+  for (int i = 0; i < options.max_iterations; ++i) {
+    if (std::abs(fc) < std::abs(fb)) {
+      a = b; b = c; c = a;
+      fa = fb; fb = fc; fc = fa;
+    }
+    const double tol = 2.0 * 1e-16 * std::abs(b) + 0.5 * options.xtol;
+    const double m = 0.5 * (c - b);
+    if (std::abs(m) <= tol || fb == 0.0 ||
+        (options.ftol > 0.0 && std::abs(fb) < options.ftol)) {
+      return b;
+    }
+    if (std::abs(e) < tol || std::abs(fa) <= std::abs(fb)) {
+      d = e = m;  // bisection
+    } else {
+      double p, q;
+      const double s = fb / fa;
+      if (a == c) {  // secant
+        p = 2.0 * m * s;
+        q = 1.0 - s;
+      } else {  // inverse quadratic
+        const double qq = fa / fc;
+        const double r = fb / fc;
+        p = s * (2.0 * m * qq * (qq - r) - (b - a) * (r - 1.0));
+        q = (qq - 1.0) * (r - 1.0) * (s - 1.0);
+      }
+      if (p > 0.0) q = -q; else p = -p;
+      if (2.0 * p < std::min(3.0 * m * q - std::abs(tol * q), std::abs(e * q))) {
+        e = d;
+        d = p / q;
+      } else {
+        d = e = m;
+      }
+    }
+    a = b;
+    fa = fb;
+    b += std::abs(d) > tol ? d : (m > 0.0 ? tol : -tol);
+    fb = f(b);
+    if (std::signbit(fb) == std::signbit(fc)) {
+      c = a;
+      fc = fa;
+      e = d = b - a;
+    }
+  }
+  throw ConvergenceError("brent: iteration budget exhausted");
+}
+
+double golden_minimize(const std::function<double(double)>& f, double lo,
+                       double hi, double xtol) {
+  require(lo <= hi, "golden_minimize: lo must be <= hi");
+  constexpr double kInvPhi = 0.6180339887498949;
+  double a = lo, b = hi;
+  double x1 = b - kInvPhi * (b - a);
+  double x2 = a + kInvPhi * (b - a);
+  double f1 = f(x1), f2 = f(x2);
+  while (b - a > xtol) {
+    if (f1 < f2) {
+      b = x2;
+      x2 = x1; f2 = f1;
+      x1 = b - kInvPhi * (b - a);
+      f1 = f(x1);
+    } else {
+      a = x1;
+      x1 = x2; f1 = f2;
+      x2 = a + kInvPhi * (b - a);
+      f2 = f(x2);
+    }
+  }
+  return 0.5 * (a + b);
+}
+
+double monotone_threshold(const std::function<bool(double)>& pred, double lo,
+                          double hi, double xtol) {
+  require(lo <= hi, "monotone_threshold: lo must be <= hi");
+  if (!pred(lo)) return lo;
+  if (pred(hi)) return hi;
+  while (hi - lo > xtol) {
+    const double mid = 0.5 * (lo + hi);
+    if (pred(mid)) lo = mid; else hi = mid;
+  }
+  return lo;
+}
+
+}  // namespace nemsim

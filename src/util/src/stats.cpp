@@ -1,0 +1,57 @@
+#include "nemsim/util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nemsim/util/error.h"
+
+namespace nemsim {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double mean(std::span<const double> xs) {
+  require(!xs.empty(), "mean: empty sample");
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) {
+  require(xs.size() >= 2, "stddev: need at least two samples");
+  const double mu = mean(xs);
+  double m2 = 0.0;
+  for (double x : xs) m2 += (x - mu) * (x - mu);
+  return std::sqrt(m2 / static_cast<double>(xs.size() - 1));
+}
+
+double percentile(std::vector<double> xs, double p) {
+  require(!xs.empty(), "percentile: empty sample");
+  require(p >= 0.0 && p <= 100.0, "percentile: p must be in [0, 100]");
+  std::sort(xs.begin(), xs.end());
+  if (xs.size() == 1) return xs.front();
+  const double pos = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+}  // namespace nemsim

@@ -1,0 +1,93 @@
+#include "nemsim/util/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "nemsim/util/error.h"
+
+namespace nemsim {
+
+Table::Table(std::vector<std::string> columns) : columns_(std::move(columns)) {
+  require(!columns_.empty(), "Table: need at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  require(cells.size() == columns_.size(),
+          "Table::add_row: row arity does not match column count");
+  rows_.push_back(std::move(cells));
+}
+
+Table& Table::begin_row() {
+  rows_.emplace_back();
+  rows_.back().reserve(columns_.size());
+  return *this;
+}
+
+Table& Table::cell(const std::string& text) {
+  require(!rows_.empty() && rows_.back().size() < columns_.size(),
+          "Table::cell: no open row or row already full");
+  rows_.back().push_back(text);
+  return *this;
+}
+
+Table& Table::cell(double value, int precision) {
+  return cell(format(value, precision));
+}
+
+Table& Table::cell_sci(double value, int precision) {
+  return cell(format_sci(value, precision));
+}
+
+Table& Table::cell(int value) { return cell(std::to_string(value)); }
+
+std::string Table::format(double value, int precision) {
+  std::ostringstream os;
+  os << std::setprecision(precision) << value;
+  return os.str();
+}
+
+std::string Table::format_sci(double value, int precision) {
+  std::ostringstream os;
+  os << std::scientific << std::setprecision(precision) << value;
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) width[c] = columns_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      const std::string& text = c < row.size() ? row[c] : std::string{};
+      os << (c == 0 ? "| " : " | ") << std::setw(static_cast<int>(width[c]))
+         << std::left << text;
+    }
+    os << " |\n";
+  };
+  print_row(columns_);
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    os << (c == 0 ? "|" : "|") << std::string(width[c] + 2, '-');
+  }
+  os << "|\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      os << row[c];
+    }
+    os << '\n';
+  };
+  print_row(columns_);
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace nemsim

@@ -1,0 +1,56 @@
+// Process variation: per-device threshold-voltage sampling and a
+// Monte-Carlo driver (paper Figure 9 studies sigma_Vth/mu_Vth of 3/6/9 %).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "nemsim/spice/circuit.h"
+#include "nemsim/util/rng.h"
+#include "nemsim/util/stats.h"
+
+namespace nemsim::variation {
+
+/// Applies independent N(0, sigma) threshold shifts to every MOSFET and
+/// NEMFET in the circuit.  `sigma_fraction` is sigma_Vth/mu_Vth; each
+/// device's own nominal threshold magnitude sets its mu.
+void apply_vth_variation(spice::Circuit& circuit, double sigma_fraction,
+                         Rng& rng);
+
+/// Restores all threshold shifts to zero.
+void clear_vth_variation(spice::Circuit& circuit);
+
+struct MonteCarloOptions {
+  std::size_t trials = 100;
+  std::uint64_t seed = 20070604;  ///< DAC 2007 started June 4th
+  double sigma_fraction = 0.06;
+  /// Trials whose metric evaluation throws are recorded as failures
+  /// rather than aborting the run when true.
+  bool tolerate_failures = true;
+};
+
+struct MonteCarloResult {
+  RunningStats stats;
+  std::vector<double> samples;
+  std::size_t failures = 0;
+
+  /// Mean + `k` standard deviations — the usual worst-case corner proxy.
+  double mean_plus_sigmas(double k) const {
+    return stats.mean() + k * stats.stddev();
+  }
+  double worst() const { return stats.max(); }
+};
+
+/// Runs `metric` under `trials` independent variation draws on `circuit`.
+///
+/// For each trial: threshold shifts are sampled (deterministically from
+/// seed + trial index), `metric(circuit)` is evaluated, and shifts are
+/// cleared again.  The metric typically rebuilds an MnaSystem and runs an
+/// analysis.
+MonteCarloResult monte_carlo(
+    spice::Circuit& circuit,
+    const std::function<double(spice::Circuit&)>& metric,
+    const MonteCarloOptions& options);
+
+}  // namespace nemsim::variation

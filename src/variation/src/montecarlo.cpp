@@ -1,0 +1,62 @@
+#include "nemsim/variation/montecarlo.h"
+
+#include <cmath>
+
+#include "nemsim/devices/mosfet.h"
+#include "nemsim/devices/nemfet.h"
+#include "nemsim/util/error.h"
+#include "nemsim/util/logging.h"
+
+namespace nemsim::variation {
+
+void apply_vth_variation(spice::Circuit& circuit, double sigma_fraction,
+                         Rng& rng) {
+  require(sigma_fraction >= 0.0, "apply_vth_variation: sigma must be >= 0");
+  circuit.for_each<devices::Mosfet>([&](devices::Mosfet& m) {
+    const double sigma = sigma_fraction * std::abs(m.params().vth0);
+    m.set_vth_shift(rng.normal(0.0, sigma));
+  });
+  circuit.for_each<devices::Nemfet>([&](devices::Nemfet& x) {
+    const double sigma = sigma_fraction * std::abs(x.params().vth_ch);
+    x.set_vth_shift(rng.normal(0.0, sigma));
+  });
+}
+
+void clear_vth_variation(spice::Circuit& circuit) {
+  circuit.for_each<devices::Mosfet>(
+      [](devices::Mosfet& m) { m.set_vth_shift(0.0); });
+  circuit.for_each<devices::Nemfet>(
+      [](devices::Nemfet& x) { x.set_vth_shift(0.0); });
+}
+
+MonteCarloResult monte_carlo(
+    spice::Circuit& circuit,
+    const std::function<double(spice::Circuit&)>& metric,
+    const MonteCarloOptions& options) {
+  require(options.trials > 0, "monte_carlo: need at least one trial");
+  MonteCarloResult result;
+  result.samples.reserve(options.trials);
+  Rng root(options.seed);
+  for (std::size_t trial = 0; trial < options.trials; ++trial) {
+    Rng stream = root.child(trial);
+    apply_vth_variation(circuit, options.sigma_fraction, stream);
+    try {
+      const double value = metric(circuit);
+      result.stats.add(value);
+      result.samples.push_back(value);
+    } catch (const Error& e) {
+      if (!options.tolerate_failures) {
+        clear_vth_variation(circuit);
+        throw;
+      }
+      ++result.failures;
+      log_warn("monte_carlo: trial " + std::to_string(trial) +
+               " failed: " + e.what());
+    }
+    clear_vth_variation(circuit);
+  }
+  require(result.stats.count() > 0, "monte_carlo: all trials failed");
+  return result;
+}
+
+}  // namespace nemsim::variation

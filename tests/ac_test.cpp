@@ -1,0 +1,247 @@
+// AC (small-signal) analysis tests: canonical filters against closed
+// forms, amplifier gain against hand analysis, and the NEMFET's
+// electromechanical resonance.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "nemsim/devices/controlled.h"
+#include "nemsim/devices/mosfet.h"
+#include "nemsim/devices/nemfet.h"
+#include "nemsim/devices/passives.h"
+#include "nemsim/devices/sources.h"
+#include "nemsim/linalg/complex.h"
+#include "nemsim/spice/ac.h"
+#include "nemsim/spice/circuit.h"
+#include "nemsim/tech/cards.h"
+#include "nemsim/util/units.h"
+
+namespace nemsim {
+namespace {
+
+using namespace nemsim::literals;
+using devices::Capacitor;
+using devices::CurrentSource;
+using devices::Inductor;
+using devices::Mosfet;
+using devices::MosPolarity;
+using devices::Nemfet;
+using devices::NemsPolarity;
+using devices::Resistor;
+using devices::SourceWave;
+using devices::VoltageSource;
+using spice::Circuit;
+using spice::MnaSystem;
+
+// --------------------------------------------------------- complex linalg
+
+TEST(ComplexLinalg, SolveKnownSystem) {
+  using linalg::Complex;
+  linalg::CMatrix a(2, 2);
+  a(0, 0) = Complex(1, 1);
+  a(0, 1) = Complex(0, -1);
+  a(1, 0) = Complex(2, 0);
+  a(1, 1) = Complex(1, 0);
+  linalg::CVector x_true(2);
+  x_true[0] = Complex(1, -2);
+  x_true[1] = Complex(0.5, 3);
+  linalg::CVector b = a.multiply(x_true);
+  linalg::CVector x = linalg::solve(a, b);
+  EXPECT_NEAR(std::abs(x[0] - x_true[0]), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(x[1] - x_true[1]), 0.0, 1e-12);
+}
+
+TEST(ComplexLinalg, SingularThrows) {
+  linalg::CMatrix a(2, 2);
+  a(0, 0) = a(0, 1) = a(1, 0) = a(1, 1) = linalg::Complex(1, 1);
+  linalg::CVector b(2);
+  EXPECT_THROW(linalg::solve(a, b), SingularMatrixError);
+}
+
+TEST(ComplexLinalg, Logspace) {
+  auto f = spice::logspace(1.0, 1e3, 4);
+  ASSERT_EQ(f.size(), 4u);
+  EXPECT_NEAR(f[0], 1.0, 1e-12);
+  EXPECT_NEAR(f[1], 10.0, 1e-9);
+  EXPECT_NEAR(f[3], 1e3, 1e-6);
+}
+
+// -------------------------------------------------------------- filters
+
+TEST(Ac, RcLowpassPole) {
+  // R = 1k, C = 1 pF: f_3dB = 1/(2 pi R C) ~ 159 MHz.
+  Circuit ckt;
+  spice::NodeId in = ckt.node("in");
+  spice::NodeId out = ckt.node("out");
+  auto& vin = ckt.add<VoltageSource>("Vin", in, ckt.gnd(),
+                                     SourceWave::dc(0.0));
+  vin.set_ac(1.0);
+  ckt.add<Resistor>("R1", in, out, 1e3);
+  ckt.add<Capacitor>("C1", out, ckt.gnd(), 1.0_pF);
+  MnaSystem system(ckt);
+
+  const double f3 = 1.0 / (2.0 * std::numbers::pi * 1e3 * 1e-12);
+  const std::vector<double> freqs = {f3 / 100.0, f3, 100.0 * f3};
+  spice::AcResult ac = spice::ac_analysis(system, freqs);
+
+  EXPECT_NEAR(ac.magnitude("v(out)", 0), 1.0, 1e-3);          // passband
+  EXPECT_NEAR(ac.magnitude("v(out)", 1), 1.0 / std::sqrt(2.0), 1e-3);
+  EXPECT_NEAR(ac.magnitude("v(out)", 2), 0.01, 1e-3);          // -40 dB
+  EXPECT_NEAR(ac.phase_deg("v(out)", 1), -45.0, 0.5);
+}
+
+TEST(Ac, RlcSeriesResonance) {
+  // L = 1 uH, C = 1 nF: f0 = 1/(2 pi sqrt(LC)) ~ 5.03 MHz; at resonance
+  // the full source voltage appears across R.
+  Circuit ckt;
+  spice::NodeId in = ckt.node("in");
+  spice::NodeId a = ckt.node("a");
+  spice::NodeId out = ckt.node("out");
+  auto& vin = ckt.add<VoltageSource>("Vin", in, ckt.gnd(),
+                                     SourceWave::dc(0.0));
+  vin.set_ac(1.0);
+  ckt.add<Inductor>("L1", in, a, 1.0_uH);
+  ckt.add<Capacitor>("C1", a, out, 1.0_nF);
+  ckt.add<Resistor>("R1", out, ckt.gnd(), 10.0);
+  MnaSystem system(ckt);
+
+  const double f0 = 1.0 / (2.0 * std::numbers::pi * std::sqrt(1e-6 * 1e-9));
+  spice::AcResult ac =
+      spice::ac_analysis(system, std::vector<double>{f0 / 10.0, f0, 10.0 * f0});
+  EXPECT_NEAR(ac.magnitude("v(out)", 1), 1.0, 1e-3);   // on resonance
+  EXPECT_LT(ac.magnitude("v(out)", 0), 0.2);           // below
+  EXPECT_LT(ac.magnitude("v(out)", 2), 0.2);           // above
+}
+
+TEST(Ac, CapacitorBlocksDcInductorPassesIt) {
+  Circuit ckt;
+  spice::NodeId in = ckt.node("in");
+  spice::NodeId mid = ckt.node("mid");
+  auto& vin = ckt.add<VoltageSource>("Vin", in, ckt.gnd(),
+                                     SourceWave::dc(0.0));
+  vin.set_ac(1.0);
+  ckt.add<Inductor>("L1", in, mid, 1.0_uH);
+  ckt.add<Resistor>("R1", mid, ckt.gnd(), 1e3);
+  MnaSystem system(ckt);
+  spice::AcResult ac =
+      spice::ac_analysis(system, std::vector<double>{1.0, 1e9});
+  EXPECT_NEAR(ac.magnitude("v(mid)", 0), 1.0, 1e-4);  // inductor ~ short
+  EXPECT_LT(ac.magnitude("v(mid)", 1), 0.2);          // inductor blocks
+}
+
+// ------------------------------------------------------------ amplifiers
+
+TEST(Ac, CommonSourceGainMatchesGmRl) {
+  // NMOS biased in saturation with a drain resistor; small-signal gain
+  // ~ -gm * (RL || ro).
+  Circuit ckt;
+  spice::NodeId vdd = ckt.node("vdd");
+  spice::NodeId g = ckt.node("g");
+  spice::NodeId d = ckt.node("d");
+  ckt.add<VoltageSource>("Vdd", vdd, ckt.gnd(), SourceWave::dc(1.2));
+  auto& vg = ckt.add<VoltageSource>("Vg", g, ckt.gnd(), SourceWave::dc(0.6));
+  vg.set_ac(1.0);
+  ckt.add<Resistor>("RL", vdd, d, 2e3);
+  ckt.add<Mosfet>("M1", d, g, ckt.gnd(), MosPolarity::kNmos,
+                  tech::nmos_90nm(), 1.0_um, 0.1_um);
+  MnaSystem system(ckt);
+  spice::AcResult ac =
+      spice::ac_analysis(system, std::vector<double>{1e3});
+
+  // Independent estimate of gm and gds by finite differences of the model.
+  Mosfet probe("probe", spice::NodeId{1}, spice::NodeId{2}, spice::NodeId{0},
+               MosPolarity::kNmos, tech::nmos_90nm(), 1.0_um, 0.1_um);
+  // Need the actual bias of the drain from the OP embedded in the AC run:
+  // recompute it.
+  spice::OpResult op = spice::operating_point(system);
+  const double vd = op.v("d");
+  const double h = 1e-5;
+  const double gm =
+      (probe.drain_current(0.6 + h, vd) - probe.drain_current(0.6 - h, vd)) /
+      (2.0 * h);
+  const double gds =
+      (probe.drain_current(0.6, vd + h) - probe.drain_current(0.6, vd - h)) /
+      (2.0 * h);
+  const double expected_gain = gm / (1.0 / 2e3 + gds);
+  EXPECT_NEAR(ac.magnitude("v(d)", 0), expected_gain,
+              0.02 * expected_gain);
+  // Inverting stage: output ~180 degrees from input at low frequency.
+  EXPECT_NEAR(std::abs(ac.phase_deg("v(d)", 0)), 180.0, 1.0);
+}
+
+TEST(Ac, QuietCircuitIsSilent) {
+  // No AC excitation anywhere: response identically zero.
+  Circuit ckt;
+  spice::NodeId a = ckt.node("a");
+  ckt.add<VoltageSource>("V1", a, ckt.gnd(), SourceWave::dc(1.0));
+  ckt.add<Resistor>("R1", a, ckt.gnd(), 1e3);
+  MnaSystem system(ckt);
+  spice::AcResult ac =
+      spice::ac_analysis(system, std::vector<double>{1e6});
+  EXPECT_EQ(ac.magnitude("v(a)", 0), 0.0);
+}
+
+// --------------------------------------------- NEMS resonator (ref [22])
+
+TEST(Ac, NemfetBeamResonance) {
+  // Bias the beam below pull-in and shake the gate: the displacement
+  // response peaks at the (spring-softened) mechanical resonance and
+  // rolls off above it.
+  Circuit ckt;
+  spice::NodeId d = ckt.node("d");
+  spice::NodeId g = ckt.node("g");
+  ckt.add<VoltageSource>("Vd", d, ckt.gnd(), SourceWave::dc(0.05));
+  auto& vg = ckt.add<VoltageSource>("Vg", g, ckt.gnd(), SourceWave::dc(0.25));
+  vg.set_ac(0.01);
+  ckt.add<Nemfet>("X1", d, g, ckt.gnd(), NemsPolarity::kN, tech::nems_90nm(),
+                  1.0_um);
+  MnaSystem system(ckt);
+
+  const devices::NemsParams p = tech::nems_90nm();
+  const double f0 =
+      std::sqrt(p.spring_k / p.mass) / (2.0 * std::numbers::pi);
+  auto freqs = spice::logspace(f0 / 100.0, 100.0 * f0, 41);
+  spice::AcResult ac = spice::ac_analysis(system, freqs);
+  auto mags = ac.magnitude_series("X1.x");
+
+  // Low-frequency response is quasi-static and finite.
+  EXPECT_GT(mags.front(), 0.0);
+  // High-frequency response is mass-dominated: strongly attenuated.
+  EXPECT_LT(mags.back(), 0.05 * mags.front());
+  // A resonance peak exists above the static response (zeta ~ 0.6 gives
+  // only a slight peak: 1/(2 zeta sqrt(1-zeta^2)) ~ 1.04, shaved further
+  // by the log-grid sampling) ...
+  const auto peak_it = std::max_element(mags.begin(), mags.end());
+  EXPECT_GT(*peak_it, 1.005 * mags.front());
+  // ... and it sits near the mechanical resonance, not at the ends.
+  const double f_peak =
+      freqs[static_cast<std::size_t>(peak_it - mags.begin())];
+  EXPECT_GT(f_peak, f0 / 4.0);
+  EXPECT_LT(f_peak, 4.0 * f0);
+  // And the electrical side sees it too: gate current dips/peaks around
+  // the same region rather than being a pure capacitor line.
+  auto imag = ac.magnitude_series("i(Vg)");
+  EXPECT_GT(*std::max_element(imag.begin(), imag.end()), 0.0);
+}
+
+TEST(Ac, DeviceWithoutAcModelThrows) {
+  // A bare current source has an AC model, but we can exercise the
+  // default-throw path with a tiny local device class.
+  class NoAc : public spice::Device {
+   public:
+    explicit NoAc(std::string name) : Device(std::move(name)) {}
+    void stamp(spice::StampContext&) const override {}
+  };
+  Circuit ckt;
+  spice::NodeId a = ckt.node("a");
+  ckt.add<VoltageSource>("V1", a, ckt.gnd(), SourceWave::dc(0.0));
+  ckt.add<Resistor>("R1", a, ckt.gnd(), 1e3);
+  ckt.add<NoAc>("U1");
+  MnaSystem system(ckt);
+  EXPECT_THROW(spice::ac_analysis(system, std::vector<double>{1e6}),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace nemsim

@@ -1,0 +1,157 @@
+// Dynamic OR gate tests (paper Section 4): construction, functionality,
+// and the headline hybrid-vs-CMOS comparisons at reduced scale.
+#include <gtest/gtest.h>
+
+#include "nemsim/core/dynamic_or.h"
+#include "nemsim/devices/mosfet.h"
+#include "nemsim/devices/sources.h"
+#include "nemsim/spice/measure.h"
+#include "nemsim/spice/transient.h"
+#include "nemsim/util/units.h"
+
+namespace nemsim {
+namespace {
+
+using namespace nemsim::literals;
+using core::build_dynamic_or;
+using core::DynamicOrConfig;
+using core::DynamicOrGate;
+using devices::SourceWave;
+using devices::VoltageSource;
+
+DynamicOrConfig small_config(bool hybrid, int fanin = 4) {
+  DynamicOrConfig c;
+  c.fanin = fanin;
+  c.fanout = 1;
+  c.hybrid = hybrid;
+  return c;
+}
+
+TEST(DynamicOr, BuilderCreatesExpectedTopology) {
+  DynamicOrGate gate = build_dynamic_or(small_config(false, 3));
+  auto& ckt = gate.ckt();
+  EXPECT_TRUE(ckt.has_node("dyn"));
+  EXPECT_TRUE(ckt.has_node("out"));
+  EXPECT_TRUE(ckt.has_node("in2"));
+  EXPECT_NO_THROW(ckt.find_device("Mpre"));
+  EXPECT_NO_THROW(ckt.find_device("Mkeep"));
+  EXPECT_NO_THROW(ckt.find_device("Mpd0"));
+}
+
+TEST(DynamicOr, HybridAddsSeriesNemfets) {
+  DynamicOrGate gate = build_dynamic_or(small_config(true, 3));
+  auto& ckt = gate.ckt();
+  EXPECT_NO_THROW(ckt.find_device("Xpd0"));
+  EXPECT_NO_THROW(ckt.find_device("Xpd2"));
+  EXPECT_TRUE(ckt.has_node("mid0"));
+}
+
+TEST(DynamicOr, KeeperAutosizeScalesWithFanin) {
+  DynamicOrGate g4 = build_dynamic_or(small_config(false, 4));
+  DynamicOrGate g8 = build_dynamic_or(small_config(false, 8));
+  const double w4 = g4.ckt().find<devices::Mosfet>("Mkeep").width();
+  const double w8 = g8.ckt().find<devices::Mosfet>("Mkeep").width();
+  EXPECT_NEAR(w8 / w4, 2.0, 1e-9);
+}
+
+TEST(DynamicOr, KeeperClampedAtMaximum) {
+  DynamicOrConfig c = small_config(false, 16);
+  DynamicOrGate g = build_dynamic_or(c);
+  EXPECT_DOUBLE_EQ(g.ckt().find<devices::Mosfet>("Mkeep").width(),
+                   c.keeper_max_width);
+}
+
+TEST(DynamicOr, HybridKeeperIsMinimum) {
+  DynamicOrConfig c = small_config(true, 16);
+  DynamicOrGate g = build_dynamic_or(c);
+  EXPECT_DOUBLE_EQ(g.ckt().find<devices::Mosfet>("Mkeep").width(),
+                   c.hybrid_keeper_width);
+}
+
+TEST(DynamicOr, OutputStaysLowWithNoInput) {
+  // No input asserted: out must stay low through the whole cycle.
+  for (bool hybrid : {false, true}) {
+    DynamicOrGate gate = build_dynamic_or(small_config(hybrid));
+    spice::MnaSystem system(gate.ckt());
+    spice::TransientOptions options;
+    options.tstop = 2.1_ns;
+    options.dt_initial = 1e-13;
+    spice::Waveform wave = spice::transient(system, options);
+    EXPECT_LT(spice::max_value(wave, "v(out)"), 0.1)
+        << (hybrid ? "hybrid" : "cmos");
+  }
+}
+
+TEST(DynamicOr, EvaluatesWhenAnyInputHigh) {
+  // OR functionality: asserting only the LAST input must also discharge.
+  for (bool hybrid : {false, true}) {
+    DynamicOrGate gate = build_dynamic_or(small_config(hybrid));
+    auto& c = gate.config;
+    gate.ckt()
+        .find<VoltageSource>(gate.input_source(c.fanin - 1))
+        .set_wave(SourceWave::pulse(0.0, c.vdd,
+                                    c.t_precharge + c.t_edge + c.input_skew,
+                                    c.t_edge, c.t_edge, 0.7_ns));
+    spice::MnaSystem system(gate.ckt());
+    spice::TransientOptions options;
+    options.tstop = 2.04_ns;
+    options.dt_initial = 1e-13;
+    spice::Waveform wave = spice::transient(system, options);
+    EXPECT_GT(spice::max_value(wave, "v(out)", 1.0_ns), 1.1)
+        << (hybrid ? "hybrid" : "cmos");
+  }
+}
+
+TEST(DynamicOr, MeasuredDelayPositiveAndSane) {
+  for (bool hybrid : {false, true}) {
+    DynamicOrGate gate = build_dynamic_or(small_config(hybrid));
+    const double d = core::measure_worst_case_delay(gate);
+    EXPECT_GT(d, 1.0_ps);
+    EXPECT_LT(d, 1.0_ns);
+  }
+}
+
+TEST(DynamicOr, HybridLeakageFarBelowCmos) {
+  DynamicOrGate cmos = build_dynamic_or(small_config(false, 8));
+  DynamicOrGate hybrid = build_dynamic_or(small_config(true, 8));
+  const double leak_c = core::measure_leakage_power(cmos);
+  const double leak_h = core::measure_leakage_power(hybrid);
+  // "Almost zero leakage": about an order of magnitude or more here
+  // (the output inverter and precharge leakage are common to both).
+  EXPECT_LT(leak_h, 0.25 * leak_c);
+}
+
+TEST(DynamicOr, HybridSwitchingPowerLower) {
+  DynamicOrGate cmos = build_dynamic_or(small_config(false, 8));
+  DynamicOrGate hybrid = build_dynamic_or(small_config(true, 8));
+  const double p_c = core::measure_switching_power(cmos);
+  const double p_h = core::measure_switching_power(hybrid);
+  EXPECT_LT(p_h, 0.7 * p_c);  // paper: 60-80 % lower at fan-in 8
+}
+
+TEST(DynamicOr, NoiseMarginPositiveAndBelowVdd) {
+  DynamicOrGate gate = build_dynamic_or(small_config(false, 4));
+  const double nm = core::measure_noise_margin(gate, 0.02);
+  EXPECT_GT(nm, 0.1);
+  EXPECT_LT(nm, 1.2);
+}
+
+TEST(DynamicOr, HybridNoiseMarginAtLeastCmos) {
+  // The NEMS pull-in threshold blocks sub-Vpi noise entirely, so the
+  // hybrid gate's noise margin with a minimum keeper is at least
+  // comparable to the CMOS gate's with its sized keeper.
+  DynamicOrGate cmos = build_dynamic_or(small_config(false, 4));
+  DynamicOrGate hybrid = build_dynamic_or(small_config(true, 4));
+  const double nm_c = core::measure_noise_margin(cmos, 0.02);
+  const double nm_h = core::measure_noise_margin(hybrid, 0.02);
+  EXPECT_GT(nm_h, 0.8 * nm_c);
+}
+
+TEST(DynamicOr, RejectsZeroFanin) {
+  DynamicOrConfig c;
+  c.fanin = 0;
+  EXPECT_THROW(build_dynamic_or(c), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace nemsim

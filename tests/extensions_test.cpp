@@ -1,0 +1,228 @@
+// Tests for the extension features: netlist export, the Section 5.3
+// pull-up-only hybrid cell, the Section 5.1 column-leakage study,
+// Figure 16 granularity comparison, process corners / temperature, and
+// the keeper auto-sizing utility.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "nemsim/core/dynamic_or.h"
+#include "nemsim/core/power_gating.h"
+#include "nemsim/core/sram.h"
+#include "nemsim/devices/mosfet.h"
+#include "nemsim/devices/nemfet.h"
+#include "nemsim/devices/passives.h"
+#include "nemsim/devices/sources.h"
+#include "nemsim/spice/circuit.h"
+#include "nemsim/spice/netlist_export.h"
+#include "nemsim/tech/cards.h"
+#include "nemsim/tech/characterize.h"
+#include "nemsim/tech/corners.h"
+#include "nemsim/util/units.h"
+
+namespace nemsim {
+namespace {
+
+using namespace nemsim::literals;
+using namespace nemsim::core;
+
+// ------------------------------------------------------- netlist export
+
+TEST(NetlistExport, ContainsAllDevicesAndNodes) {
+  spice::Circuit ckt;
+  spice::NodeId a = ckt.node("alpha");
+  spice::NodeId b = ckt.node("beta");
+  ckt.add<devices::VoltageSource>("Vsup", a, ckt.gnd(),
+                                  devices::SourceWave::dc(1.2));
+  ckt.add<devices::Resistor>("Rload", a, b, 2.5e3);
+  ckt.add<devices::Capacitor>("Cload", b, ckt.gnd(), 3.0_fF);
+  ckt.add<devices::Mosfet>("Mx", b, a, ckt.gnd(),
+                           devices::MosPolarity::kNmos, tech::nmos_90nm(),
+                           0.3_um, 0.1_um);
+  const std::string net = spice::netlist_string(ckt, "unit test");
+  EXPECT_NE(net.find("* unit test"), std::string::npos);
+  EXPECT_NE(net.find("Vsup alpha 0 DC 1.2"), std::string::npos);
+  EXPECT_NE(net.find("Rload alpha beta"), std::string::npos);
+  EXPECT_NE(net.find("Cload beta 0"), std::string::npos);
+  EXPECT_NE(net.find("Mx beta alpha 0 NMOS"), std::string::npos);
+  EXPECT_NE(net.find(".end"), std::string::npos);
+}
+
+TEST(NetlistExport, PulseAndNemfetForms) {
+  spice::Circuit ckt;
+  spice::NodeId a = ckt.node("a");
+  ckt.add<devices::VoltageSource>(
+      "Vp", a, ckt.gnd(),
+      devices::SourceWave::pulse(0.0, 1.2, 1e-9, 2e-11, 2e-11, 5e-10));
+  ckt.add<devices::Nemfet>("Xn", a, a, ckt.gnd(),
+                           devices::NemsPolarity::kN, tech::nems_90nm(),
+                           1.0_um);
+  const std::string net = spice::netlist_string(ckt);
+  EXPECT_NE(net.find("PULSE(0 1.2"), std::string::npos);
+  EXPECT_NE(net.find("NEMFET_N"), std::string::npos);
+  EXPECT_NE(net.find("VPI="), std::string::npos);
+}
+
+TEST(NetlistExport, WholeDynamicOrGateExports) {
+  DynamicOrConfig c;
+  c.fanin = 4;
+  c.hybrid = true;
+  DynamicOrGate gate = build_dynamic_or(c);
+  const std::string net = spice::netlist_string(gate.ckt());
+  // One line per device plus title and .end.
+  const auto lines = std::count(net.begin(), net.end(), '\n');
+  EXPECT_EQ(static_cast<std::size_t>(lines),
+            gate.ckt().num_devices() + 2);
+  EXPECT_EQ(net.find("no netlist exporter"), std::string::npos);
+}
+
+// --------------------------------------------- pull-up-only hybrid cell
+
+TEST(HybridPullupOnly, NoReadLatencyPenalty) {
+  SramConfig conv;
+  SramConfig pu;
+  pu.kind = SramKind::kHybridPullupOnly;
+  const double lc = measure_read_latency(conv);
+  const double lp = measure_read_latency(pu);
+  // "low ON current of PMOS NEMS devices does not affect the read
+  // latency" - within a few percent.
+  EXPECT_NEAR(lp / lc, 1.0, 0.05);
+}
+
+TEST(HybridPullupOnly, LeakageSavingSmallerThanFullHybrid) {
+  SramConfig conv;
+  SramConfig pu;
+  pu.kind = SramKind::kHybridPullupOnly;
+  SramConfig full;
+  full.kind = SramKind::kHybrid;
+  const double leak_conv = measure_standby_leakage(conv);
+  const double leak_pu = measure_standby_leakage(pu);
+  const double leak_full = measure_standby_leakage(full);
+  EXPECT_LT(leak_pu, leak_conv);       // it does save...
+  EXPECT_GT(leak_pu, 10.0 * leak_full);  // ...but the leaky NMOS dominates
+}
+
+TEST(HybridPullupOnly, HoldsBothValues) {
+  SramConfig c;
+  c.kind = SramKind::kHybridPullupOnly;
+  for (bool one : {false, true}) {
+    c.stored_one = one;
+    EXPECT_GT(measure_standby_leakage(c), 0.0) << "stored_one=" << one;
+  }
+}
+
+// --------------------------------------------------- column leakage study
+
+TEST(ColumnStudy, IdleCellLeakageStretchesRead) {
+  SramConfig c;
+  const double alone = measure_column_read_latency(c, 0);
+  const double with_256 = measure_column_read_latency(c, 256);
+  EXPECT_GT(with_256, 1.1 * alone);
+}
+
+TEST(ColumnStudy, MoreIdleCellsIsMonotonicallyWorse) {
+  SramConfig c;
+  double prev = measure_column_read_latency(c, 0);
+  for (std::size_t idle : {64ul, 256ul, 1024ul}) {
+    const double lat = measure_column_read_latency(c, idle);
+    EXPECT_GT(lat, prev) << idle;
+    prev = lat;
+  }
+}
+
+TEST(ColumnStudy, ZeroIdleMatchesPlainMeasurement) {
+  SramConfig c;
+  EXPECT_DOUBLE_EQ(measure_column_read_latency(c, 0),
+                   measure_read_latency(c));
+}
+
+// ------------------------------------------------- granularity (Fig 16)
+
+TEST(Granularity, CoarseSharesBetterAtEqualArea) {
+  GranularityConfig c;
+  auto fine = measure_granularity(SleepGranularity::kFineGrain, c);
+  auto coarse = measure_granularity(SleepGranularity::kCoarseGrain, c);
+  // Same silicon; the shared switch sees at most one gate switching at a
+  // time here, so coarse is no slower.
+  EXPECT_LE(coarse.delay, fine.delay * 1.05);
+  EXPECT_GT(fine.worst_droop, 0.0);
+  EXPECT_GT(coarse.worst_droop, 0.0);
+}
+
+TEST(Granularity, NemsVariantCutsSleepLeakage) {
+  GranularityConfig cmos;
+  GranularityConfig nems;
+  nems.device = SleepDeviceType::kNems;
+  auto rc = measure_granularity(SleepGranularity::kCoarseGrain, cmos);
+  auto rn = measure_granularity(SleepGranularity::kCoarseGrain, nems);
+  EXPECT_LT(rn.sleep_leakage, 0.1 * rc.sleep_leakage);
+}
+
+// --------------------------------------------------- corners/temperature
+
+TEST(Corners, FastLeaksMoreSlowLeaksLess) {
+  auto iv_at = [&](tech::Corner corner) {
+    return tech::characterize_mosfet(
+        tech::at_corner(tech::nmos_90nm(), corner),
+        devices::MosPolarity::kNmos, 1.0_um, 0.1_um, 1.2);
+  };
+  auto tt = iv_at(tech::Corner::kTypical);
+  auto ff = iv_at(tech::Corner::kFast);
+  auto ss = iv_at(tech::Corner::kSlow);
+  EXPECT_GT(ff.ioff, 2.0 * tt.ioff);
+  EXPECT_LT(ss.ioff, 0.5 * tt.ioff);
+  EXPECT_GT(ff.ion, tt.ion);
+  EXPECT_LT(ss.ion, tt.ion);
+  EXPECT_STREQ(tech::corner_name(tech::Corner::kFast), "FF");
+}
+
+TEST(Temperature, CmosLeakageExplodesNemsFloorDoesNot) {
+  auto cmos_cold = tech::characterize_mosfet(
+      tech::at_temperature(tech::nmos_90nm(), 300.0),
+      devices::MosPolarity::kNmos, 1.0_um, 0.1_um, 1.2);
+  auto cmos_hot = tech::characterize_mosfet(
+      tech::at_temperature(tech::nmos_90nm(), 400.0),
+      devices::MosPolarity::kNmos, 1.0_um, 0.1_um, 1.2);
+  EXPECT_GT(cmos_hot.ioff, 5.0 * cmos_cold.ioff);
+
+  auto nems_cold = tech::characterize_nemfet(
+      tech::at_temperature(tech::nems_90nm(), 300.0), 1.0_um, 1.2);
+  auto nems_hot = tech::characterize_nemfet(
+      tech::at_temperature(tech::nems_90nm(), 400.0), 1.0_um, 1.2);
+  // The tunneling floor dominates the NEMS OFF state at both temps.
+  EXPECT_LT(nems_hot.iv.ioff, 1.5 * nems_cold.iv.ioff);
+}
+
+TEST(Temperature, RejectsNonPositive) {
+  EXPECT_THROW(tech::at_temperature(tech::nmos_90nm(), 0.0),
+               InvalidArgument);
+}
+
+// ------------------------------------------------ keeper sizing utility
+
+TEST(KeeperSizing, MeetsTargetMinimally) {
+  DynamicOrConfig base;
+  base.fanin = 4;
+  base.fanout = 1;
+  const double w = size_keeper_for_noise_margin(base, 0.35, 0.12e-6,
+                                                0.8e-6, 0.04e-6);
+  // The found width meets the target...
+  DynamicOrConfig c = base;
+  c.autosize_keeper = false;
+  c.keeper_width = w;
+  DynamicOrGate gate = build_dynamic_or(c);
+  EXPECT_GE(measure_noise_margin(gate, 0.02), 0.33);
+  // ... and a clearly smaller keeper does not.
+  c.keeper_width = 0.5 * w;
+  DynamicOrGate small = build_dynamic_or(c);
+  EXPECT_LT(measure_noise_margin(small, 0.02), 0.35);
+}
+
+TEST(KeeperSizing, UnreachableTargetThrows) {
+  DynamicOrConfig base;
+  base.fanin = 4;
+  EXPECT_THROW(size_keeper_for_noise_margin(base, 1.19), ConvergenceError);
+}
+
+}  // namespace
+}  // namespace nemsim

@@ -1,0 +1,177 @@
+// Tests of the standard-cell builders and the power/PDP metrics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nemsim/core/gates.h"
+#include "nemsim/core/metrics.h"
+#include "nemsim/devices/passives.h"
+#include "nemsim/devices/sources.h"
+#include "nemsim/spice/measure.h"
+#include "nemsim/spice/op.h"
+#include "nemsim/spice/transient.h"
+#include "nemsim/util/units.h"
+
+namespace nemsim {
+namespace {
+
+using namespace nemsim::literals;
+using core::add_fanout_load;
+using core::add_inverter;
+using core::add_inverter_chain;
+using core::InverterSizes;
+using devices::SourceWave;
+using devices::VoltageSource;
+using spice::Circuit;
+using spice::MnaSystem;
+
+TEST(Gates, InverterInverts) {
+  Circuit ckt;
+  spice::NodeId vdd = ckt.node("vdd");
+  spice::NodeId in = ckt.node("in");
+  spice::NodeId out = ckt.node("out");
+  ckt.add<VoltageSource>("Vdd", vdd, ckt.gnd(), SourceWave::dc(1.2));
+  ckt.add<VoltageSource>("Vin", in, ckt.gnd(), SourceWave::dc(0.0));
+  add_inverter(ckt, "INV", in, out, vdd);
+  MnaSystem system(ckt);
+  EXPECT_GT(spice::operating_point(system).v("out"), 1.19);
+  ckt.find<VoltageSource>("Vin").set_dc(1.2);
+  EXPECT_LT(spice::operating_point(system).v("out"), 0.01);
+}
+
+TEST(Gates, FanoutLoadAddsDevices) {
+  Circuit ckt;
+  spice::NodeId vdd = ckt.node("vdd");
+  spice::NodeId n = ckt.node("n");
+  const std::size_t before = ckt.num_devices();
+  add_fanout_load(ckt, "L", n, vdd, 3);
+  EXPECT_EQ(ckt.num_devices(), before + 6);  // 2 devices per inverter
+}
+
+TEST(Gates, InverterChainAlternates) {
+  Circuit ckt;
+  spice::NodeId vdd = ckt.node("vdd");
+  spice::NodeId in = ckt.node("in");
+  ckt.add<VoltageSource>("Vdd", vdd, ckt.gnd(), SourceWave::dc(1.2));
+  ckt.add<VoltageSource>("Vin", in, ckt.gnd(), SourceWave::dc(1.2));
+  auto outs = add_inverter_chain(ckt, "CH", in, vdd, ckt.gnd(), 4);
+  ASSERT_EQ(outs.size(), 4u);
+  MnaSystem system(ckt);
+  spice::OpResult op = spice::operating_point(system);
+  EXPECT_LT(op.v(outs[0]), 0.01);
+  EXPECT_GT(op.v(outs[1]), 1.19);
+  EXPECT_LT(op.v(outs[2]), 0.01);
+  EXPECT_GT(op.v(outs[3]), 1.19);
+}
+
+TEST(Gates, InputCapacitanceScalesWithWidth) {
+  InverterSizes s1;
+  InverterSizes s2{0.8e-6, 0.4e-6, 1e-7};
+  EXPECT_NEAR(core::inverter_input_capacitance(s2) /
+                  core::inverter_input_capacitance(s1),
+              2.0, 1e-9);
+  EXPECT_GT(core::inverter_input_capacitance(s1), 0.1_fF);
+  EXPECT_LT(core::inverter_input_capacitance(s1), 10.0_fF);
+}
+
+TEST(Gates, Nand2TruthTable) {
+  Circuit ckt;
+  spice::NodeId vdd = ckt.node("vdd");
+  spice::NodeId a = ckt.node("a");
+  spice::NodeId b = ckt.node("b");
+  spice::NodeId out = ckt.node("out");
+  ckt.add<VoltageSource>("Vdd", vdd, ckt.gnd(), SourceWave::dc(1.2));
+  auto& va = ckt.add<VoltageSource>("Va", a, ckt.gnd(), SourceWave::dc(0.0));
+  auto& vb = ckt.add<VoltageSource>("Vb", b, ckt.gnd(), SourceWave::dc(0.0));
+  core::add_nand2(ckt, "ND", a, b, out, vdd);
+  MnaSystem system(ckt);
+  const double truth[4][3] = {
+      {0.0, 0.0, 1.2}, {0.0, 1.2, 1.2}, {1.2, 0.0, 1.2}, {1.2, 1.2, 0.0}};
+  for (const auto& row : truth) {
+    va.set_dc(row[0]);
+    vb.set_dc(row[1]);
+    EXPECT_NEAR(spice::operating_point(system).v("out"), row[2], 0.02)
+        << row[0] << "," << row[1];
+  }
+}
+
+TEST(Gates, Nor2TruthTable) {
+  Circuit ckt;
+  spice::NodeId vdd = ckt.node("vdd");
+  spice::NodeId a = ckt.node("a");
+  spice::NodeId b = ckt.node("b");
+  spice::NodeId out = ckt.node("out");
+  ckt.add<VoltageSource>("Vdd", vdd, ckt.gnd(), SourceWave::dc(1.2));
+  auto& va = ckt.add<VoltageSource>("Va", a, ckt.gnd(), SourceWave::dc(0.0));
+  auto& vb = ckt.add<VoltageSource>("Vb", b, ckt.gnd(), SourceWave::dc(0.0));
+  core::add_nor2(ckt, "NR", a, b, out, vdd);
+  MnaSystem system(ckt);
+  const double truth[4][3] = {
+      {0.0, 0.0, 1.2}, {0.0, 1.2, 0.0}, {1.2, 0.0, 0.0}, {1.2, 1.2, 0.0}};
+  for (const auto& row : truth) {
+    va.set_dc(row[0]);
+    vb.set_dc(row[1]);
+    EXPECT_NEAR(spice::operating_point(system).v("out"), row[2], 0.02)
+        << row[0] << "," << row[1];
+  }
+}
+
+// ------------------------------------------------------------- metrics
+
+TEST(Metrics, Equation1Endpoints) {
+  // alpha = 0: pure leakage; alpha = 1: pure switching.
+  EXPECT_DOUBLE_EQ(core::power_delay_product(0.0, 2.0, 10.0, 3.0), 6.0);
+  EXPECT_DOUBLE_EQ(core::power_delay_product(1.0, 2.0, 10.0, 3.0), 30.0);
+  EXPECT_DOUBLE_EQ(core::power_delay_product(0.5, 2.0, 10.0, 3.0), 18.0);
+}
+
+TEST(Metrics, Equation1RejectsBadAlpha) {
+  EXPECT_THROW(core::power_delay_product(-0.1, 1.0, 1.0, 1.0),
+               InvalidArgument);
+  EXPECT_THROW(core::power_delay_product(1.1, 1.0, 1.0, 1.0),
+               InvalidArgument);
+}
+
+TEST(Metrics, StaticPowerOfDividerMatchesOhmsLaw) {
+  Circuit ckt;
+  spice::NodeId a = ckt.node("a");
+  ckt.add<VoltageSource>("V1", a, ckt.gnd(), SourceWave::dc(2.0));
+  ckt.add<devices::Resistor>("R1", a, ckt.gnd(), 1e3);
+  MnaSystem system(ckt);
+  spice::OpResult op = spice::operating_point(system);
+  EXPECT_NEAR(core::static_power(ckt, op), 4e-3, 1e-9);  // V^2/R
+}
+
+TEST(Metrics, SourceEnergyOfRcCharge) {
+  // Charging C to V through R draws E = C V^2 from the source.
+  Circuit ckt;
+  spice::NodeId in = ckt.node("in");
+  spice::NodeId out = ckt.node("out");
+  ckt.add<VoltageSource>(
+      "V1", in, ckt.gnd(),
+      SourceWave::pulse(0.0, 1.0, 0.1_ns, 10.0_ps, 10.0_ps, 1.0));
+  ckt.add<devices::Resistor>("R1", in, out, 1e3);
+  ckt.add<devices::Capacitor>("C1", out, ckt.gnd(), 1.0_pF);
+  MnaSystem system(ckt);
+  spice::TransientOptions options;
+  options.tstop = 15.0_ns;
+  spice::Waveform wave = spice::transient(system, options);
+  const double e = core::source_energy(ckt, wave, "V1", 0.0, wave.end_time());
+  EXPECT_NEAR(e, 1e-12, 0.05e-12);  // C * V^2 (half stored, half in R)
+}
+
+TEST(Metrics, AveragePowerConsistentWithEnergy) {
+  Circuit ckt;
+  spice::NodeId a = ckt.node("a");
+  ckt.add<VoltageSource>("V1", a, ckt.gnd(), SourceWave::dc(1.0));
+  ckt.add<devices::Resistor>("R1", a, ckt.gnd(), 1e3);
+  MnaSystem system(ckt);
+  spice::TransientOptions options;
+  options.tstop = 1.0_ns;
+  spice::Waveform wave = spice::transient(system, options);
+  const double p = core::source_average_power(ckt, wave, "V1", 0.0, 1.0_ns);
+  EXPECT_NEAR(p, 1e-3, 1e-6);  // V^2/R = 1 mW
+}
+
+}  // namespace
+}  // namespace nemsim

@@ -1,0 +1,147 @@
+// Integration tests: the paper's headline claims at full experiment
+// scale (these are the same configurations the benches run, held to the
+// qualitative assertions the paper makes).
+#include <gtest/gtest.h>
+
+#include "nemsim/core/dynamic_or.h"
+#include "nemsim/core/metrics.h"
+#include "nemsim/core/power_gating.h"
+#include "nemsim/core/sram.h"
+#include "nemsim/tech/cards.h"
+#include "nemsim/tech/characterize.h"
+#include "nemsim/util/units.h"
+
+namespace nemsim {
+namespace {
+
+using namespace nemsim::literals;
+using namespace nemsim::core;
+
+// ---- Abstract claim 1: Table 1 calibration end-to-end -----------------
+
+TEST(Headline, Table1DevicesWithinTolerance) {
+  tech::DeviceIV cmos = tech::characterize_mosfet(
+      tech::nmos_90nm(), devices::MosPolarity::kNmos, 1.0_um, 0.1_um, 1.2);
+  tech::NemsIV nems = tech::characterize_nemfet(tech::nems_90nm(), 1.0_um, 1.2);
+  EXPECT_NEAR(cmos.ion, 1110e-6, 0.1 * 1110e-6);
+  EXPECT_NEAR(cmos.ioff, 50e-9, 0.25 * 50e-9);
+  EXPECT_NEAR(nems.iv.ion, 330e-6, 0.1 * 330e-6);
+  EXPECT_NEAR(nems.iv.ioff, 110e-12, 0.25 * 110e-12);
+}
+
+// ---- Abstract claim 2: hybrid OR, 60-80 % lower switching power with
+// minor delay penalty at fan-in 8 ---------------------------------------
+
+TEST(Headline, HybridOrPowerAndDelayAtFanin8) {
+  DynamicOrConfig c;
+  c.fanin = 8;
+  c.fanout = 3;
+  c.hybrid = false;
+  DynamicOrGate cmos = build_dynamic_or(c);
+  DynamicOrMetrics mc = measure_dynamic_or(cmos);
+  c.hybrid = true;
+  DynamicOrGate hybrid = build_dynamic_or(c);
+  DynamicOrMetrics mh = measure_dynamic_or(hybrid);
+
+  // Power: at least 40 % saving (paper: 60-80 %).
+  EXPECT_LT(mh.switching_power, 0.6 * mc.switching_power);
+  // Delay: hybrid slower, but by less than ~50 % ("minor penalty").
+  EXPECT_GT(mh.worst_case_delay, mc.worst_case_delay);
+  EXPECT_LT(mh.worst_case_delay, 1.5 * mc.worst_case_delay);
+  // Leakage: "almost zero" - at least 3x below (common inverter/precharge
+  // leakage remains in both).
+  EXPECT_LT(mh.leakage_power, 0.35 * mc.leakage_power);
+}
+
+// ---- Abstract claim 3: crossover beyond fan-in ~12 --------------------
+
+TEST(Headline, HybridWinsBothMetricsAtHighFanin) {
+  for (int fanin : {12, 16}) {
+    DynamicOrConfig c;
+    c.fanin = fanin;
+    c.fanout = 3;
+    c.hybrid = false;
+    DynamicOrGate cmos = build_dynamic_or(c);
+    DynamicOrMetrics mc = measure_dynamic_or(cmos);
+    c.hybrid = true;
+    DynamicOrGate hybrid = build_dynamic_or(c);
+    DynamicOrMetrics mh = measure_dynamic_or(hybrid);
+    EXPECT_LT(mh.worst_case_delay, mc.worst_case_delay) << "fanin " << fanin;
+    EXPECT_LT(mh.switching_power, mc.switching_power) << "fanin " << fanin;
+  }
+}
+
+TEST(Headline, CmosStillWinsDelayAtLowFanin) {
+  DynamicOrConfig c;
+  c.fanin = 4;
+  c.fanout = 3;
+  c.hybrid = false;
+  DynamicOrGate cmos = build_dynamic_or(c);
+  c.hybrid = true;
+  DynamicOrGate hybrid = build_dynamic_or(c);
+  EXPECT_LT(measure_worst_case_delay(cmos), measure_worst_case_delay(hybrid));
+}
+
+// ---- Abstract claim 4: Equation 1 PDP dominance ------------------------
+
+TEST(Headline, HybridPdpBelowCmosAcrossActivity) {
+  DynamicOrConfig c;
+  c.fanin = 8;
+  c.fanout = 1;
+  c.hybrid = false;
+  DynamicOrGate cmos = build_dynamic_or(c);
+  DynamicOrMetrics mc = measure_dynamic_or(cmos);
+  c.hybrid = true;
+  DynamicOrGate hybrid = build_dynamic_or(c);
+  DynamicOrMetrics mh = measure_dynamic_or(hybrid);
+  for (double alpha = 0.0; alpha <= 1.0001; alpha += 0.25) {
+    const double pd_c = power_delay_product(alpha, mc.leakage_power,
+                                            mc.switching_power,
+                                            mc.worst_case_delay);
+    const double pd_h = power_delay_product(alpha, mh.leakage_power,
+                                            mh.switching_power,
+                                            mh.worst_case_delay);
+    EXPECT_LT(pd_h, pd_c) << "alpha=" << alpha;
+  }
+}
+
+// ---- Abstract claim 5: hybrid SRAM ~8x lower leakage, minor SNM and
+// latency cost ----------------------------------------------------------
+
+TEST(Headline, HybridSramTradeoffs) {
+  SramConfig conv;
+  SramConfig hyb;
+  hyb.kind = SramKind::kHybrid;
+
+  const double snm_conv = measure_butterfly(conv, 61).snm;
+  const double snm_hyb = measure_butterfly(hyb, 61).snm;
+  EXPECT_NEAR(snm_hyb / snm_conv, 0.86, 0.08);  // "14 % lower"
+
+  const double lat_conv = measure_read_latency(conv);
+  const double lat_hyb = measure_read_latency(hyb);
+  EXPECT_GT(lat_hyb, lat_conv);
+  EXPECT_LT(lat_hyb, 2.0 * lat_conv);
+
+  const double leak_conv = measure_standby_leakage(conv);
+  const double leak_hyb = measure_standby_leakage(hyb);
+  EXPECT_GT(leak_conv / leak_hyb, 8.0);  // "almost 8X lower" (or better)
+}
+
+// ---- Abstract claim 6: NEMS sleep transistors --------------------------
+
+TEST(Headline, NemsSleepTransistorClaims) {
+  SleepSweepConfig cmos;
+  SleepSweepConfig nems;
+  nems.device = SleepDeviceType::kNems;
+  const std::vector<double> areas = {1.0, 20.0};
+  auto pc = sweep_sleep_transistor(cmos, areas);
+  auto pn = sweep_sleep_transistor(nems, areas);
+  // Leakage: two to three orders of magnitude lower (pinned by Table 1's
+  // Ioff ratio of ~455x).
+  EXPECT_GT(pc[0].ioff / pn[0].ioff, 100.0);
+  // Ron gap shrinks with area so the penalty can be sized away.
+  EXPECT_LT(pn[1].ron - pc[1].ron, 0.1 * (pn[0].ron - pc[0].ron));
+}
+
+}  // namespace
+}  // namespace nemsim

@@ -1,0 +1,272 @@
+// Unit tests for the dense/sparse linear algebra kernels.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nemsim/linalg/lu.h"
+#include "nemsim/linalg/matrix.h"
+#include "nemsim/linalg/polyfit.h"
+#include "nemsim/linalg/sparse.h"
+#include "nemsim/util/error.h"
+
+namespace nemsim::linalg {
+namespace {
+
+// ---------------------------------------------------------------- Vector
+
+TEST(Vector, ArithmeticAndNorms) {
+  Vector a{1.0, -2.0, 3.0};
+  Vector b{1.0, 1.0, 1.0};
+  Vector c = a + b;
+  EXPECT_DOUBLE_EQ(c[0], 2.0);
+  EXPECT_DOUBLE_EQ(c[1], -1.0);
+  EXPECT_DOUBLE_EQ(a.inf_norm(), 3.0);
+  EXPECT_NEAR(a.two_norm(), std::sqrt(14.0), 1e-12);
+  EXPECT_DOUBLE_EQ(dot(a, b), 2.0);
+}
+
+TEST(Vector, SizeMismatchThrows) {
+  Vector a(3), b(2);
+  EXPECT_THROW(a += b, InvalidArgument);
+  EXPECT_THROW(dot(a, b), InvalidArgument);
+}
+
+TEST(Vector, BoundsCheckedAt) {
+  Vector a(2);
+  EXPECT_THROW(a.at(5), InvalidArgument);
+}
+
+// ---------------------------------------------------------------- Matrix
+
+TEST(Matrix, InitializerListLayout) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  EXPECT_THROW((Matrix{{1.0, 2.0}, {3.0}}), InvalidArgument);
+}
+
+TEST(Matrix, MultiplyVector) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  Vector x{1.0, 1.0};
+  Vector y = m * x;
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 7.0);
+}
+
+TEST(Matrix, MultiplyMatrixAgainstIdentity) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  Matrix i = Matrix::identity(2);
+  Matrix p = m * i;
+  EXPECT_DOUBLE_EQ(p(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(p(1, 1), 4.0);
+}
+
+TEST(Matrix, TransposedSwapsIndices) {
+  Matrix m{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+}
+
+TEST(Matrix, InfNormIsMaxRowSum) {
+  Matrix m{{1.0, -2.0}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(m.inf_norm(), 7.0);
+}
+
+// -------------------------------------------------------------------- LU
+
+TEST(Lu, SolvesKnownSystem) {
+  Matrix a{{2.0, 1.0}, {1.0, 3.0}};
+  Vector b{3.0, 5.0};
+  Vector x = solve(a, b);
+  EXPECT_NEAR(x[0], 0.8, 1e-12);
+  EXPECT_NEAR(x[1], 1.4, 1e-12);
+}
+
+TEST(Lu, RequiresPivoting) {
+  // Zero on the initial diagonal forces a row swap.
+  Matrix a{{0.0, 1.0}, {1.0, 0.0}};
+  Vector b{2.0, 3.0};
+  Vector x = solve(a, b);
+  EXPECT_DOUBLE_EQ(x[0], 3.0);
+  EXPECT_DOUBLE_EQ(x[1], 2.0);
+}
+
+TEST(Lu, SingularMatrixThrows) {
+  Matrix a{{1.0, 2.0}, {2.0, 4.0}};
+  EXPECT_THROW(LuDecomposition lu(a), SingularMatrixError);
+}
+
+TEST(Lu, DeterminantWithPermutationSign) {
+  Matrix a{{0.0, 1.0}, {1.0, 0.0}};
+  LuDecomposition lu(a);
+  EXPECT_NEAR(lu.determinant(), -1.0, 1e-12);
+}
+
+TEST(Lu, BadlyRowScaledSystemStillAccurate) {
+  // Rows differing by 12 orders of magnitude (amperes vs newtons in the
+  // electromechanical MNA); equilibration must keep the solve accurate.
+  Matrix a{{1e-12, 2e-12}, {3.0, -1.0}};
+  Vector b{3e-12, 2.0};
+  Vector x = solve(a, b);
+  EXPECT_NEAR(x[0], 1.0, 1e-9);
+  EXPECT_NEAR(x[1], 1.0, 1e-9);
+}
+
+TEST(Lu, RandomRoundTrip) {
+  const std::size_t n = 20;
+  Matrix a(n, n);
+  unsigned state = 12345;
+  auto next = [&] {
+    state = state * 1664525u + 1013904223u;
+    return static_cast<double>(state % 2000) / 1000.0 - 1.0;
+  };
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) a(r, c) = next();
+    a(r, r) += 5.0;  // diagonally dominant => well conditioned
+  }
+  Vector x_true(n);
+  for (std::size_t i = 0; i < n; ++i) x_true[i] = next();
+  Vector b = a * x_true;
+  Vector x = solve(a, b);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-10);
+}
+
+TEST(Lu, RcondEstimatePositive) {
+  Matrix a{{2.0, 1.0}, {1.0, 3.0}};
+  LuDecomposition lu(a);
+  EXPECT_GT(lu.rcond_estimate(), 0.0);
+  EXPECT_LE(lu.rcond_estimate(), 1.0);
+}
+
+// --------------------------------------------------------------- polyfit
+
+TEST(Polyfit, ExactQuadraticRecovery) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i <= 10; ++i) {
+    const double x = 0.1 * i;
+    xs.push_back(x);
+    ys.push_back(2.0 - 3.0 * x + 0.5 * x * x);
+  }
+  Polynomial p = polyfit(xs, ys, 2);
+  EXPECT_NEAR(p.coefficients()[0], 2.0, 1e-9);
+  EXPECT_NEAR(p.coefficients()[1], -3.0, 1e-9);
+  EXPECT_NEAR(p.coefficients()[2], 0.5, 1e-9);
+  EXPECT_NEAR(fit_rms_error(p, xs, ys), 0.0, 1e-9);
+}
+
+TEST(Polyfit, DerivativeEvaluation) {
+  Polynomial p({1.0, 2.0, 3.0});  // 1 + 2x + 3x^2
+  EXPECT_DOUBLE_EQ(p(2.0), 17.0);
+  EXPECT_DOUBLE_EQ(p.derivative_at(2.0), 14.0);
+  Polynomial d = p.derivative();
+  EXPECT_DOUBLE_EQ(d(2.0), 14.0);
+}
+
+TEST(Polyfit, UnderdeterminedThrows) {
+  std::vector<double> xs = {1.0, 2.0};
+  std::vector<double> ys = {1.0, 2.0};
+  EXPECT_THROW(polyfit(xs, ys, 2), InvalidArgument);
+}
+
+// ---------------------------------------------------------------- sparse
+
+TEST(Sparse, TripletsSumDuplicates) {
+  SparseMatrix m(2, 2, {{0, 0, 1.0}, {0, 0, 2.0}, {1, 1, 4.0}});
+  EXPECT_EQ(m.nonzeros(), 2u);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 0.0);
+}
+
+TEST(Sparse, CancellingStampsDropEntry) {
+  SparseMatrix m(2, 2, {{0, 1, 5.0}, {0, 1, -5.0}, {0, 0, 1.0}, {1, 1, 1.0}});
+  EXPECT_EQ(m.nonzeros(), 2u);
+}
+
+TEST(Sparse, MatVecMatchesDense) {
+  Matrix d{{2.0, 0.0, 1.0}, {0.0, 3.0, 0.0}, {1.0, 0.0, 4.0}};
+  SparseMatrix s = SparseMatrix::from_dense(d);
+  Vector x{1.0, 2.0, 3.0};
+  Vector ys = s.multiply(x);
+  Vector yd = d * x;
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(ys[i], yd[i]);
+}
+
+TEST(Sparse, ToDenseRoundTrip) {
+  Matrix d{{0.0, 1.5}, {2.5, 0.0}};
+  Matrix back = SparseMatrix::from_dense(d).to_dense();
+  EXPECT_DOUBLE_EQ(back(0, 1), 1.5);
+  EXPECT_DOUBLE_EQ(back(1, 0), 2.5);
+  EXPECT_DOUBLE_EQ(back(0, 0), 0.0);
+}
+
+TEST(Sparse, GaussSeidelSolvesDiagonallyDominant) {
+  Matrix d{{4.0, 1.0, 0.0}, {1.0, 5.0, 2.0}, {0.0, 2.0, 6.0}};
+  SparseMatrix s = SparseMatrix::from_dense(d);
+  Vector x_true{1.0, -2.0, 0.5};
+  Vector b = d * x_true;
+  Vector x = s.gauss_seidel(b, 1e-12);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-9);
+}
+
+TEST(SparseLu, MatchesDenseSolve) {
+  Matrix d{{4.0, 1.0, 0.0, 2.0},
+           {1.0, 5.0, 2.0, 0.0},
+           {0.0, 2.0, 6.0, 1.0},
+           {2.0, 0.0, 1.0, 7.0}};
+  SparseMatrix s = SparseMatrix::from_dense(d);
+  Vector b{1.0, -2.0, 3.0, 0.5};
+  Vector xs = s.lu_solve(b);
+  Vector xd = solve(d, b);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_NEAR(xs[i], xd[i], 1e-12);
+}
+
+TEST(SparseLu, RequiresPivoting) {
+  Matrix d{{0.0, 2.0}, {3.0, 0.0}};
+  SparseMatrix s = SparseMatrix::from_dense(d);
+  Vector b{4.0, 6.0};
+  Vector x = s.lu_solve(b);
+  EXPECT_NEAR(x[0], 2.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(SparseLu, SingularThrows) {
+  Matrix d{{1.0, 2.0}, {2.0, 4.0}};
+  SparseMatrix s = SparseMatrix::from_dense(d);
+  Vector b{1.0, 2.0};
+  EXPECT_THROW(s.lu_solve(b), SingularMatrixError);
+}
+
+TEST(SparseLu, LargeLadderNetwork) {
+  // Tridiagonal (resistor ladder) system: genuinely sparse, where the
+  // sparse path shines.  Verify against the known solution of
+  // -x[i-1] + 2 x[i] - x[i+1] = h^2 (discrete Poisson with f = 1).
+  const std::size_t n = 200;
+  std::vector<Triplet> trips;
+  for (std::size_t i = 0; i < n; ++i) {
+    trips.push_back({i, i, 2.0});
+    if (i > 0) trips.push_back({i, i - 1, -1.0});
+    if (i + 1 < n) trips.push_back({i, i + 1, -1.0});
+  }
+  SparseMatrix a(n, n, std::move(trips));
+  Vector b(n, 1.0);
+  Vector x = a.lu_solve(b);
+  // Residual check.
+  Vector r = a.multiply(x);
+  r -= b;
+  EXPECT_LT(r.inf_norm(), 1e-10);
+  // Parabolic profile: maximum at the center.
+  EXPECT_GT(x[n / 2], x[5]);
+}
+
+TEST(Sparse, OutOfRangeTripletThrows) {
+  EXPECT_THROW(SparseMatrix(2, 2, {{5, 0, 1.0}}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace nemsim::linalg

@@ -1,0 +1,187 @@
+// Model-layer unit tests: the shared EKV channel math, the capacitor
+// companion (integration states), and device parameter validation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nemsim/devices/diode.h"
+#include "nemsim/devices/ekv.h"
+#include "nemsim/devices/mosfet.h"
+#include "nemsim/devices/nemfet.h"
+#include "nemsim/devices/passives.h"
+#include "nemsim/tech/cards.h"
+#include "nemsim/util/units.h"
+
+namespace nemsim {
+namespace {
+
+using namespace nemsim::literals;
+namespace ekv = devices::ekv;
+
+// ------------------------------------------------------------------- ekv
+
+TEST(Ekv, SoftplusLimitsAndMidpoint) {
+  EXPECT_DOUBLE_EQ(ekv::softplus(100.0), 100.0);       // linear regime
+  EXPECT_NEAR(ekv::softplus(-50.0), std::exp(-50.0), 1e-30);
+  EXPECT_NEAR(ekv::softplus(0.0), std::log(2.0), 1e-12);
+}
+
+TEST(Ekv, SigmoidLimitsAndSymmetry) {
+  EXPECT_DOUBLE_EQ(ekv::sigmoid(100.0), 1.0);
+  EXPECT_NEAR(ekv::sigmoid(-50.0), std::exp(-50.0), 1e-30);
+  EXPECT_DOUBLE_EQ(ekv::sigmoid(0.0), 0.5);
+  EXPECT_NEAR(ekv::sigmoid(2.0) + ekv::sigmoid(-2.0), 1.0, 1e-12);
+}
+
+TEST(Ekv, DerivativesMatchFiniteDifferences) {
+  ekv::ChannelParams p;
+  for (double vgs : {0.1, 0.5, 1.0}) {
+    for (double vds : {0.05, 0.6, 1.2}) {
+      const double h = 1e-7;
+      auto id_at = [&](double g, double d) {
+        return ekv::evaluate({g, d}, p).id;
+      };
+      const ekv::ChannelResult r = ekv::evaluate({vgs, vds}, p);
+      EXPECT_NEAR(r.gm, (id_at(vgs + h, vds) - id_at(vgs - h, vds)) / (2 * h),
+                  1e-4 * std::abs(r.gm) + 1e-12)
+          << vgs << " " << vds;
+      EXPECT_NEAR(r.gds,
+                  (id_at(vgs, vds + h) - id_at(vgs, vds - h)) / (2 * h),
+                  1e-4 * std::abs(r.gds) + 1e-12);
+      // Parameter sensitivities.
+      ekv::ChannelParams pp = p, pm = p;
+      pp.vth += h;
+      pm.vth -= h;
+      EXPECT_NEAR(r.did_dvth,
+                  (ekv::evaluate({vgs, vds}, pp).id -
+                   ekv::evaluate({vgs, vds}, pm).id) /
+                      (2 * h),
+                  1e-4 * std::abs(r.did_dvth) + 1e-12);
+      pp = pm = p;
+      pp.n += h;
+      pm.n -= h;
+      EXPECT_NEAR(r.did_dn,
+                  (ekv::evaluate({vgs, vds}, pp).id -
+                   ekv::evaluate({vgs, vds}, pm).id) /
+                      (2 * h),
+                  1e-4 * std::abs(r.did_dn) + 1e-10);
+    }
+  }
+}
+
+TEST(Ekv, SubthresholdExponentialStrongInversionQuadratic) {
+  ekv::ChannelParams p;
+  p.eta = 0.0;
+  p.lambda = 0.0;
+  // Weak inversion: one n*vt*ln10 of gate drive = one decade.
+  const double s = p.n * p.vt * std::log(10.0);
+  const double i1 = ekv::evaluate({p.vth - 0.45, 1.2}, p).id;
+  const double i2 = ekv::evaluate({p.vth - 0.45 + s, 1.2}, p).id;
+  EXPECT_NEAR(i2 / i1, 10.0, 0.3);
+  // Strong inversion saturation: Id ~ (Vgs - Vth)^2.
+  const double ia = ekv::evaluate({p.vth + 0.4, 1.2}, p).id;
+  const double ib = ekv::evaluate({p.vth + 0.8, 1.2}, p).id;
+  EXPECT_NEAR(ib / ia, 4.0, 0.25);
+}
+
+// ------------------------------------------------------------- companion
+
+TEST(CapCompanion, DcIsOpenCircuit) {
+  // In DC mode (no StampContext handy here) the behaviour is already
+  // covered by engine tests; check the state machine instead.
+  devices::CapCompanion c(1e-12);
+  EXPECT_DOUBLE_EQ(c.capacitance(), 1e-12);
+  c.set_capacitance(2e-12);
+  EXPECT_DOUBLE_EQ(c.capacitance(), 2e-12);
+}
+
+// ------------------------------------------------------------ validation
+
+TEST(Validation, PassivesRejectBadValues) {
+  using spice::NodeId;
+  EXPECT_THROW(devices::Resistor("R", NodeId{1}, NodeId{0}, 0.0),
+               InvalidArgument);
+  EXPECT_THROW(devices::Resistor("R", NodeId{1}, NodeId{0}, -5.0),
+               InvalidArgument);
+  EXPECT_THROW(devices::Capacitor("C", NodeId{1}, NodeId{0}, -1e-15),
+               InvalidArgument);
+  EXPECT_THROW(devices::Inductor("L", NodeId{1}, NodeId{0}, 0.0),
+               InvalidArgument);
+  EXPECT_NO_THROW(devices::Capacitor("C", NodeId{1}, NodeId{0}, 0.0));
+}
+
+TEST(Validation, MosfetRejectsBadGeometry) {
+  using spice::NodeId;
+  EXPECT_THROW(devices::Mosfet("M", NodeId{1}, NodeId{2}, NodeId{0},
+                               devices::MosPolarity::kNmos,
+                               tech::nmos_90nm(), 0.0, 0.1_um),
+               InvalidArgument);
+  devices::Mosfet m("M", NodeId{1}, NodeId{2}, NodeId{0},
+                    devices::MosPolarity::kNmos, tech::nmos_90nm(), 1.0_um,
+                    0.1_um);
+  EXPECT_THROW(m.set_width(-1e-6), InvalidArgument);
+}
+
+TEST(Validation, NemfetRejectsBadParameters) {
+  using spice::NodeId;
+  devices::NemsParams bad = tech::nems_90nm();
+  bad.spring_k = 0.0;
+  EXPECT_THROW(devices::Nemfet("X", NodeId{1}, NodeId{2}, NodeId{0},
+                               devices::NemsPolarity::kN, bad, 1.0_um),
+               InvalidArgument);
+  bad = tech::nems_90nm();
+  bad.gap0 = -1e-9;
+  EXPECT_THROW(devices::Nemfet("X", NodeId{1}, NodeId{2}, NodeId{0},
+                               devices::NemsPolarity::kN, bad, 1.0_um),
+               InvalidArgument);
+}
+
+TEST(Validation, DiodeRejectsBadParams) {
+  using spice::NodeId;
+  devices::DiodeParams p;
+  p.is = 0.0;
+  EXPECT_THROW(devices::Diode("D", NodeId{1}, NodeId{0}, p),
+               InvalidArgument);
+}
+
+// ---------------------------------------------------------------- diode
+
+TEST(DiodeModel, ExponentialLawAndContinuation) {
+  devices::Diode d("D", spice::NodeId{1}, spice::NodeId{0});
+  double i1 = 0.0, g1 = 0.0, i2 = 0.0, g2 = 0.0;
+  d.evaluate(0.5, i1, g1);
+  d.evaluate(0.5 + 0.025852 * std::log(10.0), i2, g2);
+  EXPECT_NEAR(i2 / i1, 10.0, 0.05);  // one decade per vt*ln10
+  // The linear continuation above 40 vt must be slope-continuous.
+  const double v_crit = 40.0 * 0.025852;
+  double ia = 0.0, ga = 0.0, ib = 0.0, gb = 0.0;
+  d.evaluate(v_crit - 1e-6, ia, ga);
+  d.evaluate(v_crit + 1e-6, ib, gb);
+  EXPECT_NEAR(ga, gb, 1e-4 * ga);
+  EXPECT_NEAR(ib - ia, ga * 2e-6, 1e-6 * ia);
+  // Reverse bias saturates at -Is (plus the shunt term).
+  double ir = 0.0, gr = 0.0;
+  d.evaluate(-1.0, ir, gr);
+  EXPECT_NEAR(ir, -d.params().is - d.params().gmin_shunt, 1e-16);
+}
+
+// ----------------------------------------------------------- NEMS params
+
+TEST(NemsParamsModel, PullInScalesWithStiffnessAndGap) {
+  devices::NemsParams p = tech::nems_90nm();
+  const double v0 = p.analytic_pull_in_voltage();
+  devices::NemsParams stiff = p;
+  stiff.spring_k *= 4.0;
+  EXPECT_NEAR(stiff.analytic_pull_in_voltage() / v0, 2.0, 1e-9);
+  devices::NemsParams wide = p;
+  wide.area *= 4.0;
+  EXPECT_NEAR(wide.analytic_pull_in_voltage() / v0, 0.5, 1e-9);
+}
+
+TEST(NemsParamsModel, ElectrostaticGapIncludesOxide) {
+  devices::NemsParams p = tech::nems_90nm();
+  EXPECT_NEAR(p.electrostatic_gap(), p.gap0 + p.tox / p.eps_ox, 1e-15);
+}
+
+}  // namespace
+}  // namespace nemsim

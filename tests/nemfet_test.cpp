@@ -1,0 +1,236 @@
+// NEMFET electromechanical model tests: pull-in/pull-out physics,
+// hysteresis, Table 1 calibration, and transient switching.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nemsim/devices/nemfet.h"
+#include "nemsim/devices/passives.h"
+#include "nemsim/devices/sources.h"
+#include "nemsim/spice/circuit.h"
+#include "nemsim/spice/dcsweep.h"
+#include "nemsim/spice/measure.h"
+#include "nemsim/spice/op.h"
+#include "nemsim/spice/transient.h"
+#include "nemsim/tech/cards.h"
+#include "nemsim/tech/characterize.h"
+#include "nemsim/util/units.h"
+
+namespace nemsim {
+namespace {
+
+using namespace nemsim::literals;
+using devices::Nemfet;
+using devices::NemsParams;
+using devices::NemsPolarity;
+using devices::SourceWave;
+using devices::VoltageSource;
+using spice::Circuit;
+using spice::MnaSystem;
+
+// ------------------------------------------------------- analytic checks
+
+TEST(NemsParams, PullInNearHalfVolt) {
+  const NemsParams p = tech::nems_90nm();
+  EXPECT_GT(p.analytic_pull_in_voltage(), 0.3);
+  EXPECT_LT(p.analytic_pull_in_voltage(), 0.6);
+}
+
+TEST(NemsParams, PullOutBelowPullIn) {
+  const NemsParams p = tech::nems_90nm();
+  EXPECT_LT(p.analytic_pull_out_voltage(), p.analytic_pull_in_voltage());
+  EXPECT_GT(p.analytic_pull_out_voltage(), 0.0);
+}
+
+TEST(NemfetModel, ForceIncreasesWithVoltageAndDisplacement) {
+  const NemsParams p = tech::nems_90nm();
+  Nemfet x("X", spice::NodeId{1}, spice::NodeId{2}, spice::NodeId{0},
+           NemsPolarity::kN, p, 1.0_um);
+  const double f1 = x.electrostatic_force(0.3, 0.0);
+  const double f2 = x.electrostatic_force(0.6, 0.0);
+  EXPECT_NEAR(f2 / f1, 4.0, 1e-9);  // F ~ V^2
+  const double f3 = x.electrostatic_force(0.3, 1.0_nm);
+  EXPECT_GT(f3, f1);  // closing the gap raises the force
+}
+
+TEST(NemfetModel, ContactForceOnlyNearStop) {
+  const NemsParams p = tech::nems_90nm();
+  Nemfet x("X", spice::NodeId{1}, spice::NodeId{2}, spice::NodeId{0},
+           NemsPolarity::kN, p, 1.0_um);
+  EXPECT_LT(x.contact_force(0.0), 1e-15);
+  EXPECT_GT(x.contact_force(p.gap0 + 0.1_nm), 1e-7);
+}
+
+TEST(NemfetModel, ChannelOffWhenUpOnWhenDown) {
+  const NemsParams p = tech::nems_90nm();
+  Nemfet x("X", spice::NodeId{1}, spice::NodeId{2}, spice::NodeId{0},
+           NemsPolarity::kN, p, 1.0_um);
+  const double i_up = x.drain_current(1.2, 1.2, 0.0);
+  const double i_down = x.drain_current(1.2, 1.2, p.gap0);
+  EXPECT_GT(i_down / i_up, 1e5);
+}
+
+TEST(NemfetModel, GateCapRisesAsGapCloses) {
+  const NemsParams p = tech::nems_90nm();
+  Nemfet x("X", spice::NodeId{1}, spice::NodeId{2}, spice::NodeId{0},
+           NemsPolarity::kN, p, 1.0_um);
+  EXPECT_GT(x.gate_capacitance(p.gap0), 3.0 * x.gate_capacitance(0.0));
+}
+
+// ------------------------------------------------- DC sweep / hysteresis
+
+TEST(NemfetCharacterize, Table1Calibration) {
+  tech::NemsIV iv = tech::characterize_nemfet(tech::nems_90nm(), 1.0_um, 1.2);
+  EXPECT_NEAR(iv.iv.ion, 330e-6, 0.10 * 330e-6);   // 330 uA/um +- 10 %
+  EXPECT_NEAR(iv.iv.ioff, 110e-12, 0.25 * 110e-12);  // 110 pA/um +- 25 %
+}
+
+TEST(NemfetCharacterize, SteepSwitchingNearPullIn) {
+  tech::NemsIV iv = tech::characterize_nemfet(tech::nems_90nm(), 1.0_um, 1.2);
+  // The mechanical snap gives a far-sub-thermionic effective swing.
+  EXPECT_LT(iv.iv.swing_mv_dec, 10.0);
+}
+
+TEST(NemfetCharacterize, HysteresisWindowMatchesAnalytics) {
+  const NemsParams p = tech::nems_90nm();
+  tech::NemsIV iv = tech::characterize_nemfet(p, 1.0_um, 1.2);
+  EXPECT_NEAR(iv.pull_in_v, p.analytic_pull_in_voltage(),
+              0.15 * p.analytic_pull_in_voltage());
+  EXPECT_LT(iv.pull_out_v, iv.pull_in_v);
+}
+
+TEST(NemfetCharacterize, OnOffRatioBeatsCmosBy500x) {
+  tech::NemsIV nems = tech::characterize_nemfet(tech::nems_90nm(), 1.0_um, 1.2);
+  tech::DeviceIV cmos = tech::characterize_mosfet(
+      tech::nmos_90nm(), devices::MosPolarity::kNmos, 1.0_um, 0.1_um, 1.2);
+  const double nems_ratio = nems.iv.ion / nems.iv.ioff;
+  const double cmos_ratio = cmos.ion / cmos.ioff;
+  EXPECT_GT(nems_ratio / cmos_ratio, 100.0);
+}
+
+// ------------------------------------------------------ DC operating point
+
+TEST(NemfetOp, BeamStaysUpBelowPullIn) {
+  Circuit ckt;
+  spice::NodeId d = ckt.node("d");
+  spice::NodeId g = ckt.node("g");
+  ckt.add<VoltageSource>("Vd", d, ckt.gnd(), SourceWave::dc(1.2));
+  ckt.add<VoltageSource>("Vg", g, ckt.gnd(), SourceWave::dc(0.2));
+  auto& x = ckt.add<Nemfet>("X1", d, g, ckt.gnd(), NemsPolarity::kN,
+                            tech::nems_90nm(), 1.0_um);
+  MnaSystem system(ckt);
+  spice::OpResult op = spice::operating_point(system);
+  const double pos = op.x(x.unknown_x());
+  EXPECT_LT(pos, 0.5 * tech::nems_90nm().gap0);
+  EXPECT_GT(pos, 0.0);  // but slightly deflected
+}
+
+TEST(NemfetOp, BeamPullsInAboveVpi) {
+  Circuit ckt;
+  spice::NodeId d = ckt.node("d");
+  spice::NodeId g = ckt.node("g");
+  ckt.add<VoltageSource>("Vd", d, ckt.gnd(), SourceWave::dc(1.2));
+  ckt.add<VoltageSource>("Vg", g, ckt.gnd(), SourceWave::dc(1.2));
+  auto& x = ckt.add<Nemfet>("X1", d, g, ckt.gnd(), NemsPolarity::kN,
+                            tech::nems_90nm(), 1.0_um);
+  MnaSystem system(ckt);
+  spice::OpResult op = spice::operating_point(system);
+  EXPECT_GT(op.x(x.unknown_x()), 0.9 * tech::nems_90nm().gap0);
+  // Velocity row pins v = 0 in DC.
+  EXPECT_NEAR(op.x(x.unknown_v()), 0.0, 1e-9);
+}
+
+// ------------------------------------------------------------- transient
+
+TEST(NemfetTransient, PullInTransitTensOfPicoseconds) {
+  Circuit ckt;
+  spice::NodeId d = ckt.node("d");
+  spice::NodeId g = ckt.node("g");
+  ckt.add<VoltageSource>("Vd", d, ckt.gnd(), SourceWave::dc(1.2));
+  ckt.add<VoltageSource>(
+      "Vg", g, ckt.gnd(),
+      SourceWave::pulse(0.0, 1.2, 0.1_ns, 5.0_ps, 5.0_ps, 2.0_ns));
+  auto& x = ckt.add<Nemfet>("X1", d, g, ckt.gnd(), NemsPolarity::kN,
+                            tech::nems_90nm(), 1.0_um);
+  MnaSystem system(ckt);
+  spice::TransientOptions options;
+  options.tstop = 1.0_ns;
+  spice::Waveform wave = spice::transient(system, options);
+
+  const std::string xsig = "X1.x";
+  const double gap = tech::nems_90nm().gap0;
+  // Beam starts up...
+  EXPECT_LT(wave.at(xsig, 0.05_ns), 0.2 * gap);
+  // ... and is in contact well before 1 ns.
+  EXPECT_GT(spice::final_value(wave, xsig), 0.9 * gap);
+  const double t_contact =
+      spice::cross_time(wave, xsig, 0.9 * gap, spice::Edge::kRising);
+  const double transit = t_contact - 0.1_ns;
+  EXPECT_LT(transit, 0.3_ns);
+  EXPECT_GT(transit, 1.0_ps);
+  (void)x;
+}
+
+TEST(NemfetTransient, ReleasesWhenGateDrops) {
+  Circuit ckt;
+  spice::NodeId d = ckt.node("d");
+  spice::NodeId g = ckt.node("g");
+  ckt.add<VoltageSource>("Vd", d, ckt.gnd(), SourceWave::dc(1.2));
+  // High long enough to pull in, then 0 for the rest.
+  ckt.add<VoltageSource>(
+      "Vg", g, ckt.gnd(),
+      SourceWave::pulse(1.2, 0.0, 0.5_ns, 5.0_ps, 5.0_ps, 3.0_ns));
+  ckt.add<Nemfet>("X1", d, g, ckt.gnd(), NemsPolarity::kN, tech::nems_90nm(),
+                  1.0_um);
+  MnaSystem system(ckt);
+  spice::TransientOptions options;
+  options.tstop = 3.0_ns;
+  spice::Waveform wave = spice::transient(system, options);
+  const double gap = tech::nems_90nm().gap0;
+  EXPECT_GT(wave.at("X1.x", 0.4_ns), 0.9 * gap);  // pulled in while high
+  EXPECT_LT(spice::final_value(wave, "X1.x"), 0.3 * gap);  // released
+}
+
+TEST(NemfetTransient, PmosPolarityPullsInWithNegativeGate) {
+  Circuit ckt;
+  spice::NodeId d = ckt.node("d");
+  spice::NodeId g = ckt.node("g");
+  spice::NodeId s = ckt.node("s");
+  ckt.add<VoltageSource>("Vs", s, ckt.gnd(), SourceWave::dc(1.2));
+  ckt.add<VoltageSource>("Vd", d, ckt.gnd(), SourceWave::dc(0.0));
+  ckt.add<VoltageSource>("Vg", g, ckt.gnd(), SourceWave::dc(0.0));
+  auto& x = ckt.add<Nemfet>("X1", d, g, s, NemsPolarity::kP,
+                            tech::nems_90nm(), 1.0_um);
+  MnaSystem system(ckt);
+  spice::OpResult op = spice::operating_point(system);
+  // Vgs = -1.2 on a P device: |vgs| far above pull-in.
+  EXPECT_GT(op.x(x.unknown_x()), 0.9 * tech::nems_90nm().gap0);
+  // And it conducts: current flows from source (1.2 V) to drain.
+  EXPECT_GT(std::abs(op.value("i(Vd)")), 1e-5);
+}
+
+TEST(NemfetOp, InitialPositionSelectsBranchInHysteresisWindow) {
+  const NemsParams p = tech::nems_90nm();
+  const double v_mid =
+      0.5 * (p.analytic_pull_out_voltage() + p.analytic_pull_in_voltage());
+  auto solve_with_start = [&](bool closed) {
+    Circuit ckt;
+    spice::NodeId d = ckt.node("d");
+    spice::NodeId g = ckt.node("g");
+    ckt.add<VoltageSource>("Vd", d, ckt.gnd(), SourceWave::dc(0.05));
+    ckt.add<VoltageSource>("Vg", g, ckt.gnd(), SourceWave::dc(v_mid));
+    auto& x = ckt.add<Nemfet>("X1", d, g, ckt.gnd(), NemsPolarity::kN, p,
+                              1.0_um);
+    if (closed) x.set_initially_closed();
+    MnaSystem system(ckt);
+    spice::OpResult op = spice::operating_point(system);
+    return op.x(x.unknown_x());
+  };
+  EXPECT_LT(solve_with_start(false), 0.5 * p.gap0);
+  // At mid-window bias the contact root sits slightly above the (soft)
+  // stop, a little short of the full gap.
+  EXPECT_GT(solve_with_start(true), 0.8 * p.gap0);
+}
+
+}  // namespace
+}  // namespace nemsim

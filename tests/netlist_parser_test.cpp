@@ -1,0 +1,173 @@
+// Netlist parser tests: value suffixes, every element type, round trips
+// through the exporter, and error reporting.
+#include <gtest/gtest.h>
+
+#include "nemsim/devices/diode.h"
+#include "nemsim/devices/mosfet.h"
+#include "nemsim/devices/nemfet.h"
+#include "nemsim/devices/passives.h"
+#include "nemsim/devices/sources.h"
+#include "nemsim/spice/circuit.h"
+#include "nemsim/spice/measure.h"
+#include "nemsim/spice/netlist_export.h"
+#include "nemsim/spice/op.h"
+#include "nemsim/spice/transient.h"
+#include "nemsim/tech/cards.h"
+#include "nemsim/tech/netlist_parser.h"
+
+namespace nemsim {
+namespace {
+
+using tech::parse_netlist;
+using tech::parse_spice_value;
+
+// ----------------------------------------------------------- value parse
+
+TEST(SpiceValue, PlainAndSuffixed) {
+  EXPECT_DOUBLE_EQ(parse_spice_value("2.5"), 2.5);
+  EXPECT_DOUBLE_EQ(parse_spice_value("2.5k"), 2500.0);
+  EXPECT_DOUBLE_EQ(parse_spice_value("3meg"), 3e6);
+  EXPECT_DOUBLE_EQ(parse_spice_value("10n"), 10e-9);
+  EXPECT_DOUBLE_EQ(parse_spice_value("1.2u"), 1.2e-6);
+  EXPECT_DOUBLE_EQ(parse_spice_value("5m"), 5e-3);
+  EXPECT_DOUBLE_EQ(parse_spice_value("100p"), 100e-12);
+  EXPECT_DOUBLE_EQ(parse_spice_value("2f"), 2e-15);
+  EXPECT_DOUBLE_EQ(parse_spice_value("1g"), 1e9);
+  EXPECT_DOUBLE_EQ(parse_spice_value("-4K"), -4000.0);
+  // Unit letters after the magnitude are tolerated ("10pF").
+  EXPECT_DOUBLE_EQ(parse_spice_value("10pF"), 10e-12);
+  EXPECT_DOUBLE_EQ(parse_spice_value("1e-9"), 1e-9);
+}
+
+TEST(SpiceValue, BadValuesThrow) {
+  EXPECT_THROW(parse_spice_value("abc"), NetlistError);
+  EXPECT_THROW(parse_spice_value("1.5x"), NetlistError);
+}
+
+// ----------------------------------------------------------- basic parse
+
+TEST(Parser, DividerSolvesCorrectly) {
+  spice::Circuit ckt = parse_netlist(R"(* divider
+V1 in 0 DC 10
+R1 in mid 1k
+R2 mid 0 3k
+.end
+)");
+  spice::MnaSystem system(ckt);
+  EXPECT_NEAR(spice::operating_point(system).v("mid"), 7.5, 1e-9);
+}
+
+TEST(Parser, CommentsDirectivesAndBlankLinesIgnored) {
+  spice::Circuit ckt = parse_netlist(
+      "* title line\n\n.option whatever\nR1 a 0 1k ; trailing comment\n"
+      "V1 a 0 DC 1\n.end\nR2 ignored 0 1k\n");
+  EXPECT_EQ(ckt.num_devices(), 2u);  // R2 after .end must be dropped
+}
+
+TEST(Parser, PulseAndSineSources) {
+  spice::Circuit ckt = parse_netlist(R"(*
+V1 a 0 PULSE(0 1.2 1n 20p 20p 500p 2n)
+V2 b 0 SIN(0.6 0.2 1meg)
+R1 a 0 1k
+R2 b 0 1k
+.end
+)");
+  const auto& v1 = ckt.find<devices::VoltageSource>("V1");
+  EXPECT_DOUBLE_EQ(v1.value(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(v1.value(1.3e-9), 1.2);  // on the plateau
+  EXPECT_DOUBLE_EQ(v1.value(3.3e-9), 1.2);  // second period
+  const auto& v2 = ckt.find<devices::VoltageSource>("V2");
+  EXPECT_NEAR(v2.value(0.25e-6), 0.8, 1e-9);  // offset + peak
+}
+
+TEST(Parser, MosfetWithCardOverrides) {
+  spice::Circuit ckt = parse_netlist(R"(*
+Vd d 0 DC 1.2
+Vg g 0 DC 1.2
+M1 d g 0 NMOS W=2u L=0.1u
+.end
+)");
+  const auto& m = ckt.find<devices::Mosfet>("M1");
+  EXPECT_DOUBLE_EQ(m.width(), 2e-6);
+  EXPECT_DOUBLE_EQ(m.params().vth0, tech::nmos_90nm().vth0);
+  // And it conducts about 2x the 1 um Table-1 Ion.
+  spice::MnaSystem system(ckt);
+  spice::OpResult op = spice::operating_point(system);
+  EXPECT_NEAR(-op.value("i(Vd)"), 2.0 * 1110e-6, 0.15 * 2.0 * 1110e-6);
+}
+
+TEST(Parser, NemfetParsesAndPullsIn) {
+  spice::Circuit ckt = parse_netlist(R"(*
+Vd d 0 DC 1.2
+Vg g 0 DC 1.2
+X1 d g 0 NEMFET_N W=1u
+.end
+)");
+  spice::MnaSystem system(ckt);
+  spice::OpResult op = spice::operating_point(system);
+  const auto& x = ckt.find<devices::Nemfet>("X1");
+  EXPECT_GT(op.x(x.unknown_x()), 0.9 * x.params().gap0);
+}
+
+TEST(Parser, DiodeAndControlledSources) {
+  spice::Circuit ckt = parse_netlist(R"(*
+V1 in 0 DC 1
+E1 e 0 in 0 2.0
+G1 0 gi in 0 1m
+Rg gi 0 1k
+D1 in 0 IS=1e-12 N=1.5
+.end
+)");
+  EXPECT_DOUBLE_EQ(ckt.find<devices::Diode>("D1").params().n, 1.5);
+  spice::MnaSystem system(ckt);
+  spice::OpResult op = spice::operating_point(system);
+  EXPECT_NEAR(op.v("e"), 2.0, 1e-9);
+  EXPECT_NEAR(op.v("gi"), 1.0, 1e-9);
+}
+
+// ------------------------------------------------------------ round trip
+
+TEST(Parser, RoundTripThroughExporter) {
+  // Build, export, re-parse, and compare operating points.
+  spice::Circuit original;
+  spice::NodeId in = original.node("in");
+  spice::NodeId mid = original.node("mid");
+  original.add<devices::VoltageSource>("V1", in, original.gnd(),
+                                       devices::SourceWave::dc(1.2));
+  original.add<devices::Resistor>("R1", in, mid, 2.2e3);
+  original.add<devices::Capacitor>("C1", mid, original.gnd(), 10e-15);
+  original.add<devices::Mosfet>("M1", mid, in, original.gnd(),
+                                devices::MosPolarity::kNmos,
+                                tech::nmos_90nm(), 0.5e-6, 1e-7);
+  const std::string text = spice::netlist_string(original);
+
+  spice::Circuit reparsed = parse_netlist(text);
+  EXPECT_EQ(reparsed.num_devices(), original.num_devices());
+
+  spice::MnaSystem s1(original), s2(reparsed);
+  const double v1 = spice::operating_point(s1).v("mid");
+  const double v2 = spice::operating_point(s2).v("mid");
+  EXPECT_NEAR(v1, v2, 1e-6);
+}
+
+// ---------------------------------------------------------------- errors
+
+TEST(Parser, ErrorsCarryLineNumbers) {
+  try {
+    parse_netlist("* t\nR1 a 0 1k\nQ9 x y z\n.end\n");
+    FAIL() << "expected NetlistError";
+  } catch (const NetlistError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(Parser, MalformedLinesThrow) {
+  EXPECT_THROW(parse_netlist("R1 a 0\n"), NetlistError);     // missing value
+  EXPECT_THROW(parse_netlist("V1 a 0 PULSE(0 1)\n"), NetlistError);
+  EXPECT_THROW(parse_netlist("M1 d g 0 BJT W=1u\n"), NetlistError);
+  EXPECT_THROW(parse_netlist("X1 d g 0 NEMFET_N FOO\n"), NetlistError);
+  EXPECT_THROW(parse_netlist("R1 a 0 1k\nR1 a 0 2k\n"), NetlistError);
+}
+
+}  // namespace
+}  // namespace nemsim

@@ -1,0 +1,103 @@
+// Sleep transistor tests (paper Section 6 / Figure 17).
+#include <gtest/gtest.h>
+
+#include "nemsim/core/power_gating.h"
+
+namespace nemsim {
+namespace {
+
+using core::GatedBlockConfig;
+using core::measure_gated_block;
+using core::SleepDeviceType;
+using core::SleepStyle;
+using core::SleepSweepConfig;
+using core::sweep_sleep_transistor;
+
+TEST(SleepSweep, RonFallsWithArea) {
+  SleepSweepConfig c;
+  auto pts = sweep_sleep_transistor(c, {1.0, 2.0, 4.0});
+  ASSERT_EQ(pts.size(), 3u);
+  EXPECT_GT(pts[0].ron, pts[1].ron);
+  EXPECT_GT(pts[1].ron, pts[2].ron);
+  // Ron ~ 1/W: doubling area halves resistance.
+  EXPECT_NEAR(pts[0].ron / pts[1].ron, 2.0, 0.1);
+}
+
+TEST(SleepSweep, IoffGrowsWithArea) {
+  SleepSweepConfig c;
+  auto pts = sweep_sleep_transistor(c, {1.0, 4.0});
+  EXPECT_NEAR(pts[1].ioff / pts[0].ioff, 4.0, 0.2);
+}
+
+TEST(SleepSweep, NemsLeaksOrdersOfMagnitudeLess) {
+  SleepSweepConfig cmos;
+  SleepSweepConfig nems;
+  nems.device = SleepDeviceType::kNems;
+  auto pc = sweep_sleep_transistor(cmos, {5.0});
+  auto pn = sweep_sleep_transistor(nems, {5.0});
+  // Paper: up to three orders of magnitude lower OFF current.
+  EXPECT_LT(pn[0].ioff, 1e-2 * pc[0].ioff);
+}
+
+TEST(SleepSweep, NemsRonHigherAtSameAreaButGapCloses) {
+  SleepSweepConfig cmos;
+  SleepSweepConfig nems;
+  nems.device = SleepDeviceType::kNems;
+  auto pc = sweep_sleep_transistor(cmos, {1.0, 50.0});
+  auto pn = sweep_sleep_transistor(nems, {1.0, 50.0});
+  EXPECT_GT(pn[0].ron, pc[0].ron);  // NEMS slower at equal area
+  // Absolute Ron difference shrinks as devices get bigger (Figure 17's
+  // "difference becomes minimal" argument).
+  const double gap_small = pn[0].ron - pc[0].ron;
+  const double gap_big = pn[1].ron - pc[1].ron;
+  EXPECT_LT(gap_big, 0.1 * gap_small);
+}
+
+TEST(SleepSweep, HeaderStyleAlsoWorks) {
+  SleepSweepConfig c;
+  c.style = SleepStyle::kHeader;
+  auto pts = sweep_sleep_transistor(c, {5.0});
+  EXPECT_GT(pts[0].ron, 0.0);
+  EXPECT_GT(pts[0].ioff, 0.0);
+  c.device = SleepDeviceType::kNems;
+  auto ptsn = sweep_sleep_transistor(c, {5.0});
+  EXPECT_LT(ptsn[0].ioff, 1e-2 * pts[0].ioff);
+}
+
+TEST(SleepSweep, RejectsEmptyAndNonPositiveAreas) {
+  SleepSweepConfig c;
+  EXPECT_THROW(sweep_sleep_transistor(c, {}), InvalidArgument);
+  EXPECT_THROW(sweep_sleep_transistor(c, {-1.0}), InvalidArgument);
+}
+
+TEST(GatedBlock, GatingCostsSomeDelay) {
+  GatedBlockConfig c;
+  auto r = measure_gated_block(c);
+  EXPECT_GT(r.delay_gated, r.delay_ungated);
+  EXPECT_LT(r.delay_gated, 3.0 * r.delay_ungated);
+  EXPECT_GT(r.vgnd_droop, 0.0);
+  EXPECT_GT(r.wakeup_time, 0.0);
+}
+
+TEST(GatedBlock, NemsSleepCutsLeakage) {
+  GatedBlockConfig cmos;
+  GatedBlockConfig nems;
+  nems.device = SleepDeviceType::kNems;
+  auto rc = measure_gated_block(cmos);
+  auto rn = measure_gated_block(nems);
+  EXPECT_LT(rn.sleep_leakage, 0.1 * rc.sleep_leakage);
+}
+
+TEST(GatedBlock, WiderSleepDeviceLessDelayPenalty) {
+  GatedBlockConfig narrow;
+  narrow.sleep_width = 0.4e-6;
+  GatedBlockConfig wide;
+  wide.sleep_width = 2e-6;
+  auto rn = measure_gated_block(narrow);
+  auto rw = measure_gated_block(wide);
+  EXPECT_LT(rw.delay_gated, rn.delay_gated);
+  EXPECT_LT(rw.vgnd_droop, rn.vgnd_droop);
+}
+
+}  // namespace
+}  // namespace nemsim

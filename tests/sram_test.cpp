@@ -1,0 +1,201 @@
+// SRAM cell tests (paper Section 5): construction, hold/read behaviour,
+// SNM extraction, and the Figure 14/15 orderings at reduced resolution.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nemsim/core/sram.h"
+#include "nemsim/devices/mosfet.h"
+#include "nemsim/devices/nemfet.h"
+#include "nemsim/spice/op.h"
+#include "nemsim/tech/cards.h"
+
+namespace nemsim {
+namespace {
+
+using core::build_sram_cell;
+using core::ButterflyCurves;
+using core::extract_snm;
+using core::measure_butterfly;
+using core::measure_read_latency;
+using core::measure_standby_leakage;
+using core::measure_standby_leakage_precharged;
+using core::SramBenchMode;
+using core::SramCell;
+using core::SramConfig;
+using core::SramKind;
+
+TEST(SramBuild, ConventionalCellHasPaperDeviceNames) {
+  SramCell cell = build_sram_cell(SramConfig{});
+  for (const char* name : {"AL", "AR", "NL", "NR", "PL", "PR"}) {
+    EXPECT_NO_THROW(cell.ckt().find_device(name)) << name;
+  }
+}
+
+TEST(SramBuild, HybridUsesNemsCore) {
+  SramConfig c;
+  c.kind = SramKind::kHybrid;
+  SramCell cell = build_sram_cell(c);
+  EXPECT_NO_THROW(cell.ckt().find<devices::Nemfet>("NL"));
+  EXPECT_NO_THROW(cell.ckt().find<devices::Nemfet>("PR"));
+  // Access stays CMOS.
+  EXPECT_NO_THROW(cell.ckt().find<devices::Mosfet>("AL"));
+}
+
+TEST(SramBuild, DualVtUsesHighVtCore) {
+  SramConfig c;
+  c.kind = SramKind::kDualVt;
+  SramCell cell = build_sram_cell(c);
+  EXPECT_GT(cell.ckt().find<devices::Mosfet>("NL").params().vth0,
+            tech::nmos_90nm().vth0 + 0.05);
+  // ... and low-Vt access ("both high- and low-Vt employed" [25]).
+  EXPECT_LT(cell.ckt().find<devices::Mosfet>("AL").params().vth0,
+            tech::nmos_90nm().vth0 - 0.01);
+}
+
+TEST(SramBuild, KindNames) {
+  EXPECT_STREQ(core::sram_kind_name(SramKind::kConventional), "Conv.");
+  EXPECT_STREQ(core::sram_kind_name(SramKind::kHybrid), "Hybrid");
+}
+
+TEST(SramHold, EveryKindHoldsBothValues) {
+  for (SramKind kind : {SramKind::kConventional, SramKind::kDualVt,
+                        SramKind::kAsymmetric, SramKind::kHybrid}) {
+    for (bool one : {false, true}) {
+      SramConfig c;
+      c.kind = kind;
+      c.stored_one = one;
+      // Standby leakage internally asserts the cell held its state.
+      EXPECT_GT(measure_standby_leakage(c), 0.0)
+          << core::sram_kind_name(kind) << " stored_one=" << one;
+    }
+  }
+}
+
+// ---------------------------------------------------------------- SNM
+
+TEST(Snm, ExtractorOnIdealSquareCurves) {
+  // Two ideal inverter curves forming a 0.4 V x 0.4 V eye on each side:
+  // f: 1 -> 0 step at x = 0.5; g identical.  SNM of the symmetric ideal
+  // staircase butterfly = 0.4 (limited by the lobe geometry).
+  std::vector<double> vin, fwd, rev;
+  for (int i = 0; i <= 100; ++i) {
+    const double x = i / 100.0;
+    vin.push_back(x);
+    const double y = x < 0.5 ? 1.0 : 0.0;
+    fwd.push_back(y);
+    rev.push_back(y);
+  }
+  const double snm = extract_snm(vin, fwd, rev);
+  EXPECT_NEAR(snm, 0.5, 0.02);
+}
+
+TEST(Snm, DegenerateCurvesThrow) {
+  std::vector<double> vin = {0.0, 1.0};
+  EXPECT_THROW(extract_snm(vin, {1.0}, {1.0, 0.0}), InvalidArgument);
+}
+
+TEST(Snm, ShiftedCurvesShrinkMargin) {
+  // Squeeze one curve toward the other: SNM must shrink.
+  std::vector<double> vin, fwd, rev, fwd2;
+  for (int i = 0; i <= 100; ++i) {
+    const double x = i / 100.0;
+    vin.push_back(x);
+    fwd.push_back(x < 0.5 ? 1.0 : 0.0);
+    fwd2.push_back(x < 0.5 ? 0.6 : 0.0);  // degraded high level
+    rev.push_back(x < 0.5 ? 1.0 : 0.0);
+  }
+  EXPECT_LT(extract_snm(vin, fwd2, rev), extract_snm(vin, fwd, rev));
+}
+
+TEST(SramSnm, PaperOrderingAtFigure14) {
+  // Conv > Hybrid > DualVt/Asym, with Hybrid ~ 14 % below Conv.
+  auto snm_of = [](SramKind kind) {
+    SramConfig c;
+    c.kind = kind;
+    return measure_butterfly(c, 41).snm;
+  };
+  const double conv = snm_of(SramKind::kConventional);
+  const double hybrid = snm_of(SramKind::kHybrid);
+  const double dual = snm_of(SramKind::kDualVt);
+  const double asym = snm_of(SramKind::kAsymmetric);
+  EXPECT_LT(hybrid, conv);
+  EXPECT_GT(hybrid, asym);
+  EXPECT_NEAR(hybrid / conv, 0.86, 0.08);
+  EXPECT_LT(dual, conv);
+}
+
+// ------------------------------------------------------------- latency
+
+TEST(SramLatency, AllKindsReadWithinNanosecond) {
+  for (SramKind kind : {SramKind::kConventional, SramKind::kDualVt,
+                        SramKind::kAsymmetric, SramKind::kHybrid}) {
+    SramConfig c;
+    c.kind = kind;
+    const double lat = measure_read_latency(c);
+    EXPECT_GT(lat, 1e-12) << core::sram_kind_name(kind);
+    EXPECT_LT(lat, 1e-9) << core::sram_kind_name(kind);
+  }
+}
+
+TEST(SramLatency, HybridSlowerThanConventional) {
+  SramConfig conv;
+  SramConfig hyb;
+  hyb.kind = SramKind::kHybrid;
+  const double lc = measure_read_latency(conv);
+  const double lh = measure_read_latency(hyb);
+  EXPECT_GT(lh, lc);
+  EXPECT_LT(lh, 2.5 * lc);  // "minor latency cost"
+}
+
+TEST(SramLatency, AsymmetricReadsDifferPerStoredValue) {
+  SramConfig c;
+  c.kind = SramKind::kAsymmetric;
+  c.stored_one = false;
+  const double l0 = measure_read_latency(c);
+  c.stored_one = true;
+  const double l1 = measure_read_latency(c);
+  // The high-Vt NR slows the stored-one read: asymmetry by design.
+  EXPECT_GT(std::abs(l1 - l0) / l0, 0.02);
+}
+
+TEST(SramLatency, LargerBitlineCapIsSlower) {
+  SramConfig c;
+  const double l_small = measure_read_latency(c);
+  c.bitline_cap *= 2.0;
+  const double l_big = measure_read_latency(c);
+  // Not fully proportional: the wordline edge and sense margin overhead
+  // are capacitance-independent.
+  EXPECT_GT(l_big, 1.35 * l_small);
+}
+
+// ------------------------------------------------------------- leakage
+
+TEST(SramLeakage, PaperOrderingAtFigure15) {
+  auto leak_of = [](SramKind kind) {
+    SramConfig c;
+    c.kind = kind;
+    return measure_standby_leakage(c);
+  };
+  const double conv = leak_of(SramKind::kConventional);
+  const double dual = leak_of(SramKind::kDualVt);
+  const double asym = leak_of(SramKind::kAsymmetric);
+  const double hybrid = leak_of(SramKind::kHybrid);
+  // Hybrid wins by a large factor; the low-leakage CMOS variants sit in
+  // between.
+  EXPECT_LT(hybrid, 0.2 * conv);
+  EXPECT_LT(dual, conv);
+  EXPECT_LT(asym, conv);
+  EXPECT_LT(hybrid, dual);
+  EXPECT_LT(hybrid, asym);
+}
+
+TEST(SramLeakage, PrechargedConventionHigher) {
+  // Driving the bitlines adds access-transistor leakage paths.
+  SramConfig c;
+  EXPECT_GT(measure_standby_leakage_precharged(c),
+            measure_standby_leakage(c));
+}
+
+}  // namespace
+}  // namespace nemsim

@@ -1,0 +1,59 @@
+// SRAM write-operation tests (completing the cell's operation set:
+// hold + read are covered in sram_test).
+#include <gtest/gtest.h>
+
+#include "nemsim/core/sram.h"
+
+namespace nemsim {
+namespace {
+
+using namespace nemsim::core;
+
+TEST(SramWrite, EveryKindIsWritableBothDirections) {
+  for (SramKind kind :
+       {SramKind::kConventional, SramKind::kDualVt, SramKind::kAsymmetric,
+        SramKind::kHybrid, SramKind::kHybridPullupOnly}) {
+    for (bool one : {false, true}) {
+      SramConfig c;
+      c.kind = kind;
+      c.stored_one = one;
+      WriteResult w = measure_write(c);
+      EXPECT_TRUE(w.flipped)
+          << sram_kind_name(kind) << " stored_one=" << one;
+      EXPECT_GT(w.latency, 0.0);
+      EXPECT_LT(w.latency, 0.5e-9);
+    }
+  }
+}
+
+TEST(SramWrite, TooShortPulseDoesNotFlip) {
+  SramConfig c;
+  WriteResult w = measure_write(c, /*wl_pulse=*/2e-12);
+  // 2 ps cannot move the storage node far enough against the keeper
+  // inverter (the builder rejects anything even shorter).
+  EXPECT_FALSE(w.flipped);
+}
+
+TEST(SramWrite, MinPulseOrderingSane) {
+  SramConfig conv;
+  const double p_conv = measure_min_write_pulse(conv);
+  EXPECT_GT(p_conv, 1e-12);
+  EXPECT_LT(p_conv, 1e-9);
+}
+
+TEST(SramWrite, HybridWritable) {
+  // The hybrid cell's beams must follow an electrical write and hold the
+  // new value after the wordline closes.
+  SramConfig c;
+  c.kind = SramKind::kHybrid;
+  const double p = measure_min_write_pulse(c);
+  EXPECT_LT(p, 1e-9);
+}
+
+TEST(SramWrite, RejectsDegeneratePulse) {
+  SramConfig c;
+  EXPECT_THROW(measure_write(c, 1e-13), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace nemsim

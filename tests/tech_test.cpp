@@ -1,0 +1,89 @@
+// Technology layer tests: cards, ITRS trend, swing survey, and the
+// characterization harness driving the full simulator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nemsim/tech/cards.h"
+#include "nemsim/tech/characterize.h"
+#include "nemsim/tech/itrs.h"
+#include "nemsim/tech/swing_survey.h"
+#include "nemsim/util/units.h"
+
+namespace nemsim {
+namespace {
+
+TEST(Cards, FlavourOrderingOfThresholds) {
+  EXPECT_GT(tech::nmos_90nm_hvt().vth0, tech::nmos_90nm().vth0);
+  EXPECT_LT(tech::nmos_90nm_lvt().vth0, tech::nmos_90nm().vth0);
+  EXPECT_GT(tech::pmos_90nm_hvt().vth0, tech::pmos_90nm().vth0);
+}
+
+TEST(Cards, PmosWeakerThanNmos) {
+  EXPECT_LT(tech::pmos_90nm().kp, tech::nmos_90nm().kp);
+}
+
+TEST(Cards, NemsPullInBelowVdd) {
+  const auto p = tech::nems_90nm();
+  EXPECT_LT(p.analytic_pull_in_voltage(), tech::node_90nm().vdd);
+  EXPECT_GT(p.analytic_pull_in_voltage(), p.analytic_pull_out_voltage());
+}
+
+TEST(Itrs, TrendCoversSevenNodesMonotonically) {
+  const auto& trend = tech::itrs_trend();
+  ASSERT_EQ(trend.size(), 7u);
+  for (std::size_t i = 1; i < trend.size(); ++i) {
+    EXPECT_LT(trend[i].node_nm, trend[i - 1].node_nm);
+    EXPECT_LE(trend[i].vdd, trend[i - 1].vdd);
+    EXPECT_LE(trend[i].vth, trend[i - 1].vth);
+    EXPECT_GE(trend[i].ioff_na_per_um, trend[i - 1].ioff_na_per_um);
+  }
+}
+
+TEST(Itrs, LeakageExplodesAcrossTheRoadmap) {
+  // Figure 1's message: orders of magnitude of subthreshold leakage growth.
+  EXPECT_GT(tech::leakage_growth_factor(), 1e3);
+}
+
+TEST(SwingSurvey, CmosAboveThermionicLimitNemsBelow) {
+  const double limit = tech::cmos_thermionic_limit_mv_dec();
+  EXPECT_NEAR(limit, 59.5, 1.0);
+  for (const auto& e : tech::swing_survey()) {
+    if (e.device == "Bulk CMOS" || e.device == "FDSOI" ||
+        e.device == "FinFET") {
+      EXPECT_GE(e.swing_mv_dec, limit) << e.device;
+    }
+  }
+  EXPECT_DOUBLE_EQ(tech::swing_survey().back().swing_mv_dec, 2.0);
+}
+
+TEST(SwingSurvey, ModeledDevicesAgreeWithMeasuredSwing) {
+  using namespace nemsim::literals;
+  // Bulk CMOS: survey says 85; our calibrated card measures close by.
+  tech::DeviceIV cmos = tech::characterize_mosfet(
+      tech::nmos_90nm(), devices::MosPolarity::kNmos, 1.0_um, 0.1_um, 1.2);
+  EXPECT_NEAR(cmos.swing_mv_dec, 85.0, 10.0);
+  // NEMS: survey says 2 mV/dec; ours must be well below thermionic.
+  tech::NemsIV nems = tech::characterize_nemfet(tech::nems_90nm(), 1.0_um, 1.2);
+  EXPECT_LT(nems.iv.swing_mv_dec, 10.0);
+}
+
+TEST(Characterize, SwingExtractionRejectsFlatCurves) {
+  tech::TransferCurve flat;
+  flat.vgs = {0.0, 0.1, 0.2};
+  flat.id = {1e-9, 1e-9, 1e-9};
+  EXPECT_THROW(tech::extract_swing_mv_per_decade(flat), Error);
+}
+
+TEST(Characterize, SwingOfIdealExponential) {
+  // Synthetic decade-per-100mV curve must measure exactly 100 mV/dec.
+  tech::TransferCurve c;
+  for (int i = 0; i <= 10; ++i) {
+    c.vgs.push_back(0.1 * i);
+    c.id.push_back(1e-12 * std::pow(10.0, i));
+  }
+  EXPECT_NEAR(tech::extract_swing_mv_per_decade(c), 100.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace nemsim

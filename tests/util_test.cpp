@@ -1,0 +1,236 @@
+// Unit tests for the util foundation: units, errors, tables, stats, RNG,
+// root finding, interpolation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "nemsim/util/error.h"
+#include "nemsim/util/interp.h"
+#include "nemsim/util/rng.h"
+#include "nemsim/util/root.h"
+#include "nemsim/util/stats.h"
+#include "nemsim/util/table.h"
+#include "nemsim/util/units.h"
+
+namespace nemsim {
+namespace {
+
+using namespace nemsim::literals;
+
+// ----------------------------------------------------------------- units
+
+TEST(Units, LiteralsConvertToSi) {
+  EXPECT_DOUBLE_EQ(1.0_um, 1e-6);
+  EXPECT_DOUBLE_EQ(90.0_nm, 90e-9);
+  EXPECT_DOUBLE_EQ(50.0_ps, 50e-12);
+  EXPECT_DOUBLE_EQ(1.2_V, 1.2);
+  EXPECT_DOUBLE_EQ(110.0_pA, 110e-12);
+  EXPECT_DOUBLE_EQ(2.5_fF, 2.5e-15);
+  EXPECT_DOUBLE_EQ(1.0_kOhm, 1000.0);
+}
+
+TEST(Units, IntegerLiterals) {
+  EXPECT_DOUBLE_EQ(90_nm, 90e-9);
+  EXPECT_DOUBLE_EQ(5_ns, 5e-9);
+  EXPECT_DOUBLE_EQ(3_fF, 3e-15);
+}
+
+TEST(Units, ThermalVoltageAt300K) {
+  EXPECT_NEAR(phys::thermal_voltage(300.0), 0.025852, 1e-5);
+}
+
+TEST(Units, ThermalVoltageScalesWithTemperature) {
+  EXPECT_GT(phys::thermal_voltage(400.0), phys::thermal_voltage(300.0));
+  EXPECT_NEAR(phys::thermal_voltage(600.0) / phys::thermal_voltage(300.0), 2.0,
+              1e-12);
+}
+
+// ----------------------------------------------------------------- error
+
+TEST(Error, RequireThrowsInvalidArgument) {
+  EXPECT_NO_THROW(require(true, "fine"));
+  EXPECT_THROW(require(false, "boom"), InvalidArgument);
+}
+
+TEST(Error, HierarchyCatchableAsBase) {
+  try {
+    throw ConvergenceError("newton died");
+  } catch (const Error& e) {
+    EXPECT_STREQ(e.what(), "newton died");
+  }
+}
+
+// ----------------------------------------------------------------- table
+
+TEST(Table, AlignedPrintContainsHeadersAndCells) {
+  Table t({"fanin", "delay"});
+  t.begin_row().cell(4).cell(1.25);
+  t.begin_row().cell(8).cell(2.5);
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("fanin"), std::string::npos);
+  EXPECT_NE(s.find("1.25"), std::string::npos);
+  EXPECT_NE(s.find("8"), std::string::npos);
+}
+
+TEST(Table, CsvRoundtripShape) {
+  Table t({"a", "b", "c"});
+  t.add_row({"1", "2", "3"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b,c\n1,2,3\n");
+}
+
+TEST(Table, ArityMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), InvalidArgument);
+}
+
+TEST(Table, CellWithoutRowThrows) {
+  Table t({"a"});
+  EXPECT_THROW(t.cell("x"), InvalidArgument);
+}
+
+TEST(Table, ScientificFormat) {
+  EXPECT_EQ(Table::format_sci(1.23e-10, 2), "1.23e-10");
+}
+
+// ----------------------------------------------------------------- stats
+
+TEST(Stats, RunningStatsMatchesDirectComputation) {
+  RunningStats rs;
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0, 10.0};
+  for (double x : xs) rs.add(x);
+  EXPECT_EQ(rs.count(), 5u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(rs.min(), 1.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 10.0);
+  EXPECT_NEAR(rs.stddev(), stddev(xs), 1e-12);
+}
+
+TEST(Stats, VarianceOfSingleSampleIsZero) {
+  RunningStats rs;
+  rs.add(42.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 2.5);
+}
+
+TEST(Stats, EmptySampleThrows) {
+  EXPECT_THROW(mean(std::span<const double>{}), InvalidArgument);
+  EXPECT_THROW(percentile({}, 50.0), InvalidArgument);
+}
+
+// ------------------------------------------------------------------- rng
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(a.normal(), b.normal());
+  }
+}
+
+TEST(Rng, ChildStreamsDifferByIndex) {
+  Rng root(7);
+  Rng c0 = root.child(0);
+  Rng c1 = root.child(1);
+  EXPECT_NE(c0.normal(), c1.normal());
+}
+
+TEST(Rng, ChildStreamsIndependentOfDrawOrder) {
+  Rng root1(9), root2(9);
+  root1.normal();  // perturb the parent's engine only
+  Rng a = root1.child(3);
+  Rng b = root2.child(3);
+  EXPECT_DOUBLE_EQ(a.normal(), b.normal());
+}
+
+TEST(Rng, NormalMomentsRoughlyCorrect) {
+  Rng rng(123);
+  RunningStats rs;
+  for (int i = 0; i < 20000; ++i) rs.add(rng.normal(5.0, 2.0));
+  EXPECT_NEAR(rs.mean(), 5.0, 0.1);
+  EXPECT_NEAR(rs.stddev(), 2.0, 0.1);
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(2.0, 3.0);
+    EXPECT_GE(u, 2.0);
+    EXPECT_LT(u, 3.0);
+  }
+}
+
+// ------------------------------------------------------------------ root
+
+TEST(Root, BisectFindsSqrt2) {
+  const double r = bisect([](double x) { return x * x - 2.0; }, 0.0, 2.0);
+  EXPECT_NEAR(r, std::sqrt(2.0), 1e-8);
+}
+
+TEST(Root, BrentFindsCosRoot) {
+  const double r = brent([](double x) { return std::cos(x); }, 0.0, 3.0);
+  EXPECT_NEAR(r, 1.5707963, 1e-7);
+}
+
+TEST(Root, BisectRequiresBracket) {
+  EXPECT_THROW(bisect([](double x) { return x * x + 1.0; }, -1.0, 1.0),
+               InvalidArgument);
+}
+
+TEST(Root, GoldenFindsParabolaMinimum) {
+  const double m =
+      golden_minimize([](double x) { return (x - 1.5) * (x - 1.5); }, 0.0, 4.0);
+  EXPECT_NEAR(m, 1.5, 1e-6);
+}
+
+TEST(Root, MonotoneThresholdFindsBoundary) {
+  const double t =
+      monotone_threshold([](double x) { return x < 0.73; }, 0.0, 1.0, 1e-9);
+  EXPECT_NEAR(t, 0.73, 1e-6);
+}
+
+TEST(Root, MonotoneThresholdAllFalse) {
+  EXPECT_DOUBLE_EQ(
+      monotone_threshold([](double) { return false; }, 0.0, 1.0), 0.0);
+}
+
+TEST(Root, MonotoneThresholdAllTrue) {
+  EXPECT_DOUBLE_EQ(monotone_threshold([](double) { return true; }, 0.0, 1.0),
+                   1.0);
+}
+
+// ---------------------------------------------------------------- interp
+
+TEST(Interp, LinearBetweenPoints) {
+  const std::vector<double> xs = {0.0, 1.0, 2.0};
+  const std::vector<double> ys = {0.0, 10.0, 0.0};
+  PiecewiseLinear f(xs, ys);
+  EXPECT_DOUBLE_EQ(f(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(f(1.5), 5.0);
+}
+
+TEST(Interp, ClampsOutsideRange) {
+  const std::vector<double> xs = {1.0, 2.0};
+  const std::vector<double> ys = {3.0, 4.0};
+  PiecewiseLinear f(xs, ys);
+  EXPECT_DOUBLE_EQ(f(0.0), 3.0);
+  EXPECT_DOUBLE_EQ(f(9.0), 4.0);
+}
+
+TEST(Interp, RejectsUnsortedInput) {
+  const std::vector<double> xs = {1.0, 1.0};
+  const std::vector<double> ys = {0.0, 1.0};
+  EXPECT_THROW(PiecewiseLinear(xs, ys), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace nemsim

@@ -1,0 +1,143 @@
+// Monte-Carlo / process-variation layer tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nemsim/devices/mosfet.h"
+#include "nemsim/devices/nemfet.h"
+#include "nemsim/devices/sources.h"
+#include "nemsim/spice/circuit.h"
+#include "nemsim/spice/op.h"
+#include "nemsim/tech/cards.h"
+#include "nemsim/util/units.h"
+#include "nemsim/variation/montecarlo.h"
+
+namespace nemsim {
+namespace {
+
+using namespace nemsim::literals;
+using devices::Mosfet;
+using devices::MosPolarity;
+using devices::SourceWave;
+using devices::VoltageSource;
+using spice::Circuit;
+
+Circuit make_two_transistor_circuit() {
+  Circuit ckt;
+  spice::NodeId d = ckt.node("d");
+  spice::NodeId g = ckt.node("g");
+  ckt.add<VoltageSource>("Vd", d, ckt.gnd(), SourceWave::dc(1.2));
+  ckt.add<VoltageSource>("Vg", g, ckt.gnd(), SourceWave::dc(0.6));
+  ckt.add<Mosfet>("M1", d, g, ckt.gnd(), MosPolarity::kNmos,
+                  tech::nmos_90nm(), 1.0_um, 0.1_um);
+  ckt.add<Mosfet>("M2", d, g, ckt.gnd(), MosPolarity::kNmos,
+                  tech::nmos_90nm(), 1.0_um, 0.1_um);
+  return ckt;
+}
+
+TEST(Variation, AppliesIndependentShifts) {
+  Circuit ckt = make_two_transistor_circuit();
+  Rng rng(1);
+  variation::apply_vth_variation(ckt, 0.06, rng);
+  const double s1 = ckt.find<Mosfet>("M1").vth_shift();
+  const double s2 = ckt.find<Mosfet>("M2").vth_shift();
+  EXPECT_NE(s1, 0.0);
+  EXPECT_NE(s1, s2);
+}
+
+TEST(Variation, ClearRestoresNominal) {
+  Circuit ckt = make_two_transistor_circuit();
+  Rng rng(1);
+  variation::apply_vth_variation(ckt, 0.06, rng);
+  variation::clear_vth_variation(ckt);
+  EXPECT_DOUBLE_EQ(ckt.find<Mosfet>("M1").vth_shift(), 0.0);
+  EXPECT_DOUBLE_EQ(ckt.find<Mosfet>("M2").vth_shift(), 0.0);
+}
+
+TEST(Variation, ZeroSigmaMeansZeroShift) {
+  Circuit ckt = make_two_transistor_circuit();
+  Rng rng(1);
+  variation::apply_vth_variation(ckt, 0.0, rng);
+  EXPECT_DOUBLE_EQ(ckt.find<Mosfet>("M1").vth_shift(), 0.0);
+}
+
+TEST(MonteCarlo, DeterministicAcrossRuns) {
+  Circuit ckt = make_two_transistor_circuit();
+  variation::MonteCarloOptions options;
+  options.trials = 8;
+  options.seed = 42;
+  auto metric = [](Circuit& c) {
+    spice::MnaSystem system(c);
+    spice::OpResult op = spice::operating_point(system);
+    return -op.value("i(Vd)");
+  };
+  auto r1 = variation::monte_carlo(ckt, metric, options);
+  auto r2 = variation::monte_carlo(ckt, metric, options);
+  ASSERT_EQ(r1.samples.size(), r2.samples.size());
+  for (std::size_t i = 0; i < r1.samples.size(); ++i) {
+    EXPECT_DOUBLE_EQ(r1.samples[i], r2.samples[i]);
+  }
+}
+
+TEST(MonteCarlo, SpreadGrowsWithSigma) {
+  Circuit ckt = make_two_transistor_circuit();
+  auto metric = [](Circuit& c) {
+    spice::MnaSystem system(c);
+    spice::OpResult op = spice::operating_point(system);
+    return -op.value("i(Vd)");
+  };
+  variation::MonteCarloOptions small;
+  small.trials = 40;
+  small.sigma_fraction = 0.03;
+  variation::MonteCarloOptions large = small;
+  large.sigma_fraction = 0.09;
+  auto rs = variation::monte_carlo(ckt, metric, small);
+  auto rl = variation::monte_carlo(ckt, metric, large);
+  EXPECT_GT(rl.stats.stddev(), rs.stats.stddev());
+  // Relative spread at Vgs = 0.6 V should be clearly visible.
+  EXPECT_GT(rl.stats.stddev() / rl.stats.mean(), 0.01);
+}
+
+TEST(MonteCarlo, ShiftsClearedAfterRun) {
+  Circuit ckt = make_two_transistor_circuit();
+  variation::MonteCarloOptions options;
+  options.trials = 3;
+  auto metric = [](Circuit&) { return 1.0; };
+  variation::monte_carlo(ckt, metric, options);
+  EXPECT_DOUBLE_EQ(ckt.find<Mosfet>("M1").vth_shift(), 0.0);
+}
+
+TEST(MonteCarlo, FailuresToleratedAndCounted) {
+  Circuit ckt = make_two_transistor_circuit();
+  variation::MonteCarloOptions options;
+  options.trials = 6;
+  int call = 0;
+  auto metric = [&](Circuit&) -> double {
+    if (++call % 2 == 0) throw ConvergenceError("synthetic failure");
+    return static_cast<double>(call);
+  };
+  auto r = variation::monte_carlo(ckt, metric, options);
+  EXPECT_EQ(r.failures, 3u);
+  EXPECT_EQ(r.stats.count(), 3u);
+}
+
+TEST(MonteCarlo, AllFailuresThrow) {
+  Circuit ckt = make_two_transistor_circuit();
+  variation::MonteCarloOptions options;
+  options.trials = 3;
+  auto metric = [](Circuit&) -> double {
+    throw ConvergenceError("always fails");
+  };
+  EXPECT_THROW(variation::monte_carlo(ckt, metric, options), Error);
+}
+
+TEST(MonteCarlo, MeanPlusSigmasAccessor) {
+  variation::MonteCarloResult r;
+  r.stats.add(1.0);
+  r.stats.add(3.0);
+  EXPECT_DOUBLE_EQ(r.mean_plus_sigmas(0.0), 2.0);
+  EXPECT_GT(r.mean_plus_sigmas(3.0), r.worst() - 1.0);
+}
+
+}  // namespace
+}  // namespace nemsim
