@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_nems_mechanics.dir/ablation_nems_mechanics.cpp.o"
+  "CMakeFiles/ablation_nems_mechanics.dir/ablation_nems_mechanics.cpp.o.d"
+  "ablation_nems_mechanics"
+  "ablation_nems_mechanics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_nems_mechanics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

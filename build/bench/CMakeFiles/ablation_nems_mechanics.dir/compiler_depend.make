@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ablation_nems_mechanics.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_nems_resonator.dir/ablation_nems_resonator.cpp.o"
+  "CMakeFiles/ablation_nems_resonator.dir/ablation_nems_resonator.cpp.o.d"
+  "ablation_nems_resonator"
+  "ablation_nems_resonator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_nems_resonator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sram_column.dir/ablation_sram_column.cpp.o"
+  "CMakeFiles/ablation_sram_column.dir/ablation_sram_column.cpp.o.d"
+  "ablation_sram_column"
+  "ablation_sram_column.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sram_column.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_itrs_trend.dir/fig01_itrs_trend.cpp.o"
+  "CMakeFiles/fig01_itrs_trend.dir/fig01_itrs_trend.cpp.o.d"
+  "fig01_itrs_trend"
+  "fig01_itrs_trend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_itrs_trend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

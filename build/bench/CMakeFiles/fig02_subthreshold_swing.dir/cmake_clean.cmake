@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_subthreshold_swing.dir/fig02_subthreshold_swing.cpp.o"
+  "CMakeFiles/fig02_subthreshold_swing.dir/fig02_subthreshold_swing.cpp.o.d"
+  "fig02_subthreshold_swing"
+  "fig02_subthreshold_swing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_subthreshold_swing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

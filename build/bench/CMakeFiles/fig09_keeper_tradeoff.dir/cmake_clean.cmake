@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_keeper_tradeoff.dir/fig09_keeper_tradeoff.cpp.o"
+  "CMakeFiles/fig09_keeper_tradeoff.dir/fig09_keeper_tradeoff.cpp.o.d"
+  "fig09_keeper_tradeoff"
+  "fig09_keeper_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_keeper_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

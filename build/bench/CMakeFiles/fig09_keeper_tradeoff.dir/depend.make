@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09_keeper_tradeoff.
+# This may be replaced when dependencies are built.

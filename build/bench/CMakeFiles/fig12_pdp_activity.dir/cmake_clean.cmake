@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_pdp_activity.dir/fig12_pdp_activity.cpp.o"
+  "CMakeFiles/fig12_pdp_activity.dir/fig12_pdp_activity.cpp.o.d"
+  "fig12_pdp_activity"
+  "fig12_pdp_activity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_pdp_activity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

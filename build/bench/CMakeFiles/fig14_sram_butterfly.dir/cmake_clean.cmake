@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_sram_butterfly.dir/fig14_sram_butterfly.cpp.o"
+  "CMakeFiles/fig14_sram_butterfly.dir/fig14_sram_butterfly.cpp.o.d"
+  "fig14_sram_butterfly"
+  "fig14_sram_butterfly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_sram_butterfly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

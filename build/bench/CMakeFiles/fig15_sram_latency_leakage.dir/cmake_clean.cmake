@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_sram_latency_leakage.dir/fig15_sram_latency_leakage.cpp.o"
+  "CMakeFiles/fig15_sram_latency_leakage.dir/fig15_sram_latency_leakage.cpp.o.d"
+  "fig15_sram_latency_leakage"
+  "fig15_sram_latency_leakage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_sram_latency_leakage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig15_sram_latency_leakage.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_sleep_transistor.dir/fig17_sleep_transistor.cpp.o"
+  "CMakeFiles/fig17_sleep_transistor.dir/fig17_sleep_transistor.cpp.o.d"
+  "fig17_sleep_transistor"
+  "fig17_sleep_transistor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_sleep_transistor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

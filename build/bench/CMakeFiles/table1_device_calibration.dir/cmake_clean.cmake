@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_device_calibration.dir/table1_device_calibration.cpp.o"
+  "CMakeFiles/table1_device_calibration.dir/table1_device_calibration.cpp.o.d"
+  "table1_device_calibration"
+  "table1_device_calibration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_device_calibration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

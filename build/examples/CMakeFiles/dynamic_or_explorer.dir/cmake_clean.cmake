@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_or_explorer.dir/dynamic_or_explorer.cpp.o"
+  "CMakeFiles/dynamic_or_explorer.dir/dynamic_or_explorer.cpp.o.d"
+  "dynamic_or_explorer"
+  "dynamic_or_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_or_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nemfet_iv_curves.dir/nemfet_iv_curves.cpp.o"
+  "CMakeFiles/nemfet_iv_curves.dir/nemfet_iv_curves.cpp.o.d"
+  "nemfet_iv_curves"
+  "nemfet_iv_curves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nemfet_iv_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_gating_planner.dir/power_gating_planner.cpp.o"
+  "CMakeFiles/power_gating_planner.dir/power_gating_planner.cpp.o.d"
+  "power_gating_planner"
+  "power_gating_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_gating_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resonator_explorer.dir/resonator_explorer.cpp.o"
+  "CMakeFiles/resonator_explorer.dir/resonator_explorer.cpp.o.d"
+  "resonator_explorer"
+  "resonator_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resonator_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

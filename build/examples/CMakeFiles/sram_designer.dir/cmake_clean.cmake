@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sram_designer.dir/sram_designer.cpp.o"
+  "CMakeFiles/sram_designer.dir/sram_designer.cpp.o.d"
+  "sram_designer"
+  "sram_designer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sram_designer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

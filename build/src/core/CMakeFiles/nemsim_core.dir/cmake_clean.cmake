@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nemsim_core.dir/src/dynamic_or.cpp.o"
+  "CMakeFiles/nemsim_core.dir/src/dynamic_or.cpp.o.d"
+  "CMakeFiles/nemsim_core.dir/src/gates.cpp.o"
+  "CMakeFiles/nemsim_core.dir/src/gates.cpp.o.d"
+  "CMakeFiles/nemsim_core.dir/src/metrics.cpp.o"
+  "CMakeFiles/nemsim_core.dir/src/metrics.cpp.o.d"
+  "CMakeFiles/nemsim_core.dir/src/power_gating.cpp.o"
+  "CMakeFiles/nemsim_core.dir/src/power_gating.cpp.o.d"
+  "CMakeFiles/nemsim_core.dir/src/sram.cpp.o"
+  "CMakeFiles/nemsim_core.dir/src/sram.cpp.o.d"
+  "libnemsim_core.a"
+  "libnemsim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nemsim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

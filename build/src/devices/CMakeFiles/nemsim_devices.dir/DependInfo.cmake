@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/devices/src/controlled.cpp" "src/devices/CMakeFiles/nemsim_devices.dir/src/controlled.cpp.o" "gcc" "src/devices/CMakeFiles/nemsim_devices.dir/src/controlled.cpp.o.d"
+  "/root/repo/src/devices/src/diode.cpp" "src/devices/CMakeFiles/nemsim_devices.dir/src/diode.cpp.o" "gcc" "src/devices/CMakeFiles/nemsim_devices.dir/src/diode.cpp.o.d"
+  "/root/repo/src/devices/src/mosfet.cpp" "src/devices/CMakeFiles/nemsim_devices.dir/src/mosfet.cpp.o" "gcc" "src/devices/CMakeFiles/nemsim_devices.dir/src/mosfet.cpp.o.d"
+  "/root/repo/src/devices/src/nemfet.cpp" "src/devices/CMakeFiles/nemsim_devices.dir/src/nemfet.cpp.o" "gcc" "src/devices/CMakeFiles/nemsim_devices.dir/src/nemfet.cpp.o.d"
+  "/root/repo/src/devices/src/passives.cpp" "src/devices/CMakeFiles/nemsim_devices.dir/src/passives.cpp.o" "gcc" "src/devices/CMakeFiles/nemsim_devices.dir/src/passives.cpp.o.d"
+  "/root/repo/src/devices/src/sources.cpp" "src/devices/CMakeFiles/nemsim_devices.dir/src/sources.cpp.o" "gcc" "src/devices/CMakeFiles/nemsim_devices.dir/src/sources.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/spice/CMakeFiles/nemsim_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nemsim_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/nemsim_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

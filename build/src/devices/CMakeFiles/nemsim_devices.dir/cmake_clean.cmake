@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nemsim_devices.dir/src/controlled.cpp.o"
+  "CMakeFiles/nemsim_devices.dir/src/controlled.cpp.o.d"
+  "CMakeFiles/nemsim_devices.dir/src/diode.cpp.o"
+  "CMakeFiles/nemsim_devices.dir/src/diode.cpp.o.d"
+  "CMakeFiles/nemsim_devices.dir/src/mosfet.cpp.o"
+  "CMakeFiles/nemsim_devices.dir/src/mosfet.cpp.o.d"
+  "CMakeFiles/nemsim_devices.dir/src/nemfet.cpp.o"
+  "CMakeFiles/nemsim_devices.dir/src/nemfet.cpp.o.d"
+  "CMakeFiles/nemsim_devices.dir/src/passives.cpp.o"
+  "CMakeFiles/nemsim_devices.dir/src/passives.cpp.o.d"
+  "CMakeFiles/nemsim_devices.dir/src/sources.cpp.o"
+  "CMakeFiles/nemsim_devices.dir/src/sources.cpp.o.d"
+  "libnemsim_devices.a"
+  "libnemsim_devices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nemsim_devices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/src/complex.cpp" "src/linalg/CMakeFiles/nemsim_linalg.dir/src/complex.cpp.o" "gcc" "src/linalg/CMakeFiles/nemsim_linalg.dir/src/complex.cpp.o.d"
+  "/root/repo/src/linalg/src/lu.cpp" "src/linalg/CMakeFiles/nemsim_linalg.dir/src/lu.cpp.o" "gcc" "src/linalg/CMakeFiles/nemsim_linalg.dir/src/lu.cpp.o.d"
+  "/root/repo/src/linalg/src/matrix.cpp" "src/linalg/CMakeFiles/nemsim_linalg.dir/src/matrix.cpp.o" "gcc" "src/linalg/CMakeFiles/nemsim_linalg.dir/src/matrix.cpp.o.d"
+  "/root/repo/src/linalg/src/polyfit.cpp" "src/linalg/CMakeFiles/nemsim_linalg.dir/src/polyfit.cpp.o" "gcc" "src/linalg/CMakeFiles/nemsim_linalg.dir/src/polyfit.cpp.o.d"
+  "/root/repo/src/linalg/src/sparse.cpp" "src/linalg/CMakeFiles/nemsim_linalg.dir/src/sparse.cpp.o" "gcc" "src/linalg/CMakeFiles/nemsim_linalg.dir/src/sparse.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/nemsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

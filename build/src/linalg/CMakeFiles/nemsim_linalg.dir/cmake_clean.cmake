@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nemsim_linalg.dir/src/complex.cpp.o"
+  "CMakeFiles/nemsim_linalg.dir/src/complex.cpp.o.d"
+  "CMakeFiles/nemsim_linalg.dir/src/lu.cpp.o"
+  "CMakeFiles/nemsim_linalg.dir/src/lu.cpp.o.d"
+  "CMakeFiles/nemsim_linalg.dir/src/matrix.cpp.o"
+  "CMakeFiles/nemsim_linalg.dir/src/matrix.cpp.o.d"
+  "CMakeFiles/nemsim_linalg.dir/src/polyfit.cpp.o"
+  "CMakeFiles/nemsim_linalg.dir/src/polyfit.cpp.o.d"
+  "CMakeFiles/nemsim_linalg.dir/src/sparse.cpp.o"
+  "CMakeFiles/nemsim_linalg.dir/src/sparse.cpp.o.d"
+  "libnemsim_linalg.a"
+  "libnemsim_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nemsim_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spice/src/ac.cpp" "src/spice/CMakeFiles/nemsim_spice.dir/src/ac.cpp.o" "gcc" "src/spice/CMakeFiles/nemsim_spice.dir/src/ac.cpp.o.d"
+  "/root/repo/src/spice/src/circuit.cpp" "src/spice/CMakeFiles/nemsim_spice.dir/src/circuit.cpp.o" "gcc" "src/spice/CMakeFiles/nemsim_spice.dir/src/circuit.cpp.o.d"
+  "/root/repo/src/spice/src/dcsweep.cpp" "src/spice/CMakeFiles/nemsim_spice.dir/src/dcsweep.cpp.o" "gcc" "src/spice/CMakeFiles/nemsim_spice.dir/src/dcsweep.cpp.o.d"
+  "/root/repo/src/spice/src/engine.cpp" "src/spice/CMakeFiles/nemsim_spice.dir/src/engine.cpp.o" "gcc" "src/spice/CMakeFiles/nemsim_spice.dir/src/engine.cpp.o.d"
+  "/root/repo/src/spice/src/measure.cpp" "src/spice/CMakeFiles/nemsim_spice.dir/src/measure.cpp.o" "gcc" "src/spice/CMakeFiles/nemsim_spice.dir/src/measure.cpp.o.d"
+  "/root/repo/src/spice/src/netlist_export.cpp" "src/spice/CMakeFiles/nemsim_spice.dir/src/netlist_export.cpp.o" "gcc" "src/spice/CMakeFiles/nemsim_spice.dir/src/netlist_export.cpp.o.d"
+  "/root/repo/src/spice/src/newton.cpp" "src/spice/CMakeFiles/nemsim_spice.dir/src/newton.cpp.o" "gcc" "src/spice/CMakeFiles/nemsim_spice.dir/src/newton.cpp.o.d"
+  "/root/repo/src/spice/src/op.cpp" "src/spice/CMakeFiles/nemsim_spice.dir/src/op.cpp.o" "gcc" "src/spice/CMakeFiles/nemsim_spice.dir/src/op.cpp.o.d"
+  "/root/repo/src/spice/src/transient.cpp" "src/spice/CMakeFiles/nemsim_spice.dir/src/transient.cpp.o" "gcc" "src/spice/CMakeFiles/nemsim_spice.dir/src/transient.cpp.o.d"
+  "/root/repo/src/spice/src/waveform.cpp" "src/spice/CMakeFiles/nemsim_spice.dir/src/waveform.cpp.o" "gcc" "src/spice/CMakeFiles/nemsim_spice.dir/src/waveform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/nemsim_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nemsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

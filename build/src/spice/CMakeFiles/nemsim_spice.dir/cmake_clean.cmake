@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nemsim_spice.dir/src/ac.cpp.o"
+  "CMakeFiles/nemsim_spice.dir/src/ac.cpp.o.d"
+  "CMakeFiles/nemsim_spice.dir/src/circuit.cpp.o"
+  "CMakeFiles/nemsim_spice.dir/src/circuit.cpp.o.d"
+  "CMakeFiles/nemsim_spice.dir/src/dcsweep.cpp.o"
+  "CMakeFiles/nemsim_spice.dir/src/dcsweep.cpp.o.d"
+  "CMakeFiles/nemsim_spice.dir/src/engine.cpp.o"
+  "CMakeFiles/nemsim_spice.dir/src/engine.cpp.o.d"
+  "CMakeFiles/nemsim_spice.dir/src/measure.cpp.o"
+  "CMakeFiles/nemsim_spice.dir/src/measure.cpp.o.d"
+  "CMakeFiles/nemsim_spice.dir/src/netlist_export.cpp.o"
+  "CMakeFiles/nemsim_spice.dir/src/netlist_export.cpp.o.d"
+  "CMakeFiles/nemsim_spice.dir/src/newton.cpp.o"
+  "CMakeFiles/nemsim_spice.dir/src/newton.cpp.o.d"
+  "CMakeFiles/nemsim_spice.dir/src/op.cpp.o"
+  "CMakeFiles/nemsim_spice.dir/src/op.cpp.o.d"
+  "CMakeFiles/nemsim_spice.dir/src/transient.cpp.o"
+  "CMakeFiles/nemsim_spice.dir/src/transient.cpp.o.d"
+  "CMakeFiles/nemsim_spice.dir/src/waveform.cpp.o"
+  "CMakeFiles/nemsim_spice.dir/src/waveform.cpp.o.d"
+  "libnemsim_spice.a"
+  "libnemsim_spice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nemsim_spice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tech/src/cards.cpp" "src/tech/CMakeFiles/nemsim_tech.dir/src/cards.cpp.o" "gcc" "src/tech/CMakeFiles/nemsim_tech.dir/src/cards.cpp.o.d"
+  "/root/repo/src/tech/src/characterize.cpp" "src/tech/CMakeFiles/nemsim_tech.dir/src/characterize.cpp.o" "gcc" "src/tech/CMakeFiles/nemsim_tech.dir/src/characterize.cpp.o.d"
+  "/root/repo/src/tech/src/corners.cpp" "src/tech/CMakeFiles/nemsim_tech.dir/src/corners.cpp.o" "gcc" "src/tech/CMakeFiles/nemsim_tech.dir/src/corners.cpp.o.d"
+  "/root/repo/src/tech/src/itrs.cpp" "src/tech/CMakeFiles/nemsim_tech.dir/src/itrs.cpp.o" "gcc" "src/tech/CMakeFiles/nemsim_tech.dir/src/itrs.cpp.o.d"
+  "/root/repo/src/tech/src/netlist_parser.cpp" "src/tech/CMakeFiles/nemsim_tech.dir/src/netlist_parser.cpp.o" "gcc" "src/tech/CMakeFiles/nemsim_tech.dir/src/netlist_parser.cpp.o.d"
+  "/root/repo/src/tech/src/swing_survey.cpp" "src/tech/CMakeFiles/nemsim_tech.dir/src/swing_survey.cpp.o" "gcc" "src/tech/CMakeFiles/nemsim_tech.dir/src/swing_survey.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/devices/CMakeFiles/nemsim_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/nemsim_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nemsim_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/nemsim_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

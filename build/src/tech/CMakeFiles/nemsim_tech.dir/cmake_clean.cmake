@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nemsim_tech.dir/src/cards.cpp.o"
+  "CMakeFiles/nemsim_tech.dir/src/cards.cpp.o.d"
+  "CMakeFiles/nemsim_tech.dir/src/characterize.cpp.o"
+  "CMakeFiles/nemsim_tech.dir/src/characterize.cpp.o.d"
+  "CMakeFiles/nemsim_tech.dir/src/corners.cpp.o"
+  "CMakeFiles/nemsim_tech.dir/src/corners.cpp.o.d"
+  "CMakeFiles/nemsim_tech.dir/src/itrs.cpp.o"
+  "CMakeFiles/nemsim_tech.dir/src/itrs.cpp.o.d"
+  "CMakeFiles/nemsim_tech.dir/src/netlist_parser.cpp.o"
+  "CMakeFiles/nemsim_tech.dir/src/netlist_parser.cpp.o.d"
+  "CMakeFiles/nemsim_tech.dir/src/swing_survey.cpp.o"
+  "CMakeFiles/nemsim_tech.dir/src/swing_survey.cpp.o.d"
+  "libnemsim_tech.a"
+  "libnemsim_tech.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nemsim_tech.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nemsim_util.dir/src/interp.cpp.o"
+  "CMakeFiles/nemsim_util.dir/src/interp.cpp.o.d"
+  "CMakeFiles/nemsim_util.dir/src/logging.cpp.o"
+  "CMakeFiles/nemsim_util.dir/src/logging.cpp.o.d"
+  "CMakeFiles/nemsim_util.dir/src/root.cpp.o"
+  "CMakeFiles/nemsim_util.dir/src/root.cpp.o.d"
+  "CMakeFiles/nemsim_util.dir/src/stats.cpp.o"
+  "CMakeFiles/nemsim_util.dir/src/stats.cpp.o.d"
+  "CMakeFiles/nemsim_util.dir/src/table.cpp.o"
+  "CMakeFiles/nemsim_util.dir/src/table.cpp.o.d"
+  "libnemsim_util.a"
+  "libnemsim_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nemsim_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

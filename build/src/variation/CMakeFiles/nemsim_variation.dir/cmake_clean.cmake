@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nemsim_variation.dir/src/montecarlo.cpp.o"
+  "CMakeFiles/nemsim_variation.dir/src/montecarlo.cpp.o.d"
+  "libnemsim_variation.a"
+  "libnemsim_variation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nemsim_variation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

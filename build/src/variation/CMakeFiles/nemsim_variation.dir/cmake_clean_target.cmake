@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnemsim_variation.a"
+)

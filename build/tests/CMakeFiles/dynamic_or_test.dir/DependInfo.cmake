@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/dynamic_or_test.cpp" "tests/CMakeFiles/dynamic_or_test.dir/dynamic_or_test.cpp.o" "gcc" "tests/CMakeFiles/dynamic_or_test.dir/dynamic_or_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/nemsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/nemsim_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/variation/CMakeFiles/nemsim_variation.dir/DependInfo.cmake"
+  "/root/repo/build/src/devices/CMakeFiles/nemsim_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/nemsim_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/nemsim_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nemsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_or_test.dir/dynamic_or_test.cpp.o"
+  "CMakeFiles/dynamic_or_test.dir/dynamic_or_test.cpp.o.d"
+  "dynamic_or_test"
+  "dynamic_or_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_or_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gates_metrics_test.dir/gates_metrics_test.cpp.o"
+  "CMakeFiles/gates_metrics_test.dir/gates_metrics_test.cpp.o.d"
+  "gates_metrics_test"
+  "gates_metrics_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gates_metrics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jacobian_test.dir/jacobian_test.cpp.o"
+  "CMakeFiles/jacobian_test.dir/jacobian_test.cpp.o.d"
+  "jacobian_test"
+  "jacobian_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jacobian_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mosfet_test.dir/mosfet_test.cpp.o"
+  "CMakeFiles/mosfet_test.dir/mosfet_test.cpp.o.d"
+  "mosfet_test"
+  "mosfet_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mosfet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nemfet_test.dir/nemfet_test.cpp.o"
+  "CMakeFiles/nemfet_test.dir/nemfet_test.cpp.o.d"
+  "nemfet_test"
+  "nemfet_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nemfet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

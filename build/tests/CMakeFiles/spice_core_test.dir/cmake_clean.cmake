@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spice_core_test.dir/spice_core_test.cpp.o"
+  "CMakeFiles/spice_core_test.dir/spice_core_test.cpp.o.d"
+  "spice_core_test"
+  "spice_core_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spice_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sram_write_test.dir/sram_write_test.cpp.o"
+  "CMakeFiles/sram_write_test.dir/sram_write_test.cpp.o.d"
+  "sram_write_test"
+  "sram_write_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sram_write_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

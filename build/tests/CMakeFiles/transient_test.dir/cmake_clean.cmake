@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transient_test.dir/transient_test.cpp.o"
+  "CMakeFiles/transient_test.dir/transient_test.cpp.o.d"
+  "transient_test"
+  "transient_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transient_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
