@@ -9,6 +9,7 @@
 #include <iostream>
 
 #include "nemsim/core/dynamic_or.h"
+#include "nemsim/util/parallel.h"
 #include "nemsim/util/table.h"
 #include "nemsim/variation/montecarlo.h"
 
@@ -36,37 +37,51 @@ int main() {
     d_ref = measure_worst_case_delay(gate);
   }
 
+  // One task per (sigma, keeper width) cell; each task owns its gate and
+  // runs its Monte-Carlo trials locally, so cells evaluate in parallel
+  // with deterministic (thread-count independent) results.
+  struct Cell {
+    variation::MonteCarloResult delay, nm;
+  };
+  const std::size_t n_cells = sigma_levels.size() * keeper_widths.size();
+  std::vector<Cell> cells = util::parallel_map(n_cells, [&](std::size_t i) {
+    const double sigma = sigma_levels[i / keeper_widths.size()];
+    const double wk = keeper_widths[i % keeper_widths.size()];
+    DynamicOrConfig c;
+    c.fanin = 8;
+    c.fanout = 1;
+    c.autosize_keeper = false;
+    c.keeper_width = wk;
+    DynamicOrGate gate = build_dynamic_or(c);
+
+    variation::MonteCarloOptions mc;
+    mc.trials = kTrials;
+    mc.sigma_fraction = sigma;
+
+    auto delay_metric = [&](spice::Circuit&) {
+      return measure_worst_case_delay(gate);
+    };
+    auto nm_metric = [&](spice::Circuit&) {
+      return measure_noise_margin(gate, /*v_resolution=*/0.025);
+    };
+    Cell cell;
+    cell.delay = variation::monte_carlo(gate.ckt(), delay_metric, mc);
+    cell.nm = variation::monte_carlo(gate.ckt(), nm_metric, mc);
+    return cell;
+  });
+
   Table t({"sigma/mu", "keeper W (um)", "NM worst (V)", "delay worst (norm)",
            "failed trials"});
-  for (double sigma : sigma_levels) {
-    for (double wk : keeper_widths) {
-      DynamicOrConfig c;
-      c.fanin = 8;
-      c.fanout = 1;
-      c.autosize_keeper = false;
-      c.keeper_width = wk;
-      DynamicOrGate gate = build_dynamic_or(c);
-
-      variation::MonteCarloOptions mc;
-      mc.trials = kTrials;
-      mc.sigma_fraction = sigma;
-
-      auto delay_metric = [&](spice::Circuit&) {
-        return measure_worst_case_delay(gate);
-      };
-      auto nm_metric = [&](spice::Circuit&) {
-        return measure_noise_margin(gate, /*v_resolution=*/0.025);
-      };
-      auto rd = variation::monte_carlo(gate.ckt(), delay_metric, mc);
-      auto rn = variation::monte_carlo(gate.ckt(), nm_metric, mc);
-
-      t.begin_row()
-          .cell(Table::format(sigma * 100.0, 2) + " %")
-          .cell(wk * 1e6, 3)
-          .cell(rn.stats.mean() - 3.0 * rn.stats.stddev(), 3)
-          .cell(rd.mean_plus_sigmas(3.0) / d_ref, 3)
-          .cell(static_cast<int>(rd.failures + rn.failures));
-    }
+  for (std::size_t i = 0; i < n_cells; ++i) {
+    const double sigma = sigma_levels[i / keeper_widths.size()];
+    const double wk = keeper_widths[i % keeper_widths.size()];
+    const Cell& cell = cells[i];
+    t.begin_row()
+        .cell(Table::format(sigma * 100.0, 2) + " %")
+        .cell(wk * 1e6, 3)
+        .cell(cell.nm.stats.mean() - 3.0 * cell.nm.stats.stddev(), 3)
+        .cell(cell.delay.mean_plus_sigmas(3.0) / d_ref, 3)
+        .cell(static_cast<int>(cell.delay.failures + cell.nm.failures));
   }
   t.print(std::cout);
 

@@ -7,6 +7,7 @@
 #include <iostream>
 
 #include "nemsim/core/dynamic_or.h"
+#include "nemsim/util/parallel.h"
 #include "nemsim/util/table.h"
 
 int main() {
@@ -15,24 +16,26 @@ int main() {
 
   std::cout << "Figure 10: 8-input dynamic OR, fan-out sweep\n\n";
 
+  // One task per (fan-out, variant); tasks share nothing, results are
+  // collected in input order (thread-count independent).
+  constexpr int kMaxFanout = 5;
+  std::vector<DynamicOrMetrics> metrics = util::parallel_map(
+      static_cast<std::size_t>(kMaxFanout) * 2, [&](std::size_t i) {
+        DynamicOrConfig c;
+        c.fanin = 8;
+        c.fanout = static_cast<int>(i / 2) + 1;
+        c.hybrid = (i % 2 == 1);
+        DynamicOrGate gate = build_dynamic_or(c);
+        return measure_dynamic_or(gate);
+      });
+
   struct Row {
     int fanout;
     DynamicOrMetrics cmos, hybrid;
   };
   std::vector<Row> rows;
-  for (int fo = 1; fo <= 5; ++fo) {
-    Row r;
-    r.fanout = fo;
-    DynamicOrConfig c;
-    c.fanin = 8;
-    c.fanout = fo;
-    c.hybrid = false;
-    DynamicOrGate cmos = build_dynamic_or(c);
-    r.cmos = measure_dynamic_or(cmos);
-    c.hybrid = true;
-    DynamicOrGate hybrid = build_dynamic_or(c);
-    r.hybrid = measure_dynamic_or(hybrid);
-    rows.push_back(r);
+  for (int fo = 1; fo <= kMaxFanout; ++fo) {
+    rows.push_back(Row{fo, metrics[2 * (fo - 1)], metrics[2 * (fo - 1) + 1]});
   }
 
   const double p_norm = rows.front().hybrid.switching_power;

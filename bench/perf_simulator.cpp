@@ -3,12 +3,16 @@
 // transient throughput on the paper's actual circuits.
 #include <benchmark/benchmark.h>
 
+#include <sstream>
+
 #include "nemsim/core/dynamic_or.h"
 #include "nemsim/core/sram.h"
 #include "nemsim/linalg/lu.h"
 #include "nemsim/linalg/sparse.h"
+#include "nemsim/linalg/sparse_lu.h"
 #include "nemsim/spice/op.h"
 #include "nemsim/spice/transient.h"
+#include "nemsim/util/parallel.h"
 #include "nemsim/util/rng.h"
 
 namespace {
@@ -95,6 +99,93 @@ void BM_SparseLuTridiagonal(benchmark::State& state) {
 }
 BENCHMARK(BM_SparseLuTridiagonal)->Arg(128)->Arg(512);
 
+linalg::CsrMatrix mna_like_csr(std::size_t n) {
+  // Same matrix as BM_SparseLuSolve (~5 entries/row, dominant diagonal).
+  Rng rng(11);
+  std::vector<std::pair<std::size_t, std::size_t>> entries;
+  for (std::size_t r = 0; r < n; ++r) {
+    entries.emplace_back(r, r);
+    for (int k = 0; k < 4; ++k) entries.emplace_back(r, rng.index(n));
+  }
+  linalg::CsrMatrix a(n, std::move(entries));
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t s = a.row_start()[r]; s < a.row_start()[r + 1]; ++s) {
+      a.values()[s] = a.col_index()[s] == r ? 8.0 : rng.uniform(-1.0, 1.0);
+    }
+  }
+  return a;
+}
+
+void BM_SparseLuFactor(benchmark::State& state) {
+  // Full factorization (symbolic + numeric) every iteration: the cost the
+  // cached-symbolic refactor path avoids.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  linalg::CsrMatrix a = mna_like_csr(n);
+  linalg::Vector b(n, 1.0);
+  linalg::SparseLuFactorization lu;
+  for (auto _ : state) {
+    lu.factor(a);
+    benchmark::DoNotOptimize(lu.solve(b));
+  }
+}
+BENCHMARK(BM_SparseLuFactor)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_SparseLuRefactor(benchmark::State& state) {
+  // Numeric-only refactorization on the cached symbolic analysis — the
+  // steady state of the Newton fast path (same values pattern as
+  // BM_SparseLuSolve / BM_SparseLuFactor for comparison).
+  const auto n = static_cast<std::size_t>(state.range(0));
+  linalg::CsrMatrix a = mna_like_csr(n);
+  linalg::Vector b(n, 1.0);
+  linalg::SparseLuFactorization lu;
+  lu.factor(a);
+  for (auto _ : state) {
+    if (!lu.refactor(a)) state.SkipWithError("pivot decay");
+    benchmark::DoNotOptimize(lu.solve(b));
+  }
+}
+BENCHMARK(BM_SparseLuRefactor)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_MnaAssemblyDense(benchmark::State& state) {
+  // Dense Jacobian assembly on the paper's largest gate (fan-in 16).
+  core::DynamicOrConfig c;
+  c.fanin = 16;
+  core::DynamicOrGate gate = core::build_dynamic_or(c);
+  spice::MnaSystem system(gate.ckt());
+  const linalg::Vector x = system.initial_guess();
+  linalg::Matrix j;
+  linalg::Vector f, scale;
+  for (auto _ : state) {
+    system.assemble(x, j, f, scale, spice::AnalysisMode::kDcOperatingPoint,
+                    0.0, 0.0, 1e-9, 1.0);
+    benchmark::DoNotOptimize(j);
+  }
+  state.SetLabel("n=" + std::to_string(system.num_unknowns()));
+}
+BENCHMARK(BM_MnaAssemblyDense);
+
+void BM_MnaAssemblySparse(benchmark::State& state) {
+  // Pattern-frozen CSR assembly of the same system.
+  core::DynamicOrConfig c;
+  c.fanin = 16;
+  core::DynamicOrGate gate = core::build_dynamic_or(c);
+  spice::MnaSystem system(gate.ckt());
+  const linalg::Vector x = system.initial_guess();
+  linalg::CsrMatrix j = system.make_sparse_jacobian();
+  linalg::Vector f, scale;
+  for (auto _ : state) {
+    if (!system.assemble_sparse(x, j, f, scale,
+                                spice::AnalysisMode::kDcOperatingPoint, 0.0,
+                                0.0, 1e-9, 1.0)) {
+      j = system.make_sparse_jacobian();
+    }
+    benchmark::DoNotOptimize(j);
+  }
+  state.SetLabel("n=" + std::to_string(system.num_unknowns()) +
+                 " nnz=" + std::to_string(j.nonzeros()));
+}
+BENCHMARK(BM_MnaAssemblySparse);
+
 void BM_DynamicOrOperatingPoint(benchmark::State& state) {
   core::DynamicOrConfig c;
   c.fanin = static_cast<int>(state.range(0));
@@ -134,6 +225,83 @@ void BM_DynamicOrSwitchingCycle(benchmark::State& state) {
   state.SetLabel(state.range(0) ? "hybrid" : "cmos");
 }
 BENCHMARK(BM_DynamicOrSwitchingCycle)->Arg(0)->Arg(1);
+
+void BM_TransientSolverPath(benchmark::State& state) {
+  // End-to-end transient on a dynamic OR gate (system size grows with
+  // fan-in) with the linear solver forced dense vs sparse; the label
+  // carries the Newton work counters of the last run (assembles a /
+  // residual-only r / factorizations f / numeric refactor reuses u).
+  // The dense/sparse crossover read off this sweep sets
+  // NewtonOptions::sparse_threshold.
+  core::DynamicOrConfig c;
+  c.fanin = static_cast<int>(state.range(1));
+  c.fanout = 3;
+  core::DynamicOrGate gate = core::build_dynamic_or(c);
+  const bool sparse = state.range(0) != 0;
+
+  spice::NewtonStats ns;
+  for (auto _ : state) {
+    spice::MnaSystem system(gate.ckt());
+    spice::TransientOptions options;
+    options.tstop = 1.5e-9;
+    options.newton.solver =
+        sparse ? spice::JacobianSolver::kSparse : spice::JacobianSolver::kDense;
+    ns = spice::NewtonStats{};
+    options.newton_stats = &ns;
+    benchmark::DoNotOptimize(spice::transient(system, options));
+  }
+  std::ostringstream label;
+  spice::MnaSystem sized(gate.ckt());
+  label << (sparse ? "sparse" : "dense") << " fanin=" << c.fanin
+        << " n=" << sized.num_unknowns() << " a=" << ns.assembles
+        << " r=" << ns.residual_assembles
+        << " f=" << ns.factorizations << " u=" << ns.factorization_reuses;
+  state.SetLabel(label.str());
+}
+BENCHMARK(BM_TransientSolverPath)
+    ->Args({0, 2})
+    ->Args({1, 2})
+    ->Args({0, 4})
+    ->Args({1, 4})
+    ->Args({0, 8})
+    ->Args({1, 8})
+    ->Args({0, 16})
+    ->Args({1, 16});
+
+void BM_FaninSweepParallel(benchmark::State& state) {
+  // The Figure 11 style sweep (fan-in 4/8/12/16, CMOS + hybrid = 8
+  // independent transients) on a varying worker count; near-linear
+  // scaling to >= 4 threads is the acceptance target.
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  const std::vector<int> fanins = {4, 8, 12, 16};
+  for (auto _ : state) {
+    std::vector<double> endpoints = util::parallel_map(
+        fanins.size() * 2,
+        [&](std::size_t i) {
+          core::DynamicOrConfig c;
+          c.fanin = fanins[i / 2];
+          c.fanout = 3;
+          c.hybrid = (i % 2 == 1);
+          core::DynamicOrGate gate = core::build_dynamic_or(c);
+          spice::MnaSystem system(gate.ckt());
+          spice::TransientOptions options;
+          options.tstop = 1.5e-9;
+          spice::Waveform w = spice::transient(system, options);
+          return w.at("v(out)", options.tstop);
+        },
+        threads);
+    benchmark::DoNotOptimize(endpoints);
+  }
+  state.SetLabel("threads=" + std::to_string(threads));
+}
+BENCHMARK(BM_FaninSweepParallel)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
 
 }  // namespace
 

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Runs the simulator kernel benchmarks and records the results at the
+# repo root (BENCH_solver.json) so the perf trajectory is tracked in git
+# from PR 1 onward.
+#
+# Usage: bench/run_benchmarks.sh [build-dir] [extra google-benchmark args...]
+#   e.g. bench/run_benchmarks.sh build --benchmark_filter=SparseLu
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+if [[ $# -gt 0 ]]; then shift; fi
+
+bench_bin="$build_dir/bench/perf_simulator"
+if [[ ! -x "$bench_bin" ]]; then
+  echo "error: $bench_bin not found or not executable." >&2
+  echo "Build first: cmake -B build -S . && cmake --build build -j" >&2
+  exit 1
+fi
+
+"$bench_bin" \
+  --benchmark_out="$repo_root/BENCH_solver.json" \
+  --benchmark_out_format=json \
+  "$@"
+
+echo "Wrote $repo_root/BENCH_solver.json"

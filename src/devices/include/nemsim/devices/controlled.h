@@ -17,6 +17,7 @@ class Vcvs : public spice::Device {
 
   void setup(spice::SetupContext& ctx) override;
   void stamp(spice::StampContext& ctx) const override;
+  bool is_linear() const override { return true; }
   void stamp_ac(spice::AcStampContext& ctx) const override;
   std::string netlist_line(
       const std::function<std::string(spice::NodeId)>& node_namer)
@@ -37,6 +38,7 @@ class Vccs : public spice::Device {
   void set_gm(double gm) { gm_ = gm; }
 
   void stamp(spice::StampContext& ctx) const override;
+  bool is_linear() const override { return true; }
   void stamp_ac(spice::AcStampContext& ctx) const override;
   std::string netlist_line(
       const std::function<std::string(spice::NodeId)>& node_namer)

@@ -18,6 +18,7 @@ class Resistor : public spice::Device {
 
   void stamp(spice::StampContext& ctx) const override;
   void stamp_ac(spice::AcStampContext& ctx) const override;
+  bool is_linear() const override { return true; }
   std::string netlist_line(
       const std::function<std::string(spice::NodeId)>& node_namer)
       const override;
@@ -37,6 +38,7 @@ class Capacitor : public spice::Device {
   void set_capacitance(double c) { companion_.set_capacitance(c); }
 
   void stamp(spice::StampContext& ctx) const override;
+  bool is_linear() const override { return true; }
   void accept_step(const spice::AcceptContext& ctx) override;
   void reset_state() override;
   void stamp_ac(spice::AcStampContext& ctx) const override;
@@ -62,6 +64,7 @@ class Inductor : public spice::Device {
 
   void setup(spice::SetupContext& ctx) override;
   void stamp(spice::StampContext& ctx) const override;
+  bool is_linear() const override { return true; }
   void accept_step(const spice::AcceptContext& ctx) override;
   void reset_state() override;
   void stamp_ac(spice::AcStampContext& ctx) const override;

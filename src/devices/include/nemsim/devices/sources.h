@@ -76,6 +76,7 @@ class VoltageSource : public spice::Device {
 
   void setup(spice::SetupContext& ctx) override;
   void stamp(spice::StampContext& ctx) const override;
+  bool is_linear() const override { return true; }
   void stamp_ac(spice::AcStampContext& ctx) const override;
   void breakpoints(double tstop, std::vector<double>& out) const override;
   std::string netlist_line(
@@ -107,6 +108,7 @@ class CurrentSource : public spice::Device {
   }
 
   void stamp(spice::StampContext& ctx) const override;
+  bool is_linear() const override { return true; }
   void stamp_ac(spice::AcStampContext& ctx) const override;
   void breakpoints(double tstop, std::vector<double>& out) const override;
   std::string netlist_line(

@@ -1,12 +1,16 @@
-// Compressed-sparse-row matrix.
+// Compressed-sparse-row matrices.
 //
-// The MNA engine defaults to the dense LU path (design decision #4 in
-// DESIGN.md); CSR exists for the perf ablation bench and for users who
-// want to export stamped Jacobians.  A Gauss-Seidel solver is provided for
-// diagonally-dominant systems (e.g. resistor networks).
+// Two flavours: the immutable triplet-built SparseMatrix (exports, ad-hoc
+// solves, Gauss-Seidel for diagonally-dominant systems) and CsrMatrix, a
+// square pattern-frozen matrix with mutable values — the MNA engine's
+// reusable Jacobian storage.  Above the sparse-selection threshold the
+// engine assembles into a CsrMatrix and factors it with
+// SparseLuFactorization (sparse_lu.h); below it the dense path of
+// DESIGN.md decision #4 still wins.
 #pragma once
 
 #include <cstddef>
+#include <utility>
 #include <vector>
 
 #include "nemsim/linalg/matrix.h"
@@ -51,10 +55,56 @@ class SparseMatrix {
   /// honest and to serve genuinely sparse systems (e.g. ladder networks).
   Vector lu_solve(const Vector& b) const;
 
+  // Raw CSR access (read-only), e.g. for SparseLuFactorization.
+  const std::vector<std::size_t>& row_start() const { return row_start_; }
+  const std::vector<std::size_t>& col_index() const { return col_index_; }
+  const std::vector<double>& values() const { return values_; }
+
  private:
   std::size_t rows_;
   std::size_t cols_;
   std::vector<std::size_t> row_start_;  // size rows_+1
+  std::vector<std::size_t> col_index_;
+  std::vector<double> values_;
+};
+
+/// Square CSR matrix with a frozen sparsity pattern and mutable values.
+///
+/// Built once from the set of structurally-possible (row, col) positions;
+/// afterwards assembly is "zero_values(), then add into slots" with no
+/// allocation.  Entries outside the pattern report `npos` from slot() so
+/// callers can detect and grow the pattern.
+class CsrMatrix {
+ public:
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  CsrMatrix() = default;
+  /// `entries` are (row, col) positions; duplicates are merged and each
+  /// row's columns are sorted.  All values start at zero.
+  CsrMatrix(std::size_t n,
+            std::vector<std::pair<std::size_t, std::size_t>> entries);
+
+  std::size_t size() const { return n_; }
+  std::size_t nonzeros() const { return values_.size(); }
+
+  /// Index into values() of entry (row, col); npos when not in the pattern.
+  std::size_t slot(std::size_t row, std::size_t col) const;
+
+  void zero_values();
+  /// Entry lookup (zero when not stored).
+  double at(std::size_t row, std::size_t col) const;
+
+  std::vector<double>& values() { return values_; }
+  const std::vector<double>& values() const { return values_; }
+  const std::vector<std::size_t>& row_start() const { return row_start_; }
+  const std::vector<std::size_t>& col_index() const { return col_index_; }
+
+  Vector multiply(const Vector& x) const;
+  Matrix to_dense() const;
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<std::size_t> row_start_;  // size n_+1
   std::vector<std::size_t> col_index_;
   std::vector<double> values_;
 };

@@ -31,6 +31,23 @@ Waveform dc_sweep(MnaSystem& system,
                   std::span<const double> points,
                   const DcSweepOptions& options = {});
 
+/// Parallel DC sweep over independent per-point circuits.
+///
+/// `make_circuit` builds a fresh Circuit per task (tasks never share
+/// devices or MnaSystems, so no synchronization is needed) and
+/// `set_param(circuit, value)` applies the swept value before the solve.
+/// Every point is solved cold — there is no continuation between points,
+/// so the result matches dc_sweep with `continuation = false` and is
+/// bitwise identical for any thread count (points are collected in input
+/// order).  Hysteretic curves (NEMS pull-in/pull-out) need the
+/// sequential, continuation-enabled dc_sweep instead.
+/// `num_threads` of 0 uses util::default_parallelism(); 1 runs inline.
+Waveform dc_sweep_parallel(
+    const std::function<Circuit()>& make_circuit,
+    const std::function<void(Circuit&, double)>& set_param,
+    std::span<const double> points, const DcSweepOptions& options = {},
+    std::size_t num_threads = 0);
+
 /// Evenly spaced sweep points, inclusive of both ends.
 std::vector<double> linspace(double first, double last, std::size_t count);
 

@@ -44,6 +44,12 @@ class Device {
   /// Must be side-effect free with respect to device state.
   virtual void stamp(StampContext& ctx) const = 0;
 
+  /// True when the device's Jacobian entries do not depend on the Newton
+  /// iterate (only on mode/time/dt and committed device state).  The
+  /// engine stamps linear devices' Jacobian once per solve and reuses the
+  /// values across iterations; residuals are always re-stamped.
+  virtual bool is_linear() const { return false; }
+
   /// Adds small-signal G/C/rhs contributions at the bias point in `ctx`.
   /// The default implementation throws: a device without an AC model must
   /// not silently vanish from an AC analysis.

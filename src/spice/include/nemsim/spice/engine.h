@@ -6,10 +6,14 @@
 // derivatives with `add_J`; Newton then solves J*dx = -f.
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "nemsim/linalg/matrix.h"
+#include "nemsim/linalg/sparse.h"
 #include "nemsim/spice/circuit.h"
 #include "nemsim/spice/device.h"
 #include "nemsim/spice/ids.h"
@@ -56,11 +60,31 @@ class Solution {
 };
 
 /// Stamping interface passed to Device::stamp.
+///
+/// The Jacobian sink is pluggable: dense matrix (classic path), frozen
+/// CSR slots (sparse fast path), pattern recorder (symbolic pass), or
+/// none (residual-only assembly for Newton damping trials).  Devices see
+/// the same add_f/add_J interface in every case.
 class StampContext {
  public:
+  /// Dense Jacobian sink.
   StampContext(const MnaSystem& system, const linalg::Vector& x,
                linalg::Matrix& jacobian, linalg::Vector& residual,
                linalg::Vector& residual_scale);
+
+  /// Sparse (CSR) Jacobian sink; entries outside the frozen pattern are
+  /// appended to `missed` instead of being dropped.  Pass
+  /// `jacobian == nullptr` for residual-only assembly.
+  StampContext(const MnaSystem& system, const linalg::Vector& x,
+               linalg::CsrMatrix* jacobian, linalg::Vector& residual,
+               linalg::Vector& residual_scale,
+               std::vector<std::pair<std::size_t, std::size_t>>* missed);
+
+  /// Disables residual/scale accumulation (Jacobian-only assembly).
+  void disable_residual() { want_residual_ = false; }
+  /// Switches the Jacobian sink to a pattern recorder (symbolic pass).
+  void record_pattern(
+      std::vector<std::pair<std::size_t, std::size_t>>& pattern);
 
   AnalysisMode mode() const { return mode_; }
   /// End time of the step being solved (transient), or 0 for OP.
@@ -98,9 +122,13 @@ class StampContext {
 
   const MnaSystem& system_;
   const linalg::Vector& x_;
-  linalg::Matrix& jacobian_;
+  linalg::Matrix* dense_jacobian_ = nullptr;
+  linalg::CsrMatrix* sparse_jacobian_ = nullptr;
+  std::vector<std::pair<std::size_t, std::size_t>>* missed_ = nullptr;
+  std::vector<std::pair<std::size_t, std::size_t>>* pattern_ = nullptr;
   linalg::Vector& residual_;
   linalg::Vector& residual_scale_;
+  bool want_residual_ = true;
   AnalysisMode mode_ = AnalysisMode::kDcOperatingPoint;
   double time_ = 0.0;
   double dt_ = 0.0;
@@ -166,6 +194,57 @@ class MnaSystem {
                 AnalysisMode mode, double time, double dt, double gmin,
                 double source_factor) const;
 
+  /// Residual + scale only (no Jacobian work) — the cheap assembly for
+  /// Newton damping trials that only need a residual norm.
+  void assemble_residual(const linalg::Vector& x, linalg::Vector& residual,
+                         linalg::Vector& residual_scale, AnalysisMode mode,
+                         double time, double dt, double gmin,
+                         double source_factor) const;
+
+  // --- Sparse fast path (pattern-frozen CSR assembly) ------------------
+  //
+  // The Jacobian sparsity pattern is captured once by a symbolic stamping
+  // pass (union of OP and transient stamps plus all diagonals) and grows
+  // lazily if a device later stamps an unseen position (e.g. a MOSFET
+  // source/drain swap flips an asymmetric entry).  Growth bumps the
+  // pattern epoch; callers rebuild their CsrMatrix workspace and retry.
+
+  /// Monotonic counter bumped whenever the pattern grows.
+  std::uint64_t jacobian_pattern_epoch() const;
+  /// A zero-valued CSR skeleton over the current pattern.
+  linalg::CsrMatrix make_sparse_jacobian() const;
+
+  /// Full sparse assembly (residual + Jacobian).  With a non-null
+  /// `linear_baseline` (from assemble_linear_jacobian, same pattern
+  /// epoch), linear devices' Jacobian values are taken from the baseline
+  /// and only nonlinear devices are re-stamped into the Jacobian.
+  /// Returns false when the pattern grew (retry with a fresh skeleton).
+  bool assemble_sparse(const linalg::Vector& x, linalg::CsrMatrix& jacobian,
+                       linalg::Vector& residual,
+                       linalg::Vector& residual_scale, AnalysisMode mode,
+                       double time, double dt, double gmin,
+                       double source_factor,
+                       const std::vector<double>* linear_baseline
+                       = nullptr) const;
+
+  /// Jacobian-only sparse assembly (residual untouched); same baseline
+  /// and return-value semantics as assemble_sparse.
+  bool assemble_jacobian_sparse(const linalg::Vector& x,
+                                linalg::CsrMatrix& jacobian,
+                                AnalysisMode mode, double time, double dt,
+                                double gmin, double source_factor,
+                                const std::vector<double>* linear_baseline
+                                = nullptr) const;
+
+  /// Stamps only the linear devices' Jacobian into `jacobian` (values
+  /// valid for the whole Newton solve at fixed mode/time/dt) and copies
+  /// them into `baseline`.  Returns false when the pattern grew.
+  bool assemble_linear_jacobian(const linalg::Vector& x,
+                                linalg::CsrMatrix& jacobian,
+                                std::vector<double>& baseline,
+                                AnalysisMode mode, double time,
+                                double dt) const;
+
   /// Calls begin_step on every device.
   void begin_step(double time, double dt);
   /// Calls accept_step on every device.
@@ -183,8 +262,21 @@ class MnaSystem {
   UnknownId allocate_unknown(UnknownInfo info);
 
  private:
+  enum class DeviceSet { kAll, kLinear, kNonlinear };
+  void stamp_devices(StampContext& ctx, DeviceSet set) const;
+  void ensure_pattern() const;
+  void grow_pattern(
+      const std::vector<std::pair<std::size_t, std::size_t>>& missed) const;
+
   Circuit& circuit_;
   std::vector<UnknownInfo> unknowns_;
+  std::unordered_map<std::string, std::size_t> unknown_index_;
+  std::vector<std::size_t> linear_devices_;
+  std::vector<std::size_t> nonlinear_devices_;
+  // Jacobian sparsity pattern, built lazily and grown on demand.
+  mutable std::vector<std::pair<std::size_t, std::size_t>> pattern_;
+  mutable bool pattern_built_ = false;
+  mutable std::uint64_t pattern_epoch_ = 0;
 };
 
 }  // namespace nemsim::spice

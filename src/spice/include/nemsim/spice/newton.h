@@ -1,12 +1,33 @@
 // Damped Newton-Raphson over the MNA system, with gmin stepping and
 // source stepping fallbacks for hard DC problems (classic SPICE homotopy
 // ladder).
+//
+// Two linear-solver paths share the outer loop:
+//  - dense: LU of a dense Jacobian, re-factored every iteration (wins for
+//    small systems, DESIGN.md decision #4);
+//  - sparse: pattern-frozen CSR assembly plus SparseLuFactorization,
+//    whose symbolic analysis (pivot order + fill pattern) is computed
+//    once and reused across iterations and transient steps with a cheap
+//    numeric-only refactorization.
+// kAuto picks by system size against NewtonOptions::sparse_threshold.
 #pragma once
 
+#include <cstdint>
+#include <vector>
+
 #include "nemsim/linalg/matrix.h"
+#include "nemsim/linalg/sparse.h"
+#include "nemsim/linalg/sparse_lu.h"
 #include "nemsim/spice/engine.h"
 
 namespace nemsim::spice {
+
+/// Which linear solver backs the Newton iteration.
+enum class JacobianSolver {
+  kAuto,    ///< sparse at/above NewtonOptions::sparse_threshold unknowns
+  kDense,   ///< dense LU, re-factored every iteration
+  kSparse,  ///< CSR assembly + cached-symbolic sparse LU
+};
 
 struct NewtonOptions {
   int max_iterations = 150;
@@ -23,6 +44,13 @@ struct NewtonOptions {
   bool gmin_stepping = true;
   /// Enables the source-ramp fallback when gmin stepping also fails.
   bool source_stepping = true;
+  /// Linear-solver selection (see JacobianSolver).
+  JacobianSolver solver = JacobianSolver::kAuto;
+  /// kAuto switches to the sparse path at this many unknowns.  Measured
+  /// dense/sparse crossover on the paper circuits (BM_TransientSolverPath:
+  /// dense wins at n = 25, sparse wins at n = 41 — see DESIGN.md decision
+  /// #4 and bench/perf_simulator).
+  std::size_t sparse_threshold = 32;
 };
 
 struct NewtonStats {
@@ -30,9 +58,21 @@ struct NewtonStats {
   int total_iterations = 0;///< including homotopy ladder solves
   int gmin_steps = 0;
   int source_steps = 0;
+  // Work counters for the fast-path instrumentation (cumulative across
+  // ladder solves and, when the caller reuses the struct, across steps).
+  std::int64_t assembles = 0;            ///< full residual+Jacobian passes
+  std::int64_t residual_assembles = 0;   ///< residual-only damping trials
+  std::int64_t factorizations = 0;       ///< full LU factorizations
+  std::int64_t factorization_reuses = 0; ///< sparse numeric refactorizations
+  bool used_sparse = false;              ///< sparse path taken at least once
 };
 
 /// Solves f(x) = 0 for the configured analysis point.
+///
+/// Keep one NewtonSolver alive across transient steps: the sparse
+/// workspace (CSR skeleton, symbolic LU, linear-device baseline) persists
+/// between solve calls and is rebuilt only when the Jacobian pattern
+/// grows.
 class NewtonSolver {
  public:
   NewtonSolver(MnaSystem& system, NewtonOptions options)
@@ -50,9 +90,33 @@ class NewtonSolver {
 
   const NewtonOptions& options() const { return options_; }
 
+  /// True when solve_plain would take the sparse path for this system.
+  bool uses_sparse() const;
+
  private:
+  linalg::Vector solve_plain_dense(const linalg::Vector& x0,
+                                   AnalysisMode mode, double time, double dt,
+                                   double gmin, double source_factor,
+                                   NewtonStats* stats);
+  linalg::Vector solve_plain_sparse(const linalg::Vector& x0,
+                                    AnalysisMode mode, double time, double dt,
+                                    double gmin, double source_factor,
+                                    NewtonStats* stats);
+  /// (Re)builds the CSR skeleton when the system's pattern epoch moved;
+  /// invalidates the cached symbolic LU on rebuild.
+  void ensure_sparse_skeleton();
+
   MnaSystem& system_;
   NewtonOptions options_;
+
+  // Sparse fast-path workspace, persistent across solves so the symbolic
+  // LU analysis amortizes over iterations and transient steps.
+  linalg::CsrMatrix sparse_jac_;
+  linalg::SparseLuFactorization sparse_lu_;
+  std::vector<double> linear_baseline_;
+  std::uint64_t sparse_epoch_ = 0;  ///< pattern epoch of sparse_jac_
+  bool sparse_ready_ = false;       ///< sparse_jac_ matches current pattern
+  bool lu_ready_ = false;           ///< sparse_lu_ analysis matches sparse_jac_
 };
 
 }  // namespace nemsim::spice

@@ -11,6 +11,7 @@ namespace nemsim::spice {
 
 struct OpOptions {
   NewtonOptions newton;
+  NewtonStats* stats = nullptr;  ///< optional Newton work counters
 };
 
 /// Result of an operating-point solve; values accessible by node/unknown

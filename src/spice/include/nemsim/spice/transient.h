@@ -31,6 +31,10 @@ struct TransientOptions {
   double reject_factor = 8.0;  ///< reject a step when LTE ratio exceeds this
   NewtonOptions newton;        ///< per-step Newton settings
   TransientStats* stats = nullptr;  ///< optional diagnostics sink
+  /// Optional cumulative Newton work counters (assembles, factorizations,
+  /// sparse refactorization reuses) summed over every accepted and
+  /// rejected step of the run.
+  NewtonStats* newton_stats = nullptr;
 };
 
 /// Runs a transient from the DC operating point at t = 0.

@@ -2,6 +2,7 @@
 
 #include "nemsim/spice/op.h"
 #include "nemsim/util/error.h"
+#include "nemsim/util/parallel.h"
 
 namespace nemsim::spice {
 
@@ -31,6 +32,45 @@ Waveform dc_sweep(MnaSystem& system,
     previous = op.raw();
     have_previous = true;
     wave.append(value, op.raw());
+  }
+  return wave;
+}
+
+Waveform dc_sweep_parallel(
+    const std::function<Circuit()>& make_circuit,
+    const std::function<void(Circuit&, double)>& set_param,
+    std::span<const double> points, const DcSweepOptions& options,
+    std::size_t num_threads) {
+  require(!points.empty(), "dc_sweep_parallel: no sweep points");
+
+  OpOptions op_options;
+  op_options.newton = options.newton;
+
+  // Name table from a reference instance; every task builds the same
+  // topology, so the unknown layout is identical across points.
+  std::vector<std::string> names;
+  {
+    Circuit reference = make_circuit();
+    MnaSystem system(reference);
+    names.reserve(system.num_unknowns());
+    for (std::size_t i = 0; i < system.num_unknowns(); ++i) {
+      names.push_back(system.unknown_info(i).name);
+    }
+  }
+
+  std::vector<linalg::Vector> solutions = util::parallel_map(
+      points.size(),
+      [&](std::size_t i) {
+        Circuit circuit = make_circuit();
+        set_param(circuit, points[i]);
+        MnaSystem system(circuit);
+        return operating_point(system, op_options).raw();
+      },
+      num_threads);
+
+  Waveform wave(std::move(names));
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    wave.append(points[i], solutions[i]);
   }
   return wave;
 }

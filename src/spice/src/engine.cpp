@@ -13,6 +13,10 @@ namespace {
 constexpr double kVoltageStepLimit = 0.5;
 constexpr double kVoltageAbstol = 1e-9;
 constexpr double kCurrentAbstol = 1e-12;
+// Step size used for the symbolic transient stamping pass.  The value is
+// irrelevant (only the set of touched positions matters); it merely has
+// to be positive so companion models stamp their conductances.
+constexpr double kSymbolicDt = 1e-9;
 }  // namespace
 
 // ---------------------------------------------------------------- Setup
@@ -59,9 +63,28 @@ StampContext::StampContext(const MnaSystem& system, const linalg::Vector& x,
                            linalg::Vector& residual_scale)
     : system_(system),
       x_(x),
-      jacobian_(jacobian),
+      dense_jacobian_(&jacobian),
       residual_(residual),
       residual_scale_(residual_scale) {}
+
+StampContext::StampContext(
+    const MnaSystem& system, const linalg::Vector& x,
+    linalg::CsrMatrix* jacobian, linalg::Vector& residual,
+    linalg::Vector& residual_scale,
+    std::vector<std::pair<std::size_t, std::size_t>>* missed)
+    : system_(system),
+      x_(x),
+      sparse_jacobian_(jacobian),
+      missed_(missed),
+      residual_(residual),
+      residual_scale_(residual_scale) {}
+
+void StampContext::record_pattern(
+    std::vector<std::pair<std::size_t, std::size_t>>& pattern) {
+  pattern_ = &pattern;
+  dense_jacobian_ = nullptr;
+  sparse_jacobian_ = nullptr;
+}
 
 void StampContext::configure(AnalysisMode mode, double time, double dt,
                              double gmin, double source_factor) {
@@ -84,13 +107,33 @@ double StampContext::x(UnknownId unknown) const {
 
 void StampContext::raw_f(UnknownId eq, double value) {
   if (!eq.valid()) return;  // ground row: dropped
+  if (!want_residual_) return;
   residual_[eq.index] += value;
   residual_scale_[eq.index] += std::abs(value);
 }
 
 void StampContext::raw_J(UnknownId eq, UnknownId var, double value) {
   if (!eq.valid() || !var.valid()) return;
-  jacobian_(eq.index, var.index) += value;
+  if (pattern_ != nullptr) {
+    pattern_->emplace_back(eq.index, var.index);
+    return;
+  }
+  if (dense_jacobian_ != nullptr) {
+    (*dense_jacobian_)(eq.index, var.index) += value;
+    return;
+  }
+  if (sparse_jacobian_ != nullptr) {
+    const std::size_t slot = sparse_jacobian_->slot(eq.index, var.index);
+    if (slot == linalg::CsrMatrix::npos) {
+      // Outside the frozen pattern (e.g. a MOSFET source/drain swap hit
+      // a new asymmetric position): report it so the pattern can grow.
+      if (missed_ != nullptr) missed_->emplace_back(eq.index, var.index);
+      return;
+    }
+    sparse_jacobian_->values()[slot] += value;
+    return;
+  }
+  // Residual-only assembly: Jacobian contributions are dropped.
 }
 
 void StampContext::add_f(NodeId eq, double current) {
@@ -127,11 +170,19 @@ MnaSystem::MnaSystem(Circuit& circuit) : circuit_(circuit) {
     info.max_newton_step = kVoltageStepLimit;
     info.abstol = kVoltageAbstol;
     info.row_abstol = kCurrentAbstol;  // node rows are KCL equations
+    unknown_index_.emplace(info.name, unknowns_.size());
     unknowns_.push_back(std::move(info));
   }
   SetupContext setup(*this);
   for (std::size_t i = 0; i < circuit.num_devices(); ++i) {
     circuit.device(i).setup(setup);
+  }
+  for (std::size_t i = 0; i < circuit.num_devices(); ++i) {
+    if (circuit.device(i).is_linear()) {
+      linear_devices_.push_back(i);
+    } else {
+      nonlinear_devices_.push_back(i);
+    }
   }
 }
 
@@ -142,20 +193,19 @@ UnknownId MnaSystem::unknown_of(NodeId node) const {
 }
 
 UnknownId MnaSystem::unknown_by_name(const std::string& name) const {
-  for (std::size_t i = 0; i < unknowns_.size(); ++i) {
-    if (unknowns_[i].name == name) return UnknownId{i};
+  auto it = unknown_index_.find(name);
+  if (it == unknown_index_.end()) {
+    throw InvalidArgument("unknown signal '" + name + "'");
   }
-  throw InvalidArgument("unknown signal '" + name + "'");
+  return UnknownId{it->second};
 }
 
 bool MnaSystem::has_unknown(const std::string& name) const {
-  for (const auto& u : unknowns_) {
-    if (u.name == name) return true;
-  }
-  return false;
+  return unknown_index_.find(name) != unknown_index_.end();
 }
 
 UnknownId MnaSystem::allocate_unknown(UnknownInfo info) {
+  unknown_index_.emplace(info.name, unknowns_.size());
   unknowns_.push_back(std::move(info));
   return UnknownId{unknowns_.size() - 1};
 }
@@ -180,6 +230,22 @@ void MnaSystem::clear_nodesets() {
   }
 }
 
+void MnaSystem::stamp_devices(StampContext& ctx, DeviceSet set) const {
+  switch (set) {
+    case DeviceSet::kAll:
+      for (std::size_t i = 0; i < circuit_.num_devices(); ++i) {
+        circuit_.device(i).stamp(ctx);
+      }
+      break;
+    case DeviceSet::kLinear:
+      for (std::size_t i : linear_devices_) circuit_.device(i).stamp(ctx);
+      break;
+    case DeviceSet::kNonlinear:
+      for (std::size_t i : nonlinear_devices_) circuit_.device(i).stamp(ctx);
+      break;
+  }
+}
+
 void MnaSystem::assemble(const linalg::Vector& x, linalg::Matrix& jacobian,
                          linalg::Vector& residual,
                          linalg::Vector& residual_scale, AnalysisMode mode,
@@ -193,9 +259,7 @@ void MnaSystem::assemble(const linalg::Vector& x, linalg::Matrix& jacobian,
 
   StampContext ctx(*this, x, jacobian, residual, residual_scale);
   ctx.configure(mode, time, dt, gmin, source_factor);
-  for (std::size_t i = 0; i < circuit_.num_devices(); ++i) {
-    circuit_.device(i).stamp(ctx);
-  }
+  stamp_devices(ctx, DeviceSet::kAll);
 
   if (gmin > 0.0) {
     // Homotopy shunt from every node to ground; does not enter the scale
@@ -208,6 +272,213 @@ void MnaSystem::assemble(const linalg::Vector& x, linalg::Matrix& jacobian,
     }
   }
 }
+
+void MnaSystem::assemble_residual(const linalg::Vector& x,
+                                  linalg::Vector& residual,
+                                  linalg::Vector& residual_scale,
+                                  AnalysisMode mode, double time, double dt,
+                                  double gmin, double source_factor) const {
+  const std::size_t n = num_unknowns();
+  require(x.size() == n, "assemble_residual: iterate size mismatch");
+  residual.assign(n, 0.0);
+  residual_scale.assign(n, 0.0);
+
+  StampContext ctx(*this, x, /*jacobian=*/nullptr, residual, residual_scale,
+                   /*missed=*/nullptr);
+  ctx.configure(mode, time, dt, gmin, source_factor);
+  stamp_devices(ctx, DeviceSet::kAll);
+
+  if (gmin > 0.0) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (unknowns_[i].kind == UnknownKind::kNodeVoltage) {
+        residual[i] += gmin * x[i];
+      }
+    }
+  }
+}
+
+// ------------------------------------------------- sparse fast path
+
+void MnaSystem::ensure_pattern() const {
+  if (pattern_built_) return;
+  const std::size_t n = num_unknowns();
+  pattern_.clear();
+
+  // Symbolic stamping passes at the cold-start iterate: one in OP mode
+  // (capacitors open, inductors short) and one in transient mode (all
+  // companion conductances active).  The union covers mode-dependent
+  // stamps; iterate-dependent positions (device operating-region flips)
+  // are caught later by lazy growth.
+  const linalg::Vector x0 = initial_guess();
+  linalg::Vector scratch_f(n, 0.0);
+  linalg::Vector scratch_scale(n, 0.0);
+  StampContext ctx(*this, x0, /*jacobian=*/nullptr, scratch_f, scratch_scale,
+                   /*missed=*/nullptr);
+  ctx.record_pattern(pattern_);
+  ctx.disable_residual();
+  ctx.configure(AnalysisMode::kDcOperatingPoint, 0.0, 0.0, 0.0, 1.0);
+  stamp_devices(ctx, DeviceSet::kAll);
+  ctx.configure(AnalysisMode::kTransient, kSymbolicDt, kSymbolicDt, 0.0, 1.0);
+  stamp_devices(ctx, DeviceSet::kAll);
+
+  // Every diagonal: gmin shunts stamp (i, i) on node rows, and keeping
+  // the full diagonal structurally present helps the LU pivot search.
+  for (std::size_t i = 0; i < n; ++i) pattern_.emplace_back(i, i);
+
+  std::sort(pattern_.begin(), pattern_.end());
+  pattern_.erase(std::unique(pattern_.begin(), pattern_.end()),
+                 pattern_.end());
+  pattern_built_ = true;
+  ++pattern_epoch_;
+}
+
+void MnaSystem::grow_pattern(
+    const std::vector<std::pair<std::size_t, std::size_t>>& missed) const {
+  if (missed.empty()) return;
+  pattern_.insert(pattern_.end(), missed.begin(), missed.end());
+  std::sort(pattern_.begin(), pattern_.end());
+  pattern_.erase(std::unique(pattern_.begin(), pattern_.end()),
+                 pattern_.end());
+  ++pattern_epoch_;
+}
+
+std::uint64_t MnaSystem::jacobian_pattern_epoch() const {
+  ensure_pattern();
+  return pattern_epoch_;
+}
+
+linalg::CsrMatrix MnaSystem::make_sparse_jacobian() const {
+  ensure_pattern();
+  return linalg::CsrMatrix(num_unknowns(), pattern_);
+}
+
+bool MnaSystem::assemble_sparse(
+    const linalg::Vector& x, linalg::CsrMatrix& jacobian,
+    linalg::Vector& residual, linalg::Vector& residual_scale,
+    AnalysisMode mode, double time, double dt, double gmin,
+    double source_factor, const std::vector<double>* linear_baseline) const {
+  const std::size_t n = num_unknowns();
+  require(x.size() == n, "assemble_sparse: iterate size mismatch");
+  require(jacobian.size() == n, "assemble_sparse: jacobian size mismatch");
+  residual.assign(n, 0.0);
+  residual_scale.assign(n, 0.0);
+
+  std::vector<std::pair<std::size_t, std::size_t>> missed;
+  StampContext ctx(*this, x, &jacobian, residual, residual_scale, &missed);
+  ctx.configure(mode, time, dt, gmin, source_factor);
+
+  if (linear_baseline != nullptr) {
+    require(linear_baseline->size() == jacobian.values().size(),
+            "assemble_sparse: baseline/pattern mismatch");
+    jacobian.values() = *linear_baseline;
+    stamp_devices(ctx, DeviceSet::kNonlinear);
+    // Linear devices: residual still depends on the iterate, but their
+    // Jacobian values are already in the baseline.
+    StampContext rctx(*this, x, /*jacobian=*/nullptr, residual,
+                      residual_scale, /*missed=*/nullptr);
+    rctx.configure(mode, time, dt, gmin, source_factor);
+    stamp_devices(rctx, DeviceSet::kLinear);
+  } else {
+    jacobian.zero_values();
+    stamp_devices(ctx, DeviceSet::kAll);
+  }
+
+  if (gmin > 0.0) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (unknowns_[i].kind == UnknownKind::kNodeVoltage) {
+        residual[i] += gmin * x[i];
+        const std::size_t slot = jacobian.slot(i, i);
+        if (slot != linalg::CsrMatrix::npos) {
+          jacobian.values()[slot] += gmin;
+        } else {
+          missed.emplace_back(i, i);
+        }
+      }
+    }
+  }
+
+  if (!missed.empty()) {
+    grow_pattern(missed);
+    return false;
+  }
+  return true;
+}
+
+bool MnaSystem::assemble_jacobian_sparse(
+    const linalg::Vector& x, linalg::CsrMatrix& jacobian, AnalysisMode mode,
+    double time, double dt, double gmin, double source_factor,
+    const std::vector<double>* linear_baseline) const {
+  const std::size_t n = num_unknowns();
+  require(x.size() == n, "assemble_jacobian_sparse: iterate size mismatch");
+  require(jacobian.size() == n,
+          "assemble_jacobian_sparse: jacobian size mismatch");
+  linalg::Vector scratch_f(n, 0.0);
+  linalg::Vector scratch_scale(n, 0.0);
+
+  std::vector<std::pair<std::size_t, std::size_t>> missed;
+  StampContext ctx(*this, x, &jacobian, scratch_f, scratch_scale, &missed);
+  ctx.disable_residual();
+  ctx.configure(mode, time, dt, gmin, source_factor);
+
+  if (linear_baseline != nullptr) {
+    require(linear_baseline->size() == jacobian.values().size(),
+            "assemble_jacobian_sparse: baseline/pattern mismatch");
+    jacobian.values() = *linear_baseline;
+    stamp_devices(ctx, DeviceSet::kNonlinear);
+  } else {
+    jacobian.zero_values();
+    stamp_devices(ctx, DeviceSet::kAll);
+  }
+
+  if (gmin > 0.0) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (unknowns_[i].kind == UnknownKind::kNodeVoltage) {
+        const std::size_t slot = jacobian.slot(i, i);
+        if (slot != linalg::CsrMatrix::npos) {
+          jacobian.values()[slot] += gmin;
+        } else {
+          missed.emplace_back(i, i);
+        }
+      }
+    }
+  }
+
+  if (!missed.empty()) {
+    grow_pattern(missed);
+    return false;
+  }
+  return true;
+}
+
+bool MnaSystem::assemble_linear_jacobian(const linalg::Vector& x,
+                                         linalg::CsrMatrix& jacobian,
+                                         std::vector<double>& baseline,
+                                         AnalysisMode mode, double time,
+                                         double dt) const {
+  const std::size_t n = num_unknowns();
+  require(x.size() == n, "assemble_linear_jacobian: iterate size mismatch");
+  require(jacobian.size() == n,
+          "assemble_linear_jacobian: jacobian size mismatch");
+  linalg::Vector scratch_f(n, 0.0);
+  linalg::Vector scratch_scale(n, 0.0);
+
+  std::vector<std::pair<std::size_t, std::size_t>> missed;
+  StampContext ctx(*this, x, &jacobian, scratch_f, scratch_scale, &missed);
+  ctx.disable_residual();
+  ctx.configure(mode, time, dt, 0.0, 1.0);
+
+  jacobian.zero_values();
+  stamp_devices(ctx, DeviceSet::kLinear);
+
+  if (!missed.empty()) {
+    grow_pattern(missed);
+    return false;
+  }
+  baseline = jacobian.values();
+  return true;
+}
+
+// ----------------------------------------------------- step lifecycle
 
 void MnaSystem::begin_step(double time, double dt) {
   for (std::size_t i = 0; i < circuit_.num_devices(); ++i) {

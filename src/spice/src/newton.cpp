@@ -37,24 +37,61 @@ double weighted_update_norm(const MnaSystem& system, const linalg::Vector& x,
   return worst;
 }
 
+/// Direction-preserving clamp so no unknown exceeds its per-iteration
+/// step limit (keeps exponential models in their valid range).
+double step_clamp(const MnaSystem& system, const linalg::Vector& dx) {
+  double clamp = 1.0;
+  for (std::size_t i = 0; i < dx.size(); ++i) {
+    const double limit = system.unknown_info(i).max_newton_step;
+    if (limit > 0.0 && std::abs(dx[i]) > limit) {
+      clamp = std::min(clamp, limit / std::abs(dx[i]));
+    }
+  }
+  return clamp;
+}
+
 }  // namespace
+
+bool NewtonSolver::uses_sparse() const {
+  switch (options_.solver) {
+    case JacobianSolver::kDense:
+      return false;
+    case JacobianSolver::kSparse:
+      return true;
+    case JacobianSolver::kAuto:
+      return system_.num_unknowns() >= options_.sparse_threshold;
+  }
+  return false;
+}
 
 linalg::Vector NewtonSolver::solve_plain(const linalg::Vector& x0,
                                          AnalysisMode mode, double time,
                                          double dt, double gmin,
                                          double source_factor,
                                          NewtonStats* stats) {
-  const std::size_t n = system_.num_unknowns();
-  require(x0.size() == n, "NewtonSolver: initial guess size mismatch");
+  require(x0.size() == system_.num_unknowns(),
+          "NewtonSolver: initial guess size mismatch");
+  if (uses_sparse()) {
+    if (stats) stats->used_sparse = true;
+    return solve_plain_sparse(x0, mode, time, dt, gmin, source_factor, stats);
+  }
+  return solve_plain_dense(x0, mode, time, dt, gmin, source_factor, stats);
+}
 
+linalg::Vector NewtonSolver::solve_plain_dense(const linalg::Vector& x0,
+                                               AnalysisMode mode, double time,
+                                               double dt, double gmin,
+                                               double source_factor,
+                                               NewtonStats* stats) {
+  const std::size_t n = system_.num_unknowns();
   linalg::Vector x = x0;
   linalg::Matrix jacobian;
   linalg::Vector residual, scale;
   linalg::Vector x_trial, residual_trial, scale_trial;
-  linalg::Matrix jacobian_trial;
 
   system_.assemble(x, jacobian, residual, scale, mode, time, dt, gmin,
                    source_factor);
+  if (stats) ++stats->assembles;
   double res_norm =
       weighted_residual_norm(system_, residual, scale, options_.reltol);
 
@@ -68,6 +105,7 @@ linalg::Vector NewtonSolver::solve_plain(const linalg::Vector& x0,
     linalg::Vector dx;
     try {
       linalg::LuDecomposition lu(jacobian);
+      if (stats) ++stats->factorizations;
       linalg::Vector rhs = residual;
       rhs *= -1.0;
       dx = lu.solve(rhs);
@@ -76,51 +114,187 @@ linalg::Vector NewtonSolver::solve_plain(const linalg::Vector& x0,
           "Newton: singular Jacobian (floating node or unstable device?)");
     }
 
-    // Direction-preserving clamp so no unknown exceeds its per-iteration
-    // step limit (keeps exponential models in their valid range).
-    double clamp = 1.0;
-    for (std::size_t i = 0; i < n; ++i) {
-      const double limit = system_.unknown_info(i).max_newton_step;
-      if (limit > 0.0 && std::abs(dx[i]) > limit) {
-        clamp = std::min(clamp, limit / std::abs(dx[i]));
-      }
-    }
+    const double clamp = step_clamp(system_, dx);
 
     // Damped accept: halve the step while the weighted residual norm
-    // increases badly.
+    // increases badly.  The first (undamped) trial assembles residual AND
+    // Jacobian — if accepted, which is the common case, the Jacobian is
+    // already in place for the next iteration.  Extra damping trials only
+    // assemble the residual; the Jacobian is refreshed after acceptance.
     double alpha = clamp;
     double trial_norm = 0.0;
-    bool accepted = false;
+    bool jacobian_at_trial = false;
     for (int halving = 0; halving <= options_.max_damping_halvings;
          ++halving) {
       x_trial = x;
       for (std::size_t i = 0; i < n; ++i) x_trial[i] += alpha * dx[i];
-      system_.assemble(x_trial, jacobian_trial, residual_trial, scale_trial,
-                       mode, time, dt, gmin, source_factor);
+      if (halving == 0) {
+        system_.assemble(x_trial, jacobian, residual_trial, scale_trial,
+                         mode, time, dt, gmin, source_factor);
+        jacobian_at_trial = true;
+        if (stats) ++stats->assembles;
+      } else {
+        system_.assemble_residual(x_trial, residual_trial, scale_trial, mode,
+                                  time, dt, gmin, source_factor);
+        jacobian_at_trial = false;
+        if (stats) ++stats->residual_assembles;
+      }
       trial_norm = weighted_residual_norm(system_, residual_trial, scale_trial,
                                           options_.reltol);
       // Accept descent, any sub-tolerance point, or a mild increase when
       // the step was clamped (the model may need to traverse a barrier).
       if (trial_norm <= std::max(1.0, res_norm) ||
           (halving == options_.max_damping_halvings)) {
-        accepted = true;
         break;
       }
       alpha *= 0.5;
     }
-    (void)accepted;
 
     const double update_norm =
         weighted_update_norm(system_, x, x_trial, options_.reltol);
 
     x = x_trial;
-    jacobian = jacobian_trial;
     residual = residual_trial;
     scale = scale_trial;
     res_norm = trial_norm;
 
     if (res_norm <= 1.0 && update_norm <= 1.0) {
       return x;
+    }
+    if (!jacobian_at_trial) {
+      // A damped trial was accepted: refresh the Jacobian at the new x.
+      system_.assemble(x, jacobian, residual, scale, mode, time, dt, gmin,
+                       source_factor);
+      if (stats) ++stats->assembles;
+    }
+  }
+  throw ConvergenceError("Newton: no convergence after " +
+                         std::to_string(options_.max_iterations) +
+                         " iterations (weighted residual " +
+                         std::to_string(res_norm) + ")");
+}
+
+void NewtonSolver::ensure_sparse_skeleton() {
+  const std::uint64_t epoch = system_.jacobian_pattern_epoch();
+  if (!sparse_ready_ || sparse_epoch_ != epoch) {
+    sparse_jac_ = system_.make_sparse_jacobian();
+    sparse_epoch_ = system_.jacobian_pattern_epoch();
+    sparse_ready_ = true;
+    lu_ready_ = false;
+  }
+}
+
+linalg::Vector NewtonSolver::solve_plain_sparse(const linalg::Vector& x0,
+                                                AnalysisMode mode, double time,
+                                                double dt, double gmin,
+                                                double source_factor,
+                                                NewtonStats* stats) {
+  const std::size_t n = system_.num_unknowns();
+  linalg::Vector x = x0;
+  linalg::Vector residual, scale;
+  linalg::Vector x_trial, residual_trial, scale_trial;
+
+  ensure_sparse_skeleton();
+
+  // Linear devices' Jacobian values are constant for the whole solve
+  // (fixed mode/time/dt and committed device state): stamp them once.
+  auto refresh_baseline = [&]() {
+    while (!system_.assemble_linear_jacobian(x, sparse_jac_, linear_baseline_,
+                                             mode, time, dt)) {
+      ensure_sparse_skeleton();
+    }
+  };
+  refresh_baseline();
+
+  // Full assembly with pattern-growth retry: on a miss the system grows
+  // its pattern, we rebuild the skeleton + baseline and assemble again.
+  auto assemble_full = [&](const linalg::Vector& xi, linalg::Vector& f,
+                           linalg::Vector& s) {
+    while (!system_.assemble_sparse(xi, sparse_jac_, f, s, mode, time, dt,
+                                    gmin, source_factor, &linear_baseline_)) {
+      ensure_sparse_skeleton();
+      refresh_baseline();
+    }
+    if (stats) ++stats->assembles;
+  };
+
+  assemble_full(x, residual, scale);
+  double res_norm =
+      weighted_residual_norm(system_, residual, scale, options_.reltol);
+
+  for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    if (stats) {
+      ++stats->iterations;
+      ++stats->total_iterations;
+    }
+
+    // Newton direction: J dx = -f.  The symbolic analysis (pivot order +
+    // fill pattern) is reused across iterations; only the numeric sweep
+    // runs, unless a pivot decayed past the threshold or the pattern
+    // changed — then a full factorization recovers.
+    linalg::Vector dx;
+    try {
+      const linalg::CsrView view = linalg::csr_view(sparse_jac_);
+      bool reused = false;
+      if (lu_ready_ && sparse_lu_.refactor(view)) {
+        reused = true;
+        if (stats) ++stats->factorization_reuses;
+      } else {
+        sparse_lu_.factor(view);
+        lu_ready_ = true;
+        if (stats) ++stats->factorizations;
+      }
+      (void)reused;
+      dx = residual;
+      for (std::size_t i = 0; i < n; ++i) dx[i] = -dx[i];
+      sparse_lu_.solve_in_place(dx);
+    } catch (const SingularMatrixError&) {
+      throw ConvergenceError(
+          "Newton: singular Jacobian (floating node or unstable device?)");
+    }
+
+    const double clamp = step_clamp(system_, dx);
+
+    double alpha = clamp;
+    double trial_norm = 0.0;
+    bool jacobian_at_trial = false;
+    for (int halving = 0; halving <= options_.max_damping_halvings;
+         ++halving) {
+      x_trial = x;
+      for (std::size_t i = 0; i < n; ++i) x_trial[i] += alpha * dx[i];
+      if (halving == 0) {
+        assemble_full(x_trial, residual_trial, scale_trial);
+        jacobian_at_trial = true;
+      } else {
+        system_.assemble_residual(x_trial, residual_trial, scale_trial, mode,
+                                  time, dt, gmin, source_factor);
+        jacobian_at_trial = false;
+        if (stats) ++stats->residual_assembles;
+      }
+      trial_norm = weighted_residual_norm(system_, residual_trial, scale_trial,
+                                          options_.reltol);
+      if (trial_norm <= std::max(1.0, res_norm) ||
+          (halving == options_.max_damping_halvings)) {
+        break;
+      }
+      alpha *= 0.5;
+    }
+
+    const double update_norm =
+        weighted_update_norm(system_, x, x_trial, options_.reltol);
+
+    x = x_trial;
+    residual = residual_trial;
+    scale = scale_trial;
+    res_norm = trial_norm;
+
+    if (res_norm <= 1.0 && update_norm <= 1.0) {
+      return x;
+    }
+    if (!jacobian_at_trial) {
+      assemble_full(x, residual, scale);
+      res_norm =
+          weighted_residual_norm(system_, residual, scale, options_.reltol);
     }
   }
   throw ConvergenceError("Newton: no convergence after " +

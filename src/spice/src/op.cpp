@@ -19,7 +19,7 @@ OpResult operating_point_from(MnaSystem& system, const linalg::Vector& x0,
   NewtonSolver newton(system, options.newton);
   linalg::Vector x =
       newton.solve(x0, AnalysisMode::kDcOperatingPoint, /*time=*/0.0,
-                   /*dt=*/0.0);
+                   /*dt=*/0.0, options.stats);
   system.accept(x, AnalysisMode::kDcOperatingPoint, 0.0, 0.0);
   return OpResult(system, std::move(x));
 }

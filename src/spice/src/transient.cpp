@@ -116,7 +116,8 @@ Waveform transient(MnaSystem& system, const TransientOptions& options) {
     bool solved = false;
     try {
       x_new = newton.solve_plain(guess, AnalysisMode::kTransient, t_new,
-                                 dt_eff, options.newton.gmin_final, 1.0);
+                                 dt_eff, options.newton.gmin_final, 1.0,
+                                 options.newton_stats);
       solved = true;
     } catch (const ConvergenceError&) {
       solved = false;

@@ -2,7 +2,8 @@
 //
 // The simulator logs convergence diagnostics at Debug level; benches and
 // examples run quietly by default.  A single global level keeps the
-// interface small — this is a library used from single-threaded harnesses.
+// interface small; the level is atomic and emission is serialized so
+// parallel sweep workers (util/parallel.h) can log safely.
 #pragma once
 
 #include <sstream>

@@ -1,0 +1,94 @@
+// Minimal thread-pool parallelism for embarrassingly-parallel sweeps.
+//
+// No external dependencies: std::thread workers over a FIFO work queue.
+// The intended use is coarse-grained task parallelism (one DC sweep
+// point, one Monte-Carlo trial, one fan-in variant per task); results
+// are always collected in input order, so a parallel run is bitwise
+// identical to a sequential one as long as tasks are independent.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace nemsim::util {
+
+/// Worker count used when a caller passes 0: the NEMSIM_THREADS
+/// environment variable when set to a positive integer, otherwise
+/// std::thread::hardware_concurrency() (at least 1).
+std::size_t default_parallelism();
+
+/// Fixed-size pool of workers draining a FIFO queue of tasks.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (0 -> default_parallelism()).
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues a task; tasks must not throw (wrap and capture instead).
+  void submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and every worker is idle.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_idle_;
+  std::size_t active_ = 0;
+  bool stopping_ = false;
+};
+
+/// Evaluates fn(0), ..., fn(count-1) on a pool of `threads` workers and
+/// returns the results in index order — deterministic regardless of the
+/// thread interleaving.  `threads` of 0 uses default_parallelism(); 1
+/// runs inline on the calling thread (no pool).  The first exception
+/// thrown by any task (lowest index wins) is rethrown after all tasks
+/// finish.  The result type must be default-constructible and movable.
+template <typename Fn>
+auto parallel_map(std::size_t count, Fn&& fn, std::size_t threads = 0)
+    -> std::vector<decltype(fn(std::size_t{0}))> {
+  using Result = decltype(fn(std::size_t{0}));
+  if (threads == 0) threads = default_parallelism();
+  std::vector<Result> results(count);
+  if (count == 0) return results;
+
+  if (threads <= 1 || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) results[i] = fn(i);
+    return results;
+  }
+
+  std::vector<std::exception_ptr> errors(count);
+  ThreadPool pool(std::min(threads, count));
+  for (std::size_t i = 0; i < count; ++i) {
+    pool.submit([&, i]() {
+      try {
+        results[i] = fn(i);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    });
+  }
+  pool.wait_idle();
+  for (const auto& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+  return results;
+}
+
+}  // namespace nemsim::util

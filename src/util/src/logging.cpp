@@ -1,10 +1,15 @@
 #include "nemsim/util/logging.h"
 
+#include <atomic>
 #include <iostream>
+#include <mutex>
 
 namespace nemsim {
 namespace {
-LogLevel g_level = LogLevel::kWarn;
+// Atomic so worker threads (util/parallel.h sweeps) can consult the
+// threshold without a data race; emission is serialized separately.
+std::atomic<LogLevel> g_level = LogLevel::kWarn;
+std::mutex g_emit_mutex;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -18,11 +23,14 @@ const char* level_name(LogLevel level) {
 }
 }  // namespace
 
-LogLevel log_level() { return g_level; }
-void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
 
 namespace detail {
 void log_emit(LogLevel level, const std::string& message) {
+  std::lock_guard<std::mutex> lock(g_emit_mutex);
   std::clog << "[nemsim " << level_name(level) << "] " << message << '\n';
 }
 }  // namespace detail

@@ -28,6 +28,10 @@ struct MonteCarloOptions {
   /// Trials whose metric evaluation throws are recorded as failures
   /// rather than aborting the run when true.
   bool tolerate_failures = true;
+  /// Worker threads for monte_carlo_parallel (0 = all hardware threads,
+  /// 1 = inline).  Ignored by the sequential monte_carlo, which mutates
+  /// a shared circuit and cannot be parallelized.
+  std::size_t num_threads = 0;
 };
 
 struct MonteCarloResult {
@@ -50,6 +54,19 @@ struct MonteCarloResult {
 /// analysis.
 MonteCarloResult monte_carlo(
     spice::Circuit& circuit,
+    const std::function<double(spice::Circuit&)>& metric,
+    const MonteCarloOptions& options);
+
+/// Parallel Monte-Carlo over independent per-trial circuits.
+///
+/// `make_circuit` builds a fresh Circuit for every trial, so trials can
+/// run on options.num_threads workers without sharing any state.  Each
+/// trial draws its threshold shifts from the same per-trial child RNG
+/// stream as the sequential driver (seed + trial index), and samples are
+/// collected in trial order — the result is identical to the sequential
+/// monte_carlo on an equivalent circuit, for any thread count.
+MonteCarloResult monte_carlo_parallel(
+    const std::function<spice::Circuit()>& make_circuit,
     const std::function<double(spice::Circuit&)>& metric,
     const MonteCarloOptions& options);
 

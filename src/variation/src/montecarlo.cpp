@@ -1,11 +1,13 @@
 #include "nemsim/variation/montecarlo.h"
 
 #include <cmath>
+#include <string>
 
 #include "nemsim/devices/mosfet.h"
 #include "nemsim/devices/nemfet.h"
 #include "nemsim/util/error.h"
 #include "nemsim/util/logging.h"
+#include "nemsim/util/parallel.h"
 
 namespace nemsim::variation {
 
@@ -56,6 +58,62 @@ MonteCarloResult monte_carlo(
     clear_vth_variation(circuit);
   }
   require(result.stats.count() > 0, "monte_carlo: all trials failed");
+  return result;
+}
+
+namespace {
+
+struct TrialOutcome {
+  double value = 0.0;
+  bool ok = false;
+  std::string error;
+};
+
+}  // namespace
+
+MonteCarloResult monte_carlo_parallel(
+    const std::function<spice::Circuit()>& make_circuit,
+    const std::function<double(spice::Circuit&)>& metric,
+    const MonteCarloOptions& options) {
+  require(options.trials > 0, "monte_carlo_parallel: need at least one trial");
+  const Rng root(options.seed);
+
+  std::vector<TrialOutcome> outcomes = util::parallel_map(
+      options.trials,
+      [&](std::size_t trial) {
+        spice::Circuit circuit = make_circuit();
+        Rng stream = root.child(trial);
+        apply_vth_variation(circuit, options.sigma_fraction, stream);
+        TrialOutcome outcome;
+        try {
+          outcome.value = metric(circuit);
+          outcome.ok = true;
+        } catch (const Error& e) {
+          outcome.error = e.what();
+        }
+        return outcome;
+      },
+      options.num_threads);
+
+  MonteCarloResult result;
+  result.samples.reserve(options.trials);
+  for (std::size_t trial = 0; trial < options.trials; ++trial) {
+    const TrialOutcome& outcome = outcomes[trial];
+    if (outcome.ok) {
+      result.stats.add(outcome.value);
+      result.samples.push_back(outcome.value);
+    } else {
+      if (!options.tolerate_failures) {
+        throw ConvergenceError("monte_carlo_parallel: trial " +
+                               std::to_string(trial) +
+                               " failed: " + outcome.error);
+      }
+      ++result.failures;
+      log_warn("monte_carlo_parallel: trial " + std::to_string(trial) +
+               " failed: " + outcome.error);
+    }
+  }
+  require(result.stats.count() > 0, "monte_carlo_parallel: all trials failed");
   return result;
 }
 

@@ -1,0 +1,435 @@
+// Sparse MNA fast path: reusable sparse LU (symbolic analysis cached,
+// numeric-only refactorization), pattern-frozen CSR assembly equivalence
+// against the dense reference, dense-vs-sparse Newton equivalence on the
+// paper circuits, and determinism of the parallel sweep runners.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "nemsim/core/dynamic_or.h"
+#include "nemsim/core/gates.h"
+#include "nemsim/core/sram.h"
+#include "nemsim/devices/mosfet.h"
+#include "nemsim/devices/passives.h"
+#include "nemsim/devices/sources.h"
+#include "nemsim/linalg/lu.h"
+#include "nemsim/linalg/sparse.h"
+#include "nemsim/linalg/sparse_lu.h"
+#include "nemsim/spice/circuit.h"
+#include "nemsim/spice/dcsweep.h"
+#include "nemsim/spice/op.h"
+#include "nemsim/spice/transient.h"
+#include "nemsim/tech/cards.h"
+#include "nemsim/util/parallel.h"
+#include "nemsim/util/rng.h"
+#include "nemsim/variation/montecarlo.h"
+
+namespace nemsim {
+namespace {
+
+using core::DynamicOrConfig;
+using core::DynamicOrGate;
+using devices::Mosfet;
+using devices::MosPolarity;
+using devices::Resistor;
+using devices::SourceWave;
+using devices::VoltageSource;
+using spice::Circuit;
+using spice::MnaSystem;
+
+// ------------------------------------------------------------ sparse LU
+
+/// Random diagonally-weighted CSR test matrix (same recipe as the
+/// perf_simulator sparse benchmarks).
+linalg::CsrMatrix random_csr(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::pair<std::size_t, std::size_t>> entries;
+  for (std::size_t i = 0; i < n; ++i) {
+    entries.emplace_back(i, i);
+    for (int k = 0; k < 4; ++k) {
+      entries.emplace_back(i, rng.index(n));
+    }
+  }
+  linalg::CsrMatrix a(n, std::move(entries));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t s = a.row_start()[i]; s < a.row_start()[i + 1]; ++s) {
+      a.values()[s] = (a.col_index()[s] == i) ? 8.0 : rng.uniform(-1.0, 1.0);
+    }
+  }
+  return a;
+}
+
+linalg::Vector random_vector(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  linalg::Vector b(n);
+  for (std::size_t i = 0; i < n; ++i) b[i] = rng.uniform(-2.0, 2.0);
+  return b;
+}
+
+TEST(SparseLu, FactorSolveMatchesDenseLu) {
+  const std::size_t n = 40;
+  linalg::CsrMatrix a = random_csr(n, 7);
+  const linalg::Vector b = random_vector(n, 8);
+
+  linalg::SparseLuFactorization lu;
+  lu.factor(a);
+  EXPECT_TRUE(lu.analyzed());
+  EXPECT_GE(lu.fill_nonzeros(), a.nonzeros());
+  const linalg::Vector x = lu.solve(b);
+
+  linalg::LuDecomposition dense(a.to_dense());
+  const linalg::Vector x_ref = dense.solve(b);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(x[i], x_ref[i], 1e-9 * (1.0 + std::abs(x_ref[i])));
+  }
+}
+
+TEST(SparseLu, RefactorReusesAnalysisAndMatchesFreshFactor) {
+  const std::size_t n = 40;
+  linalg::CsrMatrix a = random_csr(n, 21);
+  linalg::SparseLuFactorization lu;
+  lu.factor(a);
+
+  // Perturb values (same pattern), refactor numerically only.
+  Rng rng(22);
+  for (double& v : a.values()) v += 0.05 * rng.uniform(-1.0, 1.0);
+  ASSERT_TRUE(lu.refactor(a));
+
+  const linalg::Vector b = random_vector(n, 23);
+  const linalg::Vector x = lu.solve(b);
+  linalg::LuDecomposition dense(a.to_dense());
+  const linalg::Vector x_ref = dense.solve(b);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(x[i], x_ref[i], 1e-9 * (1.0 + std::abs(x_ref[i])));
+  }
+}
+
+TEST(SparseLu, RefactorRejectsDecayedPivot) {
+  // Factor with a comfortably dominant (0,0) pivot, then shrink it far
+  // below the off-diagonal: the cached pivot order becomes numerically
+  // unstable and refactor must refuse it.
+  linalg::CsrMatrix a(2, {{0, 0}, {0, 1}, {1, 0}, {1, 1}});
+  a.values()[a.slot(0, 0)] = 10.0;
+  a.values()[a.slot(0, 1)] = 1.0;
+  a.values()[a.slot(1, 0)] = 1.0;
+  a.values()[a.slot(1, 1)] = 10.0;
+  linalg::SparseLuFactorization lu;
+  lu.factor(a);
+
+  a.values()[a.slot(0, 0)] = 1e-9;
+  a.values()[a.slot(0, 1)] = 1000.0;
+  EXPECT_FALSE(lu.refactor(a));
+
+  // A fresh factorization re-pivots and solves fine.
+  lu.factor(a);
+  const linalg::Vector b{1.0, 2.0};
+  const linalg::Vector x = lu.solve(b);
+  linalg::LuDecomposition dense(a.to_dense());
+  const linalg::Vector x_ref = dense.solve(b);
+  EXPECT_NEAR(x[0], x_ref[0], 1e-9 * (1.0 + std::abs(x_ref[0])));
+  EXPECT_NEAR(x[1], x_ref[1], 1e-9 * (1.0 + std::abs(x_ref[1])));
+}
+
+TEST(SparseLu, SingularMatrixThrows) {
+  // Column 1 is structurally empty.
+  linalg::CsrMatrix a(2, {{0, 0}, {1, 0}});
+  a.values()[a.slot(0, 0)] = 1.0;
+  a.values()[a.slot(1, 0)] = 2.0;
+  linalg::SparseLuFactorization lu;
+  EXPECT_THROW(lu.factor(a), SingularMatrixError);
+}
+
+TEST(SparseLu, RefactorRejectsForeignPattern) {
+  linalg::CsrMatrix a = random_csr(16, 3);
+  linalg::CsrMatrix b = random_csr(24, 4);
+  linalg::SparseLuFactorization lu;
+  lu.factor(a);
+  EXPECT_FALSE(lu.refactor(b));
+}
+
+// ------------------------------------------------------------ CsrMatrix
+
+TEST(CsrMatrix, SlotLookupAndDuplicateMerge) {
+  linalg::CsrMatrix a(3, {{0, 0}, {0, 2}, {0, 0}, {2, 1}});
+  EXPECT_EQ(a.nonzeros(), 3u);  // duplicate (0,0) merged
+  EXPECT_NE(a.slot(0, 0), linalg::CsrMatrix::npos);
+  EXPECT_NE(a.slot(0, 2), linalg::CsrMatrix::npos);
+  EXPECT_NE(a.slot(2, 1), linalg::CsrMatrix::npos);
+  EXPECT_EQ(a.slot(1, 1), linalg::CsrMatrix::npos);
+  EXPECT_EQ(a.slot(0, 1), linalg::CsrMatrix::npos);
+
+  a.values()[a.slot(0, 2)] = 4.0;
+  EXPECT_DOUBLE_EQ(a.at(0, 2), 4.0);
+  EXPECT_DOUBLE_EQ(a.at(1, 1), 0.0);
+  a.zero_values();
+  EXPECT_DOUBLE_EQ(a.at(0, 2), 0.0);
+}
+
+// --------------------------------------------- assembly equivalence
+
+/// Asserts dense assemble == sparse assemble (Jacobian, residual, scale)
+/// at iterate `x` for the given mode.
+void expect_assembly_match(const MnaSystem& system, const linalg::Vector& x,
+                           spice::AnalysisMode mode, double time, double dt,
+                           double gmin) {
+  const std::size_t n = system.num_unknowns();
+  linalg::Matrix j_dense;
+  linalg::Vector f_dense, s_dense;
+  system.assemble(x, j_dense, f_dense, s_dense, mode, time, dt, gmin, 1.0);
+
+  linalg::CsrMatrix j_sparse = system.make_sparse_jacobian();
+  linalg::Vector f_sparse, s_sparse;
+  while (!system.assemble_sparse(x, j_sparse, f_sparse, s_sparse, mode, time,
+                                 dt, gmin, 1.0)) {
+    j_sparse = system.make_sparse_jacobian();
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(f_dense[i], f_sparse[i], 1e-18 + 1e-12 * std::abs(f_dense[i]))
+        << "residual row " << i;
+    EXPECT_NEAR(s_dense[i], s_sparse[i], 1e-18 + 1e-12 * std::abs(s_dense[i]))
+        << "scale row " << i;
+    for (std::size_t c = 0; c < n; ++c) {
+      EXPECT_NEAR(j_dense(i, c), j_sparse.at(i, c),
+                  1e-18 + 1e-12 * std::abs(j_dense(i, c)))
+          << "J(" << i << "," << c << ")";
+    }
+  }
+}
+
+TEST(SparseAssembly, MatchesDenseOnDynamicOr) {
+  for (bool hybrid : {false, true}) {
+    DynamicOrConfig c;
+    c.fanin = 8;
+    c.hybrid = hybrid;
+    DynamicOrGate gate = core::build_dynamic_or(c);
+    MnaSystem system(gate.ckt());
+
+    const linalg::Vector x0 = system.initial_guess();
+    expect_assembly_match(system, x0, spice::AnalysisMode::kDcOperatingPoint,
+                          0.0, 0.0, 1e-9);
+
+    // At a solved operating point with companion state, transient mode.
+    spice::OpResult op = spice::operating_point(system);
+    system.begin_step(1e-12, 1e-12);
+    expect_assembly_match(system, op.raw(), spice::AnalysisMode::kTransient,
+                          1e-12, 1e-12, 1e-15);
+  }
+}
+
+// ------------------------------------------- Newton dense vs sparse
+
+spice::NewtonOptions forced(spice::JacobianSolver solver) {
+  spice::NewtonOptions options;
+  options.solver = solver;
+  return options;
+}
+
+/// Operating points and a short transient must agree between the dense
+/// and sparse solver paths within Newton tolerance slack.  `prepare`
+/// runs on each system before solving (e.g. nodesets for bistable cells,
+/// without which the OP sits on the metastable point and the transient
+/// amplifies solver-path rounding into a state flip).
+void expect_solver_equivalence(
+    const std::function<Circuit()>& make_circuit,
+    const std::vector<std::string>& signals, double tstop,
+    const std::function<void(Circuit&, MnaSystem&)>& prepare = {}) {
+  // Operating point.
+  Circuit ckt_dense = make_circuit();
+  Circuit ckt_sparse = make_circuit();
+  MnaSystem sys_dense(ckt_dense);
+  MnaSystem sys_sparse(ckt_sparse);
+  if (prepare) {
+    prepare(ckt_dense, sys_dense);
+    prepare(ckt_sparse, sys_sparse);
+  }
+
+  spice::OpOptions op_dense, op_sparse;
+  op_dense.newton = forced(spice::JacobianSolver::kDense);
+  op_sparse.newton = forced(spice::JacobianSolver::kSparse);
+  spice::OpResult r_dense = spice::operating_point(sys_dense, op_dense);
+  spice::OpResult r_sparse = spice::operating_point(sys_sparse, op_sparse);
+  for (const std::string& sig : signals) {
+    EXPECT_NEAR(r_dense.value(sig), r_sparse.value(sig), 2e-6)
+        << "OP mismatch on " << sig;
+  }
+
+  if (tstop <= 0.0) return;
+  spice::TransientOptions tr_dense, tr_sparse;
+  tr_dense.tstop = tstop;
+  tr_sparse.tstop = tstop;
+  tr_dense.newton = forced(spice::JacobianSolver::kDense);
+  tr_sparse.newton = forced(spice::JacobianSolver::kSparse);
+  spice::Waveform w_dense = spice::transient(sys_dense, tr_dense);
+  spice::Waveform w_sparse = spice::transient(sys_sparse, tr_sparse);
+
+  // The adaptive step controller may pick slightly different step trains
+  // (different rounding in the linear solver), so compare on a common
+  // time grid via interpolation.
+  for (const std::string& sig : signals) {
+    double worst = 0.0;
+    for (int k = 0; k <= 100; ++k) {
+      const double t = tstop * k / 100.0;
+      const double vd = w_dense.at(sig, t);
+      const double vs = w_sparse.at(sig, t);
+      worst = std::max(worst, std::abs(vd - vs));
+    }
+    EXPECT_LT(worst, 5e-3) << "transient mismatch on " << sig;
+  }
+}
+
+TEST(SolverEquivalence, DynamicOrFanins) {
+  for (int fanin : {4, 8, 16}) {
+    auto make = [fanin]() {
+      DynamicOrConfig c;
+      c.fanin = fanin;
+      c.hybrid = (fanin == 8);  // cover both variants across the loop
+      DynamicOrGate gate = core::build_dynamic_or(c);
+      return std::move(*gate.circuit);
+    };
+    expect_solver_equivalence(make, {"v(dyn)", "v(out)"}, 1.5e-9);
+  }
+}
+
+TEST(SolverEquivalence, SramCells) {
+  for (core::SramKind kind :
+       {core::SramKind::kConventional, core::SramKind::kHybrid}) {
+    auto make = [kind]() {
+      core::SramConfig c;
+      c.kind = kind;
+      c.stored_one = false;
+      core::SramCell cell = core::build_sram_cell(c);
+      return std::move(*cell.circuit);
+    };
+    // Nodeset the stored state (as core/sram.cpp does) so the OP finds a
+    // stable attractor rather than the metastable midpoint.
+    auto prepare = [](Circuit& ckt, MnaSystem& system) {
+      system.set_nodeset(ckt.find_node("ql"), 0.0);
+      system.set_nodeset(ckt.find_node("qr"), 1.2);
+    };
+    expect_solver_equivalence(make, {"v(ql)", "v(qr)"}, 1.0e-9, prepare);
+  }
+}
+
+TEST(SolverEquivalence, SleepTransistorNetwork) {
+  // Footer-gated inverter chain: logic block behind an NMOS sleep switch
+  // (paper Section 6), driven through one precharge-style input edge.
+  auto make = []() {
+    Circuit ckt;
+    spice::NodeId vdd = ckt.node("vdd");
+    spice::NodeId vgnd = ckt.node("vgnd");
+    spice::NodeId in = ckt.node("in");
+    spice::NodeId sleep = ckt.node("sleep");
+    ckt.add<VoltageSource>("Vdd", vdd, ckt.gnd(), SourceWave::dc(1.2));
+    ckt.add<VoltageSource>("Vsleep", sleep, ckt.gnd(), SourceWave::dc(1.2));
+    ckt.add<VoltageSource>(
+        "Vin", in, ckt.gnd(),
+        SourceWave::pulse(0.0, 1.2, 0.2e-9, 20e-12, 20e-12, 2e-9));
+    core::add_inverter_chain(ckt, "CH", in, vdd, vgnd, 6);
+    ckt.add<Mosfet>("Msleep", vgnd, sleep, ckt.gnd(), MosPolarity::kNmos,
+                    tech::nmos_90nm(), /*width=*/2e-6, /*length=*/1e-7);
+    return ckt;
+  };
+  expect_solver_equivalence(make, {"v(vgnd)"}, 1.0e-9);
+}
+
+// ------------------------------------------------ parallel determinism
+
+TEST(ParallelMap, OrderedResultsAndInlineFallback) {
+  auto square = [](std::size_t i) { return static_cast<double>(i * i); };
+  const std::vector<double> seq = util::parallel_map(40, square, 1);
+  const std::vector<double> par = util::parallel_map(40, square, 4);
+  ASSERT_EQ(seq.size(), par.size());
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    EXPECT_DOUBLE_EQ(seq[i], static_cast<double>(i * i));
+    EXPECT_DOUBLE_EQ(seq[i], par[i]);
+  }
+  EXPECT_TRUE(util::parallel_map(0, square, 4).empty());
+}
+
+TEST(ParallelMap, FirstExceptionPropagates) {
+  auto faulty = [](std::size_t i) -> int {
+    if (i % 7 == 3) throw InvalidArgument("task " + std::to_string(i));
+    return static_cast<int>(i);
+  };
+  EXPECT_THROW(util::parallel_map(20, faulty, 4), InvalidArgument);
+}
+
+Circuit make_divider_inverter() {
+  // An inverter biased mid-rail: its output voltage is sensitive to the
+  // Vth shifts that the Monte-Carlo draws, which makes thread-count
+  // nondeterminism visible immediately.
+  Circuit ckt;
+  spice::NodeId vdd = ckt.node("vdd");
+  spice::NodeId in = ckt.node("in");
+  spice::NodeId out = ckt.node("out");
+  ckt.add<VoltageSource>("Vdd", vdd, ckt.gnd(), SourceWave::dc(1.2));
+  ckt.add<VoltageSource>("Vin", in, ckt.gnd(), SourceWave::dc(0.55));
+  core::add_inverter(ckt, "INV", in, out, vdd);
+  ckt.add<Resistor>("Rload", out, ckt.gnd(), 1e6);
+  return ckt;
+}
+
+TEST(ParallelDeterminism, MonteCarloIdenticalAcrossThreadCounts) {
+  auto metric = [](Circuit& ckt) {
+    MnaSystem system(ckt);
+    return spice::operating_point(system).value("v(out)");
+  };
+  variation::MonteCarloOptions mc;
+  mc.trials = 16;
+  mc.sigma_fraction = 0.06;
+
+  mc.num_threads = 1;
+  auto seq = variation::monte_carlo_parallel(make_divider_inverter, metric, mc);
+  mc.num_threads = 4;
+  auto par = variation::monte_carlo_parallel(make_divider_inverter, metric, mc);
+
+  ASSERT_EQ(seq.samples.size(), par.samples.size());
+  for (std::size_t i = 0; i < seq.samples.size(); ++i) {
+    EXPECT_DOUBLE_EQ(seq.samples[i], par.samples[i]) << "trial " << i;
+  }
+  EXPECT_EQ(seq.failures, par.failures);
+
+  // And both match the sequential driver on a shared circuit (same
+  // per-trial child RNG streams).
+  Circuit shared = make_divider_inverter();
+  auto reference = variation::monte_carlo(shared, metric, mc);
+  ASSERT_EQ(reference.samples.size(), par.samples.size());
+  for (std::size_t i = 0; i < reference.samples.size(); ++i) {
+    EXPECT_DOUBLE_EQ(reference.samples[i], par.samples[i]) << "trial " << i;
+  }
+}
+
+TEST(ParallelDeterminism, DcSweepParallelMatchesSequentialCold) {
+  auto make = []() { return make_divider_inverter(); };
+  auto set_vin = [](Circuit& ckt, double v) {
+    ckt.find<VoltageSource>("Vin").set_dc(v);
+  };
+  const std::vector<double> points = spice::linspace(0.0, 1.2, 13);
+
+  spice::DcSweepOptions options;
+  spice::Waveform w1 =
+      spice::dc_sweep_parallel(make, set_vin, points, options, 1);
+  spice::Waveform w4 =
+      spice::dc_sweep_parallel(make, set_vin, points, options, 4);
+
+  // Sequential reference without continuation (cold solves, like the
+  // parallel runner).
+  options.continuation = false;
+  Circuit ckt = make();
+  MnaSystem system(ckt);
+  spice::Waveform ref = spice::dc_sweep(
+      system, [&](double v) { set_vin(ckt, v); }, points, options);
+
+  ASSERT_EQ(w1.num_samples(), points.size());
+  ASSERT_EQ(w4.num_samples(), points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const double t = points[i];
+    EXPECT_DOUBLE_EQ(w1.at("v(out)", t), w4.at("v(out)", t));
+    EXPECT_DOUBLE_EQ(w4.at("v(out)", t), ref.at("v(out)", t));
+  }
+}
+
+}  // namespace
+}  // namespace nemsim
