@@ -6,13 +6,16 @@
 // the hybrid gate at FO1, delay w.r.t. the CMOS gate at FO1.
 #include <iostream>
 
+#include "bench_diagnostics.h"
 #include "nemsim/core/dynamic_or.h"
 #include "nemsim/util/parallel.h"
 #include "nemsim/util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace nemsim;
   using namespace nemsim::core;
+  const bench::DiagnosticsFlag diag =
+      bench::parse_diagnostics_flag(argc, argv);
 
   std::cout << "Figure 10: 8-input dynamic OR, fan-out sweep\n\n";
 
@@ -70,5 +73,18 @@ int main() {
             << " uW\n";
   std::cout << "Paper: hybrid delay +10 % (FO1) to +20 % (FO5); switching "
                "power 60-80 % lower.\n";
+
+  if (diag.enabled) {
+    // Representative instance: the heaviest load (FO5, hybrid), re-run
+    // with a RunReport attached.
+    DynamicOrConfig c;
+    c.fanin = 8;
+    c.fanout = kMaxFanout;
+    c.hybrid = true;
+    DynamicOrGate gate = build_dynamic_or(c);
+    spice::RunReport report;
+    measure_dynamic_or(gate, &report);
+    bench::emit_report(diag, report);
+  }
   return 0;
 }

@@ -8,13 +8,16 @@
 // axes w.r.t. the hybrid gate at fan-in 4.
 #include <iostream>
 
+#include "bench_diagnostics.h"
 #include "nemsim/core/dynamic_or.h"
 #include "nemsim/util/parallel.h"
 #include "nemsim/util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace nemsim;
   using namespace nemsim::core;
+  const bench::DiagnosticsFlag diag =
+      bench::parse_diagnostics_flag(argc, argv);
 
   std::cout << "Figure 11: dynamic OR fan-in sweep (fan-out = 3)\n\n";
 
@@ -74,5 +77,18 @@ int main() {
   }
   std::cout << "Hybrid switching power is lower at every fan-in; the "
                "advantage widens with fan-in (keeper contention).\n";
+
+  if (diag.enabled) {
+    // Representative instance: the hardest sweep point (fan-in 16,
+    // hybrid), re-run with a RunReport attached.
+    DynamicOrConfig c;
+    c.fanin = 16;
+    c.fanout = 3;
+    c.hybrid = true;
+    DynamicOrGate gate = build_dynamic_or(c);
+    spice::RunReport report;
+    measure_dynamic_or(gate, &report);
+    bench::emit_report(diag, report);
+  }
   return 0;
 }

@@ -12,12 +12,15 @@
 // common to every cell and compresses the ratios.
 #include <iostream>
 
+#include "bench_diagnostics.h"
 #include "nemsim/core/sram.h"
 #include "nemsim/util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace nemsim;
   using namespace nemsim::core;
+  const bench::DiagnosticsFlag diag =
+      bench::parse_diagnostics_flag(argc, argv);
 
   std::cout << "Figure 15: SRAM read latency and standby leakage "
                "(normalized to the conventional cell)\n\n";
@@ -81,5 +84,15 @@ int main() {
             << Table::format(conv.leak_float / rows.back().leak_float, 3)
             << "x - exactly the paper's argument for replacing both "
                "device pairs.\n";
+
+  if (diag.enabled) {
+    // Representative instance: the hybrid cell's read transient, re-run
+    // with a RunReport attached.
+    SramConfig c;
+    c.kind = SramKind::kHybrid;
+    spice::RunReport report;
+    measure_read_latency(c, 0.1, &report);
+    bench::emit_report(diag, report);
+  }
   return 0;
 }

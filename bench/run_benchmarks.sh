@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # Runs the simulator kernel benchmarks and records the results at the
 # repo root (BENCH_solver.json) so the perf trajectory is tracked in git
-# from PR 1 onward.
+# from PR 1 onward.  Also collects RunReport diagnostics JSON from the
+# figure benches that support --diagnostics (solver health: Newton
+# iteration totals, LTE rejects, stepping stages) as
+# BENCH_<fig>_diagnostics.json.
 #
 # Usage: bench/run_benchmarks.sh [build-dir] [extra google-benchmark args...]
 #   e.g. bench/run_benchmarks.sh build --benchmark_filter=SparseLu
@@ -24,3 +27,18 @@ fi
   "$@"
 
 echo "Wrote $repo_root/BENCH_solver.json"
+
+# Per-figure solver diagnostics (each bench re-runs one representative
+# instance with a RunReport attached).  Missing binaries are skipped so a
+# partial build still produces the kernel numbers above.
+for fig in fig10_fanout_sweep fig11_fanin_sweep fig15_sram_latency_leakage; do
+  fig_bin="$build_dir/bench/$fig"
+  short="${fig%%_*}"  # fig10_fanout_sweep -> fig10
+  if [[ -x "$fig_bin" ]]; then
+    out="$repo_root/BENCH_${short}_diagnostics.json"
+    "$fig_bin" --diagnostics="$out" > /dev/null
+    echo "Wrote $out"
+  else
+    echo "skip: $fig_bin not built" >&2
+  fi
+done

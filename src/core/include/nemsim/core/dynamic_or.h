@@ -92,10 +92,15 @@ double measure_switching_power(DynamicOrGate& gate);
 
 /// Leakage power: static dissipation in the evaluate phase with all
 /// inputs low (keeper holding the dynamic node against PDN leakage).
-double measure_leakage_power(DynamicOrGate& gate);
+/// An optional RunReport sink collects the op-phase Newton diagnostics.
+double measure_leakage_power(DynamicOrGate& gate,
+                             spice::RunReport* report = nullptr);
 
 /// All three in one (shares the transient run between delay and power).
-DynamicOrMetrics measure_dynamic_or(DynamicOrGate& gate);
+/// An optional RunReport sink collects the transient + op diagnostics of
+/// the underlying runs (histogram, LTE rejects, stepping stages).
+DynamicOrMetrics measure_dynamic_or(DynamicOrGate& gate,
+                                    spice::RunReport* report = nullptr);
 
 /// Noise margin: the largest DC noise voltage that can sit on ALL inputs
 /// during the evaluate phase without the output rising (bisection over

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "nemsim/spice/circuit.h"
+#include "nemsim/spice/diagnostics.h"
 #include "nemsim/spice/waveform.h"
 
 namespace nemsim::core {
@@ -79,9 +80,11 @@ ButterflyCurves measure_butterfly(const SramConfig& config,
 
 /// Read latency: wordline pulse with bitlines precharged to Vdd through
 /// their lumped capacitance; time from WL 50 % rising until the read
-/// bitline has discharged by `sense_margin` volts.
+/// bitline has discharged by `sense_margin` volts.  An optional RunReport
+/// sink collects the transient diagnostics of the underlying run.
 double measure_read_latency(const SramConfig& config,
-                            double sense_margin = 0.1);
+                            double sense_margin = 0.1,
+                            spice::RunReport* report = nullptr);
 
 /// Standby leakage power: wordline low, bitlines floating (precharge
 /// gated off in standby), cell holding its value.  Total static power

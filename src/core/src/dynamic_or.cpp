@@ -121,7 +121,8 @@ namespace {
 
 /// Runs the standard one-hot switching cycle (input 0 asserted during the
 /// evaluate phase) and returns the waveform over `cycles` full cycles.
-spice::Waveform run_switching_cycle(DynamicOrGate& gate, double extra_time) {
+spice::Waveform run_switching_cycle(DynamicOrGate& gate, double extra_time,
+                                    spice::RunReport* report = nullptr) {
   Circuit& ckt = gate.ckt();
   const DynamicOrConfig& c = gate.config;
   park_sources(gate);
@@ -132,6 +133,7 @@ spice::Waveform run_switching_cycle(DynamicOrGate& gate, double extra_time) {
   spice::TransientOptions options;
   options.tstop = cycle_time(c) + extra_time;
   options.dt_initial = 1e-13;
+  options.report = report;
   spice::Waveform wave = spice::transient(system, options);
   park_sources(gate);
   return wave;
@@ -157,9 +159,10 @@ double measure_switching_power(DynamicOrGate& gate) {
   return energy / wave.end_time();
 }
 
-DynamicOrMetrics measure_dynamic_or(DynamicOrGate& gate) {
+DynamicOrMetrics measure_dynamic_or(DynamicOrGate& gate,
+                                    spice::RunReport* report) {
   const DynamicOrConfig& c = gate.config;
-  spice::Waveform wave = run_switching_cycle(gate, c.t_precharge);
+  spice::Waveform wave = run_switching_cycle(gate, c.t_precharge, report);
   const double half = 0.5 * c.vdd;
 
   DynamicOrMetrics m;
@@ -169,11 +172,11 @@ DynamicOrMetrics measure_dynamic_or(DynamicOrGate& gate) {
   m.switching_energy =
       source_energy(gate.ckt(), wave, "Vdd", 0.0, wave.end_time());
   m.switching_power = m.switching_energy / wave.end_time();
-  m.leakage_power = measure_leakage_power(gate);
+  m.leakage_power = measure_leakage_power(gate, report);
   return m;
 }
 
-double measure_leakage_power(DynamicOrGate& gate) {
+double measure_leakage_power(DynamicOrGate& gate, spice::RunReport* report) {
   Circuit& ckt = gate.ckt();
   const DynamicOrConfig& c = gate.config;
   park_sources(gate);
@@ -184,7 +187,9 @@ double measure_leakage_power(DynamicOrGate& gate) {
   system.reset_devices();
   system.set_nodeset(ckt.find_node("dyn"), c.vdd);
   system.set_nodeset(ckt.find_node("out"), 0.0);
-  spice::OpResult op = spice::operating_point(system);
+  spice::OpOptions op_options;
+  op_options.report = report;
+  spice::OpResult op = spice::operating_point(system, op_options);
 
   // Sanity: the keeper must actually be holding the dynamic node.
   const double v_dyn = op.v("dyn");

@@ -268,7 +268,8 @@ ButterflyCurves measure_butterfly(const SramConfig& config,
 namespace {
 
 double read_latency_impl(const SramConfig& config, std::size_t idle_cells,
-                         double sense_margin) {
+                         double sense_margin,
+                         spice::RunReport* report = nullptr) {
   SramBenchMode mode;
   mode.drive_bitlines = false;  // bitlines precharged via PMOS, then float
   SramCell cell = build_sram_cell(config, mode);
@@ -313,6 +314,7 @@ double read_latency_impl(const SramConfig& config, std::size_t idle_cells,
   spice::TransientOptions options;
   options.tstop = 3e-9;
   options.dt_initial = 1e-13;
+  options.report = report;
   spice::Waveform wave = spice::transient(system, options);
 
   // The bitline on the zero-storing side discharges through access +
@@ -341,8 +343,9 @@ double read_latency_impl(const SramConfig& config, std::size_t idle_cells,
 
 }  // namespace
 
-double measure_read_latency(const SramConfig& config, double sense_margin) {
-  return read_latency_impl(config, 0, sense_margin);
+double measure_read_latency(const SramConfig& config, double sense_margin,
+                            spice::RunReport* report) {
+  return read_latency_impl(config, 0, sense_margin, report);
 }
 
 double measure_column_read_latency(const SramConfig& config,

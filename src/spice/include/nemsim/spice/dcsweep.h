@@ -9,6 +9,7 @@
 #include <span>
 #include <vector>
 
+#include "nemsim/spice/diagnostics.h"
 #include "nemsim/spice/engine.h"
 #include "nemsim/spice/newton.h"
 #include "nemsim/spice/waveform.h"
@@ -20,6 +21,10 @@ struct DcSweepOptions {
   /// When true (default), each point starts from the previous solution;
   /// when false, every point is solved cold (branch-independent).
   bool continuation = true;
+  /// Optional diagnostics sink (per-point Newton work, stage records,
+  /// point counters).  In dc_sweep_parallel the report is filled after
+  /// the workers join, in input order.
+  RunReport* report = nullptr;
 };
 
 /// Applies `set_param(value)` then solves an operating point, for each

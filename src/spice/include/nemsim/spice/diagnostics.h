@@ -1,0 +1,144 @@
+// Simulation observability: per-analysis run reports and convergence
+// forensics.
+//
+// Every analysis driver (operating point, transient, DC sweep, Monte
+// Carlo) accepts an optional RunReport sink.  When attached, the driver
+// fills in cumulative Newton work counters, homotopy stepping-stage
+// records, a per-solve Newton-iteration histogram, LTE-reject and
+// step-failure locations, and phase wall-clock timings.  When no sink is
+// attached the instrumented code paths are skipped entirely, so the
+// simulation is bitwise identical and pays nothing.
+//
+// On failure, ConvergenceError (util/error.h) carries a structured
+// ConvergenceDiagnostics payload naming the worst weighted-residual rows
+// via the MNA unknown table.  The opt-in forensics hook additionally
+// dumps the recent waveform window, a netlist snapshot (via
+// spice/netlist_export.h) and the failure description to disk for
+// offline reproduction.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "nemsim/spice/newton.h"
+#include "nemsim/util/error.h"
+#include "nemsim/util/instrument.h"
+
+namespace nemsim::spice {
+
+class Circuit;
+class Waveform;
+
+/// One rung of the Newton homotopy ladder (plain solve, one gmin decade,
+/// one source-stepping factor), with its iteration cost.
+struct SteppingStageRecord {
+  enum class Kind { kPlain, kGminStep, kSourceStep };
+  Kind kind = Kind::kPlain;
+  /// gmin value for kGminStep, source factor for kSourceStep, final gmin
+  /// for kPlain.
+  double value = 0.0;
+  int iterations = 0;  ///< Newton iterations spent in this stage
+  bool converged = false;
+};
+
+/// Location of one rejected transient step (local truncation error).
+struct LteRejectRecord {
+  double time = 0.0;            ///< end time of the rejected step
+  double dt = 0.0;              ///< rejected step size
+  double ratio = 0.0;           ///< LTE ratio that triggered the reject
+  std::size_t worst_unknown = 0;
+  std::string worst_name;       ///< display name of the dominant unknown
+};
+
+/// Location of one transient step retried after Newton failed on it.
+struct StepFailureRecord {
+  double time = 0.0;  ///< end time of the failed step
+  double dt = 0.0;    ///< step size that failed
+  std::string message;
+};
+
+/// Unified per-analysis diagnostics report.
+///
+/// Attach one via {Op,Transient,DcSweep,MonteCarlo}Options::report; the
+/// driver accumulates into it (reports are reusable across runs — values
+/// keep adding up until reset()).  Not safe for concurrent mutation; the
+/// parallel drivers fill it after their workers join.
+struct RunReport {
+  /// Caps the per-event record vectors (lte_rejects, step_failures,
+  /// notes) so a pathological run cannot grow the report unboundedly;
+  /// counters keep counting past the cap.
+  static constexpr std::size_t kMaxRecords = 256;
+
+  std::string analysis;  ///< "op", "transient", "dc_sweep", "monte_carlo"
+
+  /// Cumulative Newton work over the whole run (all steps/points/trials).
+  NewtonStats newton;
+  /// Homotopy ladder records, in execution order.
+  std::vector<SteppingStageRecord> stages;
+  /// Bucket i counts Newton solves that finished in i iterations (last
+  /// bucket collects everything at/above the bucket count).
+  std::vector<std::uint64_t> newton_iteration_histogram;
+
+  // Transient-specific.
+  std::size_t accepted_steps = 0;
+  std::size_t newton_failures = 0;  ///< step retries due to non-convergence
+  std::size_t lte_reject_count = 0;
+  double min_dt = 0.0;
+  double max_dt = 0.0;
+  std::vector<LteRejectRecord> lte_rejects;    ///< first kMaxRecords
+  std::vector<StepFailureRecord> step_failures;  ///< first kMaxRecords
+
+  // Sweep / Monte-Carlo.
+  std::size_t points = 0;         ///< sweep points or trials attempted
+  std::size_t failed_points = 0;  ///< points/trials that threw
+  std::vector<std::string> notes;  ///< per-failure notes (first kMaxRecords)
+
+  /// Phase wall-clock ("phase.op", "phase.stepping") and free-form
+  /// counters.  Mutex-guarded, so parallel workers may add to it.
+  util::MetricRegistry metrics;
+
+  /// Records one Newton solve's iteration count into the histogram.
+  void record_newton_iterations(int iterations);
+  /// Appends a note, honoring kMaxRecords.
+  void add_note(const std::string& note);
+
+  /// Count of stages by kind (per-stage views of the ladder).
+  std::size_t stage_count(SteppingStageRecord::Kind kind) const;
+  /// Sum of iterations over all recorded stages.
+  int stage_iterations_total() const;
+
+  /// Clears everything back to a freshly constructed report.
+  void reset();
+
+  /// Compact human-readable rendering (for bench output and logs).
+  std::string summary() const;
+  /// Stable JSON rendering (consumed by bench/run_benchmarks.sh).
+  void write_json(std::ostream& os) const;
+};
+
+/// Opt-in failure forensics: where and what to dump when an analysis
+/// fails.  Attached to {Op,Transient,MonteCarlo}Options.
+struct ForensicsOptions {
+  bool enabled = false;
+  std::string directory = ".";   ///< created if missing
+  std::string tag = "nemsim";    ///< file-name prefix
+  /// How many of the most recent accepted samples of the waveform to
+  /// keep in the dump (the window right before the failure).
+  std::size_t window_samples = 256;
+};
+
+/// Writes the forensics bundle for a failed analysis:
+///   <dir>/<tag>.failure.txt  — what() plus the structured payload
+///   <dir>/<tag>.netlist.sp   — netlist snapshot for offline repro
+///   <dir>/<tag>.wave.csv     — recent waveform window (when wave given)
+/// Returns the paths written.  IO errors are logged and swallowed — a
+/// forensics dump must never mask the original failure.
+std::vector<std::string> write_failure_forensics(
+    const ForensicsOptions& options, const Circuit& circuit,
+    const Waveform* wave, const std::string& what,
+    const ConvergenceDiagnostics* diag);
+
+}  // namespace nemsim::spice

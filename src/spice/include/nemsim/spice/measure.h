@@ -18,6 +18,11 @@ enum class Edge { kRising, kFalling, kEither };
 /// searching within [t_from, t_to] (0/inf mean full range).  Uses linear
 /// interpolation between samples.  Throws MeasurementError when the
 /// requested crossing does not exist.
+///
+/// Each sample interval is treated as half-open, (t[k-1], t[k]]: a sample
+/// that lands exactly on `level` counts as one crossing, attributed to
+/// the interval that reaches it — never counted again by the interval
+/// that leaves it.
 double cross_time(const Waveform& wave, const std::string& signal,
                   double level, Edge edge = Edge::kEither,
                   std::size_t occurrence = 1, double t_from = 0.0,

@@ -22,6 +22,8 @@
 
 namespace nemsim::spice {
 
+struct RunReport;  // spice/diagnostics.h
+
 /// Which linear solver backs the Newton iteration.
 enum class JacobianSolver {
   kAuto,    ///< sparse at/above NewtonOptions::sparse_threshold unknowns
@@ -54,8 +56,13 @@ struct NewtonOptions {
 };
 
 struct NewtonStats {
-  int iterations = 0;      ///< iterations of the successful (final) solve
-  int total_iterations = 0;///< including homotopy ladder solves
+  /// Iterations of the successful (final) solve only.  After a failed
+  /// solve this equals total_iterations (everything that was attempted).
+  int iterations = 0;
+  /// Cumulative iterations including every homotopy ladder stage — never
+  /// reset between stages, so the caller sees total work, not just the
+  /// last stage (see RunReport::stages for the per-stage split).
+  int total_iterations = 0;
   int gmin_steps = 0;
   int source_steps = 0;
   // Work counters for the fast-path instrumentation (cumulative across
@@ -65,6 +72,21 @@ struct NewtonStats {
   std::int64_t factorizations = 0;       ///< full LU factorizations
   std::int64_t factorization_reuses = 0; ///< sparse numeric refactorizations
   bool used_sparse = false;              ///< sparse path taken at least once
+
+  /// Accumulates another stats block into this one (counters add,
+  /// used_sparse ORs) — used by drivers that solve with a local block per
+  /// step and fold it into a run-level report.
+  void merge(const NewtonStats& other) {
+    iterations += other.iterations;
+    total_iterations += other.total_iterations;
+    gmin_steps += other.gmin_steps;
+    source_steps += other.source_steps;
+    assembles += other.assembles;
+    residual_assembles += other.residual_assembles;
+    factorizations += other.factorizations;
+    factorization_reuses += other.factorization_reuses;
+    used_sparse = used_sparse || other.used_sparse;
+  }
 };
 
 /// Solves f(x) = 0 for the configured analysis point.
@@ -85,8 +107,14 @@ class NewtonSolver {
                              double source_factor, NewtonStats* stats = nullptr);
 
   /// Full ladder: plain solve, then gmin stepping, then source stepping.
+  /// With a `report` attached, every ladder stage is recorded as a
+  /// SteppingStageRecord (per-stage iteration counts alongside the
+  /// cumulative NewtonStats totals).  On failure the thrown
+  /// ConvergenceError carries a ConvergenceDiagnostics payload naming the
+  /// worst weighted-residual rows.
   linalg::Vector solve(const linalg::Vector& x0, AnalysisMode mode,
-                       double time, double dt, NewtonStats* stats = nullptr);
+                       double time, double dt, NewtonStats* stats = nullptr,
+                       RunReport* report = nullptr);
 
   const NewtonOptions& options() const { return options_; }
 

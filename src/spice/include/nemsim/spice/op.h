@@ -4,6 +4,7 @@
 #include <string>
 
 #include "nemsim/linalg/matrix.h"
+#include "nemsim/spice/diagnostics.h"
 #include "nemsim/spice/engine.h"
 #include "nemsim/spice/newton.h"
 
@@ -12,6 +13,11 @@ namespace nemsim::spice {
 struct OpOptions {
   NewtonOptions newton;
   NewtonStats* stats = nullptr;  ///< optional Newton work counters
+  /// Optional diagnostics sink (stage records, histogram, timings).
+  /// Zero overhead when left null.
+  RunReport* report = nullptr;
+  /// Opt-in failure dump (netlist snapshot + failure description).
+  ForensicsOptions forensics;
 };
 
 /// Result of an operating-point solve; values accessible by node/unknown

@@ -7,6 +7,7 @@
 // truncation error estimate and lands exactly on source breakpoints.
 #pragma once
 
+#include "nemsim/spice/diagnostics.h"
 #include "nemsim/spice/engine.h"
 #include "nemsim/spice/newton.h"
 #include "nemsim/spice/waveform.h"
@@ -35,6 +36,14 @@ struct TransientOptions {
   /// sparse refactorization reuses) summed over every accepted and
   /// rejected step of the run.
   NewtonStats* newton_stats = nullptr;
+  /// Optional diagnostics sink: per-solve iteration histogram, LTE-reject
+  /// and step-failure locations, phase timings.  The run is bitwise
+  /// identical (and pays nothing) when left null.
+  RunReport* report = nullptr;
+  /// Opt-in failure dump: on a terminal ConvergenceError, writes the
+  /// recent waveform window, a netlist snapshot and the failure
+  /// description before rethrowing.
+  ForensicsOptions forensics;
 };
 
 /// Runs a transient from the DC operating point at t = 0.

@@ -19,19 +19,33 @@ Waveform dc_sweep(MnaSystem& system,
   }
   Waveform wave(std::move(names));
 
+  RunReport* report = options.report;
+  if (report && report->analysis.empty()) report->analysis = "dc_sweep";
+
   OpOptions op_options;
   op_options.newton = options.newton;
+  op_options.report = report;
 
   linalg::Vector previous = system.initial_guess();
   bool have_previous = false;
   for (double value : points) {
     set_param(value);
-    OpResult op = (options.continuation && have_previous)
-                      ? operating_point_from(system, previous, op_options)
-                      : operating_point(system, op_options);
-    previous = op.raw();
-    have_previous = true;
-    wave.append(value, op.raw());
+    if (report) ++report->points;
+    try {
+      OpResult op = (options.continuation && have_previous)
+                        ? operating_point_from(system, previous, op_options)
+                        : operating_point(system, op_options);
+      previous = op.raw();
+      have_previous = true;
+      wave.append(value, op.raw());
+    } catch (const ConvergenceError& e) {
+      if (report) {
+        ++report->failed_points;
+        report->add_note("dc_sweep: point " + std::to_string(value) +
+                         " failed: " + e.what());
+      }
+      throw;
+    }
   }
   return wave;
 }
@@ -42,6 +56,9 @@ Waveform dc_sweep_parallel(
     std::span<const double> points, const DcSweepOptions& options,
     std::size_t num_threads) {
   require(!points.empty(), "dc_sweep_parallel: no sweep points");
+
+  RunReport* report = options.report;
+  if (report && report->analysis.empty()) report->analysis = "dc_sweep";
 
   OpOptions op_options;
   op_options.newton = options.newton;
@@ -58,19 +75,36 @@ Waveform dc_sweep_parallel(
     }
   }
 
-  std::vector<linalg::Vector> solutions = util::parallel_map(
+  // Workers solve into per-task stats blocks (RunReport is not safe for
+  // concurrent mutation); the report is folded together after the join,
+  // in input order, so its contents are thread-count independent.
+  struct PointResult {
+    linalg::Vector x;
+    NewtonStats newton;
+  };
+  std::vector<PointResult> solutions = util::parallel_map(
       points.size(),
       [&](std::size_t i) {
         Circuit circuit = make_circuit();
         set_param(circuit, points[i]);
         MnaSystem system(circuit);
-        return operating_point(system, op_options).raw();
+        PointResult result;
+        OpOptions task_options = op_options;
+        task_options.report = nullptr;
+        task_options.stats = report ? &result.newton : nullptr;
+        result.x = operating_point(system, task_options).raw();
+        return result;
       },
       num_threads);
 
   Waveform wave(std::move(names));
   for (std::size_t i = 0; i < points.size(); ++i) {
-    wave.append(points[i], solutions[i]);
+    if (report) {
+      ++report->points;
+      report->newton.merge(solutions[i].newton);
+      report->record_newton_iterations(solutions[i].newton.iterations);
+    }
+    wave.append(points[i], solutions[i].x);
   }
   return wave;
 }

@@ -1,0 +1,268 @@
+#include "nemsim/spice/diagnostics.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "nemsim/spice/netlist_export.h"
+#include "nemsim/spice/waveform.h"
+#include "nemsim/util/logging.h"
+
+namespace nemsim::spice {
+
+namespace {
+
+/// Largest histogram size; solves at/above this land in the last bucket.
+constexpr std::size_t kHistogramBuckets = 64;
+
+const char* stage_kind_name(SteppingStageRecord::Kind kind) {
+  switch (kind) {
+    case SteppingStageRecord::Kind::kPlain: return "plain";
+    case SteppingStageRecord::Kind::kGminStep: return "gmin";
+    case SteppingStageRecord::Kind::kSourceStep: return "source";
+  }
+  return "?";
+}
+
+void json_escape(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          os << ' ';
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+void RunReport::record_newton_iterations(int iterations) {
+  if (iterations < 0) return;
+  const std::size_t bucket =
+      std::min<std::size_t>(static_cast<std::size_t>(iterations),
+                            kHistogramBuckets - 1);
+  if (newton_iteration_histogram.size() <= bucket) {
+    newton_iteration_histogram.resize(bucket + 1, 0);
+  }
+  ++newton_iteration_histogram[bucket];
+}
+
+void RunReport::add_note(const std::string& note) {
+  if (notes.size() < kMaxRecords) notes.push_back(note);
+}
+
+std::size_t RunReport::stage_count(SteppingStageRecord::Kind kind) const {
+  return static_cast<std::size_t>(
+      std::count_if(stages.begin(), stages.end(),
+                    [kind](const SteppingStageRecord& s) {
+                      return s.kind == kind;
+                    }));
+}
+
+int RunReport::stage_iterations_total() const {
+  int total = 0;
+  for (const SteppingStageRecord& s : stages) total += s.iterations;
+  return total;
+}
+
+void RunReport::reset() {
+  analysis.clear();
+  newton = NewtonStats{};
+  stages.clear();
+  newton_iteration_histogram.clear();
+  accepted_steps = 0;
+  newton_failures = 0;
+  lte_reject_count = 0;
+  min_dt = 0.0;
+  max_dt = 0.0;
+  lte_rejects.clear();
+  step_failures.clear();
+  points = 0;
+  failed_points = 0;
+  notes.clear();
+  metrics.clear();
+}
+
+std::string RunReport::summary() const {
+  std::ostringstream os;
+  os << "RunReport[" << (analysis.empty() ? "?" : analysis) << "]"
+     << " newton_total_iters=" << newton.total_iterations
+     << " assembles=" << newton.assembles
+     << " factorizations=" << newton.factorizations
+     << " reuses=" << newton.factorization_reuses
+     << (newton.used_sparse ? " sparse" : " dense");
+  if (!stages.empty()) {
+    os << " stages[plain=" << stage_count(SteppingStageRecord::Kind::kPlain)
+       << " gmin=" << stage_count(SteppingStageRecord::Kind::kGminStep)
+       << " source=" << stage_count(SteppingStageRecord::Kind::kSourceStep)
+       << "]";
+  }
+  if (accepted_steps > 0 || newton_failures > 0 || lte_reject_count > 0) {
+    os << " steps=" << accepted_steps
+       << " newton_failures=" << newton_failures
+       << " lte_rejects=" << lte_reject_count
+       << " dt=[" << min_dt << "," << max_dt << "]";
+  }
+  if (points > 0) {
+    os << " points=" << points << " failed=" << failed_points;
+  }
+  for (const auto& [name, entry] : metrics.snapshot()) {
+    os << " " << name << "=";
+    if (entry.seconds > 0.0) {
+      os << entry.seconds << "s";
+    } else {
+      os << entry.count;
+    }
+  }
+  os << "\n";
+  return os.str();
+}
+
+void RunReport::write_json(std::ostream& os) const {
+  const auto saved_precision = os.precision(15);
+  os << "{\n  \"analysis\": ";
+  json_escape(os, analysis);
+  os << ",\n  \"newton\": {"
+     << "\"iterations\": " << newton.iterations
+     << ", \"total_iterations\": " << newton.total_iterations
+     << ", \"gmin_steps\": " << newton.gmin_steps
+     << ", \"source_steps\": " << newton.source_steps
+     << ", \"assembles\": " << newton.assembles
+     << ", \"residual_assembles\": " << newton.residual_assembles
+     << ", \"factorizations\": " << newton.factorizations
+     << ", \"factorization_reuses\": " << newton.factorization_reuses
+     << ", \"used_sparse\": " << (newton.used_sparse ? "true" : "false")
+     << "}";
+
+  os << ",\n  \"stages\": [";
+  for (std::size_t i = 0; i < stages.size(); ++i) {
+    const SteppingStageRecord& s = stages[i];
+    os << (i ? ", " : "") << "{\"kind\": \"" << stage_kind_name(s.kind)
+       << "\", \"value\": " << s.value
+       << ", \"iterations\": " << s.iterations
+       << ", \"converged\": " << (s.converged ? "true" : "false") << "}";
+  }
+  os << "]";
+
+  os << ",\n  \"newton_iteration_histogram\": [";
+  for (std::size_t i = 0; i < newton_iteration_histogram.size(); ++i) {
+    os << (i ? ", " : "") << newton_iteration_histogram[i];
+  }
+  os << "]";
+
+  os << ",\n  \"transient\": {"
+     << "\"accepted_steps\": " << accepted_steps
+     << ", \"newton_failures\": " << newton_failures
+     << ", \"lte_rejects\": " << lte_reject_count
+     << ", \"min_dt\": " << min_dt << ", \"max_dt\": " << max_dt << "}";
+
+  os << ",\n  \"lte_reject_locations\": [";
+  for (std::size_t i = 0; i < lte_rejects.size(); ++i) {
+    const LteRejectRecord& r = lte_rejects[i];
+    os << (i ? ", " : "") << "{\"time\": " << r.time << ", \"dt\": " << r.dt
+       << ", \"ratio\": " << r.ratio << ", \"worst\": ";
+    json_escape(os, r.worst_name);
+    os << "}";
+  }
+  os << "]";
+
+  os << ",\n  \"step_failures\": [";
+  for (std::size_t i = 0; i < step_failures.size(); ++i) {
+    const StepFailureRecord& r = step_failures[i];
+    os << (i ? ", " : "") << "{\"time\": " << r.time << ", \"dt\": " << r.dt
+       << ", \"message\": ";
+    json_escape(os, r.message);
+    os << "}";
+  }
+  os << "]";
+
+  os << ",\n  \"points\": " << points
+     << ",\n  \"failed_points\": " << failed_points;
+
+  os << ",\n  \"notes\": [";
+  for (std::size_t i = 0; i < notes.size(); ++i) {
+    os << (i ? ", " : "");
+    json_escape(os, notes[i]);
+  }
+  os << "]";
+
+  os << ",\n  \"metrics\": {";
+  bool first = true;
+  for (const auto& [name, entry] : metrics.snapshot()) {
+    os << (first ? "" : ", ");
+    first = false;
+    json_escape(os, name);
+    os << ": {\"count\": " << entry.count
+       << ", \"seconds\": " << entry.seconds << "}";
+  }
+  os << "}\n}\n";
+  os.precision(saved_precision);
+}
+
+std::vector<std::string> write_failure_forensics(
+    const ForensicsOptions& options, const Circuit& circuit,
+    const Waveform* wave, const std::string& what,
+    const ConvergenceDiagnostics* diag) {
+  std::vector<std::string> written;
+  if (!options.enabled) return written;
+  try {
+    namespace fs = std::filesystem;
+    const fs::path dir(options.directory);
+    fs::create_directories(dir);
+    const std::string prefix = (dir / options.tag).string();
+
+    {
+      const std::string path = prefix + ".failure.txt";
+      std::ofstream os(path);
+      os << what << "\n";
+      if (diag != nullptr) os << diag->describe() << "\n";
+      if (os) written.push_back(path);
+    }
+    {
+      const std::string path = prefix + ".netlist.sp";
+      std::ofstream os(path);
+      export_netlist(circuit, os, "forensics snapshot: " + options.tag);
+      if (os) written.push_back(path);
+    }
+    if (wave != nullptr && !wave->empty()) {
+      const std::string path = prefix + ".wave.csv";
+      std::ofstream os(path);
+      os.precision(17);  // round-trippable doubles for exact repro
+      // Recent window only: the samples leading up to the failure are
+      // what a repro needs; full traces can be arbitrarily large.
+      const std::size_t n = wave->num_samples();
+      const std::size_t first =
+          n > options.window_samples ? n - options.window_samples : 0;
+      os << "t";
+      for (const std::string& name : wave->signal_names()) os << "," << name;
+      os << "\n";
+      for (std::size_t k = first; k < n; ++k) {
+        os << wave->times()[k];
+        for (std::size_t s = 0; s < wave->num_signals(); ++s) {
+          os << "," << wave->sample(s, k);
+        }
+        os << "\n";
+      }
+      if (os) written.push_back(path);
+    }
+    log_warn("forensics: wrote " + std::to_string(written.size()) +
+             " file(s) under " + options.directory + " (tag " + options.tag +
+             ")");
+  } catch (const std::exception& e) {
+    log_warn(std::string("forensics: dump failed: ") + e.what());
+  }
+  return written;
+}
+
+}  // namespace nemsim::spice

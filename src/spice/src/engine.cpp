@@ -516,7 +516,10 @@ std::vector<double> MnaSystem::breakpoints(double tstop) const {
   std::vector<double> out;
   for (double t : points) {
     if (t <= 0.0 || t > tstop) continue;
-    if (!out.empty() && t - out.back() < 1e-18) continue;
+    // Relative-tolerance dedup: two sources sharing an edge produce
+    // breakpoints a few ulps apart at large t, and a pair that survives
+    // dedup leaves a zero-length step behind for the transient driver.
+    if (!out.empty() && t - out.back() < std::max(1e-18, 1e-12 * t)) continue;
     out.push_back(t);
   }
   return out;

@@ -47,7 +47,12 @@ double find_crossing(const Waveform& wave, const std::string& signal,
     if (ts[k] < w.t0 || ts[k - 1] > w.t1) continue;
     const double v0 = wave.sample(s, k - 1);
     const double v1 = wave.sample(s, k);
-    const bool crosses = (v0 - level) * (v1 - level) <= 0.0 && v0 != v1;
+    // A crossing belongs to the half-open interval (ts[k-1], ts[k]]: a
+    // sample landing exactly on `level` is counted as the crossing of the
+    // interval that *reaches* it, never again by the interval that
+    // *leaves* it (v0 == level), which used to double-count.
+    const bool crosses = (v0 - level) * (v1 - level) < 0.0 ||
+                         (v1 == level && v0 != level);
     if (!crosses || !edge_matches(edge, v0, v1)) continue;
     const double frac = (level - v0) / (v1 - v0);
     const double t = ts[k - 1] + frac * (ts[k] - ts[k - 1]);

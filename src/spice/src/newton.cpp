@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 
 #include "nemsim/linalg/lu.h"
+#include "nemsim/spice/diagnostics.h"
 #include "nemsim/util/error.h"
 #include "nemsim/util/logging.h"
 
@@ -35,6 +37,43 @@ double weighted_update_norm(const MnaSystem& system, const linalg::Vector& x,
     worst = std::max(worst, std::abs(x_new[i] - x[i]) / tol);
   }
   return worst;
+}
+
+/// Builds the structured failure payload: top-k worst weighted-residual
+/// rows named via the unknown table, plus the exit norms and location.
+/// Only runs on the failure path — converging solves never pay for it.
+ConvergenceDiagnostics failure_diagnostics(
+    const MnaSystem& system, const linalg::Vector& residual,
+    const linalg::Vector& scale, double reltol, double time, double dt,
+    int iterations, double res_norm, double update_norm,
+    const std::string& strategy, std::size_t top_k = 5) {
+  ConvergenceDiagnostics diag;
+  diag.strategy = strategy;
+  diag.time = time;
+  diag.dt = dt;
+  diag.iterations = iterations;
+  diag.residual_norm = res_norm;
+  diag.update_norm = update_norm;
+
+  const std::size_t n = residual.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  auto weighted = [&](std::size_t i) {
+    const double tol = reltol * scale[i] + system.unknown_info(i).row_abstol;
+    return std::abs(residual[i]) / tol;
+  };
+  const std::size_t k = std::min(top_k, n);
+  std::partial_sort(order.begin(), order.begin() + k, order.end(),
+                    [&](std::size_t a, std::size_t b) {
+                      return weighted(a) > weighted(b);
+                    });
+  diag.worst_rows.reserve(k);
+  for (std::size_t j = 0; j < k; ++j) {
+    const std::size_t i = order[j];
+    diag.worst_rows.push_back(
+        {system.unknown_info(i).name, residual[i], weighted(i)});
+  }
+  return diag;
 }
 
 /// Direction-preserving clamp so no unknown exceeds its per-iteration
@@ -94,6 +133,7 @@ linalg::Vector NewtonSolver::solve_plain_dense(const linalg::Vector& x0,
   if (stats) ++stats->assembles;
   double res_norm =
       weighted_residual_norm(system_, residual, scale, options_.reltol);
+  double last_update_norm = 0.0;
 
   for (int iter = 0; iter < options_.max_iterations; ++iter) {
     if (stats) {
@@ -111,7 +151,10 @@ linalg::Vector NewtonSolver::solve_plain_dense(const linalg::Vector& x0,
       dx = lu.solve(rhs);
     } catch (const SingularMatrixError&) {
       throw ConvergenceError(
-          "Newton: singular Jacobian (floating node or unstable device?)");
+          "Newton: singular Jacobian (floating node or unstable device?)",
+          failure_diagnostics(system_, residual, scale, options_.reltol,
+                              time, dt, iter, res_norm, last_update_norm,
+                              "singular-jacobian"));
     }
 
     const double clamp = step_clamp(system_, dx);
@@ -152,6 +195,7 @@ linalg::Vector NewtonSolver::solve_plain_dense(const linalg::Vector& x0,
 
     const double update_norm =
         weighted_update_norm(system_, x, x_trial, options_.reltol);
+    last_update_norm = update_norm;
 
     x = x_trial;
     residual = residual_trial;
@@ -168,10 +212,13 @@ linalg::Vector NewtonSolver::solve_plain_dense(const linalg::Vector& x0,
       if (stats) ++stats->assembles;
     }
   }
-  throw ConvergenceError("Newton: no convergence after " +
-                         std::to_string(options_.max_iterations) +
-                         " iterations (weighted residual " +
-                         std::to_string(res_norm) + ")");
+  throw ConvergenceError(
+      "Newton: no convergence after " +
+          std::to_string(options_.max_iterations) +
+          " iterations (weighted residual " + std::to_string(res_norm) + ")",
+      failure_diagnostics(system_, residual, scale, options_.reltol, time,
+                          dt, options_.max_iterations, res_norm,
+                          last_update_norm, "plain"));
 }
 
 void NewtonSolver::ensure_sparse_skeleton() {
@@ -221,6 +268,7 @@ linalg::Vector NewtonSolver::solve_plain_sparse(const linalg::Vector& x0,
   assemble_full(x, residual, scale);
   double res_norm =
       weighted_residual_norm(system_, residual, scale, options_.reltol);
+  double last_update_norm = 0.0;
 
   for (int iter = 0; iter < options_.max_iterations; ++iter) {
     if (stats) {
@@ -250,7 +298,10 @@ linalg::Vector NewtonSolver::solve_plain_sparse(const linalg::Vector& x0,
       sparse_lu_.solve_in_place(dx);
     } catch (const SingularMatrixError&) {
       throw ConvergenceError(
-          "Newton: singular Jacobian (floating node or unstable device?)");
+          "Newton: singular Jacobian (floating node or unstable device?)",
+          failure_diagnostics(system_, residual, scale, options_.reltol,
+                              time, dt, iter, res_norm, last_update_norm,
+                              "singular-jacobian"));
     }
 
     const double clamp = step_clamp(system_, dx);
@@ -282,6 +333,7 @@ linalg::Vector NewtonSolver::solve_plain_sparse(const linalg::Vector& x0,
 
     const double update_norm =
         weighted_update_norm(system_, x, x_trial, options_.reltol);
+    last_update_norm = update_norm;
 
     x = x_trial;
     residual = residual_trial;
@@ -297,21 +349,57 @@ linalg::Vector NewtonSolver::solve_plain_sparse(const linalg::Vector& x0,
           weighted_residual_norm(system_, residual, scale, options_.reltol);
     }
   }
-  throw ConvergenceError("Newton: no convergence after " +
-                         std::to_string(options_.max_iterations) +
-                         " iterations (weighted residual " +
-                         std::to_string(res_norm) + ")");
+  throw ConvergenceError(
+      "Newton: no convergence after " +
+          std::to_string(options_.max_iterations) +
+          " iterations (weighted residual " + std::to_string(res_norm) + ")",
+      failure_diagnostics(system_, residual, scale, options_.reltol, time,
+                          dt, options_.max_iterations, res_norm,
+                          last_update_norm, "plain"));
 }
 
 linalg::Vector NewtonSolver::solve(const linalg::Vector& x0, AnalysisMode mode,
                                    double time, double dt,
-                                   NewtonStats* stats) {
+                                   NewtonStats* stats, RunReport* report) {
   NewtonStats local;
   NewtonStats* st = stats ? stats : &local;
 
+  // Runs one ladder stage, recording its iteration cost (the delta of the
+  // cumulative counter — stages accumulate into the total instead of
+  // clobbering each other) and outcome into the report.
+  auto run_stage = [&](SteppingStageRecord::Kind kind, double value,
+                       const linalg::Vector& start, double gmin,
+                       double source_factor) {
+    const int before = st->total_iterations;
+    try {
+      linalg::Vector x =
+          solve_plain(start, mode, time, dt, gmin, source_factor, st);
+      const int spent = st->total_iterations - before;
+      if (report) report->stages.push_back({kind, value, spent, true});
+      // Documented NewtonStats semantics: `iterations` is the cost of the
+      // final (successful) solve; the ladder total lives in
+      // total_iterations.
+      st->iterations = spent;
+      return x;
+    } catch (const ConvergenceError&) {
+      if (report) {
+        report->stages.push_back(
+            {kind, value, st->total_iterations - before, false});
+      }
+      st->iterations = st->total_iterations;
+      throw;
+    }
+  };
+
+  // Keeps the most informative failure so the final error can carry its
+  // structured payload even after later strategies also fail.
+  ConvergenceError last_error("Newton: no strategy attempted");
+
   try {
-    return solve_plain(x0, mode, time, dt, options_.gmin_final, 1.0, st);
-  } catch (const ConvergenceError&) {
+    return run_stage(SteppingStageRecord::Kind::kPlain, options_.gmin_final,
+                     x0, options_.gmin_final, 1.0);
+  } catch (const ConvergenceError& e) {
+    last_error = e;
     log_debug("Newton: plain solve failed, trying gmin stepping");
   }
 
@@ -323,13 +411,14 @@ linalg::Vector NewtonSolver::solve(const linalg::Vector& x0, AnalysisMode mode,
       for (double gmin = 1e-3; gmin >= options_.gmin_final * 0.99 &&
                                gmin >= 1e-15;
            gmin *= 0.1) {
-        st->iterations = 0;
         ++st->gmin_steps;
-        x = solve_plain(x, mode, time, dt, gmin, 1.0, st);
+        x = run_stage(SteppingStageRecord::Kind::kGminStep, gmin, x, gmin,
+                      1.0);
       }
-      st->iterations = 0;
-      return solve_plain(x, mode, time, dt, options_.gmin_final, 1.0, st);
-    } catch (const ConvergenceError&) {
+      return run_stage(SteppingStageRecord::Kind::kGminStep,
+                       options_.gmin_final, x, options_.gmin_final, 1.0);
+    } catch (const ConvergenceError& e) {
+      last_error = e;
       log_debug("Newton: gmin stepping failed, trying source stepping");
     }
   }
@@ -343,24 +432,38 @@ linalg::Vector NewtonSolver::solve(const linalg::Vector& x0, AnalysisMode mode,
     while (factor < 1.0) {
       const double next = std::min(1.0, factor + step);
       try {
-        st->iterations = 0;
         ++st->source_steps;
-        x = solve_plain(x, mode, time, dt, options_.gmin_final, next, st);
+        x = run_stage(SteppingStageRecord::Kind::kSourceStep, next, x,
+                      options_.gmin_final, next);
         factor = next;
         step = std::min(0.25, step * 1.5);
-      } catch (const ConvergenceError&) {
+      } catch (const ConvergenceError& e) {
+        last_error = e;
         step *= 0.5;
         if (step < 1e-4) {
-          throw ConvergenceError(
-              "Newton: source stepping stalled at factor " +
-              std::to_string(factor));
+          const std::string msg = "Newton: source stepping stalled at factor " +
+                                  std::to_string(factor);
+          if (last_error.has_diagnostics()) {
+            ConvergenceDiagnostics diag = *last_error.diagnostics();
+            diag.strategy = "source";
+            throw ConvergenceError(msg, std::move(diag));
+          }
+          throw ConvergenceError(msg);
         }
       }
     }
     return x;
   }
 
-  throw ConvergenceError("Newton: all strategies failed");
+  const std::string msg =
+      std::string("Newton: all strategies failed (last: ") +
+      last_error.what() + ")";
+  if (last_error.has_diagnostics()) {
+    ConvergenceDiagnostics diag = *last_error.diagnostics();
+    diag.strategy = options_.gmin_stepping ? "gmin" : "plain";
+    throw ConvergenceError(msg, std::move(diag));
+  }
+  throw ConvergenceError(msg);
 }
 
 }  // namespace nemsim::spice

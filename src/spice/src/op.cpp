@@ -16,10 +16,31 @@ OpResult operating_point(MnaSystem& system, const OpOptions& options) {
 
 OpResult operating_point_from(MnaSystem& system, const linalg::Vector& x0,
                               const OpOptions& options) {
+  RunReport* report = options.report;
   NewtonSolver newton(system, options.newton);
-  linalg::Vector x =
-      newton.solve(x0, AnalysisMode::kDcOperatingPoint, /*time=*/0.0,
-                   /*dt=*/0.0, options.stats);
+  linalg::Vector x;
+  try {
+    util::ScopedTimer timer(report ? &report->metrics : nullptr, "phase.op");
+    if (report) {
+      if (report->analysis.empty()) report->analysis = "op";
+      // Solve into a local stats block so the report and the caller's
+      // stats both see this solve exactly once.
+      NewtonStats local;
+      x = newton.solve(x0, AnalysisMode::kDcOperatingPoint, /*time=*/0.0,
+                       /*dt=*/0.0, &local, report);
+      report->newton.merge(local);
+      report->record_newton_iterations(local.iterations);
+      if (options.stats) options.stats->merge(local);
+    } else {
+      x = newton.solve(x0, AnalysisMode::kDcOperatingPoint, /*time=*/0.0,
+                       /*dt=*/0.0, options.stats);
+    }
+  } catch (const ConvergenceError& e) {
+    if (report) ++report->newton_failures;
+    write_failure_forensics(options.forensics, system.circuit(),
+                            /*wave=*/nullptr, e.what(), e.diagnostics());
+    throw;
+  }
   system.accept(x, AnalysisMode::kDcOperatingPoint, 0.0, 0.0);
   return OpResult(system, std::move(x));
 }

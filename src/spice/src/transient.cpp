@@ -50,9 +50,16 @@ Waveform transient(MnaSystem& system, const TransientOptions& options) {
 
   system.reset_devices();
 
-  // Bias point at t = 0 (commits device state).
+  RunReport* report = options.report;
+  if (report && report->analysis.empty()) report->analysis = "transient";
+
+  // Bias point at t = 0 (commits device state).  The report is shared so
+  // the op phase lands in the same sink ("phase.op" timing, op stage
+  // records); op also honors the forensics hook if the bias point fails.
   OpOptions op_options;
   op_options.newton = options.newton;
+  op_options.report = report;
+  op_options.forensics = options.forensics;
   OpResult op = operating_point(system, op_options);
 
   std::vector<std::string> names;
@@ -92,7 +99,25 @@ Waveform transient(MnaSystem& system, const TransientOptions& options) {
   TransientStats& stats = options.stats ? *options.stats : local_stats;
   stats = TransientStats{};
 
+  // Last inner Newton failure, preserved so the terminal "dt below
+  // dt_min" error can name the unknowns that refused to converge.
+  ConvergenceDiagnostics last_diag;
+  bool have_last_diag = false;
+
+  util::ScopedTimer stepping_timer(report ? &report->metrics : nullptr,
+                                   "phase.stepping");
+
   while (t < options.tstop - 1e-18 * options.tstop) {
+    // Skip breakpoints at or behind the current time.  Distinct sources
+    // sharing an edge (or edges within rounding of each other) would
+    // otherwise leave a zero-length step behind after landing on the
+    // first of the pair, which Waveform::append rejects as a repeated
+    // axis value.
+    while (next_bp < breakpoints.size() &&
+           breakpoints[next_bp] - t <= 1e-21 + 1e-12 * t) {
+      ++next_bp;
+    }
+
     // Clamp the step to the next breakpoint / stop time.
     double dt_eff = std::min(dt, dt_max);
     bool lands_on_bp = false;
@@ -114,19 +139,37 @@ Waveform transient(MnaSystem& system, const TransientOptions& options) {
     linalg::Vector guess = extrapolate(hist_t, hist_x, t_new);
     linalg::Vector x_new;
     bool solved = false;
+    // With a report attached, solve into a local stats block and fold it
+    // into every sink afterwards; without one, keep the legacy direct
+    // pass-through (bitwise-identical run, no extra work).
+    NewtonStats step_newton;
+    NewtonStats* step_stats = report ? &step_newton : options.newton_stats;
     try {
       x_new = newton.solve_plain(guess, AnalysisMode::kTransient, t_new,
                                  dt_eff, options.newton.gmin_final, 1.0,
-                                 options.newton_stats);
+                                 step_stats);
       solved = true;
-    } catch (const ConvergenceError&) {
+    } catch (const ConvergenceError& e) {
       solved = false;
+      if (e.has_diagnostics()) {
+        last_diag = *e.diagnostics();
+        have_last_diag = true;
+      }
+      if (report && report->step_failures.size() < RunReport::kMaxRecords) {
+        report->step_failures.push_back({t_new, dt_eff, e.what()});
+      }
+    }
+    if (report) {
+      report->newton.merge(step_newton);
+      if (solved) report->record_newton_iterations(step_newton.iterations);
+      if (options.newton_stats) options.newton_stats->merge(step_newton);
     }
 
     if (solved && hist_t.size() == 3) {
       // LTE control: distance between the converged point and the
       // quadratic predictor, relative to per-unknown tolerance.
       double ratio = 0.0;
+      std::size_t worst_unknown = 0;
       for (std::size_t i = 0; i < x_new.size(); ++i) {
         // Branch currents are excluded (standard SPICE practice): the
         // trapezoidal companion recurrence is marginally stable, so
@@ -138,10 +181,22 @@ Waveform transient(MnaSystem& system, const TransientOptions& options) {
         const double tol =
             options.lte_reltol * std::max(std::abs(x_new[i]), std::abs(x[i])) +
             10.0 * system.unknown_info(i).abstol;
-        ratio = std::max(ratio, std::abs(x_new[i] - guess[i]) / tol);
+        const double r = std::abs(x_new[i] - guess[i]) / tol;
+        if (r > ratio) {
+          ratio = r;
+          worst_unknown = i;
+        }
       }
       if (ratio > options.reject_factor && dt_eff > options.dt_min) {
         ++stats.lte_rejects;
+        if (report) {
+          ++report->lte_reject_count;
+          if (report->lte_rejects.size() < RunReport::kMaxRecords) {
+            report->lte_rejects.push_back(
+                {t_new, dt_eff, ratio, worst_unknown,
+                 system.unknown_info(worst_unknown).name});
+          }
+        }
         dt = std::max(options.dt_min, dt_eff * 0.25);
         continue;  // reject; device state untouched since not accepted
       }
@@ -153,10 +208,22 @@ Waveform transient(MnaSystem& system, const TransientOptions& options) {
       dt = dt_eff * 1.5;  // not enough history for LTE yet: grow gently
     } else {
       ++stats.newton_failures;
+      if (report) ++report->newton_failures;
       const double dt_retry = dt_eff * 0.125;
       if (dt_retry < options.dt_min) {
-        throw ConvergenceError("transient: step failed at t = " +
-                               std::to_string(t) + " with dt below dt_min");
+        const std::string msg = "transient: step failed at t = " +
+                                std::to_string(t) + " with dt below dt_min";
+        ConvergenceError error(msg);
+        if (have_last_diag) {
+          ConvergenceDiagnostics diag = last_diag;
+          diag.strategy = "transient-step";
+          diag.time = t_new;
+          diag.dt = dt_eff;
+          error = ConvergenceError(msg, std::move(diag));
+        }
+        write_failure_forensics(options.forensics, system.circuit(), &wave,
+                                msg, error.diagnostics());
+        throw error;
       }
       dt = dt_retry;
       continue;
@@ -167,6 +234,12 @@ Waveform transient(MnaSystem& system, const TransientOptions& options) {
     ++stats.accepted_steps;
     stats.min_dt = stats.min_dt == 0.0 ? dt_eff : std::min(stats.min_dt, dt_eff);
     stats.max_dt = std::max(stats.max_dt, dt_eff);
+    if (report) {
+      ++report->accepted_steps;
+      report->min_dt =
+          report->min_dt == 0.0 ? dt_eff : std::min(report->min_dt, dt_eff);
+      report->max_dt = std::max(report->max_dt, dt_eff);
+    }
 
     system.accept(x_new, AnalysisMode::kTransient, t_new, dt_eff);
     wave.append(t_new, x_new);

@@ -1,0 +1,79 @@
+// Counter/timer registry for run instrumentation.
+//
+// Analyses report their work (phase wall-clock, event counts) into a
+// MetricRegistry owned by the caller's diagnostics sink.  Everything here
+// is pointer-optional by design: a null registry makes ScopedTimer a
+// no-op that never reads the clock, so instrumented code paths cost
+// nothing when no sink is attached.  The registry itself is mutex-guarded
+// so parallel sweep workers can share one.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace nemsim::util {
+
+/// One named metric: an event count and/or accumulated seconds.
+struct MetricEntry {
+  std::int64_t count = 0;
+  double seconds = 0.0;
+};
+
+/// Thread-safe map of named counters and timers.
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  /// Adds `delta` events to counter `name` (creating it at zero).
+  void add_count(const std::string& name, std::int64_t delta = 1);
+
+  /// Adds `seconds` of wall-clock to timer `name` (also bumps its count,
+  /// so mean duration is seconds/count).
+  void add_time(const std::string& name, double seconds);
+
+  /// Current value of `name` (zeros when never touched).
+  MetricEntry get(const std::string& name) const;
+
+  /// All entries, sorted by name (stable output for logs/JSON).
+  std::vector<std::pair<std::string, MetricEntry>> snapshot() const;
+
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, MetricEntry> entries_;
+};
+
+/// RAII phase timer: records elapsed wall-clock into `registry` under
+/// `name` on destruction.  A null registry disables it entirely (the
+/// clock is never read).
+class ScopedTimer {
+ public:
+  ScopedTimer(MetricRegistry* registry, std::string name)
+      : registry_(registry), name_(std::move(name)) {
+    if (registry_) start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedTimer() {
+    if (registry_) {
+      const auto elapsed = std::chrono::steady_clock::now() - start_;
+      registry_->add_time(
+          name_, std::chrono::duration<double>(elapsed).count());
+    }
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  MetricRegistry* registry_;
+  std::string name_;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+}  // namespace nemsim::util

@@ -21,7 +21,10 @@ namespace nemsim::util {
 
 /// Worker count used when a caller passes 0: the NEMSIM_THREADS
 /// environment variable when set to a positive integer, otherwise
-/// std::thread::hardware_concurrency() (at least 1).
+/// std::thread::hardware_concurrency() (at least 1).  Values that are
+/// negative, zero, non-numeric, partially numeric ("8x"), or beyond 2^20
+/// are rejected and fall back to the hardware default — a bad environment
+/// must never wrap to a huge count or throw.
 std::size_t default_parallelism();
 
 /// Fixed-size pool of workers draining a FIFO queue of tasks.
@@ -37,10 +40,16 @@ class ThreadPool {
   std::size_t num_threads() const { return workers_.size(); }
 
   /// Enqueues a task; tasks must not throw (wrap and capture instead).
+  /// Throws Error if the pool has been shut down — submitting into a dead
+  /// pool is a programming error, not something to silently drop.
   void submit(std::function<void()> task);
 
   /// Blocks until the queue is empty and every worker is idle.
   void wait_idle();
+
+  /// Drains remaining tasks, joins all workers, and rejects further
+  /// submits.  Idempotent; also called by the destructor.
+  void shutdown();
 
  private:
   void worker_loop();

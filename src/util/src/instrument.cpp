@@ -1,0 +1,34 @@
+#include "nemsim/util/instrument.h"
+
+namespace nemsim::util {
+
+void MetricRegistry::add_count(const std::string& name, std::int64_t delta) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_[name].count += delta;
+}
+
+void MetricRegistry::add_time(const std::string& name, double seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricEntry& e = entries_[name];
+  e.seconds += seconds;
+  ++e.count;
+}
+
+MetricEntry MetricRegistry::get(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(name);
+  return it == entries_.end() ? MetricEntry{} : it->second;
+}
+
+std::vector<std::pair<std::string, MetricEntry>> MetricRegistry::snapshot()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {entries_.begin(), entries_.end()};
+}
+
+void MetricRegistry::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+}
+
+}  // namespace nemsim::util

@@ -1,18 +1,41 @@
 #include "nemsim/util/parallel.h"
 
+#include <cerrno>
 #include <cstdlib>
+#include <optional>
 #include <string>
+
+#include "nemsim/util/error.h"
 
 namespace nemsim::util {
 
+namespace {
+
+/// Strictly parses a worker count: the whole string must be a base-10
+/// integer (leading whitespace allowed, trailing whitespace tolerated) in
+/// [1, kMaxThreads].  Negative, zero, garbage, partial ("8x"), and
+/// overflowing values all yield nullopt so the caller falls back to the
+/// hardware default instead of wrapping or throwing.
+constexpr long long kMaxThreads = 1 << 20;
+
+std::optional<std::size_t> parse_thread_count(const char* text) {
+  if (text == nullptr || *text == '\0') return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(text, &end, 10);
+  if (end == text) return std::nullopt;           // no digits at all
+  while (*end == ' ' || *end == '\t') ++end;
+  if (*end != '\0') return std::nullopt;          // trailing garbage
+  if (errno == ERANGE) return std::nullopt;       // overflow/underflow
+  if (parsed < 1 || parsed > kMaxThreads) return std::nullopt;
+  return static_cast<std::size_t>(parsed);
+}
+
+}  // namespace
+
 std::size_t default_parallelism() {
   if (const char* env = std::getenv("NEMSIM_THREADS")) {
-    try {
-      const long parsed = std::stol(env);
-      if (parsed >= 1) return static_cast<std::size_t>(parsed);
-    } catch (...) {
-      // Malformed value: fall through to the hardware default.
-    }
+    if (const auto parsed = parse_thread_count(env)) return *parsed;
   }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw > 0 ? hw : 1;
@@ -26,18 +49,27 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) return;
     stopping_ = true;
   }
   task_ready_.notify_all();
-  for (auto& worker : workers_) worker.join();
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
 }
 
 void ThreadPool::submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      throw Error("ThreadPool::submit: pool already shut down");
+    }
     queue_.push_back(std::move(task));
   }
   task_ready_.notify_one();

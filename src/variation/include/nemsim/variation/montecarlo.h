@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "nemsim/spice/circuit.h"
+#include "nemsim/spice/diagnostics.h"
 #include "nemsim/util/rng.h"
 #include "nemsim/util/stats.h"
 
@@ -32,6 +33,15 @@ struct MonteCarloOptions {
   /// 1 = inline).  Ignored by the sequential monte_carlo, which mutates
   /// a shared circuit and cannot be parallelized.
   std::size_t num_threads = 0;
+  /// Optional diagnostics sink: trial counters plus a note per failed
+  /// trial carrying the structured convergence payload (worst residual
+  /// rows) instead of just a log line.  Filled after the workers join in
+  /// the parallel driver.
+  spice::RunReport* report = nullptr;
+  /// Opt-in per-trial failure dump.  Each failed trial writes a bundle
+  /// tagged "<tag>_trial<N>" with the *varied* circuit's netlist, so the
+  /// exact failing sample can be replayed offline.
+  spice::ForensicsOptions forensics;
 };
 
 struct MonteCarloResult {

@@ -11,6 +11,31 @@
 
 namespace nemsim::variation {
 
+namespace {
+
+/// Builds the failure note / forensics bundle for one failed trial.  The
+/// circuit still carries the trial's threshold shifts here, so the dumped
+/// netlist reproduces the exact failing sample.
+std::string record_trial_failure(const MonteCarloOptions& options,
+                                 spice::Circuit& circuit, std::size_t trial,
+                                 const Error& e) {
+  const auto* conv = dynamic_cast<const ConvergenceError*>(&e);
+  const ConvergenceDiagnostics* diag =
+      conv != nullptr ? conv->diagnostics() : nullptr;
+  std::string note =
+      "trial " + std::to_string(trial) + " failed: " + e.what();
+  if (diag != nullptr) note += "\n" + diag->describe();
+  if (options.forensics.enabled) {
+    spice::ForensicsOptions trial_forensics = options.forensics;
+    trial_forensics.tag += "_trial" + std::to_string(trial);
+    spice::write_failure_forensics(trial_forensics, circuit,
+                                   /*wave=*/nullptr, e.what(), diag);
+  }
+  return note;
+}
+
+}  // namespace
+
 void apply_vth_variation(spice::Circuit& circuit, double sigma_fraction,
                          Rng& rng) {
   require(sigma_fraction >= 0.0, "apply_vth_variation: sigma must be >= 0");
@@ -36,24 +61,34 @@ MonteCarloResult monte_carlo(
     const std::function<double(spice::Circuit&)>& metric,
     const MonteCarloOptions& options) {
   require(options.trials > 0, "monte_carlo: need at least one trial");
+  spice::RunReport* report = options.report;
+  if (report && report->analysis.empty()) report->analysis = "monte_carlo";
   MonteCarloResult result;
   result.samples.reserve(options.trials);
   Rng root(options.seed);
   for (std::size_t trial = 0; trial < options.trials; ++trial) {
     Rng stream = root.child(trial);
     apply_vth_variation(circuit, options.sigma_fraction, stream);
+    if (report) ++report->points;
     try {
       const double value = metric(circuit);
       result.stats.add(value);
       result.samples.push_back(value);
     } catch (const Error& e) {
+      // Capture the structured failure (and the varied netlist, when
+      // forensics is on) before the shifts are cleared below.
+      const std::string note =
+          record_trial_failure(options, circuit, trial, e);
+      if (report) {
+        ++report->failed_points;
+        report->add_note("monte_carlo: " + note);
+      }
       if (!options.tolerate_failures) {
         clear_vth_variation(circuit);
         throw;
       }
       ++result.failures;
-      log_warn("monte_carlo: trial " + std::to_string(trial) +
-               " failed: " + e.what());
+      log_warn("monte_carlo: " + note);
     }
     clear_vth_variation(circuit);
   }
@@ -76,6 +111,8 @@ MonteCarloResult monte_carlo_parallel(
     const std::function<double(spice::Circuit&)>& metric,
     const MonteCarloOptions& options) {
   require(options.trials > 0, "monte_carlo_parallel: need at least one trial");
+  spice::RunReport* report = options.report;
+  if (report && report->analysis.empty()) report->analysis = "monte_carlo";
   const Rng root(options.seed);
 
   std::vector<TrialOutcome> outcomes = util::parallel_map(
@@ -89,7 +126,10 @@ MonteCarloResult monte_carlo_parallel(
           outcome.value = metric(circuit);
           outcome.ok = true;
         } catch (const Error& e) {
-          outcome.error = e.what();
+          // Forensics (distinct per-trial file tags) is written here in
+          // the worker, while the varied circuit is still alive; the
+          // shared report is only touched after the join below.
+          outcome.error = record_trial_failure(options, circuit, trial, e);
         }
         return outcome;
       },
@@ -99,18 +139,20 @@ MonteCarloResult monte_carlo_parallel(
   result.samples.reserve(options.trials);
   for (std::size_t trial = 0; trial < options.trials; ++trial) {
     const TrialOutcome& outcome = outcomes[trial];
+    if (report) ++report->points;
     if (outcome.ok) {
       result.stats.add(outcome.value);
       result.samples.push_back(outcome.value);
     } else {
+      if (report) {
+        ++report->failed_points;
+        report->add_note("monte_carlo_parallel: " + outcome.error);
+      }
       if (!options.tolerate_failures) {
-        throw ConvergenceError("monte_carlo_parallel: trial " +
-                               std::to_string(trial) +
-                               " failed: " + outcome.error);
+        throw ConvergenceError("monte_carlo_parallel: " + outcome.error);
       }
       ++result.failures;
-      log_warn("monte_carlo_parallel: trial " + std::to_string(trial) +
-               " failed: " + outcome.error);
+      log_warn("monte_carlo_parallel: " + outcome.error);
     }
   }
   require(result.stats.count() > 0, "monte_carlo_parallel: all trials failed");

@@ -3,10 +3,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 #include <sstream>
 
 #include "nemsim/util/error.h"
+#include "nemsim/util/instrument.h"
 #include "nemsim/util/interp.h"
+#include "nemsim/util/parallel.h"
 #include "nemsim/util/rng.h"
 #include "nemsim/util/root.h"
 #include "nemsim/util/stats.h"
@@ -230,6 +233,108 @@ TEST(Interp, RejectsUnsortedInput) {
   const std::vector<double> xs = {1.0, 1.0};
   const std::vector<double> ys = {0.0, 1.0};
   EXPECT_THROW(PiecewiseLinear(xs, ys), InvalidArgument);
+}
+
+// -------------------------------------------------------------- parallel
+
+/// Sets NEMSIM_THREADS for one scope, restoring the prior value on exit.
+class ScopedThreadsEnv {
+ public:
+  explicit ScopedThreadsEnv(const char* value) {
+    const char* prior = std::getenv("NEMSIM_THREADS");
+    if (prior) saved_ = prior;
+    had_prior_ = prior != nullptr;
+    if (value) {
+      setenv("NEMSIM_THREADS", value, 1);
+    } else {
+      unsetenv("NEMSIM_THREADS");
+    }
+  }
+  ~ScopedThreadsEnv() {
+    if (had_prior_) {
+      setenv("NEMSIM_THREADS", saved_.c_str(), 1);
+    } else {
+      unsetenv("NEMSIM_THREADS");
+    }
+  }
+
+ private:
+  std::string saved_;
+  bool had_prior_ = false;
+};
+
+TEST(Parallel, ThreadsEnvValidValueIsUsed) {
+  ScopedThreadsEnv env("3");
+  EXPECT_EQ(util::default_parallelism(), 3u);
+}
+
+TEST(Parallel, ThreadsEnvToleratesWhitespace) {
+  ScopedThreadsEnv env(" 2 ");
+  EXPECT_EQ(util::default_parallelism(), 2u);
+}
+
+TEST(Parallel, ThreadsEnvBadValuesFallBackToHardwareDefault) {
+  std::size_t fallback;
+  {
+    ScopedThreadsEnv env(nullptr);
+    fallback = util::default_parallelism();
+  }
+  ASSERT_GE(fallback, 1u);
+  // Negative, zero, garbage, partially-numeric, overflowing and
+  // out-of-range values must all fall back — never wrap or throw.
+  for (const char* bad : {"-4", "0", "abc", "8x", "", "  ",
+                          "99999999999999999999999", "-99999999999999999999",
+                          "1048577", "1e3"}) {
+    ScopedThreadsEnv env(bad);
+    EXPECT_EQ(util::default_parallelism(), fallback)
+        << "NEMSIM_THREADS=\"" << bad << '"';
+  }
+}
+
+TEST(Parallel, SubmitAfterShutdownThrows) {
+  util::ThreadPool pool(2);
+  int ran = 0;
+  pool.submit([&] { ran = 1; });
+  pool.wait_idle();
+  EXPECT_EQ(ran, 1);
+  pool.shutdown();
+  EXPECT_THROW(pool.submit([] {}), Error);
+  pool.shutdown();  // idempotent
+  EXPECT_THROW(pool.submit([] {}), Error);
+}
+
+TEST(Parallel, ParallelMapStillOrdersResults) {
+  const auto out =
+      util::parallel_map(8, [](std::size_t i) { return 2 * i; }, 3);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], 2 * i);
+}
+
+// ------------------------------------------------------------ instrument
+
+TEST(Instrument, CountersAndTimersAccumulate) {
+  util::MetricRegistry registry;
+  registry.add_count("events");
+  registry.add_count("events", 2);
+  registry.add_time("phase", 0.5);
+  EXPECT_EQ(registry.get("events").count, 3);
+  EXPECT_EQ(registry.get("phase").count, 1);
+  EXPECT_DOUBLE_EQ(registry.get("phase").seconds, 0.5);
+  EXPECT_EQ(registry.get("missing").count, 0);
+  const auto snapshot = registry.snapshot();
+  ASSERT_EQ(snapshot.size(), 2u);
+  EXPECT_EQ(snapshot[0].first, "events");  // sorted by name
+  registry.clear();
+  EXPECT_TRUE(registry.snapshot().empty());
+}
+
+TEST(Instrument, ScopedTimerNullRegistryIsNoop) {
+  util::ScopedTimer timer(nullptr, "never");  // must not crash or record
+  util::MetricRegistry registry;
+  {
+    util::ScopedTimer t2(&registry, "scope");
+  }
+  EXPECT_EQ(registry.get("scope").count, 1);
+  EXPECT_GE(registry.get("scope").seconds, 0.0);
 }
 
 }  // namespace
