@@ -19,6 +19,7 @@ class Vcvs : public spice::Device {
   void stamp(spice::StampContext& ctx) const override;
   bool is_linear() const override { return true; }
   void stamp_ac(spice::AcStampContext& ctx) const override;
+  spice::DeviceTopology topology() const override;
   std::string netlist_line(
       const std::function<std::string(spice::NodeId)>& node_namer)
       const override;
@@ -40,6 +41,7 @@ class Vccs : public spice::Device {
   void stamp(spice::StampContext& ctx) const override;
   bool is_linear() const override { return true; }
   void stamp_ac(spice::AcStampContext& ctx) const override;
+  spice::DeviceTopology topology() const override;
   std::string netlist_line(
       const std::function<std::string(spice::NodeId)>& node_namer)
       const override;

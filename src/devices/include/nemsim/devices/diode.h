@@ -29,6 +29,9 @@ class Diode : public spice::Device {
 
   void stamp(spice::StampContext& ctx) const override;
   void stamp_ac(spice::AcStampContext& ctx) const override;
+  spice::DeviceTopology topology() const override;
+  void self_check(const lint::DeviceCheckContext& ctx,
+                  std::vector<lint::LintFinding>& out) const override;
   std::string netlist_line(
       const std::function<std::string(spice::NodeId)>& node_namer)
       const override;

@@ -55,6 +55,9 @@ class Mosfet : public spice::Device {
   void accept_step(const spice::AcceptContext& ctx) override;
   void reset_state() override;
   void stamp_ac(spice::AcStampContext& ctx) const override;
+  spice::DeviceTopology topology() const override;
+  void self_check(const lint::DeviceCheckContext& ctx,
+                  std::vector<lint::LintFinding>& out) const override;
   std::string netlist_line(
       const std::function<std::string(spice::NodeId)>& node_namer)
       const override;

@@ -19,6 +19,9 @@ class Resistor : public spice::Device {
   void stamp(spice::StampContext& ctx) const override;
   void stamp_ac(spice::AcStampContext& ctx) const override;
   bool is_linear() const override { return true; }
+  spice::DeviceTopology topology() const override;
+  void self_check(const lint::DeviceCheckContext& ctx,
+                  std::vector<lint::LintFinding>& out) const override;
   std::string netlist_line(
       const std::function<std::string(spice::NodeId)>& node_namer)
       const override;
@@ -42,6 +45,9 @@ class Capacitor : public spice::Device {
   void accept_step(const spice::AcceptContext& ctx) override;
   void reset_state() override;
   void stamp_ac(spice::AcStampContext& ctx) const override;
+  spice::DeviceTopology topology() const override;
+  void self_check(const lint::DeviceCheckContext& ctx,
+                  std::vector<lint::LintFinding>& out) const override;
   std::string netlist_line(
       const std::function<std::string(spice::NodeId)>& node_namer)
       const override;
@@ -68,6 +74,9 @@ class Inductor : public spice::Device {
   void accept_step(const spice::AcceptContext& ctx) override;
   void reset_state() override;
   void stamp_ac(spice::AcStampContext& ctx) const override;
+  spice::DeviceTopology topology() const override;
+  void self_check(const lint::DeviceCheckContext& ctx,
+                  std::vector<lint::LintFinding>& out) const override;
   std::string netlist_line(
       const std::function<std::string(spice::NodeId)>& node_namer)
       const override;

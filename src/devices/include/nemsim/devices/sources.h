@@ -36,6 +36,10 @@ class SourceWave {
   /// SPICE-syntax description: "DC 1.2", "PULSE(0 1.2 1n ...)", ...
   std::string to_spice() const;
 
+  /// Largest |value(t)| over all t >= 0 (exact per waveform kind); used
+  /// by the lint pass to infer the supply rail.
+  double max_abs_value() const;
+
  private:
   enum class Kind { kDc, kPulse, kPwl, kSine };
   SourceWave() = default;
@@ -79,6 +83,7 @@ class VoltageSource : public spice::Device {
   bool is_linear() const override { return true; }
   void stamp_ac(spice::AcStampContext& ctx) const override;
   void breakpoints(double tstop, std::vector<double>& out) const override;
+  spice::DeviceTopology topology() const override;
   std::string netlist_line(
       const std::function<std::string(spice::NodeId)>& node_namer)
       const override;
@@ -111,6 +116,7 @@ class CurrentSource : public spice::Device {
   bool is_linear() const override { return true; }
   void stamp_ac(spice::AcStampContext& ctx) const override;
   void breakpoints(double tstop, std::vector<double>& out) const override;
+  spice::DeviceTopology topology() const override;
   std::string netlist_line(
       const std::function<std::string(spice::NodeId)>& node_namer)
       const override;

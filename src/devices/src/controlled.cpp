@@ -38,6 +38,19 @@ void Vcvs::stamp_ac(spice::AcStampContext& ctx) const {
   ctx.add_G(branch_, cn_, gain_);
 }
 
+spice::DeviceTopology Vcvs::topology() const {
+  spice::DeviceTopology topo;
+  topo.element_letter = 'E';
+  const std::size_t p = topo.add_terminal("p", p_);
+  const std::size_t n = topo.add_terminal("n", n_);
+  // Control terminals sense voltage only — they provide no branch, so a
+  // node touched only by them is correctly reported floating.
+  topo.add_terminal("cp", cp_);
+  topo.add_terminal("cn", cn_);
+  topo.add_edge(spice::DeviceTopology::EdgeKind::kVoltage, p, n);
+  return topo;
+}
+
 std::string Vcvs::netlist_line(
     const std::function<std::string(spice::NodeId)>& node_namer) const {
   std::ostringstream os;
@@ -65,6 +78,17 @@ void Vccs::stamp_ac(spice::AcStampContext& ctx) const {
   ctx.add_G(p_, cn_, -gm_);
   ctx.add_G(n_, cp_, -gm_);
   ctx.add_G(n_, cn_, gm_);
+}
+
+spice::DeviceTopology Vccs::topology() const {
+  spice::DeviceTopology topo;
+  topo.element_letter = 'G';
+  const std::size_t p = topo.add_terminal("p", p_);
+  const std::size_t n = topo.add_terminal("n", n_);
+  topo.add_terminal("cp", cp_);
+  topo.add_terminal("cn", cn_);
+  topo.add_edge(spice::DeviceTopology::EdgeKind::kCurrent, p, n);
+  return topo;
 }
 
 std::string Vccs::netlist_line(

@@ -55,6 +55,41 @@ void Diode::stamp_ac(spice::AcStampContext& ctx) const {
   ctx.stamp_conductance(anode_, cathode_, g);
 }
 
+spice::DeviceTopology Diode::topology() const {
+  spice::DeviceTopology topo;
+  topo.element_letter = 'D';
+  const std::size_t a = topo.add_terminal("anode", anode_);
+  const std::size_t c = topo.add_terminal("cathode", cathode_);
+  topo.add_edge(spice::DeviceTopology::EdgeKind::kConductive, a, c);
+  return topo;
+}
+
+void Diode::self_check(const lint::DeviceCheckContext& ctx,
+                       std::vector<lint::LintFinding>& out) const {
+  (void)ctx;
+  if (params_.temp <= 0.0) {
+    std::ostringstream msg;
+    msg << "temperature " << params_.temp << " K is non-positive; the "
+        << "thermal voltage is undefined and the I-V law evaluates to NaN";
+    out.push_back({lint::LintSeverity::kWarning, "nonphysical-parameter", "",
+                   msg.str()});
+  }
+  if (params_.n > 5.0) {
+    std::ostringstream msg;
+    msg << "ideality factor " << params_.n
+        << " exceeds 5; junction diodes sit between 1 and 2";
+    out.push_back({lint::LintSeverity::kWarning, "nonphysical-parameter", "",
+                   msg.str()});
+  }
+  if (params_.gmin_shunt < 0.0) {
+    std::ostringstream msg;
+    msg << "gmin shunt " << params_.gmin_shunt
+        << " S is negative: the convergence aid injects energy";
+    out.push_back({lint::LintSeverity::kWarning, "nonphysical-parameter", "",
+                   msg.str()});
+  }
+}
+
 std::string Diode::netlist_line(
     const std::function<std::string(spice::NodeId)>& node_namer) const {
   std::ostringstream os;

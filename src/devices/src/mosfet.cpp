@@ -167,6 +167,50 @@ void Mosfet::stamp_ac(spice::AcStampContext& ctx) const {
   ctx.stamp_capacitance(s_, spice::kGround, csb_.capacitance());
 }
 
+spice::DeviceTopology Mosfet::topology() const {
+  using EdgeKind = spice::DeviceTopology::EdgeKind;
+  spice::DeviceTopology topo;
+  topo.element_letter = 'M';
+  const std::size_t d = topo.add_terminal("drain", d_);
+  const std::size_t g = topo.add_terminal("gate", g_);
+  const std::size_t s = topo.add_terminal("source", s_);
+  // Bulk is tied to ground; the junction caps land there.
+  const std::size_t b = topo.add_terminal("bulk", spice::kGround);
+  topo.add_edge(EdgeKind::kConductive, d, s);  // channel
+  topo.add_edge(EdgeKind::kCapacitive, g, d);
+  topo.add_edge(EdgeKind::kCapacitive, g, s);
+  topo.add_edge(EdgeKind::kCapacitive, d, b);
+  topo.add_edge(EdgeKind::kCapacitive, s, b);
+  return topo;
+}
+
+void Mosfet::self_check(const lint::DeviceCheckContext& ctx,
+                        std::vector<lint::LintFinding>& out) const {
+  (void)ctx;
+  if (params_.kp <= 0.0) {
+    std::ostringstream msg;
+    msg << "transconductance parameter KP = " << params_.kp
+        << " A/V^2 is non-positive; the channel cannot conduct";
+    out.push_back({lint::LintSeverity::kWarning, "nonphysical-parameter", "",
+                   msg.str()});
+  }
+  if (params_.temp <= 0.0) {
+    std::ostringstream msg;
+    msg << "temperature " << params_.temp << " K is non-positive; the "
+        << "thermal voltage is undefined";
+    out.push_back({lint::LintSeverity::kWarning, "nonphysical-parameter", "",
+                   msg.str()});
+  }
+  if (params_.lambda < 0.0) {
+    std::ostringstream msg;
+    msg << "channel-length modulation lambda = " << params_.lambda
+        << " 1/V is negative: output conductance would be negative in "
+        << "saturation";
+    out.push_back({lint::LintSeverity::kWarning, "nonphysical-parameter", "",
+                   msg.str()});
+  }
+}
+
 std::string Mosfet::netlist_line(
     const std::function<std::string(spice::NodeId)>& node_namer) const {
   std::ostringstream os;

@@ -386,6 +386,71 @@ void Nemfet::stamp_ac(spice::AcStampContext& ctx) const {
   ctx.stamp_capacitance(s_, spice::kGround, params_.cj * w_);
 }
 
+spice::DeviceTopology Nemfet::topology() const {
+  using EdgeKind = spice::DeviceTopology::EdgeKind;
+  spice::DeviceTopology topo;
+  topo.element_letter = 'X';
+  const std::size_t d = topo.add_terminal("drain", d_);
+  const std::size_t g = topo.add_terminal("gate", g_);
+  const std::size_t s = topo.add_terminal("source", s_);
+  const std::size_t b = topo.add_terminal("bulk", spice::kGround);
+  // The tunneling/Brownian floor (goff) keeps the channel conductive
+  // even with the beam up, so drain-source is a real DC path.
+  topo.add_edge(EdgeKind::kConductive, d, s);
+  topo.add_edge(EdgeKind::kCapacitive, g, s);  // beam stack + overlap
+  topo.add_edge(EdgeKind::kCapacitive, g, d);  // overlap
+  topo.add_edge(EdgeKind::kCapacitive, d, b);
+  topo.add_edge(EdgeKind::kCapacitive, s, b);
+  return topo;
+}
+
+void Nemfet::self_check(const lint::DeviceCheckContext& ctx,
+                        std::vector<lint::LintFinding>& out) const {
+  // Positivity is enforced at construction; these are the constructible-
+  // but-out-of-NEMS-range values (paper regime: nm gaps, N/m springs,
+  // attogram beams).
+  if (params_.gap0 > 1e-6) {
+    std::ostringstream msg;
+    msg << "rest air gap GAP0 = " << params_.gap0
+        << " m exceeds 1 um; NEMS gaps are nanometers — a unit suffix "
+        << "was likely dropped";
+    out.push_back({lint::LintSeverity::kWarning, "nonphysical-parameter", "",
+                   msg.str()});
+  }
+  if (params_.spring_k > 1e5) {
+    std::ostringstream msg;
+    msg << "beam stiffness K = " << params_.spring_k
+        << " N/m exceeds 100 kN/m; suspended-beam stiffness is of order "
+        << "1..100 N/m";
+    out.push_back({lint::LintSeverity::kWarning, "nonphysical-parameter", "",
+                   msg.str()});
+  }
+  if (params_.mass > 1e-12) {
+    std::ostringstream msg;
+    msg << "beam mass M = " << params_.mass
+        << " kg exceeds 1 ng; NEMS beams weigh atto- to femtograms";
+    out.push_back({lint::LintSeverity::kWarning, "nonphysical-parameter", "",
+                   msg.str()});
+  }
+  if (params_.temp <= 0.0) {
+    std::ostringstream msg;
+    msg << "temperature " << params_.temp << " K is non-positive; the "
+        << "thermal voltage is undefined";
+    out.push_back({lint::LintSeverity::kWarning, "nonphysical-parameter", "",
+                   msg.str()});
+  }
+  const double vpi = params_.analytic_pull_in_voltage();
+  if (ctx.supply_rail > 0.0 && vpi > ctx.supply_rail) {
+    std::ostringstream msg;
+    msg << "analytic pull-in voltage " << vpi
+        << " V exceeds the largest supply magnitude " << ctx.supply_rail
+        << " V: the beam can never actuate and the device is stuck in "
+        << "the off branch";
+    out.push_back({lint::LintSeverity::kWarning, "pull-in-above-rail", "",
+                   msg.str()});
+  }
+}
+
 std::string Nemfet::netlist_line(
     const std::function<std::string(spice::NodeId)>& node_namer) const {
   std::ostringstream os;

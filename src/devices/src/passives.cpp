@@ -32,6 +32,31 @@ std::string Resistor::netlist_line(
          std::to_string(r_);
 }
 
+spice::DeviceTopology Resistor::topology() const {
+  spice::DeviceTopology topo;
+  topo.element_letter = 'R';
+  const std::size_t p = topo.add_terminal("p", p_);
+  const std::size_t n = topo.add_terminal("n", n_);
+  topo.add_edge(spice::DeviceTopology::EdgeKind::kConductive, p, n);
+  return topo;
+}
+
+void Resistor::self_check(const lint::DeviceCheckContext& ctx,
+                          std::vector<lint::LintFinding>& out) const {
+  (void)ctx;
+  // Positivity is enforced at construction; what remains constructible
+  // but non-physical are the extremes that wreck Jacobian conditioning.
+  if (r_ < 1e-3 || r_ > 1e12) {
+    std::ostringstream msg;
+    msg << "resistance " << r_ << " Ohm is outside the physically "
+        << "sensible range [1 mOhm, 1 TOhm]; expect a near-"
+        << (r_ < 1e-3 ? "short" : "open")
+        << " and poor Jacobian conditioning";
+    out.push_back({lint::LintSeverity::kWarning, "nonphysical-parameter", "",
+                   msg.str()});
+  }
+}
+
 void Resistor::stamp(spice::StampContext& ctx) const {
   const double g = 1.0 / r_;
   const double i = g * (ctx.v(p_) - ctx.v(n_));
@@ -61,6 +86,32 @@ std::string Capacitor::netlist_line(
   os << name() << " " << node_namer(p_) << " " << node_namer(n_) << " "
      << companion_.capacitance();
   return os.str();
+}
+
+spice::DeviceTopology Capacitor::topology() const {
+  spice::DeviceTopology topo;
+  topo.element_letter = 'C';
+  const std::size_t p = topo.add_terminal("p", p_);
+  const std::size_t n = topo.add_terminal("n", n_);
+  topo.add_edge(spice::DeviceTopology::EdgeKind::kCapacitive, p, n);
+  return topo;
+}
+
+void Capacitor::self_check(const lint::DeviceCheckContext& ctx,
+                           std::vector<lint::LintFinding>& out) const {
+  (void)ctx;
+  const double c = companion_.capacitance();
+  if (c == 0.0) {
+    out.push_back({lint::LintSeverity::kWarning, "nonphysical-parameter", "",
+                   "capacitance is exactly 0 F: the device stamps nothing "
+                   "and contributes no dynamics"});
+  } else if (c > 1.0) {
+    std::ostringstream msg;
+    msg << "capacitance " << c << " F exceeds 1 F; on-chip values are "
+        << "femtofarads to picofarads — a unit suffix was likely dropped";
+    out.push_back({lint::LintSeverity::kWarning, "nonphysical-parameter", "",
+                   msg.str()});
+  }
 }
 
 void Capacitor::stamp(spice::StampContext& ctx) const {
@@ -97,6 +148,28 @@ std::string Inductor::netlist_line(
   std::ostringstream os;
   os << name() << " " << node_namer(p_) << " " << node_namer(n_) << " " << l_;
   return os.str();
+}
+
+spice::DeviceTopology Inductor::topology() const {
+  spice::DeviceTopology topo;
+  topo.element_letter = 'L';
+  const std::size_t p = topo.add_terminal("p", p_);
+  const std::size_t n = topo.add_terminal("n", n_);
+  // An inductor is a DC short: a voltage-defined branch for loop checks.
+  topo.add_edge(spice::DeviceTopology::EdgeKind::kVoltage, p, n);
+  return topo;
+}
+
+void Inductor::self_check(const lint::DeviceCheckContext& ctx,
+                          std::vector<lint::LintFinding>& out) const {
+  (void)ctx;
+  if (l_ < 1e-15 || l_ > 1e3) {
+    std::ostringstream msg;
+    msg << "inductance " << l_ << " H is outside the physically sensible "
+        << "range [1 fH, 1 kH]; a unit suffix was likely dropped";
+    out.push_back({lint::LintSeverity::kWarning, "nonphysical-parameter", "",
+                   msg.str()});
+  }
 }
 
 void Inductor::setup(spice::SetupContext& ctx) {

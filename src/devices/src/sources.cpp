@@ -157,6 +157,26 @@ std::string SourceWave::to_spice() const {
   return os.str();
 }
 
+double SourceWave::max_abs_value() const {
+  switch (kind_) {
+    case Kind::kDc:
+      return std::abs(v1_);
+    case Kind::kPulse:
+      return std::max(std::abs(v1_), std::abs(v2_));
+    case Kind::kSine:
+      return std::abs(v1_) + std::abs(v2_);
+    case Kind::kPwl: {
+      double m = 0.0;
+      for (const auto& [t, v] : points_) {
+        (void)t;
+        m = std::max(m, std::abs(v));
+      }
+      return m;
+    }
+  }
+  return 0.0;
+}
+
 // --------------------------------------------------------- VoltageSource
 
 VoltageSource::VoltageSource(std::string name, spice::NodeId p,
@@ -193,6 +213,18 @@ void VoltageSource::stamp_ac(spice::AcStampContext& ctx) const {
   ctx.add_rhs(branch_, std::polar(ac_magnitude_, phase));
 }
 
+spice::DeviceTopology VoltageSource::topology() const {
+  spice::DeviceTopology topo;
+  topo.element_letter = 'V';
+  const std::size_t p = topo.add_terminal("p", p_);
+  const std::size_t n = topo.add_terminal("n", n_);
+  auto& edge = topo.add_edge(spice::DeviceTopology::EdgeKind::kVoltage, p, n);
+  edge.is_source = true;
+  edge.dc_value = wave_.value(0.0);
+  edge.max_abs = wave_.max_abs_value();
+  return topo;
+}
+
 std::string VoltageSource::netlist_line(
     const std::function<std::string(spice::NodeId)>& node_namer) const {
   return name() + " " + node_namer(p_) + " " + node_namer(n_) + " " +
@@ -224,6 +256,18 @@ void CurrentSource::stamp_ac(spice::AcStampContext& ctx) const {
   const linalg::Complex i = std::polar(ac_magnitude_, phase);
   ctx.add_rhs(p_, -i);
   ctx.add_rhs(n_, i);
+}
+
+spice::DeviceTopology CurrentSource::topology() const {
+  spice::DeviceTopology topo;
+  topo.element_letter = 'I';
+  const std::size_t p = topo.add_terminal("p", p_);
+  const std::size_t n = topo.add_terminal("n", n_);
+  auto& edge = topo.add_edge(spice::DeviceTopology::EdgeKind::kCurrent, p, n);
+  edge.is_source = true;
+  edge.dc_value = wave_.value(0.0);
+  edge.max_abs = wave_.max_abs_value();
+  return topo;
 }
 
 std::string CurrentSource::netlist_line(

@@ -62,6 +62,9 @@ class AcStampContext {
 
 struct AcOptions {
   NewtonOptions newton;  ///< for the embedded operating-point solve
+  /// Pre-solve structural lint gate; runs once before the bias-point
+  /// solve (which itself does not lint again).  See OpOptions.
+  lint::LintMode lint = lint::LintMode::kWarn;
 };
 
 /// Frequency-sweep result: complex value of every unknown per frequency.

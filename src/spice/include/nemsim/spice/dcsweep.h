@@ -25,6 +25,10 @@ struct DcSweepOptions {
   /// point counters).  In dc_sweep_parallel the report is filled after
   /// the workers join, in input order.
   RunReport* report = nullptr;
+  /// Pre-solve structural lint gate; runs once per sweep (not per point).
+  /// In dc_sweep_parallel the gate runs on the reference instance before
+  /// any worker starts.  See OpOptions.
+  lint::LintMode lint = lint::LintMode::kWarn;
 };
 
 /// Applies `set_param(value)` then solves an operating point, for each

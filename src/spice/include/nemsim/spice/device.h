@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "nemsim/spice/ids.h"
+#include "nemsim/spice/lint_types.h"
 
 namespace nemsim::spice {
 
@@ -23,6 +24,57 @@ class AcStampContext;
 enum class AnalysisMode {
   kDcOperatingPoint,  ///< capacitors open, inductors short, mechanics static
   kTransient,         ///< companion models active
+};
+
+/// Structural self-description of a device for the pre-simulation lint
+/// pass (nemsim/spice/lint.h): which nodes the device touches and how
+/// each terminal pair is coupled in the DC / transient MNA structure.
+/// This is graph-level metadata, deliberately independent of the stamp
+/// values — lint reasons about *which* failure classes are possible, not
+/// about numbers.
+struct DeviceTopology {
+  /// How a terminal pair is coupled.
+  enum class EdgeKind {
+    kConductive,  ///< finite DC conductance (R, diode, FET channel)
+    kVoltage,     ///< ideal voltage-defined branch (V, VCVS, L as DC short)
+    kCurrent,     ///< ideal current-defined branch (I, VCCS output)
+    kCapacitive,  ///< charge-only coupling: no DC path (C, gate caps)
+  };
+
+  struct Terminal {
+    const char* label;  ///< static terminal label ("p", "drain", ...)
+    NodeId node;
+  };
+
+  struct Edge {
+    EdgeKind kind = EdgeKind::kConductive;
+    std::size_t a = 0, b = 0;  ///< indices into `terminals`
+    /// Independent-source branches (V/I) only: marks the edge as a fixed
+    /// excitation and carries its DC (t = 0) value plus its all-time
+    /// maximum magnitude — used for supply-rail inference and the
+    /// conflicting-parallel-sources check.
+    bool is_source = false;
+    double dc_value = 0.0;
+    double max_abs = 0.0;
+  };
+
+  /// SPICE element letter the netlist exporter/parser dispatch on
+  /// ('R', 'C', 'L', 'V', 'I', 'E', 'G', 'D', 'M', 'X'); 0 when the
+  /// device has no netlist form.
+  char element_letter = 0;
+  std::vector<Terminal> terminals;
+  std::vector<Edge> edges;
+
+  /// Appends a terminal and returns its index (for add_edge).
+  std::size_t add_terminal(const char* label, NodeId node) {
+    terminals.push_back({label, node});
+    return terminals.size() - 1;
+  }
+  /// Appends an edge between terminal indices `a` and `b`.
+  Edge& add_edge(EdgeKind kind, std::size_t a, std::size_t b) {
+    edges.push_back({kind, a, b});
+    return edges.back();
+  }
 };
 
 /// Base class for all circuit devices.
@@ -74,6 +126,22 @@ class Device {
   /// Time points the transient must land on exactly (source edges).
   virtual void breakpoints(double tstop, std::vector<double>& out) const {
     (void)tstop; (void)out;
+  }
+
+  /// Structural metadata for the lint pass.  The default returns an
+  /// empty topology: such a device is invisible to the graph rules (no
+  /// false positives), though the MNA-pattern rules still see whatever
+  /// it stamps.  All in-tree devices override this.
+  virtual DeviceTopology topology() const { return {}; }
+
+  /// Device-local lint checks (non-physical parameters, can-never-actuate
+  /// conditions, ...).  Implementations append findings to `out`; the
+  /// analyzer fills in the `subject` field with the device name, so
+  /// findings only need rule/severity/message.
+  virtual void self_check(const lint::DeviceCheckContext& ctx,
+                          std::vector<lint::LintFinding>& out) const {
+    (void)ctx;
+    (void)out;
   }
 
   /// One line of SPICE-style netlist for this device (node names resolved

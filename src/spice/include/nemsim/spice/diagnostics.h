@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "nemsim/spice/lint_types.h"
 #include "nemsim/spice/newton.h"
 #include "nemsim/util/error.h"
 #include "nemsim/util/instrument.h"
@@ -96,6 +97,12 @@ struct RunReport {
   std::size_t failed_points = 0;  ///< points/trials that threw
   std::vector<std::string> notes;  ///< per-failure notes (first kMaxRecords)
 
+  /// Findings of the pre-simulation lint gate (spice/lint.h) when the
+  /// analysis options had lint != kOff; empty otherwise.  Filled before
+  /// any Newton work, so on a strict-mode rejection the report holds the
+  /// findings while `stages` stays empty.
+  std::vector<lint::LintFinding> lint_findings;
+
   /// Phase wall-clock ("phase.op", "phase.stepping") and free-form
   /// counters.  Mutex-guarded, so parallel workers may add to it.
   util::MetricRegistry metrics;
@@ -134,11 +141,15 @@ struct ForensicsOptions {
 ///   <dir>/<tag>.failure.txt  — what() plus the structured payload
 ///   <dir>/<tag>.netlist.sp   — netlist snapshot for offline repro
 ///   <dir>/<tag>.wave.csv     — recent waveform window (when wave given)
-/// Returns the paths written.  IO errors are logged and swallowed — a
-/// forensics dump must never mask the original failure.
+/// When `lint` is non-null and non-clean its findings are appended to the
+/// failure description — convergence failures very often have a
+/// structural cause the analyzer can name.  Returns the paths written.
+/// IO errors are logged and swallowed — a forensics dump must never mask
+/// the original failure.
 std::vector<std::string> write_failure_forensics(
     const ForensicsOptions& options, const Circuit& circuit,
     const Waveform* wave, const std::string& what,
-    const ConvergenceDiagnostics* diag);
+    const ConvergenceDiagnostics* diag,
+    const lint::LintReport* lint = nullptr);
 
 }  // namespace nemsim::spice

@@ -211,6 +211,14 @@ class MnaSystem {
 
   /// Monotonic counter bumped whenever the pattern grows.
   std::uint64_t jacobian_pattern_epoch() const;
+  /// Raw structural Jacobian pattern of one recording stamp pass in
+  /// `mode`: exactly the (row, col) positions devices stamp, with no
+  /// gmin shunts and no forced diagonals (unlike the solver pattern,
+  /// which unions modes and completes the diagonal).  Sorted and
+  /// deduplicated.  This is the probe behind the lint structural rules
+  /// (zero rows/columns, structural rank — nemsim/spice/lint.h).
+  std::vector<std::pair<std::size_t, std::size_t>> structural_pattern(
+      AnalysisMode mode) const;
   /// A zero-valued CSR skeleton over the current pattern.
   linalg::CsrMatrix make_sparse_jacobian() const;
 

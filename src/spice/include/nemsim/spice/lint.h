@@ -1,0 +1,80 @@
+// nemsim::lint — pre-simulation structural analyzer for circuits.
+//
+// Runs over a spice::Circuit *before* any solve and returns a
+// severity-tiered LintReport.  The rules move whole failure classes from
+// "Newton died after the full gmin/source homotopy ladder" to "rejected
+// in microseconds with a named node and rule".
+//
+// Foundations:
+//  - Device::topology(): a graph-level incidence probe — every rule sees
+//    which nodes each device touches and how each terminal pair is
+//    coupled (conductive / voltage-defined / current-defined /
+//    capacitive).
+//  - MnaSystem::structural_pattern(): a recording structural-stamp pass
+//    (the pattern machinery of the sparse fast path, minus the forced
+//    diagonals and gmin shunts) giving the true MNA sparsity structure.
+//  - Device::self_check(): device-local parameter sanity, fed the
+//    circuit-level supply rail.
+//
+// Rule classes (stable ids; DESIGN.md enumerates each in detail):
+//   error   floating-node              node unreachable from ground
+//   error   voltage-loop               cycle of voltage-defined branches
+//                                      (inductors count as DC shorts)
+//   error   current-cutset             node driven only by current sources
+//   error   zero-mna-row               equation row with no structural entries
+//   error   zero-mna-column            unknown appearing in no equation
+//   error   structural-rank            no perfect matching on the pattern
+//   warning nonphysical-parameter      negative/zero R, C, L, W; NEMS
+//                                      mechanics out of physical range
+//   warning pull-in-above-rail         NEMFET that can never actuate
+//   warning capacitive-only-node       no DC path (gmin ladder fodder)
+//   warning dangling-node              single-terminal internal node
+//   warning parallel-voltage-sources   conflicting sources on one node pair
+//   hint    name-convention            device name won't round-trip through
+//                                      the first-letter-dispatch parser
+#pragma once
+
+#include "nemsim/spice/lint_types.h"
+
+namespace nemsim::spice {
+class Circuit;
+class MnaSystem;
+struct RunReport;
+}  // namespace nemsim::spice
+
+namespace nemsim::lint {
+
+struct LintOptions {
+  /// Enables the MNA-pattern rules (zero rows/columns, structural rank).
+  /// These need a structural stamping pass — still microseconds, but the
+  /// only part of lint that is not a pure graph walk.
+  bool structural_checks = true;
+  /// Findings kept in the report; severity counters keep counting past
+  /// the cap (mirrors RunReport::kMaxRecords).
+  std::size_t max_findings = 256;
+};
+
+/// Runs every rule over an existing MNA system (no re-setup; this is
+/// what the analysis drivers call).  Pure analysis: no device or system
+/// state is modified, and the subsequent solve is bitwise identical.
+LintReport lint_system(const spice::MnaSystem& system,
+                       const LintOptions& options = {});
+
+/// Convenience entry point over a bare circuit.  Builds a temporary
+/// MnaSystem, which (re)runs Device::setup — idempotent, but the
+/// non-const reference is why this overload exists separately.
+LintReport lint_circuit(spice::Circuit& circuit,
+                        const LintOptions& options = {});
+
+/// Analysis-entry gate used by the op/transient/dc_sweep/ac drivers.
+///
+/// kOff: returns an empty report without doing any work.
+/// kWarn: runs the analyzer; when findings exist they are logged at warn
+///   level and copied into `run_report->lint_findings` (if attached).
+/// kStrict: like kWarn, but throws LintError when the report has errors
+///   — before any Newton work, so a structurally singular circuit never
+///   enters the gmin/source homotopy ladder.
+LintReport lint_gate(const spice::MnaSystem& system, LintMode mode,
+                     spice::RunReport* run_report);
+
+}  // namespace nemsim::lint

@@ -6,6 +6,7 @@
 #include "nemsim/linalg/matrix.h"
 #include "nemsim/spice/diagnostics.h"
 #include "nemsim/spice/engine.h"
+#include "nemsim/spice/lint.h"
 #include "nemsim/spice/newton.h"
 
 namespace nemsim::spice {
@@ -18,6 +19,11 @@ struct OpOptions {
   RunReport* report = nullptr;
   /// Opt-in failure dump (netlist snapshot + failure description).
   ForensicsOptions forensics;
+  /// Pre-solve structural lint gate (nemsim/spice/lint.h).  kWarn logs
+  /// findings and embeds them in `report`; kStrict throws LintError on
+  /// errors before any Newton work; kOff skips the analyzer entirely
+  /// (bitwise-identical run).
+  lint::LintMode lint = lint::LintMode::kWarn;
 };
 
 /// Result of an operating-point solve; values accessible by node/unknown

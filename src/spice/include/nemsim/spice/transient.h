@@ -44,6 +44,9 @@ struct TransientOptions {
   /// recent waveform window, a netlist snapshot and the failure
   /// description before rethrowing.
   ForensicsOptions forensics;
+  /// Pre-solve structural lint gate; runs once at analysis entry (the
+  /// embedded t = 0 operating point does not lint again).  See OpOptions.
+  lint::LintMode lint = lint::LintMode::kWarn;
 };
 
 /// Runs a transient from the DC operating point at t = 0.

@@ -124,9 +124,13 @@ AcResult ac_analysis(MnaSystem& system, std::span<const double> frequencies,
     require(f > 0.0, "ac_analysis: frequencies must be positive");
   }
 
+  // Lint once at analysis entry; the embedded bias-point op is gated off.
+  lint::lint_gate(system, options.lint, /*run_report=*/nullptr);
+
   // Bias the circuit.
   OpOptions op_options;
   op_options.newton = options.newton;
+  op_options.lint = lint::LintMode::kOff;
   OpResult op = operating_point(system, op_options);
   Solution bias = op.solution();
 

@@ -22,9 +22,13 @@ Waveform dc_sweep(MnaSystem& system,
   RunReport* report = options.report;
   if (report && report->analysis.empty()) report->analysis = "dc_sweep";
 
+  // Lint once for the whole sweep; per-point ops must not lint again.
+  lint::lint_gate(system, options.lint, report);
+
   OpOptions op_options;
   op_options.newton = options.newton;
   op_options.report = report;
+  op_options.lint = lint::LintMode::kOff;
 
   linalg::Vector previous = system.initial_guess();
   bool have_previous = false;
@@ -62,6 +66,9 @@ Waveform dc_sweep_parallel(
 
   OpOptions op_options;
   op_options.newton = options.newton;
+  // The gate below lints the reference instance once, before any worker
+  // starts; per-point worker ops must not lint (or log) again.
+  op_options.lint = lint::LintMode::kOff;
 
   // Name table from a reference instance; every task builds the same
   // topology, so the unknown layout is identical across points.
@@ -69,6 +76,7 @@ Waveform dc_sweep_parallel(
   {
     Circuit reference = make_circuit();
     MnaSystem system(reference);
+    lint::lint_gate(system, options.lint, report);
     names.reserve(system.num_unknowns());
     for (std::size_t i = 0; i < system.num_unknowns(); ++i) {
       names.push_back(system.unknown_info(i).name);

@@ -91,6 +91,7 @@ void RunReport::reset() {
   points = 0;
   failed_points = 0;
   notes.clear();
+  lint_findings.clear();
   metrics.clear();
 }
 
@@ -116,6 +117,18 @@ std::string RunReport::summary() const {
   }
   if (points > 0) {
     os << " points=" << points << " failed=" << failed_points;
+  }
+  if (!lint_findings.empty()) {
+    std::size_t errors = 0, warnings = 0, hints = 0;
+    for (const auto& f : lint_findings) {
+      switch (f.severity) {
+        case lint::LintSeverity::kError: ++errors; break;
+        case lint::LintSeverity::kWarning: ++warnings; break;
+        case lint::LintSeverity::kHint: ++hints; break;
+      }
+    }
+    os << " lint[errors=" << errors << " warnings=" << warnings
+       << " hints=" << hints << "]";
   }
   for (const auto& [name, entry] : metrics.snapshot()) {
     os << " " << name << "=";
@@ -197,6 +210,20 @@ void RunReport::write_json(std::ostream& os) const {
   }
   os << "]";
 
+  os << ",\n  \"lint_findings\": [";
+  for (std::size_t i = 0; i < lint_findings.size(); ++i) {
+    const lint::LintFinding& f = lint_findings[i];
+    os << (i ? ", " : "") << "{\"severity\": \""
+       << lint::lint_severity_name(f.severity) << "\", \"rule\": ";
+    json_escape(os, f.rule);
+    os << ", \"subject\": ";
+    json_escape(os, f.subject);
+    os << ", \"message\": ";
+    json_escape(os, f.message);
+    os << "}";
+  }
+  os << "]";
+
   os << ",\n  \"metrics\": {";
   bool first = true;
   for (const auto& [name, entry] : metrics.snapshot()) {
@@ -213,7 +240,7 @@ void RunReport::write_json(std::ostream& os) const {
 std::vector<std::string> write_failure_forensics(
     const ForensicsOptions& options, const Circuit& circuit,
     const Waveform* wave, const std::string& what,
-    const ConvergenceDiagnostics* diag) {
+    const ConvergenceDiagnostics* diag, const lint::LintReport* lint) {
   std::vector<std::string> written;
   if (!options.enabled) return written;
   try {
@@ -227,6 +254,10 @@ std::vector<std::string> write_failure_forensics(
       std::ofstream os(path);
       os << what << "\n";
       if (diag != nullptr) os << diag->describe() << "\n";
+      if (lint != nullptr && !lint->findings.empty()) {
+        os << "\nlint findings (structural analysis of the circuit):\n"
+           << lint->summary() << "\n";
+      }
       if (os) written.push_back(path);
     }
     {

@@ -332,6 +332,27 @@ void MnaSystem::ensure_pattern() const {
   ++pattern_epoch_;
 }
 
+std::vector<std::pair<std::size_t, std::size_t>>
+MnaSystem::structural_pattern(AnalysisMode mode) const {
+  const std::size_t n = num_unknowns();
+  std::vector<std::pair<std::size_t, std::size_t>> pattern;
+
+  const linalg::Vector x0 = initial_guess();
+  linalg::Vector scratch_f(n, 0.0);
+  linalg::Vector scratch_scale(n, 0.0);
+  StampContext ctx(*this, x0, /*jacobian=*/nullptr, scratch_f, scratch_scale,
+                   /*missed=*/nullptr);
+  ctx.record_pattern(pattern);
+  ctx.disable_residual();
+  const double dt = mode == AnalysisMode::kTransient ? kSymbolicDt : 0.0;
+  ctx.configure(mode, dt, dt, /*gmin=*/0.0, /*source_factor=*/1.0);
+  stamp_devices(ctx, DeviceSet::kAll);
+
+  std::sort(pattern.begin(), pattern.end());
+  pattern.erase(std::unique(pattern.begin(), pattern.end()), pattern.end());
+  return pattern;
+}
+
 void MnaSystem::grow_pattern(
     const std::vector<std::pair<std::size_t, std::size_t>>& missed) const {
   if (missed.empty()) return;

@@ -17,6 +17,11 @@ OpResult operating_point(MnaSystem& system, const OpOptions& options) {
 OpResult operating_point_from(MnaSystem& system, const linalg::Vector& x0,
                               const OpOptions& options) {
   RunReport* report = options.report;
+  // Strict mode throws LintError here — before the solver is even
+  // constructed, so a structurally singular circuit never enters the
+  // gmin/source homotopy ladder.
+  const lint::LintReport lint_report =
+      lint::lint_gate(system, options.lint, report);
   NewtonSolver newton(system, options.newton);
   linalg::Vector x;
   try {
@@ -37,8 +42,21 @@ OpResult operating_point_from(MnaSystem& system, const linalg::Vector& x0,
     }
   } catch (const ConvergenceError& e) {
     if (report) ++report->newton_failures;
+    // Convergence failures often have a structural cause lint can name;
+    // attach its findings to the dump.  With the gate off, the analyzer
+    // runs here only for the dump (the failure is being thrown anyway,
+    // so the solve itself stays untouched).
+    lint::LintReport forensic_lint;
+    const lint::LintReport* lint_ptr = nullptr;
+    if (options.forensics.enabled) {
+      forensic_lint = options.lint == lint::LintMode::kOff
+                          ? lint::lint_system(system)
+                          : lint_report;
+      lint_ptr = &forensic_lint;
+    }
     write_failure_forensics(options.forensics, system.circuit(),
-                            /*wave=*/nullptr, e.what(), e.diagnostics());
+                            /*wave=*/nullptr, e.what(), e.diagnostics(),
+                            lint_ptr);
     throw;
   }
   system.accept(x, AnalysisMode::kDcOperatingPoint, 0.0, 0.0);

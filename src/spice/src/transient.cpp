@@ -53,13 +53,19 @@ Waveform transient(MnaSystem& system, const TransientOptions& options) {
   RunReport* report = options.report;
   if (report && report->analysis.empty()) report->analysis = "transient";
 
+  // Lint once at analysis entry; strict mode throws before any solve.
+  const lint::LintReport lint_report =
+      lint::lint_gate(system, options.lint, report);
+
   // Bias point at t = 0 (commits device state).  The report is shared so
   // the op phase lands in the same sink ("phase.op" timing, op stage
   // records); op also honors the forensics hook if the bias point fails.
+  // The gate above already ran, so the embedded op must not lint again.
   OpOptions op_options;
   op_options.newton = options.newton;
   op_options.report = report;
   op_options.forensics = options.forensics;
+  op_options.lint = lint::LintMode::kOff;
   OpResult op = operating_point(system, op_options);
 
   std::vector<std::string> names;
@@ -221,8 +227,16 @@ Waveform transient(MnaSystem& system, const TransientOptions& options) {
           diag.dt = dt_eff;
           error = ConvergenceError(msg, std::move(diag));
         }
+        lint::LintReport forensic_lint;
+        const lint::LintReport* lint_ptr = nullptr;
+        if (options.forensics.enabled) {
+          forensic_lint = options.lint == lint::LintMode::kOff
+                              ? lint::lint_system(system)
+                              : lint_report;
+          lint_ptr = &forensic_lint;
+        }
         write_failure_forensics(options.forensics, system.circuit(), &wave,
-                                msg, error.diagnostics());
+                                msg, error.diagnostics(), lint_ptr);
         throw error;
       }
       dt = dt_retry;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <charconv>
 #include <istream>
 #include <sstream>
 #include <unordered_map>
@@ -106,24 +107,42 @@ SourceSpec parse_source_tail(const std::vector<std::string>& tokens,
 
 double parse_spice_value(const std::string& token) {
   require(!token.empty(), "parse_spice_value: empty token");
-  std::size_t pos = 0;
+  // std::from_chars is locale-independent (std::stod honors the global C
+  // locale, where "3.3" can fail to parse the fraction) but does not
+  // accept a leading '+', so strip one manually.
+  const char* first = token.data();
+  const char* last = token.data() + token.size();
+  if (*first == '+') ++first;
   double value = 0.0;
-  try {
-    value = std::stod(token, &pos);
-  } catch (const std::exception&) {
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc{} || ptr == first) {
     throw NetlistError("bad numeric value '" + token + "'");
   }
-  std::string suffix = to_upper(token.substr(pos));
+  std::string suffix = to_upper(std::string(ptr, last));
   if (suffix.empty()) return value;
-  // SPICE magnitude suffixes; trailing unit letters are ignored ("pF").
+  // SPICE magnitude suffixes.  Longest match wins (MEG before M).
   static const std::vector<std::pair<std::string, double>> kSuffixes = {
       {"MEG", 1e6}, {"T", 1e12}, {"G", 1e9}, {"K", 1e3}, {"M", 1e-3},
       {"U", 1e-6},  {"N", 1e-9}, {"P", 1e-12}, {"F", 1e-15},
   };
-  for (const auto& [s, scale] : kSuffixes) {
-    if (suffix.rfind(s, 0) == 0) return value * scale;
+  double scale = 1.0;
+  std::size_t consumed = 0;
+  for (const auto& [s, sc] : kSuffixes) {
+    if (suffix.rfind(s, 0) == 0) {
+      scale = sc;
+      consumed = s.size();
+      break;
+    }
   }
-  throw NetlistError("unknown value suffix '" + suffix + "'");
+  // Whatever follows the magnitude prefix (or the whole suffix when none
+  // matched) must be a bare unit tag — "V", "A", "Hz", the "F" in "pF" —
+  // which SPICE ignores.  Digits or punctuation ("1k5") are malformed.
+  for (std::size_t i = consumed; i < suffix.size(); ++i) {
+    if (!std::isalpha(static_cast<unsigned char>(suffix[i]))) {
+      throw NetlistError("unknown value suffix '" + suffix + "'");
+    }
+  }
+  return value * scale;
 }
 
 spice::Circuit parse_netlist(const std::string& text) {

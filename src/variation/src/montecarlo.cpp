@@ -5,6 +5,7 @@
 
 #include "nemsim/devices/mosfet.h"
 #include "nemsim/devices/nemfet.h"
+#include "nemsim/spice/lint.h"
 #include "nemsim/util/error.h"
 #include "nemsim/util/logging.h"
 #include "nemsim/util/parallel.h"
@@ -28,8 +29,12 @@ std::string record_trial_failure(const MonteCarloOptions& options,
   if (options.forensics.enabled) {
     spice::ForensicsOptions trial_forensics = options.forensics;
     trial_forensics.tag += "_trial" + std::to_string(trial);
+    // Lint the varied circuit so the dump can name a structural cause
+    // (a variation-shifted device tripping a parameter check, say).
+    const lint::LintReport lint_report = lint::lint_circuit(circuit);
     spice::write_failure_forensics(trial_forensics, circuit,
-                                   /*wave=*/nullptr, e.what(), diag);
+                                   /*wave=*/nullptr, e.what(), diag,
+                                   &lint_report);
   }
   return note;
 }

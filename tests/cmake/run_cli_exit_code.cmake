@@ -1,0 +1,14 @@
+# Runs a CLI on one input file and asserts its exit code.
+#
+# Usage:
+#   cmake -DCMD=<exe> -DDECK=<file> -DEXPECTED=<code> -P run_cli_exit_code.cmake
+execute_process(
+  COMMAND "${CMD}" "${DECK}"
+  RESULT_VARIABLE actual
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT actual EQUAL "${EXPECTED}")
+  message(FATAL_ERROR
+    "${CMD} ${DECK}: expected exit code ${EXPECTED}, got ${actual}\n"
+    "stdout:\n${out}\nstderr:\n${err}")
+endif()

@@ -1,0 +1,113 @@
+// Every circuit the repo ships — the paper's experiment builders, the
+// standard-cell helpers, and the quickstart example topology — must lint
+// clean: zero errors, zero warnings (hints are allowed; the SRAM cell
+// intentionally uses the paper's "AL"/"NL"/"PL" device names).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "nemsim/core/dynamic_or.h"
+#include "nemsim/core/gates.h"
+#include "nemsim/core/sram.h"
+#include "nemsim/devices/mosfet.h"
+#include "nemsim/devices/passives.h"
+#include "nemsim/devices/sources.h"
+#include "nemsim/spice/circuit.h"
+#include "nemsim/spice/lint.h"
+#include "nemsim/tech/cards.h"
+
+namespace nemsim {
+namespace {
+
+void expect_clean(spice::Circuit& ckt, const std::string& label) {
+  lint::LintReport r = lint::lint_circuit(ckt);
+  EXPECT_TRUE(r.clean()) << label << ":\n" << r.summary();
+}
+
+TEST(LintSweep, DynamicOrGates) {
+  for (bool hybrid : {false, true}) {
+    for (int fanin : {2, 8, 16}) {
+      core::DynamicOrConfig config;
+      config.hybrid = hybrid;
+      config.fanin = fanin;
+      core::DynamicOrGate gate = core::build_dynamic_or(config);
+      expect_clean(gate.ckt(),
+                   std::string(hybrid ? "hybrid" : "cmos") + " dynamic OR, " +
+                       "fanin " + std::to_string(fanin));
+    }
+  }
+}
+
+TEST(LintSweep, SramCells) {
+  for (auto kind :
+       {core::SramKind::kConventional, core::SramKind::kDualVt,
+        core::SramKind::kAsymmetric, core::SramKind::kHybrid,
+        core::SramKind::kHybridPullupOnly}) {
+    for (bool drive : {true, false}) {
+      core::SramConfig config;
+      config.kind = kind;
+      core::SramBenchMode mode;
+      mode.drive_bitlines = drive;
+      core::SramCell cell = core::build_sram_cell(config, mode);
+      expect_clean(cell.ckt(), std::string(core::sram_kind_name(kind)) +
+                                   (drive ? " (driven)" : " (standby)"));
+    }
+  }
+}
+
+TEST(LintSweep, StandardCellHelpers) {
+  spice::Circuit ckt;
+  spice::NodeId vdd = ckt.node("vdd");
+  spice::NodeId a = ckt.node("a");
+  spice::NodeId b = ckt.node("b");
+  ckt.add<devices::VoltageSource>("Vdd", vdd, ckt.gnd(),
+                                  devices::SourceWave::dc(1.2));
+  ckt.add<devices::VoltageSource>("Va", a, ckt.gnd(),
+                                  devices::SourceWave::dc(0.0));
+  ckt.add<devices::VoltageSource>("Vb", b, ckt.gnd(),
+                                  devices::SourceWave::dc(1.2));
+  core::add_nand2(ckt, "ND", a, b, ckt.node("nand_out"), vdd);
+  core::add_nor2(ckt, "NR", a, b, ckt.node("nor_out"), vdd);
+  core::add_inverter_chain(ckt, "CH", ckt.node("nand_out"), vdd, ckt.gnd(),
+                           4);
+  core::add_fanout_load(ckt, "FO", ckt.node("nor_out"), vdd, 3);
+  expect_clean(ckt, "nand2 + nor2 + chain + fanout");
+}
+
+TEST(LintSweep, QuickstartTopology) {
+  // The examples/quickstart.cpp circuit: inverter driving an RC wire.
+  spice::Circuit ckt;
+  spice::NodeId vdd = ckt.node("vdd");
+  spice::NodeId in = ckt.node("in");
+  spice::NodeId out = ckt.node("out");
+  spice::NodeId load = ckt.node("load");
+  ckt.add<devices::VoltageSource>("Vdd", vdd, ckt.gnd(),
+                                  devices::SourceWave::dc(1.2));
+  ckt.add<devices::VoltageSource>(
+      "Vin", in, ckt.gnd(),
+      devices::SourceWave::pulse(0.0, 1.2, 0.2e-9, 20e-12, 20e-12, 1e-9));
+  ckt.add<devices::Mosfet>("Mp", out, in, vdd, devices::MosPolarity::kPmos,
+                           tech::pmos_90nm(), 0.4e-6, 1e-7);
+  ckt.add<devices::Mosfet>("Mn", out, in, ckt.gnd(),
+                           devices::MosPolarity::kNmos, tech::nmos_90nm(),
+                           0.2e-6, 1e-7);
+  ckt.add<devices::Resistor>("Rw", out, load, 500.0);
+  ckt.add<devices::Capacitor>("Cw", load, ckt.gnd(), 5e-15);
+  expect_clean(ckt, "quickstart inverter + RC wire");
+}
+
+TEST(LintSweep, ShippedFixtureDeckIsClean) {
+  // The clean CLI fixture deck must agree with the library's verdict.
+  spice::Circuit ckt;
+  spice::NodeId in = ckt.node("in");
+  spice::NodeId mid = ckt.node("mid");
+  ckt.add<devices::VoltageSource>("V1", in, ckt.gnd(),
+                                  devices::SourceWave::dc(1.2));
+  ckt.add<devices::Resistor>("R1", in, mid, 1e3);
+  ckt.add<devices::Resistor>("R2", mid, ckt.gnd(), 3e3);
+  ckt.add<devices::Capacitor>("C1", mid, ckt.gnd(), 10e-15);
+  expect_clean(ckt, "clean_rc fixture");
+}
+
+}  // namespace
+}  // namespace nemsim

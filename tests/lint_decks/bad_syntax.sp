@@ -1,0 +1,3 @@
+* Unknown element letter: the parser must reject this deck.
+Q1 a b c 1k
+.end

@@ -1,0 +1,5 @@
+* Node held only by a capacitor: DC value exists only through gmin.
+V1 in 0 DC 1
+R1 in 0 1k
+C1 x 0 1p
+.end

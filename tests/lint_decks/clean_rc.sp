@@ -1,0 +1,6 @@
+* Clean RC divider: every rule passes.
+V1 in 0 DC 1.2
+R1 in out 2.2k
+R2 out 0 4.7k
+C1 out 0 10f
+.end

@@ -1,0 +1,5 @@
+* Current source into a dead-end node: current-cutset error.
+V1 in 0 DC 1
+R1 in 0 1k
+I1 x 0 DC 1m
+.end

@@ -1,0 +1,5 @@
+* Resistor island with no path to ground: floating-node errors.
+V1 in 0 DC 1
+R1 in 0 1k
+R2 a b 1k
+.end

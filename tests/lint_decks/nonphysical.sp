@@ -1,0 +1,6 @@
+* A 2-farad on-chip capacitor: nonphysical-parameter warning.
+V1 in 0 DC 1
+R1 in out 1k
+R2 out 0 1k
+C1 out 0 2
+.end

@@ -1,0 +1,6 @@
+* Two voltage sources in parallel with different values: voltage-loop
+* error plus the parallel-voltage-sources conflict warning.
+V1 a 0 DC 1
+V2 a 0 DC 2
+R1 a 0 1k
+.end

@@ -1,0 +1,133 @@
+// Export -> parse -> lint round trips.
+//
+// Two invariants: (1) a circuit and its exported-then-reparsed twin
+// produce the same lint findings (rule-for-rule), and (2) the
+// name-convention hint is an exact predictor — a circuit with no hints
+// survives the round trip with every device intact.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "nemsim/devices/controlled.h"
+#include "nemsim/devices/diode.h"
+#include "nemsim/devices/mosfet.h"
+#include "nemsim/devices/nemfet.h"
+#include "nemsim/devices/passives.h"
+#include "nemsim/devices/sources.h"
+#include "nemsim/spice/circuit.h"
+#include "nemsim/spice/lint.h"
+#include "nemsim/spice/netlist_export.h"
+#include "nemsim/tech/cards.h"
+#include "nemsim/tech/netlist_parser.h"
+
+namespace nemsim {
+namespace {
+
+using devices::Capacitor;
+using devices::CurrentSource;
+using devices::Diode;
+using devices::Mosfet;
+using devices::MosPolarity;
+using devices::Nemfet;
+using devices::NemsPolarity;
+using devices::Resistor;
+using devices::SourceWave;
+using devices::VoltageSource;
+
+// Sorted (rule, subject) pairs — the comparable essence of a report.
+std::vector<std::pair<std::string, std::string>> essence(
+    const lint::LintReport& r) {
+  std::vector<std::pair<std::string, std::string>> out;
+  out.reserve(r.findings.size());
+  for (const auto& f : r.findings) out.push_back({f.rule, f.subject});
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// One device of every exportable element class, all properly named.
+void build_menagerie(spice::Circuit& ckt) {
+  spice::NodeId vdd = ckt.node("vdd");
+  spice::NodeId in = ckt.node("in");
+  spice::NodeId out = ckt.node("out");
+  spice::NodeId load = ckt.node("load");
+  spice::NodeId isrc = ckt.node("isrc");
+  ckt.add<VoltageSource>("Vdd", vdd, ckt.gnd(), SourceWave::dc(1.2));
+  ckt.add<VoltageSource>("Vin", in, ckt.gnd(), SourceWave::dc(0.6));
+  ckt.add<Resistor>("R1", out, load, 500.0);
+  ckt.add<Capacitor>("C1", load, ckt.gnd(), 5e-15);
+  ckt.add<Mosfet>("Mp", out, in, vdd, MosPolarity::kPmos, tech::pmos_90nm(),
+                  0.4e-6, 1e-7);
+  ckt.add<Mosfet>("Mn", out, in, ckt.gnd(), MosPolarity::kNmos,
+                  tech::nmos_90nm(), 0.2e-6, 1e-7);
+  ckt.add<Nemfet>("X1", load, in, ckt.gnd(), NemsPolarity::kN,
+                  tech::nems_90nm(), 1e-6);
+  ckt.add<Diode>("D1", load, ckt.gnd(), devices::DiodeParams{});
+  ckt.add<CurrentSource>("I1", isrc, ckt.gnd(), SourceWave::dc(1e-6));
+  ckt.add<Resistor>("R2", isrc, ckt.gnd(), 1e4);
+}
+
+TEST(LintRoundTrip, CleanCircuitStaysCleanThroughExport) {
+  spice::Circuit original;
+  build_menagerie(original);
+  lint::LintReport before = lint::lint_circuit(original);
+  EXPECT_TRUE(before.clean()) << before.summary();
+  EXPECT_EQ(before.hints, 0u) << before.summary();
+
+  spice::Circuit reparsed =
+      tech::parse_netlist(spice::netlist_string(original));
+  EXPECT_EQ(reparsed.num_devices(), original.num_devices());
+  lint::LintReport after = lint::lint_circuit(reparsed);
+  EXPECT_TRUE(after.clean()) << after.summary();
+  EXPECT_EQ(essence(before), essence(after));
+}
+
+TEST(LintRoundTrip, FindingsSurviveTheRoundTrip) {
+  // A deck with one representative of each severity; the reparsed
+  // circuit must reproduce the same (rule, subject) findings.
+  spice::Circuit original;
+  build_menagerie(original);
+  spice::NodeId a = original.node("floater_a");
+  spice::NodeId b = original.node("floater_b");
+  original.add<Resistor>("R9", a, b, 1e3);                        // errors
+  original.add<Capacitor>("C9", original.node("in"),
+                          original.gnd(), 2.0);                   // warning
+  lint::LintReport before = lint::lint_circuit(original);
+  EXPECT_TRUE(before.has_errors());
+
+  spice::Circuit reparsed =
+      tech::parse_netlist(spice::netlist_string(original));
+  lint::LintReport after = lint::lint_circuit(reparsed);
+  EXPECT_EQ(essence(before), essence(after))
+      << "before:\n" << before.summary() << "\nafter:\n" << after.summary();
+}
+
+TEST(LintRoundTrip, NameHintPredictsRoundTripDamage) {
+  // A resistor whose name starts with 'V' is re-dispatched by the
+  // parser's first letter: "VR2 in 0 1000" comes back as a 1000 V DC
+  // source.  The hint fires before export; after the round trip the
+  // damage is real — the reparsed circuit lints with hard errors.
+  spice::Circuit ckt;
+  spice::NodeId in = ckt.node("in");
+  ckt.add<VoltageSource>("V1", in, ckt.gnd(), SourceWave::dc(1.0));
+  ckt.add<Resistor>("VR2", in, ckt.gnd(), 1e3);
+  lint::LintReport r = lint::lint_circuit(ckt);
+  ASSERT_EQ(r.hints, 1u) << r.summary();
+  EXPECT_EQ(r.findings.back().rule, "name-convention");
+  EXPECT_EQ(r.findings.back().subject, "VR2");
+  EXPECT_TRUE(r.clean());  // hints only: the original is simulable
+
+  spice::Circuit reparsed =
+      tech::parse_netlist(spice::netlist_string(ckt));
+  EXPECT_NO_THROW(reparsed.find<VoltageSource>("VR2"));
+  lint::LintReport after = lint::lint_circuit(reparsed);
+  EXPECT_TRUE(after.has_errors()) << after.summary();
+  bool loop = false;
+  for (const auto& f : after.findings) loop |= f.rule == "voltage-loop";
+  EXPECT_TRUE(loop) << after.summary();
+}
+
+}  // namespace
+}  // namespace nemsim

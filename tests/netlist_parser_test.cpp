@@ -37,11 +37,29 @@ TEST(SpiceValue, PlainAndSuffixed) {
   // Unit letters after the magnitude are tolerated ("10pF").
   EXPECT_DOUBLE_EQ(parse_spice_value("10pF"), 10e-12);
   EXPECT_DOUBLE_EQ(parse_spice_value("1e-9"), 1e-9);
+  EXPECT_DOUBLE_EQ(parse_spice_value("1MEG"), 1e6);
+  EXPECT_DOUBLE_EQ(parse_spice_value("5pF"), 5e-12);
+  EXPECT_DOUBLE_EQ(parse_spice_value("2.2k"), 2200.0);
+  EXPECT_DOUBLE_EQ(parse_spice_value("+0.5"), 0.5);
+}
+
+TEST(SpiceValue, BareUnitLettersAreIgnored) {
+  // A unit tag with no magnitude prefix is plain SPICE ("DC 1V") and
+  // must parse as the bare number.
+  EXPECT_DOUBLE_EQ(parse_spice_value("1V"), 1.0);
+  EXPECT_DOUBLE_EQ(parse_spice_value("100A"), 100.0);
+  EXPECT_DOUBLE_EQ(parse_spice_value("3Hz"), 3.0);
+  // "M" is milli even when a unit follows: classic SPICE gotcha.
+  EXPECT_DOUBLE_EQ(parse_spice_value("1MHz"), 1e-3);
+  // Any other alphabetic tag is likewise ignored, matching ngspice.
+  EXPECT_DOUBLE_EQ(parse_spice_value("1.5x"), 1.5);
 }
 
 TEST(SpiceValue, BadValuesThrow) {
   EXPECT_THROW(parse_spice_value("abc"), NetlistError);
-  EXPECT_THROW(parse_spice_value("1.5x"), NetlistError);
+  EXPECT_THROW(parse_spice_value("1k5"), NetlistError);  // digits after suffix
+  EXPECT_THROW(parse_spice_value("+"), NetlistError);
+  EXPECT_THROW(parse_spice_value("1.5k!"), NetlistError);
 }
 
 // ----------------------------------------------------------- basic parse
