@@ -1,0 +1,53 @@
+// Parameterized cell library: the subcircuit definitions the experiment
+// builders (gates, dynamic_or, sram, power_gating) instantiate instead
+// of hand-stamping devices.  Each factory returns a spice::Subcircuit
+// whose builder reads its sizing from subcircuit parameters, so one
+// definition serves every instance and exported netlists carry proper
+// .subckt blocks and X cards.
+//
+// Local device names follow the first-letter dispatch convention of the
+// netlist parser ("MP"/"MN" for MOSFETs, "XPD"/"XNL" for NEMFETs) so an
+// exported .subckt body re-parses to the same cell.
+#pragma once
+
+#include "nemsim/core/sram.h"
+#include "nemsim/devices/nemfet.h"
+#include "nemsim/spice/subcircuit.h"
+#include "nemsim/tech/cards.h"
+
+namespace nemsim::core {
+
+/// CMOS inverter "inverter": ports (in, out, vdd, vss); params WP, WN, L.
+spice::Subcircuit inverter_cell();
+
+/// Load inverter "inverter_load": an inverter whose output stays internal
+/// to the cell — the shape fan-out loads want (only the gate capacitance
+/// matters, the output deliberately drives nothing).  Ports
+/// (in, vdd, vss); params WP, WN, L.
+spice::Subcircuit load_inverter_cell();
+
+/// One pull-down leg of a domino gate (paper Figure 8): the CMOS leg
+/// "domino_leg_cmos" is a single NMOS from dyn to ground; the hybrid leg
+/// "domino_leg_hybrid" stacks that NMOS over a series NEMFET ("XPD").
+/// Ports (dyn, in); params W_NMOS, L and (hybrid) W_NEMS.  The NEMS
+/// technology card is baked into the definition by the factory.
+spice::Subcircuit domino_leg_cell(
+    bool hybrid, const devices::NemsParams& nems_card = tech::nems_90nm());
+
+/// The 6T bitcell of paper Figure 13 in each architecture flavour
+/// ("sram6t_conv", "sram6t_dualvt", "sram6t_asym", "sram6t_hybrid",
+/// "sram6t_hybrid_pu").  Ports (bl, blb, wl, vdd); storage nodes ql/qr
+/// stay internal, so an instance "Xcell" exposes them as "Xcell.ql" /
+/// "Xcell.qr".  Params: WA (access), WPD / WPU (CMOS core), WNPD / WNPU
+/// (NEMS core), L, and STORED_ONE (nonzero seeds the beam states of the
+/// hybrid flavours for a stored one; the DC nodesets are the caller's
+/// job since a subcircuit cannot reach the MnaSystem).
+spice::Subcircuit sram_bitcell_cell(SramKind kind);
+
+/// Power-gating sleep switch (paper Section 6): footer (N-type, source at
+/// ground) or header (P-type, source at Vdd), in CMOS ("sleep_footer_cmos"
+/// / "sleep_header_cmos") or NEMS ("sleep_footer_nems" /
+/// "sleep_header_nems") flavours.  Ports (d, g, s); params W and (CMOS) L.
+spice::Subcircuit sleep_switch_cell(bool footer, bool nems);
+
+}  // namespace nemsim::core

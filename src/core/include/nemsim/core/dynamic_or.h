@@ -58,6 +58,10 @@ struct DynamicOrConfig {
 ///
 /// Node names: "clk", "dyn" (dynamic node), "out" (after the inverter),
 /// inputs "in0".."in<k>".  Sources: "Vdd", "Vclk", "Vin0".."Vin<k>".
+/// Each pull-down leg is a subcircuit instance "Xleg<i>"
+/// (nemsim/core/cells.h), so its devices carry hierarchical names:
+/// "Xleg<i>.MPD" and, in the hybrid gate, "Xleg<i>.XPD" with internal
+/// node "Xleg<i>.mid".  The output inverter is instance "XINVout".
 struct DynamicOrGate {
   DynamicOrConfig config;
   std::unique_ptr<spice::Circuit> circuit;

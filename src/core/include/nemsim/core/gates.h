@@ -17,15 +17,25 @@ struct InverterSizes {
   double l = 1e-7;
 };
 
-/// Adds a CMOS inverter to `ckt`.  Devices are named "<prefix>.P" and
-/// "<prefix>.N"; the supply rail is `vdd`, the low rail ground.
+/// Adds a CMOS inverter to `ckt` as an instance of the library's
+/// "inverter" cell (nemsim/core/cells.h).  The instance is named
+/// "X<prefix>" ('.' in the prefix maps to '_'), so the devices are
+/// "X<prefix>.MP" and "X<prefix>.MN"; the supply rail is `vdd`, the low
+/// rail ground.
 void add_inverter(spice::Circuit& ckt, const std::string& prefix,
                   spice::NodeId in, spice::NodeId out, spice::NodeId vdd,
                   const InverterSizes& sizes = {});
 
-/// Adds `fanout` inverter loads whose inputs all hang on `node` (their
-/// outputs go to fresh internal nodes).  This is how the paper loads the
-/// dynamic gate outputs: a fan-out of k = k receiver gates.
+/// Same, with an explicit low rail (power-gated blocks hang their
+/// inverters on a virtual ground).
+void add_inverter(spice::Circuit& ckt, const std::string& prefix,
+                  spice::NodeId in, spice::NodeId out, spice::NodeId vdd,
+                  spice::NodeId vss, const InverterSizes& sizes = {});
+
+/// Adds `fanout` "inverter_load" cell instances whose inputs all hang on
+/// `node` (their outputs stay internal to each cell).  This is how the
+/// paper loads the dynamic gate outputs: a fan-out of k = k receiver
+/// gates.
 void add_fanout_load(spice::Circuit& ckt, const std::string& prefix,
                      spice::NodeId node, spice::NodeId vdd, int fanout,
                      const InverterSizes& sizes = {});
@@ -45,9 +55,10 @@ void add_nor2(spice::Circuit& ckt, const std::string& prefix,
               spice::NodeId a, spice::NodeId b, spice::NodeId out,
               spice::NodeId vdd, const InverterSizes& sizes = {});
 
-/// Adds a chain of `stages` inverters from `in`; returns the node names
-/// of every stage output (fresh internal nodes).  Used by the power
-/// gating experiments as a representative logic block.
+/// Adds a chain of `stages` inverter-cell instances ("X<prefix>_S<k>")
+/// from `in`; returns the node ids of every stage output (fresh internal
+/// nodes).  Used by the power gating experiments as a representative
+/// logic block.
 std::vector<spice::NodeId> add_inverter_chain(spice::Circuit& ckt,
                                               const std::string& prefix,
                                               spice::NodeId in,

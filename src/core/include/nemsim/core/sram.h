@@ -12,6 +12,10 @@
 #include "nemsim/spice/diagnostics.h"
 #include "nemsim/spice/waveform.h"
 
+namespace nemsim::spice {
+class MnaSystem;
+}  // namespace nemsim::spice
+
 namespace nemsim::core {
 
 enum class SramKind {
@@ -45,10 +49,17 @@ struct SramConfig {
 
 /// A built cell with its testbench sources.
 ///
-/// Nodes: "ql", "qr", "bl", "blb", "wl".  Sources: "Vdd", "Vwl"; plus
-/// "Vbl"/"Vblb" when the bitlines are driven (read/SNM benches) — the
-/// standby bench leaves them floating behind capacitors.
+/// The bitcell itself is a subcircuit instance named "Xcell"
+/// (nemsim/core/cells.h), so the storage nodes carry hierarchical paths:
+/// "Xcell.ql" / "Xcell.qr" (kQl / kQr below).  Testbench nodes stay top
+/// level: "bl", "blb", "wl".  Sources: "Vdd", "Vwl"; plus "Vbl"/"Vblb"
+/// when the bitlines are driven (read/SNM benches) — the standby bench
+/// leaves them floating behind capacitors.
 struct SramCell {
+  /// Hierarchical storage-node paths of the "Xcell" instance.
+  static constexpr const char* kQl = "Xcell.ql";
+  static constexpr const char* kQr = "Xcell.qr";
+
   SramConfig config;
   std::unique_ptr<spice::Circuit> circuit;
   spice::Circuit& ckt() { return *circuit; }
@@ -123,8 +134,66 @@ double measure_min_write_pulse(const SramConfig& config, double lo = 2e-11,
 /// leak INTO the discharging bitline (they all store the opposite value),
 /// fighting the read and stretching the latency - worse the leakier the
 /// access devices.  Returns the read latency of the accessed cell.
+///
+/// This variant lumps the idle cells into one wide leaker device (cheap,
+/// scales to any depth); build_sram_column below elaborates the real
+/// structural column instead.
 double measure_column_read_latency(const SramConfig& config,
                                    std::size_t idle_cells,
                                    double sense_margin = 0.1);
+
+// ---------------------------------------------------------------- column
+
+/// A full structural bitline column: `n_cells` bitcell instances sharing
+/// bl/blb, with only the active cell's wordline driven.
+struct SramColumnConfig {
+  SramConfig cell;                 ///< architecture + sizing of every cell
+  std::size_t n_cells = 64;
+  std::size_t active_cell = 0;     ///< the accessed row
+  /// Worst case for reads (and the paper's Section 5.1 setup): every idle
+  /// cell stores the value whose OFF access transistor leaks the
+  /// *reference* bitline down toward its storage node.
+  bool idle_store_opposite = true;
+
+  /// Stored value of cell `i` under this configuration.
+  bool cell_stores_one(std::size_t i) const {
+    if (i == active_cell) return cell.stored_one;
+    return idle_store_opposite ? !cell.stored_one : cell.stored_one;
+  }
+};
+
+/// A built column.  Cells are subcircuit instances "Xcell0".."Xcell<n-1>"
+/// of the sram_bitcell_cell definition, so storage nodes are
+/// "Xcell<i>.ql" / "Xcell<i>.qr".  Top-level nodes: "bl", "blb", "wl"
+/// (active row only), "vdd"; sources "Vdd", "Vwl"; bitline capacitors
+/// "Cbl"/"Cblb".
+struct SramColumn {
+  SramColumnConfig config;
+  std::unique_ptr<spice::Circuit> circuit;
+
+  spice::Circuit& ckt() { return *circuit; }
+  std::string cell_name(std::size_t i) const {
+    return "Xcell" + std::to_string(i);
+  }
+  std::string cell_node(std::size_t i, const std::string& local) const {
+    return cell_name(i) + "." + local;
+  }
+};
+
+SramColumn build_sram_column(const SramColumnConfig& config);
+
+/// Nodesets every cell's storage pair to its configured stored value so
+/// the bistable column op lands on the intended state.
+void nodeset_column_state(spice::MnaSystem& system, const SramColumn& col);
+
+/// Read latency of the active cell measured on the real elaborated column
+/// (every idle cell present as its own bitcell instance), rather than the
+/// lumped leaker of measure_column_read_latency.  The 64-cell default
+/// builds a few hundred devices; the MNA system crosses the sparse
+/// fast-path threshold, so this is also the canonical "hierarchy at
+/// scale" exercise (see bench/ablation_sram_column.cpp).
+double measure_column_read_latency_structural(
+    const SramColumnConfig& config, double sense_margin = 0.1,
+    spice::RunReport* report = nullptr);
 
 }  // namespace nemsim::core

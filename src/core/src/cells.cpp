@@ -1,0 +1,220 @@
+#include "nemsim/core/cells.h"
+
+#include "nemsim/devices/mosfet.h"
+
+namespace nemsim::core {
+
+using devices::Mosfet;
+using devices::MosPolarity;
+using devices::Nemfet;
+using devices::NemsParams;
+using devices::NemsPolarity;
+using spice::NodeId;
+using spice::Subcircuit;
+using spice::SubcircuitScope;
+
+spice::Subcircuit inverter_cell() {
+  auto builder = [](SubcircuitScope& s) {
+    NodeId in = s.port("in");
+    NodeId out = s.port("out");
+    NodeId vdd = s.port("vdd");
+    NodeId vss = s.port("vss");
+    s.add<Mosfet>("MP", out, in, vdd, MosPolarity::kPmos, tech::pmos_90nm(),
+                  s.param("WP"), s.param("L"));
+    s.add<Mosfet>("MN", out, in, vss, MosPolarity::kNmos, tech::nmos_90nm(),
+                  s.param("WN"), s.param("L"));
+  };
+  return Subcircuit("inverter", {"in", "out", "vdd", "vss"}, builder,
+                    {{"WP", 0.4e-6}, {"WN", 0.2e-6}, {"L", 1e-7}});
+}
+
+spice::Subcircuit load_inverter_cell() {
+  auto builder = [](SubcircuitScope& s) {
+    NodeId in = s.port("in");
+    NodeId vdd = s.port("vdd");
+    NodeId vss = s.port("vss");
+    NodeId out = s.node("out");
+    s.add<Mosfet>("MP", out, in, vdd, MosPolarity::kPmos, tech::pmos_90nm(),
+                  s.param("WP"), s.param("L"));
+    s.add<Mosfet>("MN", out, in, vss, MosPolarity::kNmos, tech::nmos_90nm(),
+                  s.param("WN"), s.param("L"));
+  };
+  return Subcircuit("inverter_load", {"in", "vdd", "vss"}, builder,
+                    {{"WP", 0.4e-6}, {"WN", 0.2e-6}, {"L", 1e-7}});
+}
+
+spice::Subcircuit domino_leg_cell(bool hybrid, const NemsParams& nems_card) {
+  if (hybrid) {
+    auto builder = [nems_card](SubcircuitScope& s) {
+      NodeId dyn = s.port("dyn");
+      NodeId in = s.port("in");
+      // NMOS on top, NEMFET in series below (Figure 8 (b)).
+      NodeId mid = s.node("mid");
+      s.add<Mosfet>("MPD", dyn, in, mid, MosPolarity::kNmos,
+                    tech::nmos_90nm(), s.param("W_NMOS"), s.param("L"));
+      s.add<Nemfet>("XPD", mid, in, s.node("0"), NemsPolarity::kN, nems_card,
+                    s.param("W_NEMS"));
+    };
+    return Subcircuit(
+        "domino_leg_hybrid", {"dyn", "in"}, builder,
+        {{"W_NMOS", 0.3e-6}, {"W_NEMS", 0.9e-6}, {"L", 1e-7}});
+  }
+  auto builder = [](SubcircuitScope& s) {
+    NodeId dyn = s.port("dyn");
+    NodeId in = s.port("in");
+    s.add<Mosfet>("MPD", dyn, in, s.node("0"), MosPolarity::kNmos,
+                  tech::nmos_90nm(), s.param("W_NMOS"), s.param("L"));
+  };
+  return Subcircuit("domino_leg_cmos", {"dyn", "in"}, builder,
+                    {{"W_NMOS", 0.3e-6}, {"L", 1e-7}});
+}
+
+namespace {
+
+const char* bitcell_def_name(SramKind kind) {
+  switch (kind) {
+    case SramKind::kConventional: return "sram6t_conv";
+    case SramKind::kDualVt: return "sram6t_dualvt";
+    case SramKind::kAsymmetric: return "sram6t_asym";
+    case SramKind::kHybrid: return "sram6t_hybrid";
+    case SramKind::kHybridPullupOnly: return "sram6t_hybrid_pu";
+  }
+  return "sram6t";
+}
+
+/// Adds the cross-coupled core + access transistors per Figure 13.
+/// Local names follow the paper (AL/AR access, NL/NR pull-downs, PL/PR
+/// pull-ups) behind the parser's element letter: "MAL", "XNL", ...
+void build_bitcell(SubcircuitScope& s, SramKind kind) {
+  const double wa = s.param("WA");
+  const double l = s.param("L");
+  NodeId bl = s.port("bl");
+  NodeId blb = s.port("blb");
+  NodeId wl = s.port("wl");
+  NodeId vdd = s.port("vdd");
+  NodeId ql = s.node("ql");
+  NodeId qr = s.node("qr");
+  NodeId gnd = s.node("0");
+
+  // Access transistors: always CMOS (replacing them with NEMS would be
+  // disastrous for latency, as the paper argues).  The dual-Vt cell [25]
+  // pairs low-Vt access devices with a high-Vt core - fast bitline
+  // access at the cost of read stability, which is exactly the tradeoff
+  // the paper attributes to that architecture.
+  const devices::MosParams access_card = kind == SramKind::kDualVt
+                                             ? tech::nmos_90nm_lvt()
+                                             : tech::nmos_90nm();
+  s.add<Mosfet>("MAL", bl, wl, ql, MosPolarity::kNmos, access_card, wa, l);
+  s.add<Mosfet>("MAR", blb, wl, qr, MosPolarity::kNmos, access_card, wa, l);
+
+  const bool stored_one = s.param("STORED_ONE") != 0.0;
+  auto nmos_card = [&](bool zero_state_leaker) {
+    if (kind == SramKind::kDualVt) return tech::nmos_90nm_hvt();
+    if (kind == SramKind::kAsymmetric && zero_state_leaker) {
+      return tech::nmos_90nm_hvt();
+    }
+    return tech::nmos_90nm();
+  };
+  auto pmos_card = [&](bool zero_state_leaker) {
+    if (kind == SramKind::kDualVt) return tech::pmos_90nm_hvt();
+    if (kind == SramKind::kAsymmetric && zero_state_leaker) {
+      return tech::pmos_90nm_hvt();
+    }
+    return tech::pmos_90nm();
+  };
+
+  if (kind == SramKind::kHybrid) {
+    // Figure 13 (d): both pull-downs and pull-ups become NEMS devices.
+    const double wnpd = s.param("WNPD");
+    const double wnpu = s.param("WNPU");
+    auto& nl = s.add<Nemfet>("XNL", ql, qr, gnd, NemsPolarity::kN,
+                             tech::nems_90nm(), wnpd);
+    auto& nr = s.add<Nemfet>("XNR", qr, ql, gnd, NemsPolarity::kN,
+                             tech::nems_90nm(), wnpd);
+    auto& pl = s.add<Nemfet>("XPL", ql, qr, vdd, NemsPolarity::kP,
+                             tech::nems_90nm(), wnpu);
+    auto& pr = s.add<Nemfet>("XPR", qr, ql, vdd, NemsPolarity::kP,
+                             tech::nems_90nm(), wnpu);
+    // Seed beam states consistent with the stored value so bistable DC
+    // solves land on the right branch.
+    if (stored_one) {
+      // QL = 1, QR = 0: NR and PL conduct.
+      nr.set_initially_closed();
+      pl.set_initially_closed();
+    } else {
+      nl.set_initially_closed();
+      pr.set_initially_closed();
+    }
+  } else if (kind == SramKind::kHybridPullupOnly) {
+    // Section 5.3 alternative: NEMS pull-ups over a CMOS pull-down pair.
+    const double wpd = s.param("WPD");
+    const double wnpu = s.param("WNPU");
+    s.add<Mosfet>("MNL", ql, qr, gnd, MosPolarity::kNmos, tech::nmos_90nm(),
+                  wpd, l);
+    s.add<Mosfet>("MNR", qr, ql, gnd, MosPolarity::kNmos, tech::nmos_90nm(),
+                  wpd, l);
+    auto& pl = s.add<Nemfet>("XPL", ql, qr, vdd, NemsPolarity::kP,
+                             tech::nems_90nm(), wnpu);
+    auto& pr = s.add<Nemfet>("XPR", qr, ql, vdd, NemsPolarity::kP,
+                             tech::nems_90nm(), wnpu);
+    if (stored_one) {
+      pl.set_initially_closed();
+    } else {
+      pr.set_initially_closed();
+    }
+  } else {
+    // For the asymmetric cell [26] the preferred state stores a zero at
+    // QL; the devices that are OFF (and leak) in that state - PL and NR -
+    // get the high threshold.
+    const double wpd = s.param("WPD");
+    const double wpu = s.param("WPU");
+    s.add<Mosfet>("MNL", ql, qr, gnd, MosPolarity::kNmos, nmos_card(false),
+                  wpd, l);
+    s.add<Mosfet>("MNR", qr, ql, gnd, MosPolarity::kNmos, nmos_card(true),
+                  wpd, l);
+    s.add<Mosfet>("MPL", ql, qr, vdd, MosPolarity::kPmos, pmos_card(true),
+                  wpu, l);
+    s.add<Mosfet>("MPR", qr, ql, vdd, MosPolarity::kPmos, pmos_card(false),
+                  wpu, l);
+  }
+}
+
+}  // namespace
+
+spice::Subcircuit sram_bitcell_cell(SramKind kind) {
+  const SramConfig d{};  // defaults mirror the default SramConfig sizing
+  return Subcircuit(
+      bitcell_def_name(kind), {"bl", "blb", "wl", "vdd"},
+      [kind](SubcircuitScope& s) { build_bitcell(s, kind); },
+      {{"WA", d.w_access},
+       {"WPD", d.w_pulldown},
+       {"WPU", d.w_pullup},
+       {"WNPD", d.w_nems_pulldown},
+       {"WNPU", d.w_nems_pullup},
+       {"L", d.l},
+       {"STORED_ONE", 0.0}});
+}
+
+spice::Subcircuit sleep_switch_cell(bool footer, bool nems) {
+  std::string name = std::string("sleep_") + (footer ? "footer" : "header") +
+                     (nems ? "_nems" : "_cmos");
+  auto builder = [footer, nems](SubcircuitScope& s) {
+    NodeId d = s.port("d");
+    NodeId g = s.port("g");
+    NodeId src = s.port("s");
+    if (nems) {
+      s.add<Nemfet>("XSW", d, g, src,
+                    footer ? NemsPolarity::kN : NemsPolarity::kP,
+                    tech::nems_90nm(), s.param("W"));
+    } else {
+      s.add<Mosfet>("MSW", d, g, src,
+                    footer ? MosPolarity::kNmos : MosPolarity::kPmos,
+                    footer ? tech::nmos_90nm() : tech::pmos_90nm(),
+                    s.param("W"), s.param("L"));
+    }
+  };
+  return Subcircuit(std::move(name), {"d", "g", "s"}, std::move(builder),
+                    {{"W", 1e-6}, {"L", tech::node_90nm().lmin}});
+}
+
+}  // namespace nemsim::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "nemsim/core/cells.h"
 #include "nemsim/core/metrics.h"
 #include "nemsim/devices/mosfet.h"
 #include "nemsim/devices/nemfet.h"
@@ -93,26 +94,20 @@ DynamicOrGate build_dynamic_or(const DynamicOrConfig& config) {
   add_fanout_load(ckt, "LD", out, vdd, config.fanout,
                   config.output_inverter);
 
-  // Pull-down network.  Footless domino: inputs are guaranteed low during
-  // precharge by the testbench (as in a domino pipeline).
+  // Pull-down network: one leg-cell instance per input (Figure 8 —
+  // "Xleg<i>.MPD", plus "Xleg<i>.XPD" below it in the hybrid gate).
+  // Footless domino: inputs are guaranteed low during precharge by the
+  // testbench (as in a domino pipeline).
+  const spice::Subcircuit leg =
+      domino_leg_cell(config.hybrid, config.nems_card);
+  spice::SubcktParams leg_params{{"W_NMOS", config.input_nmos_width},
+                                 {"L", 1e-7}};
+  if (config.hybrid) leg_params["W_NEMS"] = config.nems_width;
   for (int i = 0; i < config.fanin; ++i) {
     spice::NodeId in = ckt.node(gate.input_node(i));
     ckt.add<VoltageSource>(gate.input_source(i), in, ckt.gnd(),
                            SourceWave::dc(0.0));
-    if (config.hybrid) {
-      // NMOS on top, NEMFET in series below (Figure 8 (b)).
-      spice::NodeId mid = ckt.node("mid" + std::to_string(i));
-      ckt.add<Mosfet>("Mpd" + std::to_string(i), dyn, in, mid,
-                      MosPolarity::kNmos, tech::nmos_90nm(),
-                      config.input_nmos_width, 1e-7);
-      ckt.add<Nemfet>("Xpd" + std::to_string(i), mid, in, ckt.gnd(),
-                      NemsPolarity::kN, config.nems_card,
-                      config.nems_width);
-    } else {
-      ckt.add<Mosfet>("Mpd" + std::to_string(i), dyn, in, ckt.gnd(),
-                      MosPolarity::kNmos, tech::nmos_90nm(),
-                      config.input_nmos_width, 1e-7);
-    }
+    ckt.instantiate(leg, "Xleg" + std::to_string(i), {dyn, in}, leg_params);
   }
   return gate;
 }

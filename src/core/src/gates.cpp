@@ -1,5 +1,6 @@
 #include "nemsim/core/gates.h"
 
+#include "nemsim/core/cells.h"
 #include "nemsim/devices/mosfet.h"
 #include "nemsim/util/error.h"
 
@@ -7,24 +8,48 @@ namespace nemsim::core {
 
 using devices::Mosfet;
 using devices::MosPolarity;
+using spice::SubcktParams;
+
+namespace {
+
+/// Instance name for a caller-supplied prefix: 'X'-prefixed (the SPICE
+/// subcircuit convention the elaborator enforces) with '.' (reserved as
+/// the hierarchy separator) mapped to '_'.
+std::string instance_name_for(const std::string& prefix) {
+  std::string name = "X" + prefix;
+  for (char& ch : name) {
+    if (ch == '.') ch = '_';
+  }
+  return name;
+}
+
+SubcktParams inverter_params(const InverterSizes& sizes) {
+  return {{"WP", sizes.wp}, {"WN", sizes.wn}, {"L", sizes.l}};
+}
+
+}  // namespace
 
 void add_inverter(spice::Circuit& ckt, const std::string& prefix,
                   spice::NodeId in, spice::NodeId out, spice::NodeId vdd,
                   const InverterSizes& sizes) {
-  ckt.add<Mosfet>(prefix + ".P", out, in, vdd, MosPolarity::kPmos,
-                  tech::pmos_90nm(), sizes.wp, sizes.l);
-  ckt.add<Mosfet>(prefix + ".N", out, in, ckt.gnd(), MosPolarity::kNmos,
-                  tech::nmos_90nm(), sizes.wn, sizes.l);
+  add_inverter(ckt, prefix, in, out, vdd, ckt.gnd(), sizes);
+}
+
+void add_inverter(spice::Circuit& ckt, const std::string& prefix,
+                  spice::NodeId in, spice::NodeId out, spice::NodeId vdd,
+                  spice::NodeId vss, const InverterSizes& sizes) {
+  ckt.instantiate(inverter_cell(), instance_name_for(prefix),
+                  {in, out, vdd, vss}, inverter_params(sizes));
 }
 
 void add_fanout_load(spice::Circuit& ckt, const std::string& prefix,
                      spice::NodeId node, spice::NodeId vdd, int fanout,
                      const InverterSizes& sizes) {
   require(fanout >= 0, "add_fanout_load: fanout must be >= 0");
+  const spice::Subcircuit load = load_inverter_cell();
   for (int k = 0; k < fanout; ++k) {
-    spice::NodeId out = ckt.internal_node(prefix + "_fo" + std::to_string(k));
-    add_inverter(ckt, prefix + ".FO" + std::to_string(k), node, out, vdd,
-                 sizes);
+    ckt.instantiate(load, instance_name_for(prefix + ".FO" + std::to_string(k)),
+                    {node, vdd, ckt.gnd()}, inverter_params(sizes));
   }
 }
 
@@ -80,11 +105,8 @@ std::vector<spice::NodeId> add_inverter_chain(spice::Circuit& ckt,
   spice::NodeId prev = in;
   for (int s = 0; s < stages; ++s) {
     spice::NodeId out = ckt.internal_node(prefix + "_s" + std::to_string(s));
-    const std::string stage = prefix + ".S" + std::to_string(s);
-    ckt.add<Mosfet>(stage + ".P", out, prev, vdd, MosPolarity::kPmos,
-                    tech::pmos_90nm(), sizes.wp, sizes.l);
-    ckt.add<Mosfet>(stage + ".N", out, prev, low_rail, MosPolarity::kNmos,
-                    tech::nmos_90nm(), sizes.wn, sizes.l);
+    add_inverter(ckt, prefix + ".S" + std::to_string(s), prev, out, vdd,
+                 low_rail, sizes);
     outputs.push_back(out);
     prev = out;
   }

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "nemsim/core/cells.h"
 #include "nemsim/core/gates.h"
 #include "nemsim/core/metrics.h"
 #include "nemsim/devices/mosfet.h"
@@ -15,10 +16,6 @@
 
 namespace nemsim::core {
 
-using devices::Mosfet;
-using devices::MosPolarity;
-using devices::Nemfet;
-using devices::NemsPolarity;
 using devices::SourceWave;
 using devices::VoltageSource;
 using spice::Circuit;
@@ -37,6 +34,17 @@ double reference_area() {
 double width_for_area(double area_norm) {
   const tech::TechNode node = tech::node_90nm();
   return area_norm * reference_area() / node.lmin;
+}
+
+/// Instantiates the library sleep-switch cell as `inst` between `d`, `g`
+/// and `s` (nemsim/core/cells.h: footer = N-type to ground, header =
+/// P-type to Vdd; NEMS or CMOS flavour per the experiment config).
+void add_sleep_switch(Circuit& ckt, const std::string& inst,
+                      SleepDeviceType device, bool footer, spice::NodeId d,
+                      spice::NodeId g, spice::NodeId s, double width) {
+  ckt.instantiate(
+      sleep_switch_cell(footer, device != SleepDeviceType::kCmos), inst,
+      {d, g, s}, {{"W", width}, {"L", tech::node_90nm().lmin}});
 }
 
 /// Builds a single footer/header switch with Vg/Vd sources, solves the
@@ -63,20 +71,7 @@ double switch_current(const SleepSweepConfig& config, double width,
       "Vg", g, ckt.gnd(),
       SourceWave::dc(on_state ? v_src + sgn * config.vdd : v_src));
 
-  if (config.device == SleepDeviceType::kCmos) {
-    const tech::TechNode node = tech::node_90nm();
-    if (footer) {
-      ckt.add<Mosfet>("M1", d, g, src_node, MosPolarity::kNmos,
-                      tech::nmos_90nm(), width, node.lmin);
-    } else {
-      ckt.add<Mosfet>("M1", d, g, src_node, MosPolarity::kPmos,
-                      tech::pmos_90nm(), width, node.lmin);
-    }
-  } else {
-    ckt.add<Nemfet>("X1", d, g, src_node,
-                    footer ? NemsPolarity::kN : NemsPolarity::kP,
-                    tech::nems_90nm(), width);
-  }
+  add_sleep_switch(ckt, "Xsw", config.device, footer, d, g, src_node, width);
 
   MnaSystem system(ckt);
   spice::OpResult op = spice::operating_point(system);
@@ -107,7 +102,6 @@ std::vector<SleepPoint> sweep_sleep_transistor(
 GatedBlockResult measure_gated_block(const GatedBlockConfig& config) {
   GatedBlockResult result;
   const double vdd = config.vdd;
-  const tech::TechNode node = tech::node_90nm();
 
   // --- Active delay, gated vs ungated ---
   auto chain_delay = [&](bool gated) {
@@ -125,15 +119,8 @@ GatedBlockResult measure_gated_block(const GatedBlockConfig& config) {
     std::vector<spice::NodeId> outs =
         add_inverter_chain(ckt, "CH", in, vdd_n, vgnd, config.stages);
     if (gated) {
-      if (config.device == SleepDeviceType::kCmos) {
-        ckt.add<Mosfet>("Msleep", vgnd, sleep_g, ckt.gnd(),
-                        MosPolarity::kNmos, tech::nmos_90nm(),
-                        config.sleep_width, node.lmin);
-      } else {
-        ckt.add<Nemfet>("Xsleep", vgnd, sleep_g, ckt.gnd(),
-                        NemsPolarity::kN, tech::nems_90nm(),
-                        config.sleep_width);
-      }
+      add_sleep_switch(ckt, "Xsleep", config.device, /*footer=*/true, vgnd,
+                       sleep_g, ckt.gnd(), config.sleep_width);
     }
     MnaSystem system(ckt);
     spice::TransientOptions options;
@@ -173,13 +160,8 @@ GatedBlockResult measure_gated_block(const GatedBlockConfig& config) {
     ckt.add<VoltageSource>("Vsleepg", sleep_g, ckt.gnd(),
                            SourceWave::dc(0.0));
     add_inverter_chain(ckt, "CH", in, vdd_n, vgnd, config.stages);
-    if (config.device == SleepDeviceType::kCmos) {
-      ckt.add<Mosfet>("Msleep", vgnd, sleep_g, ckt.gnd(), MosPolarity::kNmos,
-                      tech::nmos_90nm(), config.sleep_width, node.lmin);
-    } else {
-      ckt.add<Nemfet>("Xsleep", vgnd, sleep_g, ckt.gnd(), NemsPolarity::kN,
-                      tech::nems_90nm(), config.sleep_width);
-    }
+    add_sleep_switch(ckt, "Xsleep", config.device, /*footer=*/true, vgnd,
+                     sleep_g, ckt.gnd(), config.sleep_width);
     MnaSystem system(ckt);
     spice::OpResult op = spice::operating_point(system);
     result.sleep_leakage = static_power(ckt, op);
@@ -198,13 +180,8 @@ GatedBlockResult measure_gated_block(const GatedBlockConfig& config) {
         "Vsleepg", sleep_g, ckt.gnd(),
         SourceWave::pulse(0.0, vdd, 0.5e-9, 20e-12, 20e-12, 10e-9));
     add_inverter_chain(ckt, "CH", in, vdd_n, vgnd, config.stages);
-    if (config.device == SleepDeviceType::kCmos) {
-      ckt.add<Mosfet>("Msleep", vgnd, sleep_g, ckt.gnd(), MosPolarity::kNmos,
-                      tech::nmos_90nm(), config.sleep_width, node.lmin);
-    } else {
-      ckt.add<Nemfet>("Xsleep", vgnd, sleep_g, ckt.gnd(), NemsPolarity::kN,
-                      tech::nems_90nm(), config.sleep_width);
-    }
+    add_sleep_switch(ckt, "Xsleep", config.device, /*footer=*/true, vgnd,
+                     sleep_g, ckt.gnd(), config.sleep_width);
     MnaSystem system(ckt);
     spice::TransientOptions options;
     options.tstop = 3e-9;
@@ -224,7 +201,6 @@ GranularityResult measure_granularity(SleepGranularity granularity,
                                       const GranularityConfig& config) {
   require(config.stages >= 1, "measure_granularity: need stages >= 1");
   const double vdd = config.vdd;
-  const tech::TechNode node = tech::node_90nm();
   const bool fine = granularity == SleepGranularity::kFineGrain;
   const double per_switch_width =
       fine ? config.total_sleep_width / config.stages
@@ -241,31 +217,21 @@ GranularityResult measure_granularity(SleepGranularity granularity,
         SourceWave::pulse(0.0, vdd, 0.5e-9, 20e-12, 20e-12, 2e-9));
     ckt->add<VoltageSource>("Vsleepg", sleep_g, ckt->gnd(),
                             SourceWave::dc(sleep_on ? vdd : 0.0));
-    auto add_switch = [&](const std::string& name, spice::NodeId vgnd) {
-      if (config.device == SleepDeviceType::kCmos) {
-        ckt->add<Mosfet>(name, vgnd, sleep_g, ckt->gnd(),
-                         MosPolarity::kNmos, tech::nmos_90nm(),
-                         per_switch_width, node.lmin);
-      } else {
-        ckt->add<Nemfet>(name, vgnd, sleep_g, ckt->gnd(), NemsPolarity::kN,
-                         tech::nems_90nm(), per_switch_width);
-      }
+    auto add_switch = [&](const std::string& inst, spice::NodeId vgnd) {
+      add_sleep_switch(*ckt, inst, config.device, /*footer=*/true, vgnd,
+                       sleep_g, ckt->gnd(), per_switch_width);
     };
     spice::NodeId shared_vgnd = ckt->node("vgnd0");
-    if (!fine) add_switch("Msleep", shared_vgnd);
+    if (!fine) add_switch("Xsleep", shared_vgnd);
     spice::NodeId prev = in;
     InverterSizes sizes;
     for (int s = 0; s < config.stages; ++s) {
       spice::NodeId vgnd =
           fine ? ckt->node("vgnd" + std::to_string(s)) : shared_vgnd;
-      if (fine) add_switch("Msleep" + std::to_string(s), vgnd);
+      if (fine) add_switch("Xsleep" + std::to_string(s), vgnd);
       spice::NodeId out = ckt->node("o" + std::to_string(s));
-      ckt->add<Mosfet>("P" + std::to_string(s), out, prev, vdd_n,
-                       MosPolarity::kPmos, tech::pmos_90nm(), sizes.wp,
-                       sizes.l);
-      ckt->add<Mosfet>("N" + std::to_string(s), out, prev, vgnd,
-                       MosPolarity::kNmos, tech::nmos_90nm(), sizes.wn,
-                       sizes.l);
+      add_inverter(*ckt, "S" + std::to_string(s), prev, out, vdd_n, vgnd,
+                   sizes);
       prev = out;
     }
     return ckt;

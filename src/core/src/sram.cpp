@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "nemsim/core/cells.h"
 #include "nemsim/core/metrics.h"
 #include "nemsim/devices/mosfet.h"
 #include "nemsim/devices/nemfet.h"
@@ -41,103 +42,20 @@ const char* sram_kind_name(SramKind kind) {
 
 namespace {
 
-/// Adds the cross-coupled core + access transistors per Figure 13.
-/// Node/device names follow the paper: QL/QR storage nodes, AL/AR access,
-/// PL/PR pull-ups, NL/NR pull-downs.
-void add_cell_core(Circuit& ckt, const SramConfig& c) {
-  spice::NodeId vdd = ckt.node("vdd");
-  spice::NodeId ql = ckt.node("ql");
-  spice::NodeId qr = ckt.node("qr");
-  spice::NodeId bl = ckt.node("bl");
-  spice::NodeId blb = ckt.node("blb");
-  spice::NodeId wl = ckt.node("wl");
-
-  // Access transistors: always CMOS (replacing them with NEMS would be
-  // disastrous for latency, as the paper argues).  The dual-Vt cell [25]
-  // pairs low-Vt access devices with a high-Vt core - fast bitline
-  // access at the cost of read stability, which is exactly the tradeoff
-  // the paper attributes to that architecture.
-  const devices::MosParams access_card = c.kind == SramKind::kDualVt
-                                             ? tech::nmos_90nm_lvt()
-                                             : tech::nmos_90nm();
-  ckt.add<Mosfet>("AL", bl, wl, ql, MosPolarity::kNmos, access_card,
-                  c.w_access, c.l);
-  ckt.add<Mosfet>("AR", blb, wl, qr, MosPolarity::kNmos, access_card,
-                  c.w_access, c.l);
-
-  // Device-flavour selection per architecture.
-  const bool hybrid = c.kind == SramKind::kHybrid;
-  const bool hybrid_pu = c.kind == SramKind::kHybridPullupOnly;
-  auto nmos_card = [&](bool zero_state_leaker) {
-    if (c.kind == SramKind::kDualVt) return tech::nmos_90nm_hvt();
-    if (c.kind == SramKind::kAsymmetric && zero_state_leaker) {
-      return tech::nmos_90nm_hvt();
-    }
-    return tech::nmos_90nm();
-  };
-  auto pmos_card = [&](bool zero_state_leaker) {
-    if (c.kind == SramKind::kDualVt) return tech::pmos_90nm_hvt();
-    if (c.kind == SramKind::kAsymmetric && zero_state_leaker) {
-      return tech::pmos_90nm_hvt();
-    }
-    return tech::pmos_90nm();
-  };
-
-  if (hybrid) {
-    // Figure 13 (d): both pull-downs and pull-ups become NEMS devices.
-    auto& nl = ckt.add<Nemfet>("NL", ql, qr, ckt.gnd(), NemsPolarity::kN,
-                               tech::nems_90nm(), c.w_nems_pulldown);
-    auto& nr = ckt.add<Nemfet>("NR", qr, ql, ckt.gnd(), NemsPolarity::kN,
-                               tech::nems_90nm(), c.w_nems_pulldown);
-    auto& pl = ckt.add<Nemfet>("PL", ql, qr, vdd, NemsPolarity::kP,
-                               tech::nems_90nm(), c.w_nems_pullup);
-    auto& pr = ckt.add<Nemfet>("PR", qr, ql, vdd, NemsPolarity::kP,
-                               tech::nems_90nm(), c.w_nems_pullup);
-    // Seed beam states consistent with the stored value so bistable DC
-    // solves land on the right branch.
-    if (c.stored_one) {
-      // QL = 1, QR = 0: NR and PL conduct.
-      nr.set_initially_closed();
-      pl.set_initially_closed();
-    } else {
-      nl.set_initially_closed();
-      pr.set_initially_closed();
-    }
-  } else if (hybrid_pu) {
-    // Section 5.3 alternative: NEMS pull-ups over a CMOS pull-down pair.
-    ckt.add<Mosfet>("NL", ql, qr, ckt.gnd(), MosPolarity::kNmos,
-                    tech::nmos_90nm(), c.w_pulldown, c.l);
-    ckt.add<Mosfet>("NR", qr, ql, ckt.gnd(), MosPolarity::kNmos,
-                    tech::nmos_90nm(), c.w_pulldown, c.l);
-    auto& pl = ckt.add<Nemfet>("PL", ql, qr, vdd, NemsPolarity::kP,
-                               tech::nems_90nm(), c.w_nems_pullup);
-    auto& pr = ckt.add<Nemfet>("PR", qr, ql, vdd, NemsPolarity::kP,
-                               tech::nems_90nm(), c.w_nems_pullup);
-    if (c.stored_one) {
-      pl.set_initially_closed();
-    } else {
-      pr.set_initially_closed();
-    }
-  } else {
-    // For the asymmetric cell [26] the preferred state stores a zero at
-    // QL; the devices that are OFF (and leak) in that state - PL and NR -
-    // get the high threshold.
-    ckt.add<Mosfet>("NL", ql, qr, ckt.gnd(), MosPolarity::kNmos,
-                    nmos_card(false), c.w_pulldown, c.l);
-    ckt.add<Mosfet>("NR", qr, ql, ckt.gnd(), MosPolarity::kNmos,
-                    nmos_card(true), c.w_pulldown, c.l);
-    ckt.add<Mosfet>("PL", ql, qr, vdd, MosPolarity::kPmos, pmos_card(true),
-                    c.w_pullup, c.l);
-    ckt.add<Mosfet>("PR", qr, ql, vdd, MosPolarity::kPmos, pmos_card(false),
-                    c.w_pullup, c.l);
-  }
+/// Bitcell-parameter map for one cell storing `stored_one` (the beam
+/// seeding of the hybrid flavours reads STORED_ONE at elaboration).
+spice::SubcktParams bitcell_params(const SramConfig& c, bool stored_one) {
+  return {{"WA", c.w_access},        {"WPD", c.w_pulldown},
+          {"WPU", c.w_pullup},       {"WNPD", c.w_nems_pulldown},
+          {"WNPU", c.w_nems_pullup}, {"L", c.l},
+          {"STORED_ONE", stored_one ? 1.0 : 0.0}};
 }
 
 void nodeset_stored_value(MnaSystem& system, const SramConfig& c) {
   Circuit& ckt = system.circuit();
   const double vql = c.stored_one ? c.vdd : 0.0;
-  system.set_nodeset(ckt.find_node("ql"), vql);
-  system.set_nodeset(ckt.find_node("qr"), c.vdd - vql);
+  system.set_nodeset(ckt.find_node(SramCell::kQl), vql);
+  system.set_nodeset(ckt.find_node(SramCell::kQr), c.vdd - vql);
 }
 
 }  // namespace
@@ -164,8 +82,55 @@ SramCell build_sram_cell(const SramConfig& config,
     ckt.add<VoltageSource>("Vblb", blb, ckt.gnd(),
                            SourceWave::dc(config.vdd));
   }
-  add_cell_core(ckt, config);
+  ckt.instantiate(sram_bitcell_cell(config.kind), "Xcell",
+                  {bl, blb, wl, vdd},
+                  bitcell_params(config, config.stored_one));
   return cell;
+}
+
+// --------------------------------------------------------------- column
+
+SramColumn build_sram_column(const SramColumnConfig& config) {
+  const SramConfig& c = config.cell;
+  require(config.n_cells >= 1, "build_sram_column: need at least one cell");
+  require(config.active_cell < config.n_cells,
+          "build_sram_column: active_cell out of range");
+
+  SramColumn col;
+  col.config = config;
+  col.circuit = std::make_unique<Circuit>();
+  Circuit& ckt = *col.circuit;
+
+  spice::NodeId vdd = ckt.node("vdd");
+  spice::NodeId bl = ckt.node("bl");
+  spice::NodeId blb = ckt.node("blb");
+  spice::NodeId wl = ckt.node("wl");
+
+  ckt.add<VoltageSource>("Vdd", vdd, ckt.gnd(), SourceWave::dc(c.vdd));
+  ckt.add<VoltageSource>("Vwl", wl, ckt.gnd(), SourceWave::dc(0.0));
+  ckt.add<Capacitor>("Cbl", bl, ckt.gnd(), c.bitline_cap);
+  ckt.add<Capacitor>("Cblb", blb, ckt.gnd(), c.bitline_cap);
+
+  const spice::Subcircuit def = sram_bitcell_cell(c.kind);
+  for (std::size_t i = 0; i < config.n_cells; ++i) {
+    // Only the accessed row's wordline is driven; idle rows' wordlines
+    // sit hard at ground, so their access transistors are OFF and only
+    // leak — exactly the column effect of paper Section 5.1.
+    spice::NodeId cell_wl = i == config.active_cell ? wl : ckt.gnd();
+    ckt.instantiate(def, col.cell_name(i), {bl, blb, cell_wl, vdd},
+                    bitcell_params(c, config.cell_stores_one(i)));
+  }
+  return col;
+}
+
+void nodeset_column_state(MnaSystem& system, const SramColumn& col) {
+  Circuit& ckt = system.circuit();
+  const SramConfig& c = col.config.cell;
+  for (std::size_t i = 0; i < col.config.n_cells; ++i) {
+    const double vql = col.config.cell_stores_one(i) ? c.vdd : 0.0;
+    system.set_nodeset(ckt.find_node(col.cell_node(i, "ql")), vql);
+    system.set_nodeset(ckt.find_node(col.cell_node(i, "qr")), c.vdd - vql);
+  }
 }
 
 // ------------------------------------------------------------ butterfly
@@ -183,8 +148,8 @@ std::vector<double> half_cell_transfer(const SramConfig& config,
   SramCell cell = build_sram_cell(config, mode);
   Circuit& ckt = cell.ckt();
 
-  const std::string driven = drive_ql ? "ql" : "qr";
-  const std::string sensed = drive_ql ? "qr" : "ql";
+  const std::string driven = drive_ql ? SramCell::kQl : SramCell::kQr;
+  const std::string sensed = drive_ql ? SramCell::kQr : SramCell::kQl;
   auto& sweep_src = ckt.add<VoltageSource>(
       "Vsweep", ckt.find_node(driven), ckt.gnd(), SourceWave::dc(0.0));
 
@@ -267,6 +232,54 @@ ButterflyCurves measure_butterfly(const SramConfig& config,
 
 namespace {
 
+/// Time from the wordline 50 % rising edge until the differential between
+/// the (possibly drooping) reference bitline and the discharging read
+/// bitline reaches `sense_margin` volts.
+double bitline_sense_latency(const spice::Waveform& wave, double vdd,
+                             bool stored_one, double sense_margin) {
+  // The bitline on the zero-storing side discharges through access +
+  // pull-down; sensing completes when the differential against the
+  // reference bitline reaches the margin.
+  const std::string read_bl = stored_one ? "v(blb)" : "v(bl)";
+  const std::string ref_sig = stored_one ? "v(bl)" : "v(blb)";
+  const double t_wl_half =
+      spice::cross_time(wave, "v(wl)", 0.5 * vdd, spice::Edge::kRising);
+  const std::size_t s_read = wave.signal_index(read_bl);
+  const std::size_t s_ref = wave.signal_index(ref_sig);
+  const auto& ts = wave.times();
+  for (std::size_t k = 1; k < ts.size(); ++k) {
+    if (ts[k] < t_wl_half) continue;
+    const double diff = wave.sample(s_ref, k) - wave.sample(s_read, k);
+    if (diff >= sense_margin) {
+      // Linear refinement between samples.
+      const double d0 =
+          wave.sample(s_ref, k - 1) - wave.sample(s_read, k - 1);
+      const double frac = (sense_margin - d0) / (diff - d0);
+      return ts[k - 1] + frac * (ts[k] - ts[k - 1]) - t_wl_half;
+    }
+  }
+  throw MeasurementError("read latency: sense margin never reached");
+}
+
+/// Read-bench timing shared by the single-cell and column benches.
+constexpr double kPrechargeOff = 0.2e-9;
+constexpr double kWordlineRise = 0.4e-9;
+
+/// Adds the bitline precharge PMOS pair and switches Vpc off before the
+/// wordline rises; reprograms "Vwl" with the read pulse.
+void dress_read_bench(Circuit& ckt, double vdd, double l) {
+  spice::NodeId pc = ckt.node("pc");
+  ckt.add<Mosfet>("Mpcl", ckt.find_node("bl"), pc, ckt.find_node("vdd"),
+                  MosPolarity::kPmos, tech::pmos_90nm(), 1e-6, l);
+  ckt.add<Mosfet>("Mpcr", ckt.find_node("blb"), pc, ckt.find_node("vdd"),
+                  MosPolarity::kPmos, tech::pmos_90nm(), 1e-6, l);
+  ckt.add<VoltageSource>(
+      "Vpc", pc, ckt.gnd(),
+      SourceWave::pulse(0.0, vdd, kPrechargeOff, 20e-12, 20e-12, 1.0));
+  ckt.find<VoltageSource>("Vwl").set_wave(
+      SourceWave::pulse(0.0, vdd, kWordlineRise, 20e-12, 20e-12, 1.0));
+}
+
 double read_latency_impl(const SramConfig& config, std::size_t idle_cells,
                          double sense_margin,
                          spice::RunReport* report = nullptr) {
@@ -277,18 +290,7 @@ double read_latency_impl(const SramConfig& config, std::size_t idle_cells,
   const double vdd = config.vdd;
 
   // Precharge devices, switched off before the wordline rises.
-  spice::NodeId pc = ckt.node("pc");
-  ckt.add<Mosfet>("Mpcl", ckt.find_node("bl"), pc, ckt.find_node("vdd"),
-                  MosPolarity::kPmos, tech::pmos_90nm(), 1e-6, config.l);
-  ckt.add<Mosfet>("Mpcr", ckt.find_node("blb"), pc, ckt.find_node("vdd"),
-                  MosPolarity::kPmos, tech::pmos_90nm(), 1e-6, config.l);
-  const double t_pc_off = 0.2e-9;
-  const double t_wl = 0.4e-9;
-  ckt.add<VoltageSource>(
-      "Vpc", pc, ckt.gnd(),
-      SourceWave::pulse(0.0, vdd, t_pc_off, 20e-12, 20e-12, 1.0));
-  ckt.find<VoltageSource>("Vwl").set_wave(
-      SourceWave::pulse(0.0, vdd, t_wl, 20e-12, 20e-12, 1.0));
+  dress_read_bench(ckt, vdd, config.l);
 
   const std::string ref_bl = config.stored_one ? "bl" : "blb";
   if (idle_cells > 0) {
@@ -317,28 +319,7 @@ double read_latency_impl(const SramConfig& config, std::size_t idle_cells,
   options.report = report;
   spice::Waveform wave = spice::transient(system, options);
 
-  // The bitline on the zero-storing side discharges through access +
-  // pull-down; sensing completes when the differential against the
-  // (possibly drooping) reference bitline reaches the margin.
-  const std::string read_bl = config.stored_one ? "v(blb)" : "v(bl)";
-  const std::string ref_sig = "v(" + ref_bl + ")";
-  const double t_wl_half =
-      spice::cross_time(wave, "v(wl)", 0.5 * vdd, spice::Edge::kRising);
-  const std::size_t s_read = wave.signal_index(read_bl);
-  const std::size_t s_ref = wave.signal_index(ref_sig);
-  const auto& ts = wave.times();
-  for (std::size_t k = 1; k < ts.size(); ++k) {
-    if (ts[k] < t_wl_half) continue;
-    const double diff = wave.sample(s_ref, k) - wave.sample(s_read, k);
-    if (diff >= sense_margin) {
-      // Linear refinement between samples.
-      const double d0 =
-          wave.sample(s_ref, k - 1) - wave.sample(s_read, k - 1);
-      const double frac = (sense_margin - d0) / (diff - d0);
-      return ts[k - 1] + frac * (ts[k] - ts[k - 1]) - t_wl_half;
-    }
-  }
-  throw MeasurementError("read latency: sense margin never reached");
+  return bitline_sense_latency(wave, vdd, config.stored_one, sense_margin);
 }
 
 }  // namespace
@@ -352,6 +333,29 @@ double measure_column_read_latency(const SramConfig& config,
                                    std::size_t idle_cells,
                                    double sense_margin) {
   return read_latency_impl(config, idle_cells, sense_margin);
+}
+
+double measure_column_read_latency_structural(const SramColumnConfig& config,
+                                              double sense_margin,
+                                              spice::RunReport* report) {
+  SramColumn col = build_sram_column(config);
+  Circuit& ckt = col.ckt();
+  const SramConfig& c = config.cell;
+
+  dress_read_bench(ckt, c.vdd, c.l);
+
+  MnaSystem system(ckt);
+  nodeset_column_state(system, col);
+  system.set_nodeset(ckt.find_node("bl"), c.vdd);
+  system.set_nodeset(ckt.find_node("blb"), c.vdd);
+
+  spice::TransientOptions options;
+  options.tstop = 3e-9;
+  options.dt_initial = 1e-13;
+  options.report = report;
+  spice::Waveform wave = spice::transient(system, options);
+
+  return bitline_sense_latency(wave, c.vdd, c.stored_one, sense_margin);
 }
 
 // ---------------------------------------------------------------- write
@@ -383,14 +387,15 @@ WriteResult measure_write(const SramConfig& config, double wl_pulse) {
   spice::Waveform wave = spice::transient(system, options);
 
   WriteResult result;
-  const double vql_final = spice::final_value(wave, "v(ql)");
+  const std::string v_ql = std::string("v(") + SramCell::kQl + ")";
+  const double vql_final = spice::final_value(wave, v_ql);
   result.flipped = write_one ? (vql_final > 0.8 * vdd)
                              : (vql_final < 0.2 * vdd);
   if (result.flipped) {
     const double t_wl_half =
         spice::cross_time(wave, "v(wl)", 0.5 * vdd, spice::Edge::kRising);
     const double t_q = spice::cross_time(
-        wave, "v(ql)", 0.5 * vdd,
+        wave, v_ql, 0.5 * vdd,
         write_one ? spice::Edge::kRising : spice::Edge::kFalling, 1,
         t_wl_half);
     result.latency = t_q - t_wl_half;
@@ -432,7 +437,7 @@ double standby_leakage_impl(const SramConfig& config, bool precharged) {
   spice::OpResult op = spice::operating_point(system);
 
   // Sanity: the cell must still hold its value.
-  const double vql = op.v("ql");
+  const double vql = op.v(SramCell::kQl);
   const double expect = config.stored_one ? config.vdd : 0.0;
   require(std::abs(vql - expect) < 0.3 * config.vdd,
           "standby leakage: cell lost its state in the operating point");

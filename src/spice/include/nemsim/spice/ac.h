@@ -60,12 +60,11 @@ class AcStampContext {
   linalg::CVector& rhs_;
 };
 
-struct AcOptions {
-  NewtonOptions newton;  ///< for the embedded operating-point solve
-  /// Pre-solve structural lint gate; runs once before the bias-point
-  /// solve (which itself does not lint again).  See OpOptions.
-  lint::LintMode lint = lint::LintMode::kWarn;
-};
+/// Newton settings (for the embedded operating-point solve), report
+/// sink, forensics, and lint gate live in the shared AnalysisCommon base
+/// (nemsim/spice/analysis.h).  The lint gate runs once before the
+/// bias-point solve, which itself does not lint again.
+struct AcOptions : AnalysisCommon {};
 
 /// Frequency-sweep result: complex value of every unknown per frequency.
 /// Owns its signal-name table, so it stays valid after the MnaSystem that

@@ -1,6 +1,8 @@
 // Circuit: the netlist container (nodes + devices).
 #pragma once
 
+#include <cstddef>
+#include <map>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -13,6 +15,25 @@
 
 namespace nemsim::spice {
 
+class Subcircuit;
+class SubcircuitScope;
+
+/// Per-instance parameter values (ordered for deterministic export).
+using SubcktParams = std::map<std::string, double>;
+
+/// Bookkeeping for one elaborated subcircuit instance.  Devices created
+/// by the instance (including those of nested instances) occupy the
+/// contiguous range [first_device, first_device + num_devices).
+struct SubcircuitInstanceRecord {
+  std::string name;           ///< full hierarchical path, e.g. "Xcol.Xcell3"
+  std::string subckt;         ///< definition name
+  std::vector<NodeId> ports;  ///< actual nodes bound to the formal ports
+  SubcktParams params;        ///< explicit per-instance overrides only
+  std::ptrdiff_t parent = -1; ///< enclosing instance index, -1 for top level
+  std::size_t first_device = 0;
+  std::size_t num_devices = 0;
+};
+
 /// A flat netlist: named nodes and owned devices.
 ///
 /// Typical use:
@@ -22,6 +43,10 @@ namespace nemsim::spice {
 /// ckt.add<Resistor>("R1", out, ckt.gnd(), 1e3);
 /// ckt.add<VoltageSource>("V1", ckt.node("in"), ckt.gnd(), SourceWave::dc(1.0));
 /// ```
+///
+/// Hierarchy (nemsim/spice/subcircuit.h) flattens into this container at
+/// instantiate() time: scoped device/node names plus instance records,
+/// so the solver stack stays flat while export and lint see structure.
 class Circuit {
  public:
   Circuit();
@@ -33,7 +58,12 @@ class Circuit {
   NodeId node(const std::string& name);
 
   /// Creates a fresh internal node with a unique name derived from `hint`.
+  /// Internal nodes are declared intentionally private (a generated wire
+  /// nothing else is expected to attach to); lint's hierarchy rules use
+  /// this to avoid flagging them as unconnected instance ports.
   NodeId internal_node(const std::string& hint);
+  /// True when `node` was created by internal_node().
+  bool node_is_internal(NodeId node) const;
 
   /// Looks up an existing node; throws NetlistError when absent.
   NodeId find_node(const std::string& name) const;
@@ -96,15 +126,62 @@ class Circuit {
     }
   }
 
+  // --- Hierarchy (see nemsim/spice/subcircuit.h) -----------------------
+
+  /// Elaborates `def` into this circuit as instance `inst_name` (must
+  /// start with 'X' and contain no '.'), binding `actuals` to the formal
+  /// ports in order.  Throws NetlistError on bad names, duplicate
+  /// instances, or port-arity mismatch.
+  void instantiate(const Subcircuit& def, const std::string& inst_name,
+                   const std::vector<NodeId>& actuals,
+                   const SubcktParams& overrides = {});
+
+  /// All elaborated instances, in elaboration order (parents precede
+  /// their nested children).
+  const std::vector<SubcircuitInstanceRecord>& instances() const {
+    return instances_;
+  }
+  bool has_instance(const std::string& name) const;
+  /// Innermost instance owning the device at `device_index`, or nullptr
+  /// for a top-level device.
+  const SubcircuitInstanceRecord* device_instance(
+      std::size_t device_index) const;
+
+  /// Definitions registered by elaboration (and by the netlist parser),
+  /// keyed by definition name.
+  const std::map<std::string, std::shared_ptr<const Subcircuit>>&
+  subckt_defs() const {
+    return subckt_defs_;
+  }
+  /// Registers a definition (keeps the first; throws NetlistError when a
+  /// different definition already holds the name).
+  void register_subckt_def(std::shared_ptr<const Subcircuit> def);
+
  private:
+  friend class SubcircuitScope;
+
   void require_unique_device_name(const std::string& name) const;
   void register_device(std::unique_ptr<Device> device);
+  /// Shared elaboration core for top-level and nested instantiation.
+  void instantiate_impl(const Subcircuit& def, const std::string& full_name,
+                        const std::vector<NodeId>& actuals,
+                        const SubcktParams& overrides, std::ptrdiff_t parent);
 
   std::vector<std::string> node_names_;
   std::unordered_map<std::string, std::size_t> node_index_;
+  std::vector<bool> node_internal_;  ///< parallel to node_names_
   std::vector<std::unique_ptr<Device>> devices_;
   std::unordered_map<std::string, std::size_t> device_index_;
   std::size_t internal_counter_ = 0;
+
+  std::vector<SubcircuitInstanceRecord> instances_;
+  std::unordered_map<std::string, std::size_t> instance_index_;
+  std::map<std::string, std::shared_ptr<const Subcircuit>> subckt_defs_;
+  /// Per-device innermost owning instance index (-1 = top level);
+  /// parallel to devices_.
+  std::vector<std::ptrdiff_t> device_owner_;
+  /// Innermost instance currently elaborating (-1 outside elaboration).
+  std::ptrdiff_t open_instance_ = -1;
 };
 
 }  // namespace nemsim::spice

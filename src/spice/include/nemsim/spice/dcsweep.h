@@ -9,26 +9,21 @@
 #include <span>
 #include <vector>
 
-#include "nemsim/spice/diagnostics.h"
+#include "nemsim/spice/analysis.h"
 #include "nemsim/spice/engine.h"
-#include "nemsim/spice/newton.h"
 #include "nemsim/spice/waveform.h"
 
 namespace nemsim::spice {
 
-struct DcSweepOptions {
-  NewtonOptions newton;
+/// Newton settings, report sink, forensics, and lint gate live in the
+/// shared AnalysisCommon base (nemsim/spice/analysis.h).  The lint gate
+/// runs once per sweep (not per point); in dc_sweep_parallel it runs on
+/// the reference instance before any worker starts, and the report is
+/// filled after the workers join, in input order.
+struct DcSweepOptions : AnalysisCommon {
   /// When true (default), each point starts from the previous solution;
   /// when false, every point is solved cold (branch-independent).
   bool continuation = true;
-  /// Optional diagnostics sink (per-point Newton work, stage records,
-  /// point counters).  In dc_sweep_parallel the report is filled after
-  /// the workers join, in input order.
-  RunReport* report = nullptr;
-  /// Pre-solve structural lint gate; runs once per sweep (not per point).
-  /// In dc_sweep_parallel the gate runs on the reference instance before
-  /// any worker starts.  See OpOptions.
-  lint::LintMode lint = lint::LintMode::kWarn;
 };
 
 /// Applies `set_param(value)` then solves an operating point, for each

@@ -30,8 +30,17 @@
 //   warning capacitive-only-node       no DC path (gmin ladder fodder)
 //   warning dangling-node              single-terminal internal node
 //   warning parallel-voltage-sources   conflicting sources on one node pair
+//   warning unconnected-subckt-port    instance port with nothing attached
+//                                      outside the instance (or a formal
+//                                      the subcircuit body never uses)
 //   hint    name-convention            device name won't round-trip through
 //                                      the first-letter-dispatch parser
+//                                      (devices elaborated from subcircuits
+//                                      are exempt: they round-trip via
+//                                      their .subckt body and X card)
+//
+// Findings over elaborated hierarchies (nemsim/spice/subcircuit.h) name
+// nodes and devices by their full hierarchical path ("Xcol.Xcell3.ql").
 #pragma once
 
 #include "nemsim/spice/lint_types.h"

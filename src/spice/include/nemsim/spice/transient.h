@@ -7,9 +7,8 @@
 // truncation error estimate and lands exactly on source breakpoints.
 #pragma once
 
-#include "nemsim/spice/diagnostics.h"
+#include "nemsim/spice/analysis.h"
 #include "nemsim/spice/engine.h"
-#include "nemsim/spice/newton.h"
 #include "nemsim/spice/waveform.h"
 
 namespace nemsim::spice {
@@ -23,30 +22,20 @@ struct TransientStats {
   double max_dt = 0.0;
 };
 
-struct TransientOptions {
+/// Newton settings, report sink, forensics, and lint gate live in the
+/// shared AnalysisCommon base (nemsim/spice/analysis.h).
+struct TransientOptions : AnalysisCommon {
   double tstop = 0.0;          ///< required: end time (seconds)
   double dt_initial = 1e-12;   ///< first step and post-breakpoint restart
   double dt_min = 1e-18;       ///< give up below this step
   double dt_max = 0.0;         ///< 0 → tstop / 50
   double lte_reltol = 2e-3;    ///< LTE target relative to signal magnitude
   double reject_factor = 8.0;  ///< reject a step when LTE ratio exceeds this
-  NewtonOptions newton;        ///< per-step Newton settings
   TransientStats* stats = nullptr;  ///< optional diagnostics sink
   /// Optional cumulative Newton work counters (assembles, factorizations,
   /// sparse refactorization reuses) summed over every accepted and
   /// rejected step of the run.
   NewtonStats* newton_stats = nullptr;
-  /// Optional diagnostics sink: per-solve iteration histogram, LTE-reject
-  /// and step-failure locations, phase timings.  The run is bitwise
-  /// identical (and pays nothing) when left null.
-  RunReport* report = nullptr;
-  /// Opt-in failure dump: on a terminal ConvergenceError, writes the
-  /// recent waveform window, a netlist snapshot and the failure
-  /// description before rethrowing.
-  ForensicsOptions forensics;
-  /// Pre-solve structural lint gate; runs once at analysis entry (the
-  /// embedded t = 0 operating point does not lint again).  See OpOptions.
-  lint::LintMode lint = lint::LintMode::kWarn;
 };
 
 /// Runs a transient from the DC operating point at t = 0.

@@ -125,11 +125,13 @@ AcResult ac_analysis(MnaSystem& system, std::span<const double> frequencies,
   }
 
   // Lint once at analysis entry; the embedded bias-point op is gated off.
-  lint::lint_gate(system, options.lint, /*run_report=*/nullptr);
+  lint::lint_gate(system, options.lint, options.report);
 
   // Bias the circuit.
   OpOptions op_options;
   op_options.newton = options.newton;
+  op_options.report = options.report;
+  op_options.forensics = options.forensics;
   op_options.lint = lint::LintMode::kOff;
   OpResult op = operating_point(system, op_options);
   Solution bias = op.solution();

@@ -5,12 +5,16 @@ namespace nemsim::spice {
 Circuit::Circuit() {
   node_names_.push_back("0");
   node_index_.emplace("0", 0);
+  node_internal_.push_back(false);
 }
 
 NodeId Circuit::node(const std::string& name) {
   require(!name.empty(), "Circuit::node: empty node name");
   auto [it, inserted] = node_index_.try_emplace(name, node_names_.size());
-  if (inserted) node_names_.push_back(name);
+  if (inserted) {
+    node_names_.push_back(name);
+    node_internal_.push_back(false);
+  }
   return NodeId{it->second};
 }
 
@@ -19,7 +23,15 @@ NodeId Circuit::internal_node(const std::string& hint) {
   do {
     name = "_" + hint + "#" + std::to_string(internal_counter_++);
   } while (node_index_.count(name));
-  return node(name);
+  NodeId id = node(name);
+  node_internal_[id.index] = true;
+  return id;
+}
+
+bool Circuit::node_is_internal(NodeId node) const {
+  require(node.index < node_internal_.size(),
+          "node_is_internal: node out of range");
+  return node_internal_[node.index];
 }
 
 NodeId Circuit::find_node(const std::string& name) const {
@@ -49,6 +61,7 @@ void Circuit::require_unique_device_name(const std::string& name) const {
 void Circuit::register_device(std::unique_ptr<Device> device) {
   device_index_.emplace(device->name(), devices_.size());
   devices_.push_back(std::move(device));
+  device_owner_.push_back(open_instance_);
 }
 
 Device& Circuit::find_device(const std::string& name) {

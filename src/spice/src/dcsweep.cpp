@@ -28,6 +28,7 @@ Waveform dc_sweep(MnaSystem& system,
   OpOptions op_options;
   op_options.newton = options.newton;
   op_options.report = report;
+  op_options.forensics = options.forensics;
   op_options.lint = lint::LintMode::kOff;
 
   linalg::Vector previous = system.initial_guess();

@@ -14,6 +14,7 @@
 #include "nemsim/spice/circuit.h"
 #include "nemsim/spice/diagnostics.h"
 #include "nemsim/spice/engine.h"
+#include "nemsim/spice/subcircuit.h"
 #include "nemsim/util/logging.h"
 
 namespace nemsim::lint {
@@ -402,6 +403,10 @@ void run_name_rules(const Circuit& circuit,
   for (std::size_t d = 0; d < topologies.size(); ++d) {
     const char letter = topologies[d].element_letter;
     if (letter == 0) continue;  // no netlist form, nothing to round-trip
+    // Devices elaborated from a subcircuit round-trip through the
+    // .subckt body and the instance's X card, not through their scoped
+    // global name, so the first-letter convention does not apply.
+    if (circuit.device_instance(d) != nullptr) continue;
     const std::string& name = circuit.device(d).name();
     const bool bad_first =
         name.empty() ||
@@ -421,6 +426,63 @@ void run_name_rules(const Circuit& circuit,
           << "netlist would dispatch it as a different element";
     }
     out.add(LintSeverity::kHint, "name-convention", name, msg.str());
+  }
+}
+
+/// Hierarchy rule: a subcircuit instance port that nothing outside the
+/// instance attaches to (the cell's terminal dangles into thin air), or
+/// that the subcircuit body itself never uses (a dead formal).  Both are
+/// almost always wiring mistakes at the instantiation site.
+void run_hierarchy_rules(const Circuit& circuit,
+                         const std::vector<DeviceTopology>& topologies,
+                         ReportBuilder& out) {
+  if (circuit.instances().empty()) return;
+
+  // Terminal attachments per node, as (device index) multiset.
+  std::vector<std::vector<std::size_t>> attached(circuit.num_nodes());
+  for (std::size_t d = 0; d < topologies.size(); ++d) {
+    for (const auto& term : topologies[d].terminals) {
+      attached[term.node.index].push_back(d);
+    }
+  }
+
+  for (const auto& rec : circuit.instances()) {
+    const auto def_it = circuit.subckt_defs().find(rec.subckt);
+    for (std::size_t p = 0; p < rec.ports.size(); ++p) {
+      const NodeId node = rec.ports[p];
+      if (node.is_ground()) continue;  // ground is connected by definition
+      // Nodes from Circuit::internal_node are declared private: a cell
+      // output deliberately left unloaded (chain tail, probe-only wire).
+      if (circuit.node_is_internal(node)) continue;
+      std::size_t inside = 0, outside = 0;
+      for (std::size_t d : attached[node.index]) {
+        const bool in_range = d >= rec.first_device &&
+                              d < rec.first_device + rec.num_devices;
+        (in_range ? inside : outside) += 1;
+      }
+      const std::string formal =
+          def_it != circuit.subckt_defs().end() &&
+                  p < def_it->second->ports().size()
+              ? def_it->second->ports()[p]
+              : std::to_string(p);
+      const std::string& node_name = circuit.node_name(node);
+      if (outside == 0) {
+        std::ostringstream msg;
+        msg << "port '" << formal << "' of subcircuit instance '" << rec.name
+            << "' (" << rec.subckt << ") is bound to node '" << node_name
+            << "', which nothing outside the instance connects to";
+        out.add(LintSeverity::kWarning, "unconnected-subckt-port", rec.name,
+                msg.str());
+      } else if (inside == 0) {
+        std::ostringstream msg;
+        msg << "port '" << formal << "' of subcircuit instance '" << rec.name
+            << "' (" << rec.subckt << ") is never used inside the "
+            << "subcircuit body; node '" << node_name
+            << "' only connects through the other side";
+        out.add(LintSeverity::kWarning, "unconnected-subckt-port", rec.name,
+                msg.str());
+      }
+    }
   }
 }
 
@@ -488,6 +550,7 @@ LintReport lint_system(const MnaSystem& system, const LintOptions& options) {
   if (options.structural_checks) {
     run_structural_rules(system, out, flagged_nodes);
   }
+  run_hierarchy_rules(circuit, topologies, out);
   run_name_rules(circuit, topologies, out);
 
   return out.take();

@@ -1,17 +1,143 @@
 #include "nemsim/spice/netlist_export.h"
 
+#include <cstddef>
+#include <functional>
+#include <map>
 #include <ostream>
+#include <set>
 #include <sstream>
+#include <vector>
+
+#include "nemsim/spice/subcircuit.h"
 
 namespace nemsim::spice {
+
+namespace {
+
+/// Removes a hierarchical scope prefix ("Xcol.") from a name, turning a
+/// flattened global name back into the local name seen inside the scope.
+std::string strip_prefix(const std::string& name, const std::string& prefix) {
+  if (!prefix.empty() && name.rfind(prefix, 0) == 0) {
+    return name.substr(prefix.size());
+  }
+  return name;
+}
+
+void emit_params(std::ostream& os, const SubcktParams& params) {
+  for (const auto& [key, value] : params) os << " " << key << "=" << value;
+}
+
+/// One `X<inst> <nodes...> <subckt> [K=V...]` card, localized to `prefix`.
+void emit_instance_card(std::ostream& os, const Circuit& ckt,
+                        const SubcircuitInstanceRecord& rec,
+                        const std::string& prefix) {
+  os << strip_prefix(rec.name, prefix);
+  for (NodeId n : rec.ports) {
+    os << " " << strip_prefix(ckt.node_name(n), prefix);
+  }
+  os << " " << rec.subckt;
+  emit_params(os, rec.params);
+  os << "\n";
+}
+
+/// Emits the device lines and child X cards of one scope, in elaboration
+/// order.  `scope_rec` is the index of the owning instance record (-1 for
+/// the top level) and [first, last) its device range; devices inside a
+/// child instance's range are covered by that child's X card.
+void emit_scope_body(std::ostream& os, const Circuit& ckt,
+                     std::ptrdiff_t scope_rec, std::size_t first,
+                     std::size_t last, const std::string& prefix) {
+  std::vector<const SubcircuitInstanceRecord*> children;
+  for (const auto& rec : ckt.instances()) {
+    if (rec.parent == scope_rec) children.push_back(&rec);
+  }
+  // instances() is in elaboration order, so children are already sorted
+  // by first_device.
+  auto namer = [&](NodeId n) {
+    return strip_prefix(ckt.node_name(n), prefix);
+  };
+  std::size_t i = first;
+  std::size_t ci = 0;
+  while (i < last || ci < children.size()) {
+    if (ci < children.size() && children[ci]->first_device <= i) {
+      emit_instance_card(os, ckt, *children[ci], prefix);
+      const std::size_t past =
+          children[ci]->first_device + children[ci]->num_devices;
+      if (past > i) i = past;
+      ++ci;
+    } else if (i < last) {
+      os << strip_prefix(ckt.device(i).netlist_line(namer), prefix) << "\n";
+      ++i;
+    } else {
+      break;
+    }
+  }
+}
+
+/// Renders a definition body.  Deck-defined subcircuits carry their
+/// source text verbatim (so "{KEY}" placeholders survive the round
+/// trip); builder-defined ones are expanded at default parameters into a
+/// scratch circuit and localized.
+void emit_def_body(std::ostream& os, const Subcircuit& def) {
+  if (!def.body_text().empty()) {
+    for (const std::string& line : def.body_text()) os << line << "\n";
+    return;
+  }
+  Circuit scratch;
+  std::vector<NodeId> ports;
+  ports.reserve(def.num_ports());
+  for (const std::string& p : def.ports()) ports.push_back(scratch.node(p));
+  scratch.instantiate(def, "Xbody", ports);
+  emit_scope_body(os, scratch, /*scope_rec=*/0,
+                  scratch.instances()[0].first_device,
+                  scratch.instances()[0].first_device +
+                      scratch.instances()[0].num_devices,
+                  "Xbody.");
+}
+
+/// Orders definition names so that every definition precedes its users
+/// (leaf cells first).  Dependency evidence comes from the circuit's
+/// instance records; definitions never elaborated keep name order.
+std::vector<std::string> def_emission_order(const Circuit& ckt) {
+  // uses[A] = set of definitions A instantiates.
+  std::map<std::string, std::set<std::string>> uses;
+  for (const auto& [name, def] : ckt.subckt_defs()) uses[name];
+  for (const auto& rec : ckt.instances()) {
+    if (rec.parent >= 0) {
+      uses[ckt.instances()[static_cast<std::size_t>(rec.parent)].subckt]
+          .insert(rec.subckt);
+    }
+  }
+  std::vector<std::string> order;
+  std::set<std::string> done;
+  // Depth-first post-order; `uses` is name-sorted, so ties are stable.
+  std::function<void(const std::string&)> visit =
+      [&](const std::string& name) {
+        if (done.count(name)) return;
+        done.insert(name);
+        for (const std::string& child : uses[name]) visit(child);
+        order.push_back(name);
+      };
+  for (const auto& [name, children] : uses) visit(name);
+  return order;
+}
+
+}  // namespace
 
 void export_netlist(const Circuit& circuit, std::ostream& os,
                     const std::string& title) {
   os << "* " << title << "\n";
-  auto namer = [&](NodeId n) { return circuit.node_name(n); };
-  for (std::size_t i = 0; i < circuit.num_devices(); ++i) {
-    os << circuit.device(i).netlist_line(namer) << "\n";
+  for (const std::string& name : def_emission_order(circuit)) {
+    const Subcircuit& def = *circuit.subckt_defs().at(name);
+    os << ".subckt " << def.name();
+    for (const std::string& p : def.ports()) os << " " << p;
+    emit_params(os, def.defaults());
+    os << "\n";
+    emit_def_body(os, def);
+    os << ".ends " << def.name() << "\n";
   }
+  emit_scope_body(os, circuit, /*scope_rec=*/-1, 0, circuit.num_devices(),
+                  /*prefix=*/"");
   os << ".end\n";
 }
 

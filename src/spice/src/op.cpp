@@ -2,12 +2,49 @@
 
 namespace nemsim::spice {
 
+OpResult::OpResult(const MnaSystem& system, linalg::Vector x)
+    : system_(&system), x_(std::move(x)) {
+  // Copy the name tables so lookups survive the system (and circuit)
+  // going out of scope; only solution() still needs the live system.
+  const Circuit& ckt = system.circuit();
+  node_unknown_.resize(ckt.num_nodes(), -1);
+  for (std::size_t n = 0; n < ckt.num_nodes(); ++n) {
+    const NodeId node{n};
+    node_index_.emplace(ckt.node_name(node), n);
+    if (node.is_ground()) continue;
+    const UnknownId u = system.unknown_of(node);
+    if (u.valid()) node_unknown_[n] = static_cast<std::ptrdiff_t>(u.index);
+  }
+  for (std::size_t i = 0; i < system.num_unknowns(); ++i) {
+    unknown_index_.emplace(system.unknown_info(i).name, i);
+  }
+}
+
+double OpResult::v(NodeId node) const {
+  require(node.index < node_unknown_.size(), "OpResult::v: node out of range");
+  const std::ptrdiff_t u = node_unknown_[node.index];
+  return u < 0 ? 0.0 : x_[static_cast<std::size_t>(u)];
+}
+
 double OpResult::v(const std::string& node_name) const {
-  return v(system_->circuit().find_node(node_name));
+  auto it = node_index_.find(node_name);
+  if (it == node_index_.end()) {
+    throw NetlistError("unknown node '" + node_name + "'");
+  }
+  return v(NodeId{it->second});
 }
 
 double OpResult::value(const std::string& name) const {
-  return x_[system_->unknown_by_name(name).index];
+  auto it = unknown_index_.find(name);
+  if (it == unknown_index_.end()) {
+    throw InvalidArgument("unknown signal '" + name + "'");
+  }
+  return x_[it->second];
+}
+
+double OpResult::x(UnknownId unknown) const {
+  require(unknown.valid(), "OpResult::x: invalid unknown");
+  return x_[unknown.index];
 }
 
 OpResult operating_point(MnaSystem& system, const OpOptions& options) {

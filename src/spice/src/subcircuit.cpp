@@ -1,0 +1,217 @@
+#include "nemsim/spice/subcircuit.h"
+
+#include <utility>
+
+#include "nemsim/util/error.h"
+
+namespace nemsim::spice {
+
+namespace {
+
+/// Instance names must start with 'X' so the elaborated circuit exports
+/// to X cards the parser can re-dispatch, and must not contain the '.'
+/// scope separator.
+void check_instance_name(const std::string& local_name) {
+  if (local_name.empty() || (local_name[0] != 'X' && local_name[0] != 'x')) {
+    throw NetlistError("subcircuit instance name '" + local_name +
+                       "' must start with 'X'");
+  }
+  if (local_name.find('.') != std::string::npos) {
+    throw NetlistError("subcircuit instance name '" + local_name +
+                       "' must not contain '.'");
+  }
+}
+
+SubcktParams merge_params(const SubcktParams& defaults,
+                          const SubcktParams& overrides) {
+  SubcktParams merged = defaults;
+  for (const auto& [key, value] : overrides) merged[key] = value;
+  return merged;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ Subcircuit
+
+Subcircuit::Subcircuit(std::string name, std::vector<std::string> ports,
+                       Builder builder, SubcktParams defaults)
+    : name_(std::move(name)),
+      ports_(std::move(ports)),
+      builder_(std::move(builder)),
+      defaults_(std::move(defaults)) {
+  require(!name_.empty(), "Subcircuit: empty definition name");
+  require(static_cast<bool>(builder_), "Subcircuit '" + name_ +
+                                           "': null builder");
+  for (std::size_t i = 0; i < ports_.size(); ++i) {
+    if (ports_[i].empty() || ports_[i] == "0") {
+      throw NetlistError("subcircuit '" + name_ + "': invalid port name '" +
+                         ports_[i] + "'");
+    }
+    for (std::size_t j = i + 1; j < ports_.size(); ++j) {
+      if (ports_[i] == ports_[j]) {
+        throw NetlistError("subcircuit '" + name_ + "': duplicate port '" +
+                           ports_[i] + "'");
+      }
+    }
+  }
+}
+
+void Subcircuit::build(SubcircuitScope& scope) const { builder_(scope); }
+
+void Subcircuit::set_body_text(std::vector<std::string> lines) {
+  body_text_ = std::move(lines);
+}
+
+// ------------------------------------------------------- SubcircuitScope
+
+SubcircuitScope::SubcircuitScope(Circuit& circuit, std::string path,
+                                 const Subcircuit& def,
+                                 std::vector<NodeId> actuals,
+                                 SubcktParams params)
+    : circuit_(circuit),
+      path_(std::move(path)),
+      def_(def),
+      actuals_(std::move(actuals)),
+      params_(std::move(params)) {}
+
+NodeId SubcircuitScope::port(std::size_t i) const {
+  if (i >= actuals_.size()) {
+    throw NetlistError("subcircuit '" + def_.name() + "': port index " +
+                       std::to_string(i) + " out of range (has " +
+                       std::to_string(actuals_.size()) + " ports)");
+  }
+  return actuals_[i];
+}
+
+NodeId SubcircuitScope::port(const std::string& formal) const {
+  const auto& ports = def_.ports();
+  for (std::size_t i = 0; i < ports.size(); ++i) {
+    if (ports[i] == formal) return actuals_[i];
+  }
+  throw NetlistError("subcircuit '" + def_.name() + "' has no port '" +
+                     formal + "'");
+}
+
+NodeId SubcircuitScope::node(const std::string& local) {
+  if (local == "0") return circuit_.gnd();
+  const auto& ports = def_.ports();
+  for (std::size_t i = 0; i < ports.size(); ++i) {
+    if (ports[i] == local) return actuals_[i];
+  }
+  return circuit_.node(scoped(local));
+}
+
+std::string SubcircuitScope::scoped(const std::string& local) const {
+  return path_ + "." + local;
+}
+
+double SubcircuitScope::param(const std::string& key, double fallback) const {
+  auto it = params_.find(key);
+  return it == params_.end() ? fallback : it->second;
+}
+
+double SubcircuitScope::param(const std::string& key) const {
+  auto it = params_.find(key);
+  if (it == params_.end()) {
+    throw NetlistError("subcircuit '" + def_.name() + "' instance '" + path_ +
+                       "': no value for parameter '" + key + "'");
+  }
+  return it->second;
+}
+
+bool SubcircuitScope::has_param(const std::string& key) const {
+  return params_.count(key) != 0;
+}
+
+void SubcircuitScope::instantiate(const Subcircuit& def,
+                                  const std::string& local_inst,
+                                  const std::vector<NodeId>& actuals,
+                                  const SubcktParams& overrides) {
+  check_instance_name(local_inst);
+  circuit_.instantiate_impl(def, path_ + "." + local_inst, actuals, overrides,
+                            circuit_.open_instance_);
+}
+
+// -------------------------------------------------- Circuit (hierarchy)
+
+void Circuit::instantiate(const Subcircuit& def, const std::string& inst_name,
+                          const std::vector<NodeId>& actuals,
+                          const SubcktParams& overrides) {
+  check_instance_name(inst_name);
+  require(open_instance_ == -1,
+          "Circuit::instantiate called during elaboration; use "
+          "SubcircuitScope::instantiate for nested instances");
+  instantiate_impl(def, inst_name, actuals, overrides, /*parent=*/-1);
+}
+
+void Circuit::instantiate_impl(const Subcircuit& def,
+                               const std::string& full_name,
+                               const std::vector<NodeId>& actuals,
+                               const SubcktParams& overrides,
+                               std::ptrdiff_t parent) {
+  if (instance_index_.count(full_name)) {
+    throw NetlistError("duplicate subcircuit instance name '" + full_name +
+                       "'");
+  }
+  if (actuals.size() != def.num_ports()) {
+    throw NetlistError("subcircuit '" + def.name() + "' instance '" +
+                       full_name + "': expected " +
+                       std::to_string(def.num_ports()) + " port(s), got " +
+                       std::to_string(actuals.size()));
+  }
+  for (NodeId n : actuals) {
+    require(n.index < node_names_.size(),
+            "instantiate '" + full_name + "': port node out of range");
+  }
+  register_subckt_def(std::make_shared<Subcircuit>(def));
+
+  const std::size_t rec_index = instances_.size();
+  SubcircuitInstanceRecord record;
+  record.name = full_name;
+  record.subckt = def.name();
+  record.ports = actuals;
+  record.params = overrides;
+  record.parent = parent;
+  record.first_device = devices_.size();
+  instances_.push_back(std::move(record));
+  instance_index_.emplace(full_name, rec_index);
+
+  const std::ptrdiff_t saved_open = open_instance_;
+  open_instance_ = static_cast<std::ptrdiff_t>(rec_index);
+  SubcircuitScope scope(*this, full_name, def, actuals,
+                        merge_params(def.defaults(), overrides));
+  def.build(scope);
+  open_instance_ = saved_open;
+  instances_[rec_index].num_devices =
+      devices_.size() - instances_[rec_index].first_device;
+}
+
+bool Circuit::has_instance(const std::string& name) const {
+  return instance_index_.count(name) != 0;
+}
+
+const SubcircuitInstanceRecord* Circuit::device_instance(
+    std::size_t device_index) const {
+  if (device_index >= device_owner_.size()) return nullptr;
+  const std::ptrdiff_t owner = device_owner_[device_index];
+  return owner < 0 ? nullptr : &instances_[static_cast<std::size_t>(owner)];
+}
+
+void Circuit::register_subckt_def(std::shared_ptr<const Subcircuit> def) {
+  require(static_cast<bool>(def), "register_subckt_def: null definition");
+  auto it = subckt_defs_.find(def->name());
+  if (it == subckt_defs_.end()) {
+    subckt_defs_.emplace(def->name(), std::move(def));
+    return;
+  }
+  // Keep the first registration; a redefinition must at least agree on
+  // the interface, otherwise exported X cards would be wrong.
+  const Subcircuit& existing = *it->second;
+  if (existing.ports() != def->ports() ||
+      existing.defaults() != def->defaults()) {
+    throw NetlistError("conflicting definitions for subcircuit '" +
+                       def->name() + "'");
+  }
+}
+
+}  // namespace nemsim::spice

@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cctype>
 #include <charconv>
+#include <iomanip>
 #include <istream>
+#include <map>
+#include <memory>
 #include <sstream>
 #include <unordered_map>
 #include <vector>
@@ -14,6 +17,7 @@
 #include "nemsim/devices/nemfet.h"
 #include "nemsim/devices/passives.h"
 #include "nemsim/devices/sources.h"
+#include "nemsim/spice/subcircuit.h"
 #include "nemsim/tech/cards.h"
 #include "nemsim/util/error.h"
 
@@ -22,6 +26,7 @@ namespace nemsim::tech {
 namespace {
 
 using devices::SourceWave;
+using spice::SubcktParams;
 
 std::string to_upper(std::string s) {
   std::transform(s.begin(), s.end(), s.begin(),
@@ -103,6 +108,230 @@ SourceSpec parse_source_tail(const std::vector<std::string>& tokens,
   return spec;
 }
 
+// ----------------------------------------------------- hierarchy support
+
+/// One `.subckt` block collected from the deck: interface plus raw body
+/// lines (with their original line numbers, for error reporting), kept
+/// textual so `{KEY}` placeholders are substituted per instance.
+struct DeckSubckt {
+  std::string name;
+  std::vector<std::string> ports;
+  SubcktParams defaults;
+  std::vector<std::pair<std::size_t, std::string>> body;
+};
+
+/// All `.subckt` blocks of one deck.  Builder callbacks capture this via
+/// shared_ptr (it never owns spice::Subcircuit objects, so there is no
+/// ownership cycle).
+struct DeckDefs {
+  std::map<std::string, DeckSubckt> decks;
+};
+
+spice::Subcircuit make_deck_subcircuit(
+    const std::shared_ptr<const DeckDefs>& defs, const DeckSubckt& deck);
+
+/// Replaces `{KEY}` placeholders with parameter values; anything left in
+/// braces has no binding and is an error.
+std::string substitute_params(const std::string& line,
+                              const SubcktParams& params,
+                              std::size_t line_no) {
+  std::string out = line;
+  for (const auto& [key, value] : params) {
+    const std::string tag = "{" + key + "}";
+    std::size_t pos = 0;
+    while ((pos = out.find(tag, pos)) != std::string::npos) {
+      std::ostringstream os;
+      os << std::setprecision(17) << value;
+      out.replace(pos, tag.size(), os.str());
+      pos += os.str().size();
+    }
+  }
+  if (const auto open = out.find('{'); open != std::string::npos) {
+    const auto close = out.find('}', open);
+    fail(line_no, "unresolved parameter '" +
+                      out.substr(open, close == std::string::npos
+                                           ? std::string::npos
+                                           : close - open + 1) +
+                      "'");
+  }
+  return out;
+}
+
+/// Where a card lands: the top level of the circuit, or inside a
+/// subcircuit scope (then names and nodes are resolved through it).
+struct ParseContext {
+  spice::Circuit& ckt;
+  spice::SubcircuitScope* scope = nullptr;
+  const std::shared_ptr<const DeckDefs>& defs;
+
+  spice::NodeId node(const std::string& name) {
+    return scope ? scope->node(name) : ckt.node(name);
+  }
+  template <typename T, typename... Args>
+  T& add(const std::string& name, Args&&... args) {
+    if (scope) return scope->add<T>(name, std::forward<Args>(args)...);
+    return ckt.add<T>(name, std::forward<Args>(args)...);
+  }
+};
+
+/// Parses one element card into the context.  Throws NetlistError with
+/// the line number on any malformation.
+void parse_card(ParseContext& pc, const std::vector<std::string>& t,
+                std::size_t line_no) {
+  const std::string& name = t[0];
+  const char kind = static_cast<char>(std::toupper(t[0][0]));
+  auto node = [&](std::size_t i) -> spice::NodeId {
+    if (i >= t.size()) fail(line_no, "missing node");
+    return pc.node(t[i]);
+  };
+  try {
+    switch (kind) {
+      case 'R':
+        pc.add<devices::Resistor>(name, node(1), node(2),
+                                  parse_spice_value(t.at(3)));
+        break;
+      case 'C':
+        pc.add<devices::Capacitor>(name, node(1), node(2),
+                                   parse_spice_value(t.at(3)));
+        break;
+      case 'L':
+        pc.add<devices::Inductor>(name, node(1), node(2),
+                                  parse_spice_value(t.at(3)));
+        break;
+      case 'V': {
+        SourceSpec s = parse_source_tail(t, 3, line_no);
+        pc.add<devices::VoltageSource>(name, node(1), node(2), s.wave);
+        break;
+      }
+      case 'I': {
+        SourceSpec s = parse_source_tail(t, 3, line_no);
+        pc.add<devices::CurrentSource>(name, node(1), node(2), s.wave);
+        break;
+      }
+      case 'E':
+        pc.add<devices::Vcvs>(name, node(1), node(2), node(3), node(4),
+                              parse_spice_value(t.at(5)));
+        break;
+      case 'G':
+        pc.add<devices::Vccs>(name, node(1), node(2), node(3), node(4),
+                              parse_spice_value(t.at(5)));
+        break;
+      case 'D': {
+        devices::DiodeParams p;
+        auto params = parse_params(t, 3, line_no);
+        if (params.count("IS")) p.is = params["IS"];
+        if (params.count("N")) p.n = params["N"];
+        pc.add<devices::Diode>(name, node(1), node(2), p);
+        break;
+      }
+      case 'M': {
+        const std::string model = to_upper(t.at(4));
+        const bool nmos = model == "NMOS";
+        if (!nmos && model != "PMOS") {
+          fail(line_no, "MOSFET model must be NMOS or PMOS");
+        }
+        devices::MosParams card = nmos ? nmos_90nm() : pmos_90nm();
+        auto params = parse_params(t, 5, line_no);
+        if (params.count("VTH0")) card.vth0 = params["VTH0"];
+        if (params.count("KP")) card.kp = params["KP"];
+        const double w = params.count("W") ? params["W"] : 1e-6;
+        const double l = params.count("L") ? params["L"] : 1e-7;
+        pc.add<devices::Mosfet>(name, node(1), node(2), node(3),
+                                nmos ? devices::MosPolarity::kNmos
+                                     : devices::MosPolarity::kPmos,
+                                card, w, l);
+        break;
+      }
+      case 'X': {
+        // An X card is either a NEMFET primitive (which has no standard
+        // SPICE element letter) or a subcircuit instance.  Dispatch on
+        // the trailing model/subckt token: the last token that is not a
+        // KEY=VALUE parameter.
+        std::size_t model_idx = 0;
+        for (std::size_t i = t.size() - 1; i >= 1; --i) {
+          if (t[i].find('=') == std::string::npos) {
+            model_idx = i;
+            break;
+          }
+        }
+        if (model_idx == 0) {
+          fail(line_no, "X element needs a subcircuit or model name");
+        }
+        const std::string model = to_upper(t[model_idx]);
+        if (model == "NEMFET_N" || model == "NEMFET_P") {
+          if (model_idx != 4) {
+            fail(line_no, "NEMFET X element needs exactly 3 nodes");
+          }
+          devices::NemsParams card = nems_90nm();
+          auto params = parse_params(t, 5, line_no);
+          if (params.count("GAP0")) card.gap0 = params["GAP0"];
+          if (params.count("K")) card.spring_k = params["K"];
+          if (params.count("M")) card.mass = params["M"];
+          params.erase("VPI");  // informational in exports
+          const double w = params.count("W") ? params["W"] : 1e-6;
+          pc.add<devices::Nemfet>(name, node(1), node(2), node(3),
+                                  model == "NEMFET_N"
+                                      ? devices::NemsPolarity::kN
+                                      : devices::NemsPolarity::kP,
+                                  card, w);
+          break;
+        }
+        auto it = pc.defs->decks.find(t[model_idx]);
+        if (it == pc.defs->decks.end()) {
+          fail(line_no, "unknown subcircuit or model '" + t[model_idx] + "'");
+        }
+        std::vector<spice::NodeId> actuals;
+        for (std::size_t i = 1; i < model_idx; ++i) actuals.push_back(node(i));
+        SubcktParams overrides;
+        for (const auto& [key, value] :
+             parse_params(t, model_idx + 1, line_no)) {
+          overrides[key] = value;
+        }
+        const spice::Subcircuit def =
+            make_deck_subcircuit(pc.defs, it->second);
+        if (pc.scope) {
+          pc.scope->instantiate(def, name, actuals, overrides);
+        } else {
+          pc.ckt.instantiate(def, name, actuals, overrides);
+        }
+        break;
+      }
+      default:
+        fail(line_no, std::string("unknown element type '") + kind + "'");
+    }
+  } catch (const NetlistError& e) {
+    // Nested errors (deeper body lines) are already annotated; annotate
+    // everything surfacing from this card with this card's line.
+    const std::string what = e.what();
+    if (what.rfind("netlist line", 0) == 0) throw;
+    fail(line_no, what);
+  } catch (const std::exception& e) {
+    fail(line_no, e.what());
+  }
+}
+
+spice::Subcircuit make_deck_subcircuit(
+    const std::shared_ptr<const DeckDefs>& defs, const DeckSubckt& deck) {
+  auto builder = [defs, name = deck.name](spice::SubcircuitScope& scope) {
+    const DeckSubckt& self = defs->decks.at(name);
+    for (const auto& [line_no, raw] : self.body) {
+      const std::string line =
+          substitute_params(raw, scope.params(), line_no);
+      const std::vector<std::string> tokens = tokenize(line);
+      if (tokens.empty()) continue;
+      ParseContext pc{scope.circuit(), &scope, defs};
+      parse_card(pc, tokens, line_no);
+    }
+  };
+  spice::Subcircuit def(deck.name, deck.ports, std::move(builder),
+                        deck.defaults);
+  std::vector<std::string> body_text;
+  body_text.reserve(deck.body.size());
+  for (const auto& [line_no, raw] : deck.body) body_text.push_back(raw);
+  def.set_body_text(std::move(body_text));
+  return def;
+}
+
 }  // namespace
 
 double parse_spice_value(const std::string& token) {
@@ -151,112 +380,87 @@ spice::Circuit parse_netlist(const std::string& text) {
 }
 
 spice::Circuit parse_netlist(std::istream& is) {
-  spice::Circuit ckt;
+  // Pass 1: read the deck, strip comments, collect `.subckt`/`.ends`
+  // blocks into the definition table and everything else into the
+  // top-level card list.  Definitions may therefore appear anywhere in
+  // the deck, including after their first use.
+  auto defs = std::make_shared<DeckDefs>();
+  std::vector<std::pair<std::size_t, std::vector<std::string>>> top_cards;
+  DeckSubckt* open = nullptr;  // currently collecting body, or null
+  std::size_t open_line = 0;
   std::string line;
   std::size_t line_no = 0;
   while (std::getline(is, line)) {
     ++line_no;
-    // Strip comments and whitespace.
     if (const auto c = line.find(';'); c != std::string::npos) {
       line.erase(c);
     }
     std::vector<std::string> t = tokenize(line);
     if (t.empty()) continue;
     if (t[0][0] == '*') continue;  // comment / title
-    if (to_upper(t[0]) == ".END") break;
-    if (t[0][0] == '.') continue;  // other directives ignored
-
-    const std::string& name = t[0];
-    const char kind = static_cast<char>(std::toupper(t[0][0]));
-    auto node = [&](std::size_t i) -> spice::NodeId {
-      if (i >= t.size()) fail(line_no, "missing node");
-      return ckt.node(t[i]);
-    };
-    try {
-      switch (kind) {
-        case 'R':
-          ckt.add<devices::Resistor>(name, node(1), node(2),
-                                     parse_spice_value(t.at(3)));
-          break;
-        case 'C':
-          ckt.add<devices::Capacitor>(name, node(1), node(2),
-                                      parse_spice_value(t.at(3)));
-          break;
-        case 'L':
-          ckt.add<devices::Inductor>(name, node(1), node(2),
-                                     parse_spice_value(t.at(3)));
-          break;
-        case 'V': {
-          SourceSpec s = parse_source_tail(t, 3, line_no);
-          ckt.add<devices::VoltageSource>(name, node(1), node(2), s.wave);
-          break;
-        }
-        case 'I': {
-          SourceSpec s = parse_source_tail(t, 3, line_no);
-          ckt.add<devices::CurrentSource>(name, node(1), node(2), s.wave);
-          break;
-        }
-        case 'E':
-          ckt.add<devices::Vcvs>(name, node(1), node(2), node(3), node(4),
-                                 parse_spice_value(t.at(5)));
-          break;
-        case 'G':
-          ckt.add<devices::Vccs>(name, node(1), node(2), node(3), node(4),
-                                 parse_spice_value(t.at(5)));
-          break;
-        case 'D': {
-          devices::DiodeParams p;
-          auto params = parse_params(t, 3, line_no);
-          if (params.count("IS")) p.is = params["IS"];
-          if (params.count("N")) p.n = params["N"];
-          ckt.add<devices::Diode>(name, node(1), node(2), p);
-          break;
-        }
-        case 'M': {
-          const std::string model = to_upper(t.at(4));
-          const bool nmos = model == "NMOS";
-          if (!nmos && model != "PMOS") {
-            fail(line_no, "MOSFET model must be NMOS or PMOS");
+    const std::string directive = to_upper(t[0]);
+    if (directive == ".SUBCKT") {
+      if (open) fail(line_no, "nested .subckt is not supported");
+      if (t.size() < 2) fail(line_no, ".subckt needs a name");
+      DeckSubckt deck;
+      deck.name = t[1];
+      bool in_params = false;
+      for (std::size_t i = 2; i < t.size(); ++i) {
+        if (t[i].find('=') != std::string::npos) {
+          in_params = true;
+          const auto eq = t[i].find('=');
+          deck.defaults[to_upper(t[i].substr(0, eq))] =
+              parse_spice_value(t[i].substr(eq + 1));
+        } else {
+          if (in_params) {
+            fail(line_no, "port '" + t[i] + "' after parameter defaults");
           }
-          devices::MosParams card = nmos ? nmos_90nm() : pmos_90nm();
-          auto params = parse_params(t, 5, line_no);
-          if (params.count("VTH0")) card.vth0 = params["VTH0"];
-          if (params.count("KP")) card.kp = params["KP"];
-          const double w = params.count("W") ? params["W"] : 1e-6;
-          const double l = params.count("L") ? params["L"] : 1e-7;
-          ckt.add<devices::Mosfet>(name, node(1), node(2), node(3),
-                                   nmos ? devices::MosPolarity::kNmos
-                                        : devices::MosPolarity::kPmos,
-                                   card, w, l);
-          break;
+          deck.ports.push_back(t[i]);
         }
-        case 'X': {
-          const std::string model = to_upper(t.at(4));
-          const bool n_type = model == "NEMFET_N";
-          if (!n_type && model != "NEMFET_P") {
-            fail(line_no, "X element model must be NEMFET_N or NEMFET_P");
-          }
-          devices::NemsParams card = nems_90nm();
-          auto params = parse_params(t, 5, line_no);
-          if (params.count("GAP0")) card.gap0 = params["GAP0"];
-          if (params.count("K")) card.spring_k = params["K"];
-          if (params.count("M")) card.mass = params["M"];
-          params.erase("VPI");  // informational in exports
-          const double w = params.count("W") ? params["W"] : 1e-6;
-          ckt.add<devices::Nemfet>(name, node(1), node(2), node(3),
-                                   n_type ? devices::NemsPolarity::kN
-                                          : devices::NemsPolarity::kP,
-                                   card, w);
-          break;
-        }
-        default:
-          fail(line_no, std::string("unknown element type '") + kind + "'");
       }
-    } catch (const NetlistError&) {
-      throw;
-    } catch (const std::exception& e) {
-      fail(line_no, e.what());
+      auto [it, inserted] = defs->decks.emplace(deck.name, std::move(deck));
+      if (!inserted) {
+        fail(line_no, "duplicate .subckt definition '" + t[1] + "'");
+      }
+      open = &it->second;
+      open_line = line_no;
+      continue;
     }
+    if (directive == ".ENDS") {
+      if (!open) fail(line_no, ".ends without matching .subckt");
+      if (t.size() >= 2 && t[1] != open->name) {
+        fail(line_no, ".ends name '" + t[1] + "' does not match .subckt '" +
+                          open->name + "'");
+      }
+      open = nullptr;
+      continue;
+    }
+    if (directive == ".END") {
+      if (open) {
+        fail(line_no, ".end inside .subckt '" + open->name +
+                          "' (missing .ends)");
+      }
+      break;
+    }
+    if (open) {
+      if (t[0][0] == '.') {
+        fail(line_no, "directive '" + t[0] + "' inside .subckt body");
+      }
+      open->body.emplace_back(line_no, line);
+      continue;
+    }
+    if (t[0][0] == '.') continue;  // other directives ignored
+    top_cards.emplace_back(line_no, std::move(t));
+  }
+  if (open) {
+    fail(open_line, ".subckt '" + open->name + "' never closed by .ends");
+  }
+
+  // Pass 2: elaborate the top-level cards.
+  spice::Circuit ckt;
+  for (const auto& [card_line, tokens] : top_cards) {
+    ParseContext pc{ckt, nullptr, defs};
+    parse_card(pc, tokens, card_line);
   }
   return ckt;
 }

@@ -35,15 +35,17 @@ TEST(DynamicOr, BuilderCreatesExpectedTopology) {
   EXPECT_TRUE(ckt.has_node("in2"));
   EXPECT_NO_THROW(ckt.find_device("Mpre"));
   EXPECT_NO_THROW(ckt.find_device("Mkeep"));
-  EXPECT_NO_THROW(ckt.find_device("Mpd0"));
+  // Each pull-down leg is a subcircuit instance "Xleg<i>".
+  EXPECT_TRUE(ckt.has_instance("Xleg0"));
+  EXPECT_NO_THROW(ckt.find_device("Xleg0.MPD"));
 }
 
 TEST(DynamicOr, HybridAddsSeriesNemfets) {
   DynamicOrGate gate = build_dynamic_or(small_config(true, 3));
   auto& ckt = gate.ckt();
-  EXPECT_NO_THROW(ckt.find_device("Xpd0"));
-  EXPECT_NO_THROW(ckt.find_device("Xpd2"));
-  EXPECT_TRUE(ckt.has_node("mid0"));
+  EXPECT_NO_THROW(ckt.find_device("Xleg0.XPD"));
+  EXPECT_NO_THROW(ckt.find_device("Xleg2.XPD"));
+  EXPECT_TRUE(ckt.has_node("Xleg0.mid"));
 }
 
 TEST(DynamicOr, KeeperAutosizeScalesWithFanin) {

@@ -1,0 +1,9 @@
+* hierarchical deck, fully connected: lints clean (exit 0)
+.subckt divider a b
+R1 a b 1k
+R2 b 0 1k
+.ends
+V1 in 0 DC 1.2
+X1 in out divider
+Rload out 0 10k
+.end

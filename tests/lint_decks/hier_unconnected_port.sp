@@ -1,0 +1,10 @@
+* instance port "probe" has nothing attached outside the instance:
+* unconnected-subckt-port warning (exit 1).  The node is still grounded
+* through the subcircuit body, so no floating-node error masks it.
+.subckt divider a b
+R1 a b 1k
+R2 b 0 1k
+.ends
+V1 in 0 DC 1.2
+X1 in probe divider
+.end

@@ -305,10 +305,14 @@ TEST(SolverEquivalence, SramCells) {
     // Nodeset the stored state (as core/sram.cpp does) so the OP finds a
     // stable attractor rather than the metastable midpoint.
     auto prepare = [](Circuit& ckt, MnaSystem& system) {
-      system.set_nodeset(ckt.find_node("ql"), 0.0);
-      system.set_nodeset(ckt.find_node("qr"), 1.2);
+      system.set_nodeset(ckt.find_node(core::SramCell::kQl), 0.0);
+      system.set_nodeset(ckt.find_node(core::SramCell::kQr), 1.2);
     };
-    expect_solver_equivalence(make, {"v(ql)", "v(qr)"}, 1.0e-9, prepare);
+    expect_solver_equivalence(
+        make,
+        {std::string("v(") + core::SramCell::kQl + ")",
+         std::string("v(") + core::SramCell::kQr + ")"},
+        1.0e-9, prepare);
   }
 }
 

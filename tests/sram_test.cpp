@@ -27,29 +27,33 @@ using core::SramKind;
 
 TEST(SramBuild, ConventionalCellHasPaperDeviceNames) {
   SramCell cell = build_sram_cell(SramConfig{});
-  for (const char* name : {"AL", "AR", "NL", "NR", "PL", "PR"}) {
+  // The bitcell is the "Xcell" instance, so the paper's device names live
+  // under its hierarchical scope.
+  for (const char* name : {"Xcell.MAL", "Xcell.MAR", "Xcell.MNL",
+                           "Xcell.MNR", "Xcell.MPL", "Xcell.MPR"}) {
     EXPECT_NO_THROW(cell.ckt().find_device(name)) << name;
   }
+  EXPECT_TRUE(cell.ckt().has_instance("Xcell"));
 }
 
 TEST(SramBuild, HybridUsesNemsCore) {
   SramConfig c;
   c.kind = SramKind::kHybrid;
   SramCell cell = build_sram_cell(c);
-  EXPECT_NO_THROW(cell.ckt().find<devices::Nemfet>("NL"));
-  EXPECT_NO_THROW(cell.ckt().find<devices::Nemfet>("PR"));
+  EXPECT_NO_THROW(cell.ckt().find<devices::Nemfet>("Xcell.XNL"));
+  EXPECT_NO_THROW(cell.ckt().find<devices::Nemfet>("Xcell.XPR"));
   // Access stays CMOS.
-  EXPECT_NO_THROW(cell.ckt().find<devices::Mosfet>("AL"));
+  EXPECT_NO_THROW(cell.ckt().find<devices::Mosfet>("Xcell.MAL"));
 }
 
 TEST(SramBuild, DualVtUsesHighVtCore) {
   SramConfig c;
   c.kind = SramKind::kDualVt;
   SramCell cell = build_sram_cell(c);
-  EXPECT_GT(cell.ckt().find<devices::Mosfet>("NL").params().vth0,
+  EXPECT_GT(cell.ckt().find<devices::Mosfet>("Xcell.MNL").params().vth0,
             tech::nmos_90nm().vth0 + 0.05);
   // ... and low-Vt access ("both high- and low-Vt employed" [25]).
-  EXPECT_LT(cell.ckt().find<devices::Mosfet>("AL").params().vth0,
+  EXPECT_LT(cell.ckt().find<devices::Mosfet>("Xcell.MAL").params().vth0,
             tech::nmos_90nm().vth0 - 0.01);
 }
 
