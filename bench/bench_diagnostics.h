@@ -34,6 +34,23 @@ inline DiagnosticsFlag parse_diagnostics_flag(int argc, char** argv) {
   return flag;
 }
 
+/// Variant of the flag that writes next to the baseline JSON with an
+/// "_accel" suffix ("..._diagnostics.json" -> "..._diagnostics_accel.json").
+/// Used by benches that re-run their representative instance with the
+/// quiescent-bypass + Jacobian-reuse accelerators enabled.
+inline DiagnosticsFlag accel_variant(const DiagnosticsFlag& flag) {
+  DiagnosticsFlag accel = flag;
+  if (!accel.path.empty()) {
+    const std::size_t dot = accel.path.rfind('.');
+    if (dot == std::string::npos) {
+      accel.path += "_accel";
+    } else {
+      accel.path.insert(dot, "_accel");
+    }
+  }
+  return accel;
+}
+
 inline void emit_report(const DiagnosticsFlag& flag,
                         const spice::RunReport& report) {
   if (!flag.enabled) return;

@@ -85,6 +85,15 @@ int main(int argc, char** argv) {
     spice::RunReport report;
     measure_dynamic_or(gate, &report);
     bench::emit_report(diag, report);
+
+    // Same instance with the quiescent-device bypass and Jacobian-reuse
+    // accelerators on: the before/after pair for EXPERIMENTS.md.
+    c.newton.bypass = true;
+    c.newton.jacobian_reuse = true;
+    DynamicOrGate accel_gate = build_dynamic_or(c);
+    spice::RunReport accel_report;
+    measure_dynamic_or(accel_gate, &accel_report);
+    bench::emit_report(bench::accel_variant(diag), accel_report);
   }
   return 0;
 }

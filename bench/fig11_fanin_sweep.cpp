@@ -89,6 +89,15 @@ int main(int argc, char** argv) {
     spice::RunReport report;
     measure_dynamic_or(gate, &report);
     bench::emit_report(diag, report);
+
+    // Accelerated re-run (quiescent bypass + Jacobian reuse) for the
+    // before/after table in EXPERIMENTS.md.
+    c.newton.bypass = true;
+    c.newton.jacobian_reuse = true;
+    DynamicOrGate accel_gate = build_dynamic_or(c);
+    spice::RunReport accel_report;
+    measure_dynamic_or(accel_gate, &accel_report);
+    bench::emit_report(bench::accel_variant(diag), accel_report);
   }
   return 0;
 }

@@ -93,6 +93,14 @@ int main(int argc, char** argv) {
     spice::RunReport report;
     measure_read_latency(c, 0.1, &report);
     bench::emit_report(diag, report);
+
+    // Accelerated re-run (quiescent bypass + Jacobian reuse) for the
+    // before/after table in EXPERIMENTS.md.
+    c.newton.bypass = true;
+    c.newton.jacobian_reuse = true;
+    spice::RunReport accel_report;
+    measure_read_latency(c, 0.1, &accel_report);
+    bench::emit_report(bench::accel_variant(diag), accel_report);
   }
   return 0;
 }

@@ -3,7 +3,10 @@
 // transient throughput on the paper's actual circuits.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <iostream>
 #include <sstream>
+#include <string>
 
 #include "nemsim/core/dynamic_or.h"
 #include "nemsim/core/sram.h"
@@ -268,6 +271,51 @@ BENCHMARK(BM_TransientSolverPath)
     ->Args({0, 16})
     ->Args({1, 16});
 
+void BM_TransientAccel(benchmark::State& state) {
+  // Quiescent-device bypass + modified-Newton Jacobian reuse, off vs on,
+  // on the fan-in 8 hybrid dynamic OR transient.  The label carries the
+  // nonlinear-eval / bypass / stale-solve counters of the last run so the
+  // eval reduction is visible directly in BENCH_solver.json.
+  core::DynamicOrConfig c;
+  c.fanin = 8;
+  c.fanout = 3;
+  c.hybrid = true;
+  const bool accel = state.range(0) != 0;
+  core::DynamicOrGate gate = core::build_dynamic_or(c);
+  spice::NewtonStats ns;
+  for (auto _ : state) {
+    spice::MnaSystem system(gate.ckt());
+    spice::TransientOptions options;
+    options.tstop = 1.5e-9;
+    options.newton.bypass = accel;
+    options.newton.jacobian_reuse = accel;
+    ns = spice::NewtonStats{};
+    options.newton_stats = &ns;
+    benchmark::DoNotOptimize(spice::transient(system, options));
+  }
+  std::ostringstream label;
+  label << (accel ? "accel" : "baseline") << " nl=" << ns.nonlinear_evals
+        << " byp=" << ns.bypassed_evals << " hit=" << ns.bypass_hit_rate()
+        << " stale=" << ns.stale_jacobian_solves;
+  state.SetLabel(label.str());
+}
+BENCHMARK(BM_TransientAccel)->Arg(0)->Arg(1);
+
+void BM_SramReadAccel(benchmark::State& state) {
+  // Same off/on pair on the hybrid SRAM read transient (the NEMS beams
+  // and idle half of the cell are quiescent for most of the run).
+  core::SramConfig c;
+  c.kind = core::SramKind::kHybrid;
+  const bool accel = state.range(0) != 0;
+  c.newton.bypass = accel;
+  c.newton.jacobian_reuse = accel;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::measure_read_latency(c));
+  }
+  state.SetLabel(accel ? "accel" : "baseline");
+}
+BENCHMARK(BM_SramReadAccel)->Arg(0)->Arg(1);
+
 void BM_FaninSweepParallel(benchmark::State& state) {
   // The Figure 11 style sweep (fan-in 4/8/12/16, CMOS + hybrid = 8
   // independent transients) on a varying worker count; near-linear
@@ -305,4 +353,36 @@ BENCHMARK(BM_FaninSweepParallel)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+#ifndef NEMSIM_BUILD_TYPE
+#define NEMSIM_BUILD_TYPE ""
+#endif
+
+// Custom main instead of BENCHMARK_MAIN(): timings from a non-Release
+// nemsim build are meaningless for the tracked BENCH_*.json trajectory,
+// so warn loudly — and refuse outright when NEMSIM_BENCH_REQUIRE_RELEASE=1
+// (run_benchmarks.sh sets it).  The build type also lands in the JSON
+// context so stale results are identifiable after the fact.
+int main(int argc, char** argv) {
+  const std::string build_type = NEMSIM_BUILD_TYPE;
+  if (build_type != "Release") {
+    std::cerr
+        << "================================================================\n"
+        << "WARNING: perf_simulator was built as '"
+        << (build_type.empty() ? "unset" : build_type) << "', not Release.\n"
+        << "Do not record these timings.  Rebuild with the bench preset:\n"
+        << "  cmake --preset bench && cmake --build --preset bench -j\n"
+        << "================================================================\n";
+    const char* require = std::getenv("NEMSIM_BENCH_REQUIRE_RELEASE");
+    if (require != nullptr && std::string(require) == "1") {
+      std::cerr << "NEMSIM_BENCH_REQUIRE_RELEASE=1: refusing to run.\n";
+      return 1;
+    }
+  }
+  benchmark::AddCustomContext("nemsim_build_type",
+                              build_type.empty() ? "unset" : build_type);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -11,15 +11,26 @@
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
-build_dir="${1:-$repo_root/build}"
+# Default to the Release "bench" preset (build-bench).  Benchmarks from a
+# debug or RelWithDebInfo tree measure the wrong thing; perf_simulator
+# itself refuses to run non-Release builds when
+# NEMSIM_BENCH_REQUIRE_RELEASE=1 (exported below).
+build_dir="${1:-$repo_root/build-bench}"
 if [[ $# -gt 0 ]]; then shift; fi
 
 bench_bin="$build_dir/bench/perf_simulator"
+if [[ ! -x "$bench_bin" && "$build_dir" == "$repo_root/build-bench" ]]; then
+  echo "Configuring + building the Release bench preset..." >&2
+  cmake --preset bench -S "$repo_root" >&2
+  cmake --build --preset bench -j "$(nproc)" >&2
+fi
 if [[ ! -x "$bench_bin" ]]; then
   echo "error: $bench_bin not found or not executable." >&2
-  echo "Build first: cmake -B build -S . && cmake --build build -j" >&2
+  echo "Build first: cmake --preset bench && cmake --build --preset bench -j" >&2
   exit 1
 fi
+
+export NEMSIM_BENCH_REQUIRE_RELEASE="${NEMSIM_BENCH_REQUIRE_RELEASE:-1}"
 
 "$bench_bin" \
   --benchmark_out="$repo_root/BENCH_solver.json" \

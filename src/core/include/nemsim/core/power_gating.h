@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "nemsim/spice/circuit.h"
+#include "nemsim/spice/newton.h"
 
 namespace nemsim::core {
 
@@ -49,6 +50,9 @@ struct GatedBlockConfig {
   double sleep_width = 1e-6;   ///< footer device width
   int stages = 4;              ///< inverter chain length
   double vdd = 1.2;
+  /// Newton knobs for the underlying transients (bypass / Jacobian reuse
+  /// accelerators, both off by default).
+  spice::NewtonOptions newton{};
 };
 
 GatedBlockResult measure_gated_block(const GatedBlockConfig& config);
@@ -64,6 +68,9 @@ struct GranularityConfig {
   int stages = 4;                 ///< inverter chain length
   double total_sleep_width = 2e-6;///< silicon spent on sleep devices, total
   double vdd = 1.2;
+  /// Newton knobs for the underlying transients (bypass / Jacobian reuse
+  /// accelerators, both off by default).
+  spice::NewtonOptions newton{};
 };
 
 struct GranularityResult {

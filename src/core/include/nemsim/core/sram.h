@@ -45,6 +45,10 @@ struct SramConfig {
   double bitline_cap = 20e-15;  ///< lumped BL capacitance (array + wire)
   /// Stored value: true means QL = Vdd ("1"), false QL = 0 ("0").
   bool stored_one = false;
+  /// Newton solver knobs for every analysis the benches run on this cell
+  /// (notably the quiescent-device bypass and Jacobian-reuse accelerators,
+  /// both off by default so results stay bitwise-stable).
+  spice::NewtonOptions newton{};
 };
 
 /// A built cell with its testbench sources.

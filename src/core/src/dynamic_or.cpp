@@ -126,6 +126,7 @@ spice::Waveform run_switching_cycle(DynamicOrGate& gate, double extra_time,
 
   MnaSystem system(ckt);
   spice::TransientOptions options;
+  options.newton = c.newton;
   options.tstop = cycle_time(c) + extra_time;
   options.dt_initial = 1e-13;
   options.report = report;
@@ -183,6 +184,7 @@ double measure_leakage_power(DynamicOrGate& gate, spice::RunReport* report) {
   system.set_nodeset(ckt.find_node("dyn"), c.vdd);
   system.set_nodeset(ckt.find_node("out"), 0.0);
   spice::OpOptions op_options;
+  op_options.newton = c.newton;
   op_options.report = report;
   spice::OpResult op = spice::operating_point(system, op_options);
 
@@ -212,6 +214,7 @@ double measure_noise_margin(DynamicOrGate& gate, double v_resolution) {
     }
     MnaSystem system(ckt);
     spice::TransientOptions options;
+    options.newton = c.newton;
     options.tstop = c.t_precharge + c.t_edge + c.t_evaluate;
     options.dt_initial = 1e-13;
     bool ok = true;

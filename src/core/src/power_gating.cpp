@@ -124,6 +124,7 @@ GatedBlockResult measure_gated_block(const GatedBlockConfig& config) {
     }
     MnaSystem system(ckt);
     spice::TransientOptions options;
+    options.newton = config.newton;
     options.tstop = 3e-9;
     options.dt_initial = 1e-13;
     spice::Waveform wave = spice::transient(system, options);
@@ -184,6 +185,7 @@ GatedBlockResult measure_gated_block(const GatedBlockConfig& config) {
                      sleep_g, ckt.gnd(), config.sleep_width);
     MnaSystem system(ckt);
     spice::TransientOptions options;
+    options.newton = config.newton;
     options.tstop = 3e-9;
     options.dt_initial = 1e-13;
     spice::Waveform wave = spice::transient(system, options);
@@ -242,6 +244,7 @@ GranularityResult measure_granularity(SleepGranularity granularity,
     auto ckt = build(/*sleep_on=*/true);
     MnaSystem system(*ckt);
     spice::TransientOptions options;
+    options.newton = config.newton;
     options.tstop = 3e-9;
     options.dt_initial = 1e-13;
     spice::Waveform wave = spice::transient(system, options);

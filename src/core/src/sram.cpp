@@ -314,6 +314,7 @@ double read_latency_impl(const SramConfig& config, std::size_t idle_cells,
   system.set_nodeset(ckt.find_node("blb"), vdd);
 
   spice::TransientOptions options;
+  options.newton = config.newton;
   options.tstop = 3e-9;
   options.dt_initial = 1e-13;
   options.report = report;
@@ -350,6 +351,7 @@ double measure_column_read_latency_structural(const SramColumnConfig& config,
   system.set_nodeset(ckt.find_node("blb"), c.vdd);
 
   spice::TransientOptions options;
+  options.newton = c.newton;
   options.tstop = 3e-9;
   options.dt_initial = 1e-13;
   options.report = report;
@@ -382,6 +384,7 @@ WriteResult measure_write(const SramConfig& config, double wl_pulse) {
   nodeset_stored_value(system, config);
 
   spice::TransientOptions options;
+  options.newton = config.newton;
   options.tstop = t_wl + wl_pulse + 2.0 * edge + 1e-9;  // settle after WL
   options.dt_initial = 1e-13;
   spice::Waveform wave = spice::transient(system, options);

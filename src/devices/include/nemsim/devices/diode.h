@@ -29,6 +29,12 @@ class Diode : public spice::Device {
 
   void stamp(spice::StampContext& ctx) const override;
   void stamp_ac(spice::AcStampContext& ctx) const override;
+  /// The stamp is a pure function of the junction voltage: an empty
+  /// signature opts into quiescent bypass unconditionally.
+  bool bypass_signature(std::vector<double>& out) const override {
+    (void)out;
+    return true;
+  }
   spice::DeviceTopology topology() const override;
   void self_check(const lint::DeviceCheckContext& ctx,
                   std::vector<lint::LintFinding>& out) const override;

@@ -52,6 +52,7 @@ class Mosfet : public spice::Device {
   double drain_current(double vgs, double vds) const;
 
   void stamp(spice::StampContext& ctx) const override;
+  bool bypass_signature(std::vector<double>& out) const override;
   void accept_step(const spice::AcceptContext& ctx) override;
   void reset_state() override;
   void stamp_ac(spice::AcStampContext& ctx) const override;

@@ -115,6 +115,7 @@ class Nemfet : public spice::Device {
 
   void setup(spice::SetupContext& ctx) override;
   void stamp(spice::StampContext& ctx) const override;
+  bool bypass_signature(std::vector<double>& out) const override;
   void begin_step(double time, double dt) override;
   void accept_step(const spice::AcceptContext& ctx) override;
   void reset_state() override;

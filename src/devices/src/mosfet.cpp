@@ -108,6 +108,19 @@ void Mosfet::stamp(spice::StampContext& ctx) const {
   csb_.stamp(ctx, s_, spice::kGround);
 }
 
+bool Mosfet::bypass_signature(std::vector<double>& out) const {
+  // Everything the stamp reads besides the iterate: instance geometry and
+  // threshold shift (mutable via keeper/Monte-Carlo sweeps) plus the four
+  // companion histories.
+  out.push_back(w_);
+  out.push_back(vth_shift_);
+  cgs_.append_signature(out);
+  cgd_.append_signature(out);
+  cdb_.append_signature(out);
+  csb_.append_signature(out);
+  return true;
+}
+
 void Mosfet::accept_step(const spice::AcceptContext& ctx) {
   cgs_.accept(ctx, ctx.v(g_) - ctx.v(s_));
   cgd_.accept(ctx, ctx.v(g_) - ctx.v(d_));

@@ -59,6 +59,69 @@ class Solution {
   const linalg::Vector* x_;
 };
 
+/// Cached stamp of one quiescent nonlinear device (SPICE-style bypass).
+///
+/// Captured during a full (residual + Jacobian) assembly: every input the
+/// stamp read — iterate entries via v()/x() and context scalars via
+/// time()/dt()/gmin()/source_factor() — plus every residual/Jacobian
+/// entry it produced and the device's committed-state signature.  A later
+/// assembly whose inputs all match within the bypass tolerance replays
+/// the recorded entries instead of re-evaluating the device model.
+struct DeviceBypassCache {
+  struct FEntry {
+    std::size_t row;
+    double value;
+  };
+  struct JEntry {
+    std::size_t row;
+    std::size_t col;
+    std::size_t slot;  ///< CSR slot at capture; npos for dense captures
+    double value;
+  };
+  /// Sentinel epoch for dense captures: never matches a real pattern
+  /// epoch, so dense-captured slots are never replayed into a CSR sink.
+  static constexpr std::uint64_t kNoEpoch = ~std::uint64_t{0};
+
+  bool valid = false;
+  /// Set when the capture hit outside the frozen CSR pattern (the pattern
+  /// grows and the assembly retries); such a capture is discarded.
+  bool poisoned = false;
+  AnalysisMode mode = AnalysisMode::kDcOperatingPoint;
+  // Context scalars the stamp actually read (replay requires an exact
+  // match on each one that was read; unread scalars are unconstrained).
+  bool read_time = false, read_dt = false, read_gmin = false,
+       read_source_factor = false;
+  double time = 0.0, dt = 0.0, gmin = 0.0, source_factor = 0.0;
+  std::uint64_t epoch = kNoEpoch;  ///< pattern epoch of the CSR slots
+  /// Set when the f-side of the capture has been refreshed (residual-only
+  /// pass) at a point outside the bypass tolerance of the J entries'
+  /// capture point: the J entries no longer linearize around `inputs`,
+  /// so the cache only replays where they are never stamped and the
+  /// first-order correction vanishes (exact-match residual-only replay).
+  bool j_stale = false;
+  /// (unknown index, value at capture) for every iterate entry read.
+  std::vector<std::pair<std::size_t, double>> inputs;
+  /// `inputs` as of the last *full* capture: the anchor the J entries
+  /// linearize around, used to decide `j_stale` on f-side refreshes.
+  std::vector<std::pair<std::size_t, double>> j_anchor;
+  std::vector<double> signature;  ///< Device::bypass_signature at capture
+  std::vector<FEntry> f_entries;
+  std::vector<JEntry> j_entries;
+
+  void reset() {
+    valid = false;
+    poisoned = false;
+    j_stale = false;
+    read_time = read_dt = read_gmin = read_source_factor = false;
+    epoch = kNoEpoch;
+    inputs.clear();
+    j_anchor.clear();
+    signature.clear();
+    f_entries.clear();
+    j_entries.clear();
+  }
+};
+
 /// Stamping interface passed to Device::stamp.
 ///
 /// The Jacobian sink is pluggable: dense matrix (classic path), frozen
@@ -88,13 +151,37 @@ class StampContext {
 
   AnalysisMode mode() const { return mode_; }
   /// End time of the step being solved (transient), or 0 for OP.
-  double time() const { return time_; }
+  double time() const {
+    if (capture_) {
+      capture_->read_time = true;
+      capture_->time = time_;
+    }
+    return time_;
+  }
   /// Step size (transient only; 0 for OP).
-  double dt() const { return dt_; }
+  double dt() const {
+    if (capture_) {
+      capture_->read_dt = true;
+      capture_->dt = dt_;
+    }
+    return dt_;
+  }
   /// Shunt conductance to ground added at every node (homotopy aid).
-  double gmin() const { return gmin_; }
+  double gmin() const {
+    if (capture_) {
+      capture_->read_gmin = true;
+      capture_->gmin = gmin_;
+    }
+    return gmin_;
+  }
   /// Scale factor applied by sources during source stepping, in [0,1].
-  double source_factor() const { return source_factor_; }
+  double source_factor() const {
+    if (capture_) {
+      capture_->read_source_factor = true;
+      capture_->source_factor = source_factor_;
+    }
+    return source_factor_;
+  }
 
   /// Value of node voltage at the current Newton iterate.
   double v(NodeId node) const;
@@ -116,6 +203,35 @@ class StampContext {
   void configure(AnalysisMode mode, double time, double dt, double gmin,
                  double source_factor);
 
+  // --- Bypass plumbing (engine-internal, not for devices) --------------
+
+  /// True when this context can produce a complete capture: residual and
+  /// Jacobian sinks both attached (full assembly, not a pattern pass).
+  bool can_capture() const {
+    return want_residual_ && pattern_ == nullptr &&
+           (dense_jacobian_ != nullptr || sparse_jacobian_ != nullptr);
+  }
+  /// Residual-only assembly: Jacobian contributions are dropped, so a
+  /// replayed cache's J entries are never stamped.
+  bool residual_only() const {
+    return want_residual_ && pattern_ == nullptr &&
+           dense_jacobian_ == nullptr && sparse_jacobian_ == nullptr;
+  }
+  bool has_sparse_sink() const { return sparse_jacobian_ != nullptr; }
+  bool has_jacobian_sink() const {
+    return dense_jacobian_ != nullptr || sparse_jacobian_ != nullptr;
+  }
+  bool wants_residual() const { return want_residual_; }
+  /// Raw iterate entry by unknown index (replay input comparison).
+  double unknown_value(std::size_t index) const { return x_[index]; }
+  /// Routes all reads/stamps of the next Device::stamp into `cache`.
+  void begin_capture(DeviceBypassCache* cache) { capture_ = cache; }
+  void end_capture() { capture_ = nullptr; }
+  /// Replays a cached stamp into the attached sinks.  The caller has
+  /// already verified compatibility (mode/scalars/inputs/signature, and
+  /// for CSR sinks a matching pattern epoch).
+  void apply_cached(const DeviceBypassCache& cache);
+
  private:
   void raw_f(UnknownId eq, double value);
   void raw_J(UnknownId eq, UnknownId var, double value);
@@ -134,6 +250,9 @@ class StampContext {
   double dt_ = 0.0;
   double gmin_ = 0.0;
   double source_factor_ = 1.0;
+  /// Active capture sink (null outside a bypass capture); the const
+  /// accessors (v, x, dt, ...) record reads into the pointee.
+  DeviceBypassCache* capture_ = nullptr;
 };
 
 /// Passed to Device::accept_step after a converged solve.
@@ -253,6 +372,40 @@ class MnaSystem {
                                 AnalysisMode mode, double time,
                                 double dt) const;
 
+  // --- Quiescent-device bypass (nemsim/spice/newton.h knobs) -----------
+  //
+  // Off by default; NewtonSolver::solve_plain configures it from
+  // NewtonOptions on every solve.  When enabled, nonlinear devices whose
+  // inputs (iterate entries + context scalars + committed-state
+  // signature) match their last full evaluation within the tolerance
+  // replay the recorded residual/Jacobian entries instead of
+  // re-evaluating the model.  With bypass disabled the assembly control
+  // flow is unchanged (bitwise-identical results).
+
+  /// Cumulative nonlinear-device stamp accounting.  `evals` counts model
+  /// evaluations actually executed in assembly passes (maintained even
+  /// with bypass off, so before/after comparisons share a baseline);
+  /// `bypassed` counts replays that skipped an evaluation.
+  struct BypassCounters {
+    std::int64_t evals = 0;
+    std::int64_t bypassed = 0;
+  };
+
+  void configure_bypass(bool enabled, double reltol, double abstol);
+  /// Suspends replay (capture still runs): every device is re-evaluated
+  /// and its cache refreshed.  Used for the final converged-iteration
+  /// verification pass, which must see true model evaluations.
+  void set_bypass_replay_suspended(bool suspended);
+  /// Converged-iteration verification mode: caches captured at the
+  /// current iterate replay bitwise-exactly (their entries ARE the true
+  /// evaluation at this point); any tolerance-admitted cache is
+  /// re-evaluated.  Cheaper than full suspension with the same
+  /// "never converge on an approximated residual" guarantee.
+  void set_bypass_exact_only(bool exact_only);
+  /// Drops every cached stamp (LTE reject, breakpoint, discontinuity).
+  void invalidate_bypass_caches();
+  const BypassCounters& bypass_counters() const { return bypass_counters_; }
+
   /// Calls begin_step on every device.
   void begin_step(double time, double dt);
   /// Calls accept_step on every device.
@@ -271,7 +424,21 @@ class MnaSystem {
 
  private:
   enum class DeviceSet { kAll, kLinear, kNonlinear };
-  void stamp_devices(StampContext& ctx, DeviceSet set) const;
+  /// `hot` marks the Newton assembly passes: nonlinear evaluations are
+  /// counted and the bypass cache may capture/replay.  Symbolic and
+  /// pattern passes stamp plainly (hot = false).
+  void stamp_devices(StampContext& ctx, DeviceSet set,
+                     bool hot = false) const;
+  void stamp_one(StampContext& ctx, std::size_t device_index,
+                 bool hot) const;
+  /// True when `cache` can stand in for re-evaluating the device whose
+  /// stamp it recorded, given the context's iterate/scalars/sinks.
+  /// With `exact` set, inputs and signature must match bitwise (the
+  /// cache was captured at this very iterate, so replaying it IS the
+  /// true evaluation); otherwise the configured tolerances apply.
+  bool bypass_compatible(const StampContext& ctx,
+                         const DeviceBypassCache& cache,
+                         const Device& device, bool exact) const;
   void ensure_pattern() const;
   void grow_pattern(
       const std::vector<std::pair<std::size_t, std::size_t>>& missed) const;
@@ -281,6 +448,23 @@ class MnaSystem {
   std::unordered_map<std::string, std::size_t> unknown_index_;
   std::vector<std::size_t> linear_devices_;
   std::vector<std::size_t> nonlinear_devices_;
+  /// Per device index: 0 linear, 1 nonlinear (bypass-ineligible),
+  /// 2 nonlinear with bypass_signature support.
+  std::vector<std::uint8_t> device_class_;
+  // Bypass configuration + per-device caches (mutable: assembly is
+  // logically const; the caches memoize it).
+  bool bypass_enabled_ = false;
+  bool bypass_replay_suspended_ = false;
+  /// Verification mode: replay only caches captured at the current
+  /// iterate bitwise; everything else gets a true model evaluation.
+  bool bypass_exact_only_ = false;
+  double bypass_reltol_ = 1e-6;
+  double bypass_abstol_ = 1e-12;
+  mutable std::vector<DeviceBypassCache> bypass_caches_;
+  mutable BypassCounters bypass_counters_;
+  mutable std::vector<double> bypass_signature_scratch_;
+  /// Scratch capture for f-side refreshes in residual-only passes.
+  mutable DeviceBypassCache f_refresh_scratch_;
   // Jacobian sparsity pattern, built lazily and grown on demand.
   mutable std::vector<std::pair<std::size_t, std::size_t>> pattern_;
   mutable bool pattern_built_ = false;

@@ -36,6 +36,12 @@ struct TransientOptions : AnalysisCommon {
   /// sparse refactorization reuses) summed over every accepted and
   /// rejected step of the run.
   NewtonStats* newton_stats = nullptr;
+  /// Opt-in signal subset: when non-empty, only these unknowns (by
+  /// display name, e.g. "v(out)") are recorded into the waveform, so big
+  /// structural circuits stop copying every unknown on every accepted
+  /// step.  Empty records everything (bitwise-identical default).
+  /// Unknown names throw InvalidArgument before the run starts.
+  std::vector<std::string> record_signals;
 };
 
 /// Runs a transient from the DC operating point at t = 0.

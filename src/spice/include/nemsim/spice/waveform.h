@@ -22,6 +22,10 @@ class Waveform {
   /// via `at()` requires an ascending axis.
   void append(double t, const linalg::Vector& values);
 
+  /// Pre-allocates storage for `samples` rows (axis + data).  Purely a
+  /// capacity hint: exceeding it just falls back to normal growth.
+  void reserve(std::size_t samples);
+
   /// True while the axis is (still) strictly ascending.
   bool ascending_axis() const { return ascending_; }
 

@@ -91,20 +91,64 @@ Waveform dc_sweep_parallel(
     linalg::Vector x;
     NewtonStats newton;
   };
-  std::vector<PointResult> solutions = util::parallel_map(
-      points.size(),
-      [&](std::size_t i) {
-        Circuit circuit = make_circuit();
-        set_param(circuit, points[i]);
-        MnaSystem system(circuit);
-        PointResult result;
-        OpOptions task_options = op_options;
-        task_options.report = nullptr;
-        task_options.stats = report ? &result.newton : nullptr;
-        result.x = operating_point(system, task_options).raw();
-        return result;
-      },
-      num_threads);
+  std::vector<PointResult> solutions;
+  if (options.parallel_chunk == 0) {
+    solutions = util::parallel_map(
+        points.size(),
+        [&](std::size_t i) {
+          Circuit circuit = make_circuit();
+          set_param(circuit, points[i]);
+          MnaSystem system(circuit);
+          PointResult result;
+          OpOptions task_options = op_options;
+          task_options.report = nullptr;
+          task_options.stats = report ? &result.newton : nullptr;
+          result.x = operating_point(system, task_options).raw();
+          return result;
+        },
+        num_threads);
+  } else {
+    // Warm-start chunking: one task per run of `parallel_chunk`
+    // consecutive points.  The chunk's first point is solved cold; each
+    // later point is seeded from the previous solution on the *same*
+    // circuit instance (set_param mutates device values only, never the
+    // topology — the same contract the sequential dc_sweep relies on).
+    // Chunk boundaries are a pure function of the point index, so the
+    // result is bitwise identical for any thread count.
+    const std::size_t chunk = options.parallel_chunk;
+    const std::size_t num_chunks = (points.size() + chunk - 1) / chunk;
+    std::vector<std::vector<PointResult>> chunks = util::parallel_map(
+        num_chunks,
+        [&](std::size_t c) {
+          const std::size_t begin = c * chunk;
+          const std::size_t end = std::min(begin + chunk, points.size());
+          Circuit circuit = make_circuit();
+          MnaSystem system(circuit);
+          std::vector<PointResult> out;
+          out.reserve(end - begin);
+          linalg::Vector previous;
+          for (std::size_t i = begin; i < end; ++i) {
+            set_param(circuit, points[i]);
+            PointResult result;
+            OpOptions task_options = op_options;
+            task_options.report = nullptr;
+            task_options.stats = report ? &result.newton : nullptr;
+            OpResult op = i == begin
+                              ? operating_point(system, task_options)
+                              : operating_point_from(system, previous,
+                                                     task_options);
+            previous = op.raw();
+            result.x = op.raw();
+            out.push_back(std::move(result));
+          }
+          return out;
+        },
+        num_threads);
+    solutions.reserve(points.size());
+    for (std::vector<PointResult>& c : chunks) {
+      for (PointResult& r : c) solutions.push_back(std::move(r));
+    }
+  }
 
   Waveform wave(std::move(names));
   for (std::size_t i = 0; i < points.size(); ++i) {

@@ -103,6 +103,13 @@ std::string RunReport::summary() const {
      << " factorizations=" << newton.factorizations
      << " reuses=" << newton.factorization_reuses
      << (newton.used_sparse ? " sparse" : " dense");
+  if (newton.bypassed_evals > 0 || newton.stale_jacobian_solves > 0) {
+    os << " nl_evals=" << newton.nonlinear_evals
+       << " bypassed=" << newton.bypassed_evals
+       << " bypass_hit_rate=" << newton.bypass_hit_rate()
+       << " stale_solves=" << newton.stale_jacobian_solves
+       << " forced_refreshes=" << newton.forced_refreshes;
+  }
   if (!stages.empty()) {
     os << " stages[plain=" << stage_count(SteppingStageRecord::Kind::kPlain)
        << " gmin=" << stage_count(SteppingStageRecord::Kind::kGminStep)
@@ -155,6 +162,11 @@ void RunReport::write_json(std::ostream& os) const {
      << ", \"residual_assembles\": " << newton.residual_assembles
      << ", \"factorizations\": " << newton.factorizations
      << ", \"factorization_reuses\": " << newton.factorization_reuses
+     << ", \"nonlinear_evals\": " << newton.nonlinear_evals
+     << ", \"bypassed_evals\": " << newton.bypassed_evals
+     << ", \"bypass_hit_rate\": " << newton.bypass_hit_rate()
+     << ", \"stale_jacobian_solves\": " << newton.stale_jacobian_solves
+     << ", \"forced_refreshes\": " << newton.forced_refreshes
      << ", \"used_sparse\": " << (newton.used_sparse ? "true" : "false")
      << "}";
 

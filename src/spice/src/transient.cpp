@@ -39,6 +39,17 @@ linalg::Vector extrapolate(const std::vector<double>& ts,
   return out;
 }
 
+/// Snaps a step-size ask to the quarter-octave ladder anchored at
+/// `dt_ref`: the largest rung not above the ask.  Rungs are derived from
+/// the anchor and an integer exponent each call -- never by compounding
+/// -- so a revisited rung reproduces the identical double, which is what
+/// lets device bypass caches (exact-dt match) survive step retuning.
+double quantize_dt(double dt_desired, double dt_ref) {
+  const int rung =
+      static_cast<int>(std::floor(std::log2(dt_desired / dt_ref) * 4.0));
+  return dt_ref * std::pow(2.0, 0.25 * rung);
+}
+
 }  // namespace
 
 Waveform transient(MnaSystem& system, const TransientOptions& options) {
@@ -68,13 +79,47 @@ Waveform transient(MnaSystem& system, const TransientOptions& options) {
   op_options.lint = lint::LintMode::kOff;
   OpResult op = operating_point(system, op_options);
 
+  // Column layout: every unknown by default, or the opt-in subset from
+  // record_signals (resolved up front so a typo fails before stepping).
+  std::vector<std::size_t> record_cols;
   std::vector<std::string> names;
-  names.reserve(system.num_unknowns());
-  for (std::size_t i = 0; i < system.num_unknowns(); ++i) {
-    names.push_back(system.unknown_info(i).name);
+  if (options.record_signals.empty()) {
+    names.reserve(system.num_unknowns());
+    for (std::size_t i = 0; i < system.num_unknowns(); ++i) {
+      names.push_back(system.unknown_info(i).name);
+    }
+  } else {
+    names.reserve(options.record_signals.size());
+    record_cols.reserve(options.record_signals.size());
+    for (const std::string& signal : options.record_signals) {
+      record_cols.push_back(system.unknown_by_name(signal).index);
+      names.push_back(signal);
+    }
   }
   Waveform wave(std::move(names));
-  wave.append(0.0, op.raw());
+  // Capacity hint: adaptive stepping settles near dt_max with bursts of
+  // small steps after breakpoints.  Capped so wide circuits never
+  // pre-commit more than a few MB before the first sample lands.
+  {
+    const double estimate = 2.0 * options.tstop / dt_max + 64.0;
+    const std::size_t rows =
+        static_cast<std::size_t>(std::min(estimate, 65536.0));
+    const std::size_t row_cap =
+        (std::size_t{1} << 20) / std::max<std::size_t>(wave.num_signals(), 1);
+    wave.reserve(std::min(rows, std::max<std::size_t>(row_cap, 64)));
+  }
+  linalg::Vector record_row(record_cols.size());
+  auto record = [&](double tt, const linalg::Vector& xx) {
+    if (record_cols.empty()) {
+      wave.append(tt, xx);
+      return;
+    }
+    for (std::size_t i = 0; i < record_cols.size(); ++i) {
+      record_row[i] = xx[record_cols[i]];
+    }
+    wave.append(tt, record_row);
+  };
+  record(0.0, op.raw());
 
   std::vector<double> breakpoints = system.breakpoints(options.tstop);
   std::size_t next_bp = 0;
@@ -204,14 +249,52 @@ Waveform transient(MnaSystem& system, const TransientOptions& options) {
           }
         }
         dt = std::max(options.dt_min, dt_eff * 0.25);
+        // The retry must not replay device entries captured along the
+        // rejected trajectory (bypass correctness guard, DESIGN.md).
+        if (options.newton.bypass) {
+          dt = std::max(options.dt_min, quantize_dt(dt, options.dt_initial));
+          system.invalidate_bypass_caches();
+        }
         continue;  // reject; device state untouched since not accepted
       }
       // Smooth step adaptation (trapezoidal is 2nd order: exponent 1/3).
       const double grow =
           ratio > 0.0 ? 0.9 * std::pow(1.0 / ratio, 1.0 / 3.0) : 2.0;
-      dt = dt_eff * std::clamp(grow, 0.25, 2.0);
+      const double dt_desired = dt_eff * std::clamp(grow, 0.25, 2.0);
+      if (options.newton.bypass) {
+        // Step control for the bypass path: dt enters companion
+        // conductances as 1/dt, so device caches require an exact dt
+        // match and a continuously retuned step defeats replay entirely.
+        // Hold dt while the controller's ask stays inside its jitter
+        // band.  In the quiet regime (previous solve converged in <= 2
+        // iterations) the band reaches down to 0.7x -- the controller
+        // limit-cycles with asks around ~0.7x (LTE ratio ~ 2, still far
+        // from the reject threshold), and a genuinely too-large step
+        // escalates to an LTE reject, which shrinks hard and flushes the
+        // caches regardless; quiet asks outside the band snap down to
+        // the quarter-octave ladder so a revisited step size is an exact
+        // dt match.  Active windows keep the narrow [0.9, 2^(1/4)) hold
+        // and otherwise follow the ask verbatim: the circuit is moving,
+        // caches miss on their inputs anyway, and pinning dt there only
+        // buys harder solves.
+        constexpr double kRung = 1.18920711500272107;  // 2^(1/4)
+        const bool quiet = newton.last_converged_iters() <= 2;
+        if (quiet && dt_desired >= 0.7 * dt_eff &&
+            dt_desired < kRung * dt_eff) {
+          dt = dt_eff;
+        } else if (quiet) {
+          dt = quantize_dt(dt_desired, options.dt_initial);
+        } else {
+          dt = dt_desired;
+        }
+      } else {
+        dt = dt_desired;
+      }
     } else if (solved) {
-      dt = dt_eff * 1.5;  // not enough history for LTE yet: grow gently
+      // Not enough history for LTE yet: grow gently (on-ladder when the
+      // bypass cares about dt repeating bit-for-bit).
+      dt = options.newton.bypass ? quantize_dt(dt_eff * 1.5, options.dt_initial)
+                                 : dt_eff * 1.5;
     } else {
       ++stats.newton_failures;
       if (report) ++report->newton_failures;
@@ -240,6 +323,8 @@ Waveform transient(MnaSystem& system, const TransientOptions& options) {
         throw error;
       }
       dt = dt_retry;
+      // Same guard as the LTE reject: retry from clean caches.
+      if (options.newton.bypass) system.invalidate_bypass_caches();
       continue;
     }
     dt = std::min(dt, dt_max);
@@ -256,15 +341,29 @@ Waveform transient(MnaSystem& system, const TransientOptions& options) {
     }
 
     system.accept(x_new, AnalysisMode::kTransient, t_new, dt_eff);
-    wave.append(t_new, x_new);
+    record(t_new, x_new);
     t = t_new;
     x = x_new;
 
     if (lands_on_bp) {
       ++next_bp;
       system.notify_discontinuity();
+      // Source edges change companion histories discontinuously; every
+      // cached device entry predates the edge, so drop them all.
+      if (options.newton.bypass) system.invalidate_bypass_caches();
       clear_history_to(t, x);
-      dt = options.dt_initial;
+      if (options.newton.bypass) {
+        // Restarting the whole dt ramp at dt_initial costs a cache-miss
+        // cascade per edge (every intermediate dt invalidates every
+        // device's companion stamps).  Resume at a fraction of the
+        // equilibrated step instead: the post-edge transient is resolved
+        // by the same LTE controller either way, and an overshoot simply
+        // rejects, quarters dt, and flushes the caches it would have
+        // flushed anyway.
+        dt = std::max(options.dt_initial, dt / 8.0);
+      } else {
+        dt = options.dt_initial;
+      }
     } else {
       push_history(t, x);
     }

@@ -26,6 +26,11 @@ void Waveform::append(double t, const linalg::Vector& values) {
   data_.insert(data_.end(), values.begin(), values.end());
 }
 
+void Waveform::reserve(std::size_t samples) {
+  times_.reserve(samples);
+  data_.reserve(samples * names_.size());
+}
+
 bool Waveform::has_signal(const std::string& name) const {
   return index_.count(name) != 0;
 }

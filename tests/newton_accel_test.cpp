@@ -1,0 +1,286 @@
+// Quiescent-device bypass and modified-Newton Jacobian reuse: the
+// off-by-default contract (bitwise-identical runs, zero counters), the
+// correctness contract (accelerated solutions match the baseline within
+// the Newton tolerances, even with a coarse bypass tolerance), and the
+// determinism of the chunked warm-start dc_sweep_parallel mode.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "nemsim/core/dynamic_or.h"
+#include "nemsim/core/sram.h"
+#include "nemsim/devices/mosfet.h"
+#include "nemsim/devices/passives.h"
+#include "nemsim/devices/sources.h"
+#include "nemsim/spice/circuit.h"
+#include "nemsim/spice/dcsweep.h"
+#include "nemsim/spice/op.h"
+#include "nemsim/spice/transient.h"
+#include "nemsim/tech/cards.h"
+
+namespace nemsim {
+namespace {
+
+using devices::Capacitor;
+using devices::Mosfet;
+using devices::MosPolarity;
+using devices::Resistor;
+using devices::SourceWave;
+using devices::VoltageSource;
+using spice::Circuit;
+using spice::MnaSystem;
+
+/// A CMOS inverter driving a load cap, with a pulse input: nonlinear,
+/// has companion state, and is cheap enough to run many times.
+Circuit make_inverter() {
+  Circuit ckt;
+  spice::NodeId vdd = ckt.node("vdd");
+  spice::NodeId in = ckt.node("in");
+  spice::NodeId out = ckt.node("out");
+  ckt.add<VoltageSource>("Vdd", vdd, ckt.gnd(), SourceWave::dc(1.2));
+  ckt.add<VoltageSource>(
+      "Vin", in, ckt.gnd(),
+      SourceWave::pulse(0.0, 1.2, 0.3e-9, 30e-12, 30e-12, 0.6e-9));
+  ckt.add<Mosfet>("MP", out, in, vdd, MosPolarity::kPmos, tech::pmos_90nm(),
+                  0.4e-6, 1e-7);
+  ckt.add<Mosfet>("MN", out, in, ckt.gnd(), MosPolarity::kNmos,
+                  tech::nmos_90nm(), 0.2e-6, 1e-7);
+  ckt.add<Capacitor>("CL", out, ckt.gnd(), 5e-15);
+  return ckt;
+}
+
+spice::Waveform run_inverter(const spice::NewtonOptions& newton,
+                             spice::NewtonStats* stats = nullptr) {
+  Circuit ckt = make_inverter();
+  MnaSystem system(ckt);
+  spice::TransientOptions options;
+  options.newton = newton;
+  options.tstop = 1.5e-9;
+  options.dt_initial = 1e-13;
+  options.newton_stats = stats;
+  return spice::transient(system, options);
+}
+
+void expect_identical(const spice::Waveform& a, const spice::Waveform& b) {
+  ASSERT_EQ(a.num_samples(), b.num_samples());
+  ASSERT_EQ(a.num_signals(), b.num_signals());
+  for (std::size_t k = 0; k < a.num_samples(); ++k) {
+    ASSERT_EQ(a.times()[k], b.times()[k]) << "sample " << k;
+    for (std::size_t s = 0; s < a.num_signals(); ++s) {
+      ASSERT_EQ(a.sample(s, k), b.sample(s, k))
+          << a.signal_names()[s] << " sample " << k;
+    }
+  }
+}
+
+// ------------------------------------------------------- off-path contract
+
+TEST(NewtonAccel, OffPathCountersStayZero) {
+  spice::NewtonStats stats;
+  run_inverter(spice::NewtonOptions{}, &stats);
+  EXPECT_GT(stats.nonlinear_evals, 0);
+  EXPECT_EQ(stats.bypassed_evals, 0);
+  EXPECT_EQ(stats.stale_jacobian_solves, 0);
+  EXPECT_EQ(stats.forced_refreshes, 0);
+  EXPECT_EQ(stats.bypass_hit_rate(), 0.0);
+}
+
+TEST(NewtonAccel, OffRunsAreBitwiseReproducible) {
+  const spice::Waveform a = run_inverter(spice::NewtonOptions{});
+  const spice::Waveform b = run_inverter(spice::NewtonOptions{});
+  expect_identical(a, b);
+}
+
+TEST(NewtonAccel, AccelRunLeavesNoStateBehind) {
+  // on-then-off on the SAME system must reproduce a fresh off run
+  // bitwise: disabling the accelerators fully clears their state.
+  Circuit ckt = make_inverter();
+  MnaSystem system(ckt);
+
+  spice::TransientOptions on;
+  on.tstop = 1.5e-9;
+  on.dt_initial = 1e-13;
+  on.newton.bypass = true;
+  on.newton.jacobian_reuse = true;
+  spice::transient(system, on);
+
+  spice::TransientOptions off = on;
+  off.newton = spice::NewtonOptions{};
+  const spice::Waveform after = spice::transient(system, off);
+
+  const spice::Waveform fresh = run_inverter(spice::NewtonOptions{});
+  expect_identical(after, fresh);
+}
+
+// ---------------------------------------------------- correctness contract
+
+TEST(NewtonAccel, AcceleratedTransientMatchesBaseline) {
+  spice::NewtonStats base_stats, accel_stats;
+  const spice::Waveform base = run_inverter(spice::NewtonOptions{},
+                                            &base_stats);
+  spice::NewtonOptions accel;
+  accel.bypass = true;
+  accel.jacobian_reuse = true;
+  const spice::Waveform fast = run_inverter(accel, &accel_stats);
+
+  // Compare on plateaus and mid-transition via interpolation; the two
+  // runs pick their own step grids, so probe times are shared.
+  for (double t : {0.1e-9, 0.25e-9, 0.5e-9, 0.8e-9, 1.2e-9, 1.5e-9}) {
+    EXPECT_NEAR(base.at("v(out)", t), fast.at("v(out)", t), 5e-3)
+        << "t = " << t;
+  }
+  // The accelerators actually engaged.
+  EXPECT_GT(accel_stats.bypassed_evals, 0);
+  EXPECT_GT(accel_stats.bypass_hit_rate(), 0.0);
+  EXPECT_LE(accel_stats.bypass_hit_rate(), 1.0);
+  EXPECT_EQ(base_stats.bypassed_evals, 0);
+}
+
+TEST(NewtonAccel, CoarseBypassToleranceStaysWithinNewtonTolerance) {
+  // Even with a deliberately coarse replay tolerance, convergence is
+  // only ever declared on an exact residual (fused exact trial or the
+  // verification fallback), so the solution must not drift beyond the
+  // Newton tolerances.
+  spice::NewtonOptions coarse;
+  coarse.bypass = true;
+  coarse.bypass_reltol = 1e-3;
+  coarse.bypass_abstol = 1e-6;
+  spice::NewtonStats stats;
+  const spice::Waveform fast = run_inverter(coarse, &stats);
+  const spice::Waveform base = run_inverter(spice::NewtonOptions{});
+  for (double t : {0.1e-9, 0.5e-9, 0.8e-9, 1.2e-9, 1.5e-9}) {
+    EXPECT_NEAR(base.at("v(out)", t), fast.at("v(out)", t), 5e-3)
+        << "t = " << t;
+  }
+  // Replays happened, but true evaluations still anchored every
+  // accepted step (the exact-trial assemblies keep the hit rate < 1).
+  EXPECT_GT(stats.bypassed_evals, 0);
+  EXPECT_GT(stats.nonlinear_evals, 0);
+  EXPECT_LT(stats.bypass_hit_rate(), 1.0);
+}
+
+TEST(NewtonAccel, JacobianReuseSkipsFactorizations) {
+  spice::NewtonStats base_stats;
+  run_inverter(spice::NewtonOptions{}, &base_stats);
+
+  spice::NewtonOptions reuse;
+  reuse.jacobian_reuse = true;
+  spice::NewtonStats reuse_stats;
+  const spice::Waveform fast = run_inverter(reuse, &reuse_stats);
+  const spice::Waveform base = run_inverter(spice::NewtonOptions{});
+
+  EXPECT_GT(reuse_stats.stale_jacobian_solves, 0);
+  EXPECT_LT(reuse_stats.factorizations, base_stats.factorizations);
+  for (double t : {0.5e-9, 1.5e-9}) {
+    EXPECT_NEAR(base.at("v(out)", t), fast.at("v(out)", t), 5e-3);
+  }
+}
+
+TEST(NewtonAccel, AcceleratedOperatingPointMatchesBaseline) {
+  Circuit base_ckt = make_inverter();
+  MnaSystem base_system(base_ckt);
+  const spice::OpResult base = spice::operating_point(base_system);
+
+  Circuit accel_ckt = make_inverter();
+  MnaSystem accel_system(accel_ckt);
+  spice::OpOptions options;
+  options.newton.bypass = true;
+  options.newton.jacobian_reuse = true;
+  const spice::OpResult fast = spice::operating_point(accel_system, options);
+
+  ASSERT_EQ(base.raw().size(), fast.raw().size());
+  for (std::size_t i = 0; i < base.raw().size(); ++i) {
+    EXPECT_NEAR(base.raw()[i], fast.raw()[i],
+                1e-6 + 1e-6 * std::abs(base.raw()[i]))
+        << "unknown " << i;
+  }
+}
+
+// -------------------------------------------------- record_signals subset
+
+TEST(TransientRecordSignals, SubsetMatchesFullRun) {
+  Circuit full_ckt = make_inverter();
+  MnaSystem full_system(full_ckt);
+  spice::TransientOptions options;
+  options.tstop = 1.5e-9;
+  options.dt_initial = 1e-13;
+  const spice::Waveform full = spice::transient(full_system, options);
+
+  Circuit sub_ckt = make_inverter();
+  MnaSystem sub_system(sub_ckt);
+  options.record_signals = {"v(out)", "v(in)"};
+  const spice::Waveform sub = spice::transient(sub_system, options);
+
+  ASSERT_EQ(sub.num_signals(), 2u);
+  EXPECT_EQ(sub.signal_names()[0], "v(out)");
+  ASSERT_EQ(sub.num_samples(), full.num_samples());
+  for (std::size_t k = 0; k < sub.num_samples(); ++k) {
+    ASSERT_EQ(sub.times()[k], full.times()[k]);
+    EXPECT_EQ(sub.sample(0, k),
+              full.sample(full.signal_index("v(out)"), k));
+    EXPECT_EQ(sub.sample(1, k), full.sample(full.signal_index("v(in)"), k));
+  }
+}
+
+TEST(TransientRecordSignals, UnknownNameThrowsBeforeRun) {
+  Circuit ckt = make_inverter();
+  MnaSystem system(ckt);
+  spice::TransientOptions options;
+  options.tstop = 1e-9;
+  options.record_signals = {"v(no_such_node)"};
+  EXPECT_THROW(spice::transient(system, options), std::exception);
+}
+
+// --------------------------------------------- chunked warm-start dc sweep
+
+TEST(DcSweepChunked, ThreadCountIndependent) {
+  auto make = []() { return make_inverter(); };
+  auto set_vin = [](Circuit& ckt, double v) {
+    ckt.find<VoltageSource>("Vin").set_wave(SourceWave::dc(v));
+  };
+  const std::vector<double> points = spice::linspace(0.0, 1.2, 13);
+
+  spice::DcSweepOptions options;
+  options.parallel_chunk = 5;  // 3 chunks: 5 + 5 + 3 points
+  const spice::Waveform w1 =
+      spice::dc_sweep_parallel(make, set_vin, points, options, 1);
+  const spice::Waveform w4 =
+      spice::dc_sweep_parallel(make, set_vin, points, options, 4);
+
+  ASSERT_EQ(w1.num_samples(), points.size());
+  ASSERT_EQ(w4.num_samples(), points.size());
+  for (std::size_t k = 0; k < points.size(); ++k) {
+    for (std::size_t s = 0; s < w1.num_signals(); ++s) {
+      EXPECT_DOUBLE_EQ(w1.sample(s, k), w4.sample(s, k))
+          << w1.signal_names()[s] << " point " << k;
+    }
+  }
+}
+
+TEST(DcSweepChunked, WarmStartMatchesColdWithinTolerance) {
+  // The inverter VTC has a unique solution per input, so warm-started
+  // chunks must land on the same curve as cold per-point solves.
+  auto make = []() { return make_inverter(); };
+  auto set_vin = [](Circuit& ckt, double v) {
+    ckt.find<VoltageSource>("Vin").set_wave(SourceWave::dc(v));
+  };
+  const std::vector<double> points = spice::linspace(0.0, 1.2, 13);
+
+  spice::DcSweepOptions cold;
+  const spice::Waveform wc =
+      spice::dc_sweep_parallel(make, set_vin, points, cold, 2);
+  spice::DcSweepOptions warm;
+  warm.parallel_chunk = 4;
+  const spice::Waveform ww =
+      spice::dc_sweep_parallel(make, set_vin, points, warm, 2);
+
+  for (std::size_t k = 0; k < points.size(); ++k) {
+    EXPECT_NEAR(wc.sample(wc.signal_index("v(out)"), k),
+                ww.sample(ww.signal_index("v(out)"), k), 1e-6)
+        << "point " << k;
+  }
+}
+
+}  // namespace
+}  // namespace nemsim

@@ -1,0 +1,45 @@
+// Tier-2 perf smoke: the quiescent-device bypass must actually pay off on
+// the workload it was built for — the structural SRAM column read, where
+// 63 of the 64 cells sit at their hold state for the whole transient.
+// Asserts counter-level wins (hit rate, nonlinear-eval reduction), not
+// wall-clock, so the test is meaningful in any build type.
+#include <gtest/gtest.h>
+
+#include "nemsim/core/sram.h"
+#include "nemsim/spice/diagnostics.h"
+
+namespace nemsim {
+namespace {
+
+TEST(PerfSmoke, BypassHitRateOnIdleSramColumnRead) {
+  core::SramColumnConfig config;
+  config.n_cells = 64;
+
+  spice::RunReport base;
+  const double lat_base =
+      core::measure_column_read_latency_structural(config, 0.1, &base);
+  ASSERT_GT(base.newton.nonlinear_evals, 0);
+  EXPECT_EQ(base.newton.bypassed_evals, 0);
+
+  config.cell.newton.bypass = true;
+  config.cell.newton.jacobian_reuse = true;
+  spice::RunReport accel;
+  const double lat_accel =
+      core::measure_column_read_latency_structural(config, 0.1, &accel);
+
+  // The accelerated run reads the same latency (same converged physics).
+  EXPECT_NEAR(lat_accel, lat_base, 0.05 * lat_base);
+
+  // Most device evaluations on the idle column replay from cache...
+  EXPECT_GT(accel.newton.bypass_hit_rate(), 0.5)
+      << "bypassed=" << accel.newton.bypassed_evals
+      << " evals=" << accel.newton.nonlinear_evals;
+  // ...which must shrink actual nonlinear evaluations by >= 1.5x (the
+  // PR's acceptance floor) and engage the stale-Jacobian path.
+  EXPECT_GE(static_cast<double>(base.newton.nonlinear_evals),
+            1.5 * static_cast<double>(accel.newton.nonlinear_evals));
+  EXPECT_GT(accel.newton.stale_jacobian_solves, 0);
+}
+
+}  // namespace
+}  // namespace nemsim
