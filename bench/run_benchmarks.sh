@@ -32,6 +32,30 @@ fi
 
 export NEMSIM_BENCH_REQUIRE_RELEASE="${NEMSIM_BENCH_REQUIRE_RELEASE:-1}"
 
+# Correctness gate: refuse to publish performance numbers from an engine
+# that disagrees with itself.  The tier-1 fuzz corpus (bitwise contracts
+# on pinned seeds) must pass in the same tree that produced the bench
+# binary; skip only when the fuzzer was not built (partial builds still
+# get kernel numbers, loudly).  Override with NEMSIM_BENCH_SKIP_CHECK=1
+# for local experiments that must never be committed.
+fuzz_bin="$build_dir/tools/nemsim-fuzz"
+if [[ "${NEMSIM_BENCH_SKIP_CHECK:-0}" != "1" ]]; then
+  if [[ -x "$fuzz_bin" ]]; then
+    echo "Running tier-1 differential-check corpus before publishing..." >&2
+    if ! "$fuzz_bin" --seed 1 --count 6 --bitwise-only \
+        --out "$build_dir/fuzz_bench_gate" >&2; then
+      echo "error: tier-1 differential-check corpus FAILED." >&2
+      echo "The engine violates its own redundancy contracts; fix that" >&2
+      echo "before recording benchmark numbers (decks under" >&2
+      echo "$build_dir/fuzz_bench_gate)." >&2
+      exit 1
+    fi
+  else
+    echo "warning: $fuzz_bin not built; publishing WITHOUT the" >&2
+    echo "differential-check gate." >&2
+  fi
+fi
+
 "$bench_bin" \
   --benchmark_out="$repo_root/BENCH_solver.json" \
   --benchmark_out_format=json \

@@ -1,0 +1,135 @@
+// Configuration-matrix executor: runs one generated circuit through
+// every redundant engine path and compares the results under the
+// contract each path promises.
+//
+// Contract classes (see DESIGN.md "Differential-check contracts"):
+//  - bitwise: two legs must produce identical bits.
+//      kDeterminism    rebuild + rerun of the same configuration
+//      kRoundTrip      export_netlist -> parse_netlist -> rerun (the
+//                      generator only emits exactly-representable
+//                      parameter values, so this is bitwise, not close)
+//      kHierarchy      flat twin vs subcircuit-wrapped twin (names
+//                      normalized by stripping the instance prefix)
+//      kParallelSweep  dc_sweep_parallel with 1 thread vs N threads
+//  - reltol: two legs must agree to a tolerance because they perform
+//    different arithmetic on the way to the same converged solution.
+//      kSparseVsDense  JacobianSolver::kDense vs kSparse
+//      kBypass         NewtonOptions::bypass on vs off
+//      kJacobianReuse  NewtonOptions::jacobian_reuse on vs off
+//      kBypassAndReuse both accelerators on vs off (transient only)
+//
+// Every leg builds its OWN circuit from the seed — device state
+// (capacitor history, NEMS beam position) must never leak between legs.
+// The baseline leg (dense LU, accelerators off, flat, serial) is solved
+// once per analysis and shared as the reference for all contracts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nemsim/check/compare.h"
+#include "nemsim/check/generator.h"
+#include "nemsim/spice/diagnostics.h"
+
+namespace nemsim::check {
+
+enum class Analysis { kOp, kTransient, kDcSweep };
+enum class Contract {
+  kDeterminism,
+  kRoundTrip,
+  kHierarchy,
+  kParallelSweep,
+  kSparseVsDense,
+  kBypass,
+  kJacobianReuse,
+  kBypassAndReuse,
+};
+
+const char* to_string(Analysis a);
+const char* to_string(Contract c);
+bool contract_is_bitwise(Contract c);
+/// Parses the kebab-case names printed by to_string; throws
+/// InvalidArgument on anything else.
+Analysis parse_analysis(const std::string& s);
+Contract parse_contract(const std::string& s);
+
+/// Deliberate defect injection, for proving the checker catches what it
+/// claims to catch (and for exercising the minimizer on a real
+/// mismatch).  kStaleJacobian models a modified-Newton implementation
+/// whose refresh gate is broken: on jacobian_reuse legs the Newton
+/// tolerance is loosened and the stale-LU acceptance gate is disabled,
+/// so solves settle visibly short of the true solution.
+enum class Sabotage { kNone, kStaleJacobian };
+
+struct CheckOptions {
+  GeneratorOptions generator;
+  /// Restrict to the bitwise contracts (fast smoke tier).
+  bool bitwise_only = false;
+  Sabotage sabotage = Sabotage::kNone;
+  /// Reltol-contract tolerances.  OP solves share one Newton tolerance,
+  /// so they agree tightly; transients accumulate step-sequence
+  /// differences through the LTE controller and get more room.
+  double op_reltol = 1e-6;
+  double op_abstol = 1e-9;
+  /// Transient tolerances judge *trajectories*, not single solves: two
+  /// legs doing different arithmetic adapt different step sequences, and
+  /// the integrator only bounds per-step truncation error to lte_reltol
+  /// (2e-3) — at switching edges the accumulated, interpolated
+  /// divergence between two legitimate step sequences reaches a few
+  /// times that (measured ~0.6 % worst case for bypass on generated
+  /// circuits).  tran_reltol therefore sits at 5x LTE; anything past it
+  /// means a leg left the converged trajectory, not that the steppers
+  /// disagreed about where to sample it (this margin caught the
+  /// bypass fast-restart defect: blind dt/8 post-breakpoint steps
+  /// displaced trajectories by ~30 mV / 15 %).  tran_abstol covers
+  /// small-amplitude nodes whose per-signal reltol scale shrinks below
+  /// the bypass admission tolerance (bypass_reltol = 1e-4 on ~1 V
+  /// signals; second-order replay error ~1e-5).
+  double tran_reltol = 1e-2;
+  double tran_abstol = 2e-5;
+  /// Time half-width of the comparison tube (Tolerance::time_tol):
+  /// pointwise values may match anywhere within +/- this much of the
+  /// reference time, absorbing the few-ps step-sequence skew two
+  /// legitimate adaptive integrations accumulate through a fast edge.
+  double tran_time_tol = 5e-12;
+  std::size_t sweep_points = 9;        ///< DC sweep 0..vdd point count
+  std::size_t sweep_threads = 4;       ///< "N threads" leg of kParallelSweep
+  /// Optional sinks: mismatches become report notes; with forensics
+  /// enabled each mismatch dumps the offending deck + detail through
+  /// write_failure_forensics (tagged per seed/analysis/contract).
+  spice::RunReport* report = nullptr;
+  spice::ForensicsOptions forensics;
+};
+
+struct Mismatch {
+  std::uint64_t seed = 0;
+  Analysis analysis = Analysis::kOp;
+  Contract contract = Contract::kDeterminism;
+  /// Worst row named via the MNA unknown table, both values, tolerance.
+  std::string detail;
+  /// Netlist reproducing the failure (feed to deck_mismatches or
+  /// `nemsim-fuzz --deck`).
+  std::string deck;
+};
+
+struct CheckCaseResult {
+  std::uint64_t seed = 0;
+  std::size_t contracts_run = 0;
+  std::vector<Mismatch> mismatches;
+  bool ok() const { return mismatches.empty(); }
+};
+
+/// Runs the full contract matrix for one seed.
+CheckCaseResult run_check_case(std::uint64_t seed, const CheckOptions& opts);
+
+/// Replays one (analysis, contract) leg on an explicit deck instead of a
+/// generated circuit; returns true when the deck still violates the
+/// contract.  This is the minimizer's predicate and the CLI's `--deck`
+/// repro path.  kHierarchy is not deck-replayable (the wrapped twin
+/// needs the generator) and always returns false.
+bool deck_mismatches(const std::string& deck, Analysis analysis,
+                     Contract contract, const CheckOptions& opts,
+                     std::string* detail = nullptr);
+
+}  // namespace nemsim::check

@@ -1,0 +1,37 @@
+// Greedy deck minimizer for differential mismatches.
+//
+// Given a netlist deck that violates one (analysis, contract) pair, the
+// minimizer repeatedly tries two shrinking moves and keeps any that
+// still reproduces the mismatch:
+//  - delete one device card, or
+//  - merge one node into another (textual node-token substitution).
+// A candidate deck that fails to parse, lint, or solve is rejected (the
+// predicate — deck_mismatches — treats "cannot evaluate the contract"
+// as not reproducing), so minimization never wanders into merely-broken
+// decks.  The loop runs to a fixpoint: the result is 1-minimal — no
+// single remaining deletion or merge keeps the mismatch alive.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "nemsim/check/checker.h"
+
+namespace nemsim::check {
+
+struct MinimizeResult {
+  std::string deck;               ///< shrunk deck, still mismatching
+  std::size_t devices_removed = 0;
+  std::size_t nodes_merged = 0;
+  std::size_t predicate_calls = 0;  ///< contract evaluations spent
+};
+
+/// Shrinks `deck` while `deck_mismatches(deck, analysis, contract, opts)`
+/// stays true.  Requires the initial deck to mismatch (throws
+/// InvalidArgument otherwise — minimizing a passing deck is a caller
+/// bug).  kHierarchy decks are not minimizable (deck_mismatches cannot
+/// replay them) and are rejected the same way.
+MinimizeResult minimize_deck(const std::string& deck, Analysis analysis,
+                             Contract contract, const CheckOptions& opts);
+
+}  // namespace nemsim::check

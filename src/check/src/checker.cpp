@@ -1,0 +1,452 @@
+#include "nemsim/check/checker.h"
+
+#include <functional>
+#include <optional>
+#include <utility>
+
+#include "nemsim/devices/sources.h"
+#include "nemsim/spice/dcsweep.h"
+#include "nemsim/spice/engine.h"
+#include "nemsim/spice/netlist_export.h"
+#include "nemsim/spice/op.h"
+#include "nemsim/spice/transient.h"
+#include "nemsim/tech/netlist_parser.h"
+#include "nemsim/util/error.h"
+
+namespace nemsim::check {
+
+const char* to_string(Analysis a) {
+  switch (a) {
+    case Analysis::kOp: return "op";
+    case Analysis::kTransient: return "tran";
+    case Analysis::kDcSweep: return "dcsweep";
+  }
+  return "?";
+}
+
+const char* to_string(Contract c) {
+  switch (c) {
+    case Contract::kDeterminism: return "determinism";
+    case Contract::kRoundTrip: return "round-trip";
+    case Contract::kHierarchy: return "hierarchy";
+    case Contract::kParallelSweep: return "parallel-sweep";
+    case Contract::kSparseVsDense: return "sparse-vs-dense";
+    case Contract::kBypass: return "bypass";
+    case Contract::kJacobianReuse: return "jacobian-reuse";
+    case Contract::kBypassAndReuse: return "bypass-and-reuse";
+  }
+  return "?";
+}
+
+bool contract_is_bitwise(Contract c) {
+  switch (c) {
+    case Contract::kDeterminism:
+    case Contract::kRoundTrip:
+    case Contract::kHierarchy:
+    case Contract::kParallelSweep:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Analysis parse_analysis(const std::string& s) {
+  for (Analysis a : {Analysis::kOp, Analysis::kTransient, Analysis::kDcSweep}) {
+    if (s == to_string(a)) return a;
+  }
+  throw InvalidArgument("unknown analysis '" + s +
+                        "' (expected op, tran, or dcsweep)");
+}
+
+Contract parse_contract(const std::string& s) {
+  for (Contract c :
+       {Contract::kDeterminism, Contract::kRoundTrip, Contract::kHierarchy,
+        Contract::kParallelSweep, Contract::kSparseVsDense, Contract::kBypass,
+        Contract::kJacobianReuse, Contract::kBypassAndReuse}) {
+    if (s == to_string(c)) return c;
+  }
+  throw InvalidArgument("unknown contract '" + s + "'");
+}
+
+namespace {
+
+using spice::Waveform;
+
+/// One engine configuration of the redundant-path matrix.
+struct LegConfig {
+  spice::JacobianSolver solver = spice::JacobianSolver::kDense;
+  bool bypass = false;
+  bool reuse = false;
+};
+
+spice::NewtonOptions newton_for(const LegConfig& leg,
+                                const CheckOptions& opts) {
+  spice::NewtonOptions n;
+  n.solver = leg.solver;
+  n.bypass = leg.bypass;
+  n.jacobian_reuse = leg.reuse;
+  if (leg.reuse && opts.sabotage == Sabotage::kStaleJacobian) {
+    // A broken refresh gate: any stale-LU solve is accepted and the
+    // convergence test is loosened far past the contract tolerance, so
+    // reuse legs settle visibly short of the true solution.
+    n.reltol = 3e-2;
+    n.reuse_residual_ratio = 1e9;
+  }
+  return n;
+}
+
+/// Strips the first occurrence of the hierarchy instance prefix
+/// ("Xdut.") so wrapped-twin names ("v(Xdut.s3)", "Xdut.X5.x") map onto
+/// their flat counterparts.
+std::string strip_prefix(std::string name, const std::string& prefix) {
+  const std::size_t pos = name.find(prefix);
+  if (pos != std::string::npos) name.erase(pos, prefix.size());
+  return name;
+}
+
+Waveform rename_signals(const Waveform& wave, const std::string& prefix) {
+  std::vector<std::string> names;
+  names.reserve(wave.num_signals());
+  for (const std::string& n : wave.signal_names()) {
+    names.push_back(strip_prefix(n, prefix));
+  }
+  Waveform out(std::move(names));
+  out.reserve(wave.num_samples());
+  linalg::Vector row(wave.num_signals());
+  for (std::size_t k = 0; k < wave.num_samples(); ++k) {
+    for (std::size_t s = 0; s < wave.num_signals(); ++s) {
+      row[s] = wave.sample(s, k);
+    }
+    out.append(wave.times()[k], row);
+  }
+  return out;
+}
+
+/// Runs the legs of one (analysis, contract) pair and compares them.
+/// Owns the per-analysis baseline cache so contracts sharing a reference
+/// (everything except kParallelSweep, whose reference is cold-per-point)
+/// solve it only once.
+class Runner {
+ public:
+  Runner(std::function<spice::Circuit()> make_flat,
+         std::function<spice::Circuit()> make_wrapped, std::string deck,
+         double tstop, const CheckOptions& opts, std::string wrap_prefix)
+      : make_flat_(std::move(make_flat)),
+        make_wrapped_(std::move(make_wrapped)),
+        deck_(std::move(deck)),
+        tstop_(tstop),
+        opts_(opts),
+        wrap_prefix_(std::move(wrap_prefix)) {}
+
+  /// Empty optional = contract not applicable to this analysis.
+  std::optional<CompareResult> run(Analysis analysis, Contract contract) {
+    switch (analysis) {
+      case Analysis::kOp: return run_op_contract(contract);
+      case Analysis::kTransient: return run_tran_contract(contract);
+      case Analysis::kDcSweep: return run_sweep_contract(contract);
+    }
+    return std::nullopt;
+  }
+
+ private:
+  static constexpr LegConfig kBaseline{};
+
+  Tolerance op_tol() const { return {opts_.op_reltol, opts_.op_abstol}; }
+  Tolerance tran_tol() const {
+    return {opts_.tran_reltol, opts_.tran_abstol, opts_.tran_time_tol};
+  }
+  static Tolerance bitwise_tol() { return {}; }
+
+  std::vector<NamedValue> solve_op(spice::Circuit& ckt,
+                                   const LegConfig& leg) const {
+    spice::MnaSystem system(ckt);
+    spice::OpOptions o;
+    o.newton = newton_for(leg, opts_);
+    o.lint = lint::LintMode::kOff;  // generated circuits are clean by design
+    const spice::OpResult r = spice::operating_point(system, o);
+    std::vector<NamedValue> out;
+    out.reserve(system.num_unknowns());
+    for (std::size_t i = 0; i < system.num_unknowns(); ++i) {
+      out.push_back({system.unknown_info(i).name, r.raw()[i]});
+    }
+    return out;
+  }
+
+  Waveform solve_tran(spice::Circuit& ckt, const LegConfig& leg) const {
+    spice::MnaSystem system(ckt);
+    spice::TransientOptions o;
+    o.tstop = tstop_;
+    o.newton = newton_for(leg, opts_);
+    o.lint = lint::LintMode::kOff;
+    return spice::transient(system, o);
+  }
+
+  std::vector<double> sweep_points() const {
+    return spice::linspace(0.0, opts_.generator.vdd, opts_.sweep_points);
+  }
+
+  Waveform solve_sweep(spice::Circuit& ckt, const LegConfig& leg) const {
+    spice::MnaSystem system(ckt);
+    spice::DcSweepOptions o;
+    o.newton = newton_for(leg, opts_);
+    o.lint = lint::LintMode::kOff;
+    auto& vin = ckt.find<devices::VoltageSource>("Vin");
+    const std::vector<double> pts = sweep_points();
+    return spice::dc_sweep(system, [&](double v) { vin.set_dc(v); }, pts, o);
+  }
+
+  Waveform solve_sweep_parallel(std::size_t threads) const {
+    spice::DcSweepOptions o;
+    o.newton = newton_for(kBaseline, opts_);
+    o.lint = lint::LintMode::kOff;
+    const std::vector<double> pts = sweep_points();
+    return spice::dc_sweep_parallel(
+        make_flat_,
+        [](spice::Circuit& c, double v) {
+          c.find<devices::VoltageSource>("Vin").set_dc(v);
+        },
+        pts, o, threads);
+  }
+
+  const std::vector<NamedValue>& base_op() {
+    if (!base_op_) {
+      spice::Circuit ckt = make_flat_();
+      base_op_ = solve_op(ckt, kBaseline);
+    }
+    return *base_op_;
+  }
+  const Waveform& base_tran() {
+    if (!base_tran_) {
+      spice::Circuit ckt = make_flat_();
+      base_tran_ = solve_tran(ckt, kBaseline);
+    }
+    return *base_tran_;
+  }
+  const Waveform& base_sweep() {
+    if (!base_sweep_) {
+      spice::Circuit ckt = make_flat_();
+      base_sweep_ = solve_sweep(ckt, kBaseline);
+    }
+    return *base_sweep_;
+  }
+
+  std::optional<CompareResult> op_variant(const LegConfig& leg,
+                                          const Tolerance& tol) {
+    spice::Circuit ckt = make_flat_();
+    return compare_values(base_op(), solve_op(ckt, leg), tol);
+  }
+  std::optional<CompareResult> tran_variant(const LegConfig& leg,
+                                            const Tolerance& tol) {
+    spice::Circuit ckt = make_flat_();
+    return compare_waveforms(base_tran(), solve_tran(ckt, leg), tol);
+  }
+
+  std::optional<CompareResult> run_op_contract(Contract c) {
+    switch (c) {
+      case Contract::kDeterminism:
+        return op_variant(kBaseline, bitwise_tol());
+      case Contract::kRoundTrip: {
+        spice::Circuit reparsed = tech::parse_netlist(deck_);
+        return compare_values(base_op(), solve_op(reparsed, kBaseline),
+                              bitwise_tol());
+      }
+      case Contract::kHierarchy: {
+        if (!make_wrapped_) return std::nullopt;
+        spice::Circuit wrapped = make_wrapped_();
+        std::vector<NamedValue> got = solve_op(wrapped, kBaseline);
+        for (NamedValue& nv : got) {
+          nv.name = strip_prefix(std::move(nv.name), wrap_prefix_);
+        }
+        return compare_values(base_op(), got, bitwise_tol());
+      }
+      case Contract::kSparseVsDense:
+        return op_variant({spice::JacobianSolver::kSparse, false, false},
+                          op_tol());
+      case Contract::kBypass:
+        return op_variant({spice::JacobianSolver::kDense, true, false},
+                          op_tol());
+      case Contract::kJacobianReuse:
+        return op_variant({spice::JacobianSolver::kDense, false, true},
+                          op_tol());
+      case Contract::kParallelSweep:
+      case Contract::kBypassAndReuse:
+        return std::nullopt;
+    }
+    return std::nullopt;
+  }
+
+  std::optional<CompareResult> run_tran_contract(Contract c) {
+    switch (c) {
+      case Contract::kDeterminism:
+        return tran_variant(kBaseline, bitwise_tol());
+      case Contract::kRoundTrip: {
+        spice::Circuit reparsed = tech::parse_netlist(deck_);
+        return compare_waveforms(base_tran(), solve_tran(reparsed, kBaseline),
+                                 bitwise_tol());
+      }
+      case Contract::kHierarchy: {
+        if (!make_wrapped_) return std::nullopt;
+        spice::Circuit wrapped = make_wrapped_();
+        return compare_waveforms(
+            base_tran(),
+            rename_signals(solve_tran(wrapped, kBaseline), wrap_prefix_),
+            bitwise_tol());
+      }
+      case Contract::kSparseVsDense:
+        return tran_variant({spice::JacobianSolver::kSparse, false, false},
+                            tran_tol());
+      case Contract::kBypass:
+        return tran_variant({spice::JacobianSolver::kDense, true, false},
+                            tran_tol());
+      case Contract::kJacobianReuse:
+        return tran_variant({spice::JacobianSolver::kDense, false, true},
+                            tran_tol());
+      case Contract::kBypassAndReuse:
+        return tran_variant({spice::JacobianSolver::kDense, true, true},
+                            tran_tol());
+      case Contract::kParallelSweep:
+        return std::nullopt;
+    }
+    return std::nullopt;
+  }
+
+  std::optional<CompareResult> run_sweep_contract(Contract c) {
+    switch (c) {
+      case Contract::kDeterminism: {
+        spice::Circuit ckt = make_flat_();
+        return compare_waveforms(base_sweep(), solve_sweep(ckt, kBaseline),
+                                 bitwise_tol());
+      }
+      case Contract::kParallelSweep:
+        // Cold-per-point reference vs N workers: bitwise for any thread
+        // count is the dc_sweep_parallel contract.
+        return compare_waveforms(solve_sweep_parallel(1),
+                                 solve_sweep_parallel(opts_.sweep_threads),
+                                 bitwise_tol());
+      case Contract::kSparseVsDense: {
+        spice::Circuit ckt = make_flat_();
+        return compare_waveforms(
+            base_sweep(),
+            solve_sweep(ckt, {spice::JacobianSolver::kSparse, false, false}),
+            op_tol());
+      }
+      default:
+        return std::nullopt;
+    }
+  }
+
+  std::function<spice::Circuit()> make_flat_;
+  std::function<spice::Circuit()> make_wrapped_;  ///< null in deck mode
+  std::string deck_;
+  double tstop_;
+  const CheckOptions& opts_;
+  std::string wrap_prefix_;
+
+  std::optional<std::vector<NamedValue>> base_op_;
+  std::optional<Waveform> base_tran_;
+  std::optional<Waveform> base_sweep_;
+};
+
+constexpr Contract kAllContracts[] = {
+    Contract::kDeterminism,   Contract::kRoundTrip,
+    Contract::kHierarchy,     Contract::kParallelSweep,
+    Contract::kSparseVsDense, Contract::kBypass,
+    Contract::kJacobianReuse, Contract::kBypassAndReuse,
+};
+constexpr Analysis kAllAnalyses[] = {Analysis::kOp, Analysis::kTransient,
+                                     Analysis::kDcSweep};
+
+}  // namespace
+
+CheckCaseResult run_check_case(std::uint64_t seed, const CheckOptions& opts) {
+  CheckCaseResult result;
+  result.seed = seed;
+
+  GeneratedInfo info;
+  spice::Circuit probe = generate_circuit(seed, opts.generator, &info);
+  const std::string deck =
+      spice::netlist_string(probe, "nemsim-fuzz seed " + std::to_string(seed));
+
+  Runner runner(
+      [&] { return generate_circuit(seed, opts.generator); },
+      [&] {
+        return generate_circuit(seed, opts.generator, nullptr,
+                                /*wrap_in_subckt=*/true);
+      },
+      deck, info.tstop, opts, info.wrap_prefix);
+
+  for (Analysis analysis : kAllAnalyses) {
+    for (Contract contract : kAllContracts) {
+      if (opts.bitwise_only && !contract_is_bitwise(contract)) continue;
+      std::optional<CompareResult> cmp;
+      try {
+        cmp = runner.run(analysis, contract);
+      } catch (const Error& e) {
+        // A leg failing to solve at all breaks the contract just as
+        // surely as disagreeing about the answer.
+        CompareResult failed;
+        failed.ok = false;
+        failed.detail = std::string("leg threw: ") + e.what();
+        cmp = failed;
+      }
+      if (!cmp) continue;  // contract not applicable to this analysis
+      ++result.contracts_run;
+      if (cmp->ok) continue;
+
+      Mismatch m;
+      m.seed = seed;
+      m.analysis = analysis;
+      m.contract = contract;
+      m.detail = cmp->detail;
+      m.deck = deck;
+      if (opts.report != nullptr) {
+        opts.report->add_note(std::string("check mismatch: seed ") +
+                              std::to_string(seed) + " " + to_string(analysis) +
+                              "/" + to_string(contract) + ": " + cmp->detail);
+      }
+      if (opts.forensics.enabled) {
+        spice::ForensicsOptions f = opts.forensics;
+        f.tag += "_seed" + std::to_string(seed) + "_" + to_string(analysis) +
+                 "_" + to_string(contract);
+        spice::write_failure_forensics(
+            f, probe, nullptr,
+            std::string("differential mismatch (") + to_string(analysis) +
+                "/" + to_string(contract) + "): " + cmp->detail,
+            nullptr);
+      }
+      result.mismatches.push_back(std::move(m));
+    }
+  }
+  return result;
+}
+
+bool deck_mismatches(const std::string& deck, Analysis analysis,
+                     Contract contract, const CheckOptions& opts,
+                     std::string* detail) {
+  if (contract == Contract::kHierarchy) return false;
+  // A deck that no longer parses, lints, or solves cannot *evaluate* the
+  // contract, which is different from violating it — the minimizer
+  // relies on this: a deletion that merely breaks the deck is rejected,
+  // not mistaken for a smaller reproduction.
+  try {
+    tech::parse_netlist(deck);
+  } catch (const Error& e) {
+    if (detail != nullptr) *detail = std::string("deck invalid: ") + e.what();
+    return false;
+  }
+  Runner runner([&deck] { return tech::parse_netlist(deck); },
+                /*make_wrapped=*/nullptr, deck, /*tstop=*/4e-9, opts,
+                /*wrap_prefix=*/"");
+  std::optional<CompareResult> cmp;
+  try {
+    cmp = runner.run(analysis, contract);
+  } catch (const Error& e) {
+    if (detail != nullptr) *detail = std::string("leg threw: ") + e.what();
+    return false;
+  }
+  if (!cmp) return false;
+  if (detail != nullptr) *detail = cmp->detail;
+  return !cmp->ok;
+}
+
+}  // namespace nemsim::check

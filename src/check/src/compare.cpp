@@ -1,0 +1,223 @@
+#include "nemsim/check/compare.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace nemsim::check {
+
+namespace {
+
+/// Bitwise comparison treats NaN as always-mismatching: a NaN anywhere
+/// in a solution vector is a defect the checker must surface, not a
+/// value two broken legs may "agree" on.
+bool bit_equal(double a, double b) { return a == b; }
+
+std::string fmt(double v) {
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+struct Worst {
+  double score = -1.0;  ///< |delta| / allowance (bitwise: |delta|)
+  std::string name;
+  double ref = 0.0, got = 0.0, allowed = 0.0;
+};
+
+void note_worst(Worst& w, const std::string& name, double ref, double got,
+                double allowed, bool bitwise) {
+  const double delta = std::abs(got - ref);
+  const double score =
+      std::isnan(got - ref)
+          ? std::numeric_limits<double>::infinity()
+          : (bitwise ? delta : delta / std::max(allowed, 1e-300));
+  if (score > w.score) w = {score, name, ref, got, allowed};
+}
+
+std::string worst_line(const Worst& w, const Tolerance& tol) {
+  std::ostringstream os;
+  os << "worst row " << w.name << ": ref=" << fmt(w.ref)
+     << " got=" << fmt(w.got) << " |delta|=" << fmt(std::abs(w.got - w.ref));
+  if (tol.bitwise()) {
+    os << " (contract: bitwise)";
+  } else {
+    os << " allowed=" << fmt(w.allowed) << " (reltol=" << tol.reltol
+       << " abstol=" << tol.abstol << ")";
+  }
+  return os.str();
+}
+
+}  // namespace
+
+CompareResult compare_values(const std::vector<NamedValue>& ref,
+                             const std::vector<NamedValue>& got,
+                             const Tolerance& tol) {
+  CompareResult r;
+  if (ref.size() != got.size()) {
+    r.ok = false;
+    r.detail = "solution vectors have different sizes: ref has " +
+               std::to_string(ref.size()) + " unknowns, got has " +
+               std::to_string(got.size());
+    return r;
+  }
+  Worst worst;
+  std::ostringstream rows;
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    if (ref[i].name != got[i].name) {
+      r.ok = false;
+      r.detail = "unknown tables disagree at row " + std::to_string(i) +
+                 ": ref '" + ref[i].name + "' vs got '" + got[i].name + "'";
+      return r;
+    }
+    ++r.compared;
+    const double allowed =
+        tol.reltol * std::abs(ref[i].value) + tol.abstol;
+    const bool match =
+        tol.bitwise() ? bit_equal(ref[i].value, got[i].value)
+                      : std::abs(got[i].value - ref[i].value) <= allowed;
+    note_worst(worst, ref[i].name, ref[i].value, got[i].value, allowed,
+               tol.bitwise());
+    if (!match) {
+      ++r.mismatched;
+      rows << "  " << ref[i].name << ": ref=" << fmt(ref[i].value)
+           << " got=" << fmt(got[i].value) << "\n";
+    }
+  }
+  if (r.mismatched > 0) {
+    r.ok = false;
+    std::ostringstream os;
+    os << r.mismatched << "/" << r.compared << " unknowns out of tolerance; "
+       << worst_line(worst, tol) << "\nboth solution vectors (ref vs got):\n"
+       << rows.str();
+    r.detail = os.str();
+  }
+  return r;
+}
+
+CompareResult compare_waveforms(const spice::Waveform& ref,
+                                const spice::Waveform& got,
+                                const Tolerance& tol) {
+  CompareResult r;
+  if (ref.signal_names() != got.signal_names()) {
+    r.ok = false;
+    r.detail = "waveform signal tables disagree (" +
+               std::to_string(ref.num_signals()) + " vs " +
+               std::to_string(got.num_signals()) + " signals)";
+    return r;
+  }
+  const std::size_t num_signals = ref.num_signals();
+
+  if (tol.bitwise()) {
+    if (ref.num_samples() != got.num_samples()) {
+      r.ok = false;
+      r.detail = "sample counts differ: ref has " +
+                 std::to_string(ref.num_samples()) + ", got has " +
+                 std::to_string(got.num_samples()) +
+                 " (bitwise contract requires the identical step sequence)";
+      return r;
+    }
+    Worst worst;
+    std::size_t worst_k = 0;
+    for (std::size_t k = 0; k < ref.num_samples(); ++k) {
+      if (!bit_equal(ref.times()[k], got.times()[k])) {
+        r.ok = false;
+        r.detail = "axes diverge at sample " + std::to_string(k) + ": ref t=" +
+                   fmt(ref.times()[k]) + " got t=" + fmt(got.times()[k]);
+        return r;
+      }
+      for (std::size_t s = 0; s < num_signals; ++s) {
+        ++r.compared;
+        if (!bit_equal(ref.sample(s, k), got.sample(s, k))) {
+          ++r.mismatched;
+          const Worst before = worst;
+          note_worst(worst, ref.signal_names()[s], ref.sample(s, k),
+                     got.sample(s, k), 0.0, true);
+          if (worst.score > before.score) worst_k = k;
+        }
+      }
+    }
+    if (r.mismatched > 0) {
+      r.ok = false;
+      std::ostringstream os;
+      os << r.mismatched << "/" << r.compared
+         << " samples differ; at t=" << fmt(ref.times()[worst_k]) << " "
+         << worst_line(worst, tol);
+      r.detail = os.str();
+    }
+    return r;
+  }
+
+  // Reltol: different arithmetic means different adaptive step
+  // sequences, so judge `got` interpolated onto the reference axis, per
+  // signal against its own full-trace magnitude.
+  std::vector<double> scale(num_signals, 0.0);
+  for (std::size_t k = 0; k < ref.num_samples(); ++k) {
+    for (std::size_t s = 0; s < num_signals; ++s) {
+      scale[s] = std::max(scale[s], std::abs(ref.sample(s, k)));
+    }
+  }
+  Worst worst;
+  double worst_t = 0.0;
+  // Moving window over the got axis for the time-tube: minimum |gv - rv|
+  // of a piecewise-linear trace over [t - tau, t + tau] is attained
+  // either where the trace CROSSES rv (minimum zero, generally strictly
+  // between samples) or at a window endpoint / got sample inside the
+  // window.  Candidates are swept in time order so a sign change of
+  // (candidate - rv) between neighbours detects the crossing; without
+  // that check a steep edge skewed by a fraction of the tube still
+  // mismatches, because adjacent samples straddle rv by half a
+  // per-sample swing each.
+  const std::vector<double>& gt = got.times();
+  std::size_t lo = 0;
+  for (std::size_t k = 0; k < ref.num_samples(); ++k) {
+    const double t = ref.times()[k];
+    while (lo < gt.size() && gt[lo] < t - tol.time_tol) ++lo;
+    std::size_t hi = lo;
+    while (hi < gt.size() && gt[hi] <= t + tol.time_tol) ++hi;
+    for (std::size_t s = 0; s < num_signals; ++s) {
+      ++r.compared;
+      const double rv = ref.sample(s, k);
+      double gv = got.at(s, t);
+      if (tol.time_tol > 0.0) {
+        double best = std::abs(gv - rv);
+        bool have_prev = false;
+        double prev = 0.0;
+        auto consider = [&](double candidate) {
+          if (have_prev && (prev - rv) * (candidate - rv) <= 0.0) {
+            best = 0.0;
+            gv = rv;
+          }
+          const double d = std::abs(candidate - rv);
+          if (d < best) {
+            best = d;
+            gv = candidate;
+          }
+          prev = candidate;
+          have_prev = true;
+        };
+        consider(got.at(s, t - tol.time_tol));
+        for (std::size_t j = lo; j < hi; ++j) consider(got.sample(s, j));
+        consider(got.at(s, t + tol.time_tol));
+      }
+      const double allowed = tol.reltol * scale[s] + tol.abstol;
+      const Worst before = worst;
+      note_worst(worst, ref.signal_names()[s], rv, gv, allowed, false);
+      if (worst.score > before.score) worst_t = t;
+      if (!(std::abs(gv - rv) <= allowed)) ++r.mismatched;
+    }
+  }
+  if (r.mismatched > 0) {
+    r.ok = false;
+    std::ostringstream os;
+    os << r.mismatched << "/" << r.compared
+       << " interpolated samples out of tolerance; at t=" << fmt(worst_t)
+       << " " << worst_line(worst, tol);
+    r.detail = os.str();
+  }
+  return r;
+}
+
+}  // namespace nemsim::check

@@ -1,0 +1,163 @@
+#include "nemsim/check/minimize.h"
+
+#include <cctype>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "nemsim/util/error.h"
+
+namespace nemsim::check {
+
+namespace {
+
+/// Hard ceiling on contract evaluations per minimization; each predicate
+/// call costs two full analyses, so an O(n^2) merge pass on a large deck
+/// must stop somewhere sane rather than run for minutes.
+constexpr std::size_t kMaxPredicateCalls = 400;
+
+std::vector<std::string> split_lines(const std::string& deck) {
+  std::vector<std::string> lines;
+  std::istringstream is(deck);
+  std::string line;
+  while (std::getline(is, line)) lines.push_back(line);
+  return lines;
+}
+
+std::string join_lines(const std::vector<std::string>& lines) {
+  std::string out;
+  for (const std::string& l : lines) {
+    out += l;
+    out += '\n';
+  }
+  return out;
+}
+
+/// Device cards are removable; the title ('*'), directives ('.'), and
+/// blank lines are structure.
+bool is_device_line(const std::string& line) {
+  return !line.empty() && line[0] != '*' && line[0] != '.';
+}
+
+std::vector<std::string> tokens_of(const std::string& line) {
+  std::vector<std::string> t;
+  std::istringstream is(line);
+  std::string tok;
+  while (is >> tok) t.push_back(tok);
+  return t;
+}
+
+/// Token indices holding node names for an element card, by element
+/// letter (matching the parser's positional conventions).
+std::vector<std::size_t> node_token_indices(const std::string& line) {
+  if (line.empty()) return {};
+  switch (std::toupper(static_cast<unsigned char>(line[0]))) {
+    case 'R': case 'C': case 'L': case 'V': case 'I': case 'D':
+      return {1, 2};
+    case 'M': case 'X':
+      return {1, 2, 3};
+    case 'E': case 'G':
+      return {1, 2, 3, 4};
+    default:
+      return {};
+  }
+}
+
+std::set<std::string> collect_nodes(const std::vector<std::string>& lines) {
+  std::set<std::string> nodes;
+  for (const std::string& line : lines) {
+    if (!is_device_line(line)) continue;
+    const std::vector<std::string> t = tokens_of(line);
+    for (std::size_t i : node_token_indices(line)) {
+      if (i < t.size()) nodes.insert(t[i]);
+    }
+  }
+  return nodes;
+}
+
+/// Rewrites every node token equal to `from` into `to`.
+std::vector<std::string> merge_node(const std::vector<std::string>& lines,
+                                    const std::string& from,
+                                    const std::string& to) {
+  std::vector<std::string> out;
+  out.reserve(lines.size());
+  for (const std::string& line : lines) {
+    if (!is_device_line(line)) {
+      out.push_back(line);
+      continue;
+    }
+    std::vector<std::string> t = tokens_of(line);
+    for (std::size_t i : node_token_indices(line)) {
+      if (i < t.size() && t[i] == from) t[i] = to;
+    }
+    std::string rebuilt;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (i) rebuilt += ' ';
+      rebuilt += t[i];
+    }
+    out.push_back(rebuilt);
+  }
+  return out;
+}
+
+}  // namespace
+
+MinimizeResult minimize_deck(const std::string& deck, Analysis analysis,
+                             Contract contract, const CheckOptions& opts) {
+  MinimizeResult result;
+  auto reproduces = [&](const std::string& candidate) {
+    ++result.predicate_calls;
+    return deck_mismatches(candidate, analysis, contract, opts);
+  };
+  require(contract != Contract::kHierarchy,
+          "minimize_deck: the hierarchy contract needs the generator-built "
+          "wrapped twin and cannot be replayed from a deck");
+  require(reproduces(deck),
+          "minimize_deck: the input deck does not reproduce a mismatch for " +
+              std::string(to_string(analysis)) + "/" + to_string(contract));
+
+  std::vector<std::string> lines = split_lines(deck);
+  bool changed = true;
+  while (changed && result.predicate_calls < kMaxPredicateCalls) {
+    changed = false;
+    // Deletion pass: drop one device card at a time.
+    for (std::size_t i = 0;
+         i < lines.size() && result.predicate_calls < kMaxPredicateCalls;
+         ++i) {
+      if (!is_device_line(lines[i])) continue;
+      std::vector<std::string> candidate = lines;
+      candidate.erase(candidate.begin() + static_cast<std::ptrdiff_t>(i));
+      if (reproduces(join_lines(candidate))) {
+        lines = std::move(candidate);
+        ++result.devices_removed;
+        changed = true;
+        --i;  // the next card shifted into this slot
+      }
+    }
+    // Merge pass: collapse one node into another (ground included as a
+    // merge target; ground itself is never renamed).
+    const std::set<std::string> nodes = collect_nodes(lines);
+    for (const std::string& from : nodes) {
+      if (from == "0") continue;
+      if (result.predicate_calls >= kMaxPredicateCalls) break;
+      bool merged = false;
+      for (const std::string& to : nodes) {
+        if (to == from) continue;
+        if (result.predicate_calls >= kMaxPredicateCalls) break;
+        std::vector<std::string> candidate = merge_node(lines, from, to);
+        if (reproduces(join_lines(candidate))) {
+          lines = std::move(candidate);
+          ++result.nodes_merged;
+          changed = true;
+          merged = true;
+          break;
+        }
+      }
+      if (merged) break;  // node set changed; rebuild it
+    }
+  }
+  result.deck = join_lines(lines);
+  return result;
+}
+
+}  // namespace nemsim::check

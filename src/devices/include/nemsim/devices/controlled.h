@@ -19,6 +19,7 @@ class Vcvs : public spice::Device {
   void stamp(spice::StampContext& ctx) const override;
   bool is_linear() const override { return true; }
   void stamp_ac(spice::AcStampContext& ctx) const override;
+  bool has_ac_model() const override { return true; }
   spice::DeviceTopology topology() const override;
   std::string netlist_line(
       const std::function<std::string(spice::NodeId)>& node_namer)
@@ -41,6 +42,7 @@ class Vccs : public spice::Device {
   void stamp(spice::StampContext& ctx) const override;
   bool is_linear() const override { return true; }
   void stamp_ac(spice::AcStampContext& ctx) const override;
+  bool has_ac_model() const override { return true; }
   spice::DeviceTopology topology() const override;
   std::string netlist_line(
       const std::function<std::string(spice::NodeId)>& node_namer)

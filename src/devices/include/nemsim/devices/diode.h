@@ -29,6 +29,7 @@ class Diode : public spice::Device {
 
   void stamp(spice::StampContext& ctx) const override;
   void stamp_ac(spice::AcStampContext& ctx) const override;
+  bool has_ac_model() const override { return true; }
   /// The stamp is a pure function of the junction voltage: an empty
   /// signature opts into quiescent bypass unconditionally.
   bool bypass_signature(std::vector<double>& out) const override {

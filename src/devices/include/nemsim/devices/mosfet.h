@@ -56,6 +56,7 @@ class Mosfet : public spice::Device {
   void accept_step(const spice::AcceptContext& ctx) override;
   void reset_state() override;
   void stamp_ac(spice::AcStampContext& ctx) const override;
+  bool has_ac_model() const override { return true; }
   spice::DeviceTopology topology() const override;
   void self_check(const lint::DeviceCheckContext& ctx,
                   std::vector<lint::LintFinding>& out) const override;

@@ -18,6 +18,7 @@ class Resistor : public spice::Device {
 
   void stamp(spice::StampContext& ctx) const override;
   void stamp_ac(spice::AcStampContext& ctx) const override;
+  bool has_ac_model() const override { return true; }
   bool is_linear() const override { return true; }
   spice::DeviceTopology topology() const override;
   void self_check(const lint::DeviceCheckContext& ctx,
@@ -45,6 +46,7 @@ class Capacitor : public spice::Device {
   void accept_step(const spice::AcceptContext& ctx) override;
   void reset_state() override;
   void stamp_ac(spice::AcStampContext& ctx) const override;
+  bool has_ac_model() const override { return true; }
   spice::DeviceTopology topology() const override;
   void self_check(const lint::DeviceCheckContext& ctx,
                   std::vector<lint::LintFinding>& out) const override;
@@ -74,6 +76,7 @@ class Inductor : public spice::Device {
   void accept_step(const spice::AcceptContext& ctx) override;
   void reset_state() override;
   void stamp_ac(spice::AcStampContext& ctx) const override;
+  bool has_ac_model() const override { return true; }
   spice::DeviceTopology topology() const override;
   void self_check(const lint::DeviceCheckContext& ctx,
                   std::vector<lint::LintFinding>& out) const override;

@@ -82,6 +82,7 @@ class VoltageSource : public spice::Device {
   void stamp(spice::StampContext& ctx) const override;
   bool is_linear() const override { return true; }
   void stamp_ac(spice::AcStampContext& ctx) const override;
+  bool has_ac_model() const override { return true; }
   void breakpoints(double tstop, std::vector<double>& out) const override;
   spice::DeviceTopology topology() const override;
   std::string netlist_line(
@@ -115,6 +116,7 @@ class CurrentSource : public spice::Device {
   void stamp(spice::StampContext& ctx) const override;
   bool is_linear() const override { return true; }
   void stamp_ac(spice::AcStampContext& ctx) const override;
+  bool has_ac_model() const override { return true; }
   void breakpoints(double tstop, std::vector<double>& out) const override;
   spice::DeviceTopology topology() const override;
   std::string netlist_line(

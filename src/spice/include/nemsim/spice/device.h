@@ -120,6 +120,13 @@ class Device {
   /// not silently vanish from an AC analysis.
   virtual void stamp_ac(AcStampContext& ctx) const;
 
+  /// True when the device implements stamp_ac.  ac_analysis scans this
+  /// *before* the bias solve and rejects the circuit with every
+  /// AC-incapable device named (lint rule "ac-incapable-device"), instead
+  /// of letting the default stamp_ac throw mid-assembly.  A device that
+  /// overrides stamp_ac must override this to return true.
+  virtual bool has_ac_model() const { return false; }
+
   /// Called once before each transient step's Newton solve; `dt` is the
   /// step about to be taken and `time` its end point.  Devices capture
   /// whatever history their companion model needs.

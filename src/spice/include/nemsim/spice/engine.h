@@ -67,6 +67,16 @@ class Solution {
 /// entry it produced and the device's committed-state signature.  A later
 /// assembly whose inputs all match within the bypass tolerance replays
 /// the recorded entries instead of re-evaluating the device model.
+///
+/// Each device holds a small set of these (up to kBypassWays, LRU
+/// eviction) rather than a single slot: dt enters companion conductances
+/// as 1/dt, so replay demands an exact dt match, and a single slot is
+/// flushed by every dt change.  The transient's post-breakpoint ramps
+/// revisit the same quantized dt rungs at every source edge, so keeping
+/// one entry per rung lets quiescent devices replay straight through the
+/// ramp from the second edge onward — the entries self-validate on every
+/// lookup (inputs, committed-state signature, exact scalars), so no
+/// event-driven invalidation is needed for correctness.
 struct DeviceBypassCache {
   struct FEntry {
     std::size_t row;
@@ -107,6 +117,7 @@ struct DeviceBypassCache {
   std::vector<double> signature;  ///< Device::bypass_signature at capture
   std::vector<FEntry> f_entries;
   std::vector<JEntry> j_entries;
+  std::uint64_t last_used = 0;  ///< LRU stamp (MnaSystem::bypass_tick_)
 
   void reset() {
     valid = false;
@@ -121,6 +132,13 @@ struct DeviceBypassCache {
     j_entries.clear();
   }
 };
+
+/// Bypass set associativity: sized so the distinct quantized dt rungs a
+/// post-breakpoint ramp visits (dt_initial .. dt_max at ~1.5x growth on
+/// the quarter-octave ladder) plus the equilibrated step all stay
+/// resident — a smaller set LRU-thrashes on the cyclic per-edge rung
+/// sequence and every ramp step degenerates to a full evaluation.
+inline constexpr std::size_t kBypassWays = 16;
 
 /// Stamping interface passed to Device::stamp.
 ///
@@ -439,6 +457,20 @@ class MnaSystem {
   bool bypass_compatible(const StampContext& ctx,
                          const DeviceBypassCache& cache,
                          const Device& device, bool exact) const;
+  /// True when the scalar context the entry's stamp read (mode plus any
+  /// of time/dt/gmin/source_factor it consumed) matches `ctx` exactly —
+  /// the entry describes *this* operating context, whatever its iterate
+  /// inputs say.  Used to pick capture victims and f-refresh targets in
+  /// the per-device way set.
+  static bool bypass_context_matches(const DeviceBypassCache& cache,
+                                     const StampContext& ctx);
+  /// Picks the way a fresh capture for `device_index` should land in:
+  /// supersede the entry for this exact context if one exists, else an
+  /// invalid slot, else a time-stamped entry that can never replay again
+  /// (its absolute time has passed), else grow the set up to kBypassWays,
+  /// else evict least-recently-used.
+  DeviceBypassCache& bypass_capture_way(std::size_t device_index,
+                                        const StampContext& ctx) const;
   void ensure_pattern() const;
   void grow_pattern(
       const std::vector<std::pair<std::size_t, std::size_t>>& missed) const;
@@ -460,7 +492,11 @@ class MnaSystem {
   bool bypass_exact_only_ = false;
   double bypass_reltol_ = 1e-6;
   double bypass_abstol_ = 1e-12;
-  mutable std::vector<DeviceBypassCache> bypass_caches_;
+  /// Per device index: up to kBypassWays cached stamps (grown on demand,
+  /// LRU-evicted), one per distinct operating context — typically one per
+  /// quantized dt rung the transient revisits.
+  mutable std::vector<std::vector<DeviceBypassCache>> bypass_caches_;
+  mutable std::uint64_t bypass_tick_ = 0;
   mutable BypassCounters bypass_counters_;
   mutable std::vector<double> bypass_signature_scratch_;
   /// Scratch capture for f-side refreshes in residual-only passes.

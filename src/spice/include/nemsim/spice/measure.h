@@ -41,6 +41,20 @@ double propagation_delay(const Waveform& wave, const std::string& from_signal,
                          const std::string& to_signal, double to_level,
                          Edge to_edge, double t_from = 0.0);
 
+// --- Windowed measurements --------------------------------------------
+//
+// Shared window semantics (integrate, average, max_value, min_value,
+// rms): the window is [t0, t1], with t1 = 0 meaning "until the last
+// sample".  The window is clamped to the sampled span, and the values at
+// the clamped boundaries are obtained by linear interpolation — a
+// boundary falling between two samples contributes the interpolated
+// value there, so integrals and extrema agree about where the window
+// ends (an extremum attained exactly at an interpolated edge is seen by
+// max_value/min_value just as integrate accumulates up to it).  The
+// point-valued measurements (extrema, rms) throw MeasurementError /
+// InvalidArgument when the window lies entirely outside the sampled
+// span; integrate returns 0 over an empty overlap.
+
 /// Trapezoidal integral of `signal` over [t0, t1].
 double integrate(const Waveform& wave, const std::string& signal, double t0,
                  double t1);
@@ -49,11 +63,18 @@ double integrate(const Waveform& wave, const std::string& signal, double t0,
 double average(const Waveform& wave, const std::string& signal, double t0,
                double t1);
 
-/// Extrema of `signal` over [t0, t1] (sample-based).
+/// Extrema of `signal` over [t0, t1]: all samples inside the window plus
+/// the interpolated values at the clamped window boundaries.
 double max_value(const Waveform& wave, const std::string& signal,
                  double t0 = 0.0, double t1 = 0.0);
 double min_value(const Waveform& wave, const std::string& signal,
                  double t0 = 0.0, double t1 = 0.0);
+
+/// Root-mean-square of `signal` over [t0, t1] (exact per-segment
+/// integration of the squared linear interpolant, same window semantics
+/// as the other windowed measurements).
+double rms(const Waveform& wave, const std::string& signal, double t0 = 0.0,
+           double t1 = 0.0);
 
 /// Value of `signal` at the final sample.
 double final_value(const Waveform& wave, const std::string& signal);

@@ -7,10 +7,15 @@
 
 namespace nemsim::spice {
 
-// Default for devices that never implemented an AC model.
+// Default for devices that never implemented an AC model.  ac_analysis
+// normally rejects such devices before the bias solve (see the
+// "ac-incapable-device" scan below); this throw only fires for a device
+// that overrides has_ac_model() without overriding stamp_ac.
 void Device::stamp_ac(AcStampContext& ctx) const {
   (void)ctx;
-  throw InvalidArgument("device '" + name() + "' has no AC model");
+  throw InvalidArgument("AC analysis, small-signal assembly phase: device '" +
+                        name() +
+                        "' has no AC model (stamp_ac not implemented)");
 }
 
 // --------------------------------------------------------- AcStampContext
@@ -126,6 +131,36 @@ AcResult ac_analysis(MnaSystem& system, std::span<const double> frequencies,
 
   // Lint once at analysis entry; the embedded bias-point op is gated off.
   lint::lint_gate(system, options.lint, options.report);
+
+  // AC capability scan, before any Newton work: every device must carry a
+  // small-signal model or the assembly after the (possibly expensive)
+  // bias solve would die mid-stamp with no analysis context.  Findings
+  // use the lint rule id "ac-incapable-device" so report consumers see
+  // them next to the structural findings.
+  {
+    std::vector<std::string> incapable;
+    const Circuit& ckt = system.circuit();
+    for (std::size_t i = 0; i < ckt.num_devices(); ++i) {
+      const Device& dev = ckt.device(i);
+      if (dev.has_ac_model()) continue;
+      incapable.push_back(dev.name());
+      if (options.report != nullptr) {
+        options.report->lint_findings.push_back(
+            {lint::LintSeverity::kError, "ac-incapable-device", dev.name(),
+             "device '" + dev.name() +
+                 "' has no AC small-signal model (stamp_ac not "
+                 "implemented); it cannot take part in an AC analysis"});
+      }
+    }
+    if (!incapable.empty()) {
+      std::string what =
+          "AC analysis, pre-solve capability check: " +
+          std::to_string(incapable.size()) +
+          " device(s) have no AC small-signal model:";
+      for (const std::string& name : incapable) what += " '" + name + "'";
+      throw InvalidArgument(what);
+    }
+  }
 
   // Bias the circuit.
   OpOptions op_options;

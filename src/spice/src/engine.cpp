@@ -301,7 +301,7 @@ inline bool bypass_close(double a, double b, double reltol, double abstol) {
 
 void MnaSystem::configure_bypass(bool enabled, double reltol, double abstol) {
   if (enabled && bypass_caches_.size() != circuit_.num_devices()) {
-    bypass_caches_.assign(circuit_.num_devices(), DeviceBypassCache{});
+    bypass_caches_.assign(circuit_.num_devices(), {});
   }
   // A tolerance or enable change re-baselines what "quiescent" means;
   // entries admitted under the old bound must not survive it.
@@ -323,7 +323,48 @@ void MnaSystem::set_bypass_exact_only(bool exact_only) {
 }
 
 void MnaSystem::invalidate_bypass_caches() {
-  for (DeviceBypassCache& cache : bypass_caches_) cache.valid = false;
+  for (std::vector<DeviceBypassCache>& ways : bypass_caches_) {
+    for (DeviceBypassCache& cache : ways) cache.valid = false;
+  }
+}
+
+bool MnaSystem::bypass_context_matches(const DeviceBypassCache& cache,
+                                       const StampContext& ctx) {
+  if (cache.mode != ctx.mode()) return false;
+  if (cache.read_time && cache.time != ctx.time()) return false;
+  if (cache.read_dt && cache.dt != ctx.dt()) return false;
+  if (cache.read_gmin && cache.gmin != ctx.gmin()) return false;
+  if (cache.read_source_factor && cache.source_factor != ctx.source_factor())
+    return false;
+  return true;
+}
+
+DeviceBypassCache& MnaSystem::bypass_capture_way(std::size_t device_index,
+                                                 const StampContext& ctx) const {
+  std::vector<DeviceBypassCache>& ways = bypass_caches_[device_index];
+  // Supersede the entry for this exact context first: a re-capture at the
+  // same step/dt replaces the previous iteration's entry instead of
+  // evicting another rung's.
+  for (DeviceBypassCache& way : ways) {
+    if (way.valid && bypass_context_matches(way, ctx)) return way;
+  }
+  for (DeviceBypassCache& way : ways) {
+    if (!way.valid) return way;
+  }
+  // Entries pinned to an absolute time that has passed can never replay
+  // again — reuse them before evicting anything live.
+  for (DeviceBypassCache& way : ways) {
+    if (way.read_time && way.time != ctx.time()) return way;
+  }
+  if (ways.size() < kBypassWays) {
+    ways.emplace_back();
+    return ways.back();
+  }
+  DeviceBypassCache* victim = &ways.front();
+  for (DeviceBypassCache& way : ways) {
+    if (way.last_used < victim->last_used) victim = &way;
+  }
+  return *victim;
 }
 
 bool MnaSystem::bypass_compatible(const StampContext& ctx,
@@ -379,21 +420,28 @@ void MnaSystem::stamp_one(StampContext& ctx, std::size_t device_index,
     device.stamp(ctx);
     return;
   }
-  DeviceBypassCache& cache = bypass_caches_[device_index];
-  // A cache whose f-side has drifted from its J entries (j_stale) only
-  // replays into residual-only assemblies, where the J entries are never
-  // stamped: the f-side is current, and the first-order correction's
-  // stale slope contributes at most O(tolerance * J drift), which the
-  // converged-iteration verification bounds.
-  const bool j_ok = !cache.j_stale || ctx.residual_only();
-  if (!bypass_replay_suspended_ && cache.valid && j_ok &&
-      bypass_compatible(ctx, cache, device, bypass_exact_only_)) {
-    ctx.apply_cached(cache);
-    ++bypass_counters_.bypassed;
-    return;
+  std::vector<DeviceBypassCache>& ways = bypass_caches_[device_index];
+  if (!bypass_replay_suspended_) {
+    for (DeviceBypassCache& cache : ways) {
+      // A cache whose f-side has drifted from its J entries (j_stale)
+      // only replays into residual-only assemblies, where the J entries
+      // are never stamped: the f-side is current, and the first-order
+      // correction's stale slope contributes at most
+      // O(tolerance * J drift), which the converged-iteration
+      // verification bounds.
+      const bool j_ok = !cache.j_stale || ctx.residual_only();
+      if (cache.valid && j_ok &&
+          bypass_compatible(ctx, cache, device, bypass_exact_only_)) {
+        ctx.apply_cached(cache);
+        cache.last_used = ++bypass_tick_;
+        ++bypass_counters_.bypassed;
+        return;
+      }
+    }
   }
   ++bypass_counters_.evals;
   if (ctx.can_capture()) {
+    DeviceBypassCache& cache = bypass_capture_way(device_index, ctx);
     cache.reset();
     ctx.begin_capture(&cache);
     device.stamp(ctx);
@@ -405,9 +453,23 @@ void MnaSystem::stamp_one(StampContext& ctx, std::size_t device_index,
     device.bypass_signature(cache.signature);
     cache.j_anchor = cache.inputs;
     cache.valid = true;
+    cache.last_used = ++bypass_tick_;
     return;
   }
-  if (ctx.residual_only() && cache.valid) {
+  // Residual-only pass: pick the way captured for this exact scalar
+  // context (damping trials and stale-Jacobian iterations run at the
+  // step's own time/dt, so this is the full capture they follow).
+  DeviceBypassCache* refresh_target = nullptr;
+  if (ctx.residual_only()) {
+    for (DeviceBypassCache& way : ways) {
+      if (way.valid && bypass_context_matches(way, ctx)) {
+        refresh_target = &way;
+        break;
+      }
+    }
+  }
+  if (refresh_target != nullptr) {
+    DeviceBypassCache& cache = *refresh_target;
     // Residual-only pass over a full capture: refresh the f-side (inputs,
     // residual entries, scalars, signature) and keep the J entries.  If
     // the new point has left the bypass tolerance of the J anchor -- or
@@ -461,10 +523,11 @@ void MnaSystem::stamp_one(StampContext& ctx, std::size_t device_index,
     cache.source_factor = f_refresh_scratch_.source_factor;
     cache.signature.clear();
     device.bypass_signature(cache.signature);
+    cache.last_used = ++bypass_tick_;
     return;
   }
   // Jacobian-only pass (or no prior capture to refresh): stamp plainly
-  // and keep whatever capture the cache already holds.
+  // and keep whatever captures the way set already holds.
   device.stamp(ctx);
 }
 

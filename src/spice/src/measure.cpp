@@ -25,6 +25,20 @@ Window resolve_window(const Waveform& wave, double t_from, double t_to) {
   return w;
 }
 
+/// Window that the point-valued measurements (extrema, RMS) evaluate
+/// over: resolve_window clamped to the sampled span, rejected when the
+/// requested window lies entirely outside it.  Shared with the
+/// interpolated-endpoint semantics documented in measure.h.
+Window resolve_value_window(const Waveform& wave, double t_from, double t_to,
+                            const char* who) {
+  Window w = resolve_window(wave, t_from, t_to);
+  require(w.t1 >= wave.start_time() && w.t0 <= wave.end_time(),
+          std::string(who) + ": window does not intersect the waveform");
+  w.t0 = std::max(w.t0, wave.start_time());
+  w.t1 = std::min(w.t1, wave.end_time());
+  return w;
+}
+
 bool edge_matches(Edge edge, double before, double after) {
   switch (edge) {
     case Edge::kRising: return after > before;
@@ -120,30 +134,51 @@ double average(const Waveform& wave, const std::string& signal, double t0,
 
 double max_value(const Waveform& wave, const std::string& signal, double t0,
                  double t1) {
-  const Window w = resolve_window(wave, t0, t1);
+  const Window w = resolve_value_window(wave, t0, t1, "max_value");
   const std::size_t s = wave.signal_index(signal);
   const auto& ts = wave.times();
-  double best = -std::numeric_limits<double>::infinity();
+  // Interpolated window endpoints first: an extremum attained exactly at
+  // a clamped boundary between two samples must not be missed (the same
+  // endpoint semantics integrate() uses).
+  double best = std::max(wave.at(s, w.t0), wave.at(s, w.t1));
   for (std::size_t k = 0; k < ts.size(); ++k) {
     if (ts[k] < w.t0 || ts[k] > w.t1) continue;
     best = std::max(best, wave.sample(s, k));
   }
-  require(std::isfinite(best), "max_value: empty window");
   return best;
 }
 
 double min_value(const Waveform& wave, const std::string& signal, double t0,
                  double t1) {
-  const Window w = resolve_window(wave, t0, t1);
+  const Window w = resolve_value_window(wave, t0, t1, "min_value");
   const std::size_t s = wave.signal_index(signal);
   const auto& ts = wave.times();
-  double best = std::numeric_limits<double>::infinity();
+  double best = std::min(wave.at(s, w.t0), wave.at(s, w.t1));
   for (std::size_t k = 0; k < ts.size(); ++k) {
     if (ts[k] < w.t0 || ts[k] > w.t1) continue;
     best = std::min(best, wave.sample(s, k));
   }
-  require(std::isfinite(best), "min_value: empty window");
   return best;
+}
+
+double rms(const Waveform& wave, const std::string& signal, double t0,
+           double t1) {
+  const Window w = resolve_value_window(wave, t0, t1, "rms");
+  require(w.t1 > w.t0, "rms: zero-length window");
+  const std::size_t s = wave.signal_index(signal);
+  const auto& ts = wave.times();
+  double acc = 0.0;
+  for (std::size_t k = 1; k < ts.size(); ++k) {
+    const double a = std::max(ts[k - 1], w.t0);
+    const double b = std::min(ts[k], w.t1);
+    if (b <= a) continue;
+    const double va = wave.at(s, a);
+    const double vb = wave.at(s, b);
+    // v is linear inside a sample interval, so v^2 is quadratic and its
+    // integral over [a, b] is exactly (b-a)(va^2 + va*vb + vb^2)/3.
+    acc += (b - a) * (va * va + va * vb + vb * vb) / 3.0;
+  }
+  return std::sqrt(acc / (w.t1 - w.t0));
 }
 
 double final_value(const Waveform& wave, const std::string& signal) {

@@ -216,9 +216,25 @@ Waveform transient(MnaSystem& system, const TransientOptions& options) {
       if (options.newton_stats) options.newton_stats->merge(step_newton);
     }
 
-    if (solved && hist_t.size() == 3) {
+    // LTE control normally needs the full three-point history for its
+    // quadratic predictor.  The bypass path additionally runs the check
+    // at two history points, against the linear predictor: its
+    // post-breakpoint ramp rides the quantized dt ladder, whose
+    // round-up can outpace the reference path's smooth 1.5x growth, and
+    // an uncontrolled oversized step right after a source edge commits
+    // error into device companion state permanently.  A first-order
+    // predictor is order-consistent with the backward-Euler restart, so
+    // its deviation measures real local error there.  (The one-point
+    // constant predictor is NOT usable: it measures total change, which
+    // the relative tolerance turns into a demand for absurdly small
+    // steps on signals near zero.  The single one-point step stays at
+    // dt_initial, tiny and blind, exactly like the accelerator-off
+    // path.)
+    const bool lte_active =
+        hist_t.size() == 3 || (options.newton.bypass && hist_t.size() == 2);
+    if (solved && lte_active) {
       // LTE control: distance between the converged point and the
-      // quadratic predictor, relative to per-unknown tolerance.
+      // predictor, relative to per-unknown tolerance.
       double ratio = 0.0;
       std::size_t worst_unknown = 0;
       for (std::size_t i = 0; i < x_new.size(); ++i) {
@@ -273,10 +289,11 @@ Waveform transient(MnaSystem& system, const TransientOptions& options) {
         // escalates to an LTE reject, which shrinks hard and flushes the
         // caches regardless; quiet asks outside the band snap down to
         // the quarter-octave ladder so a revisited step size is an exact
-        // dt match.  Active windows keep the narrow [0.9, 2^(1/4)) hold
-        // and otherwise follow the ask verbatim: the circuit is moving,
-        // caches miss on their inputs anyway, and pinning dt there only
-        // buys harder solves.
+        // dt match.  Active windows follow the ask verbatim: the devices
+        // that matter miss on their inputs there anyway, and pinning dt
+        // (hold bands, snap-down, or nearest-rung rounding were all
+        // measured) costs more Newton iterations than the extra replays
+        // repay on the SRAM column workload.
         constexpr double kRung = 1.18920711500272107;  // 2^(1/4)
         const bool quiet = newton.last_converged_iters() <= 2;
         if (quiet && dt_desired >= 0.7 * dt_eff &&
@@ -291,10 +308,11 @@ Waveform transient(MnaSystem& system, const TransientOptions& options) {
         dt = dt_desired;
       }
     } else if (solved) {
-      // Not enough history for LTE yet: grow gently (on-ladder when the
-      // bypass cares about dt repeating bit-for-bit).
-      dt = options.newton.bypass ? quantize_dt(dt_eff * 1.5, options.dt_initial)
-                                 : dt_eff * 1.5;
+      // Not enough history for LTE yet: grow gently (on-ladder when
+      // the bypass cares about dt repeating bit-for-bit).
+      dt = options.newton.bypass
+               ? quantize_dt(dt_eff * 1.5, options.dt_initial)
+               : dt_eff * 1.5;
     } else {
       ++stats.newton_failures;
       if (report) ++report->newton_failures;
@@ -348,22 +366,26 @@ Waveform transient(MnaSystem& system, const TransientOptions& options) {
     if (lands_on_bp) {
       ++next_bp;
       system.notify_discontinuity();
-      // Source edges change companion histories discontinuously; every
-      // cached device entry predates the edge, so drop them all.
-      if (options.newton.bypass) system.invalidate_bypass_caches();
       clear_history_to(t, x);
-      if (options.newton.bypass) {
-        // Restarting the whole dt ramp at dt_initial costs a cache-miss
-        // cascade per edge (every intermediate dt invalidates every
-        // device's companion stamps).  Resume at a fraction of the
-        // equilibrated step instead: the post-edge transient is resolved
-        // by the same LTE controller either way, and an overshoot simply
-        // rejects, quarters dt, and flushes the caches it would have
-        // flushed anyway.
-        dt = std::max(options.dt_initial, dt / 8.0);
-      } else {
-        dt = options.dt_initial;
-      }
+      // Full re-ramp from dt_initial on BOTH paths.  An earlier bypass
+      // variant resumed at dt/8 of the equilibrated step right after the
+      // edge — the history reset disarms the quadratic LTE check for two
+      // steps, so after a quiescent stretch that was a blind
+      // multi-picosecond backward-Euler step into the edge whose error
+      // entered device companion state permanently (caught by
+      // nemsim::check, tran/bypass contract, as a ~30 mV trajectory
+      // displacement through a 24 V/ns edge; a later linear-predictor-
+      // checked variant still under-resolved post-edge curvature, since
+      // the BE overshoot and the tangent extrapolation err together).
+      // The ramp's cost on the bypass path is carried by the cache
+      // instead: device entries are NOT invalidated here — they
+      // self-validate per lookup (exact dt, inputs, committed-state
+      // signature; the companions' BE-restart flag is part of the
+      // signature, so post-edge steps cannot replay pre-edge
+      // trapezoidal stamps) — and the per-device way set keeps one
+      // entry per quantized dt rung, so from the second edge onward
+      // quiescent devices replay straight through the re-ramp.
+      dt = options.dt_initial;
     } else {
       push_history(t, x);
     }

@@ -77,7 +77,7 @@ struct SourceSpec {
 };
 
 /// Parses the source tail: "DC v" | "PULSE v1 v2 td tr tf pw [per]" |
-/// "SIN off amp freq [td]" | bare value.
+/// "PWL t1 v1 t2 v2 ..." | "SIN off amp freq [td]" | bare value.
 SourceSpec parse_source_tail(const std::vector<std::string>& tokens,
                              std::size_t from, std::size_t line_no) {
   SourceSpec spec;
@@ -96,6 +96,20 @@ SourceSpec parse_source_tail(const std::vector<std::string>& tokens,
     spec.wave = SourceWave::pulse(num(from + 1), num(from + 2), num(from + 3),
                                   num(from + 4), num(from + 5), num(from + 6),
                                   period);
+  } else if (kind == "PWL") {
+    // "PWL t1 v1 t2 v2 ..." (parens/commas already stripped by the
+    // tokenizer).  The exporter emits this form; rejecting it here made
+    // every PWL-driven deck fail its export -> parse round trip.
+    const std::size_t n_args = tokens.size() - (from + 1);
+    if (n_args < 2 || n_args % 2 != 0) {
+      fail(line_no, "PWL needs one or more time/value pairs");
+    }
+    std::vector<std::pair<double, double>> points;
+    points.reserve(n_args / 2);
+    for (std::size_t i = from + 1; i + 1 < tokens.size(); i += 2) {
+      points.emplace_back(num(i), num(i + 1));
+    }
+    spec.wave = SourceWave::pwl(std::move(points));
   } else if (kind == "SIN") {
     const std::size_t n_args = tokens.size() - (from + 1);
     if (n_args < 3) fail(line_no, "SIN needs at least 3 parameters");

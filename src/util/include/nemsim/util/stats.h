@@ -14,9 +14,14 @@ class RunningStats {
 
   std::size_t count() const { return n_; }
   double mean() const { return mean_; }
-  /// Unbiased sample variance; 0 for fewer than two samples.
+  /// Unbiased sample variance; NaN for fewer than two samples (spread is
+  /// undefined there, matching the free stddev()'s >= 2 contract — the
+  /// old 0.0 made a single trial look like a measured zero spread).
   double variance() const;
+  /// sqrt(variance()); NaN for fewer than two samples.
   double stddev() const;
+  /// True once variance()/stddev() are defined (two or more samples).
+  bool has_spread() const { return n_ >= 2; }
   double min() const { return min_; }
   double max() const { return max_; }
 

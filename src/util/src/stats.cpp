@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "nemsim/util/error.h"
 
@@ -21,7 +22,12 @@ void RunningStats::add(double x) {
 }
 
 double RunningStats::variance() const {
-  if (n_ < 2) return 0.0;
+  // Sample variance is undefined below two samples.  Returning 0.0 here
+  // (the old behavior) made a single-trial Monte-Carlo report zero
+  // spread as if it had been measured; NaN matches the free stddev()'s
+  // "need at least two samples" contract while staying usable in
+  // streaming contexts that cannot afford a throw.
+  if (n_ < 2) return std::numeric_limits<double>::quiet_NaN();
   return m2_ / static_cast<double>(n_ - 1);
 }
 

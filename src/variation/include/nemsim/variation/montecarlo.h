@@ -50,7 +50,11 @@ struct MonteCarloResult {
   std::size_t failures = 0;
 
   /// Mean + `k` standard deviations — the usual worst-case corner proxy.
+  /// With fewer than two successful trials the spread is undefined
+  /// (RunningStats::stddev is NaN there); `k` of 0 still returns the
+  /// plain mean so a single-trial smoke run keeps its nominal value.
   double mean_plus_sigmas(double k) const {
+    if (k == 0.0) return stats.mean();
     return stats.mean() + k * stats.stddev();
   }
   double worst() const { return stats.max(); }

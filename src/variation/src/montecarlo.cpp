@@ -98,6 +98,11 @@ MonteCarloResult monte_carlo(
     clear_vth_variation(circuit);
   }
   require(result.stats.count() > 0, "monte_carlo: all trials failed");
+  if (report && result.stats.count() < 2) {
+    report->add_note(
+        "monte_carlo: fewer than two successful trials — spread "
+        "(variance/stddev) is undefined and reported as NaN");
+  }
   return result;
 }
 
@@ -161,6 +166,11 @@ MonteCarloResult monte_carlo_parallel(
     }
   }
   require(result.stats.count() > 0, "monte_carlo_parallel: all trials failed");
+  if (report && result.stats.count() < 2) {
+    report->add_note(
+        "monte_carlo_parallel: fewer than two successful trials — spread "
+        "(variance/stddev) is undefined and reported as NaN");
+  }
   return result;
 }
 

@@ -238,9 +238,32 @@ TEST(Ac, DeviceWithoutAcModelThrows) {
   ckt.add<VoltageSource>("V1", a, ckt.gnd(), SourceWave::dc(0.0));
   ckt.add<Resistor>("R1", a, ckt.gnd(), 1e3);
   ckt.add<NoAc>("U1");
+  ckt.add<NoAc>("U2");
   MnaSystem system(ckt);
-  EXPECT_THROW(spice::ac_analysis(system, std::vector<double>{1e6}),
-               InvalidArgument);
+
+  // Structured error contract: the pre-solve capability scan rejects the
+  // circuit before the bias point runs, names every incapable device in
+  // the message, and records an "ac-incapable-device" finding per device
+  // in the attached report.
+  spice::RunReport report;
+  spice::AcOptions options;
+  options.report = &report;
+  try {
+    spice::ac_analysis(system, std::vector<double>{1e6}, options);
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("pre-solve capability check"), std::string::npos);
+    EXPECT_NE(what.find("2 device(s)"), std::string::npos);
+    EXPECT_NE(what.find("'U1'"), std::string::npos);
+    EXPECT_NE(what.find("'U2'"), std::string::npos);
+  }
+  ASSERT_EQ(report.lint_findings.size(), 2u);
+  EXPECT_EQ(report.lint_findings[0].rule, "ac-incapable-device");
+  EXPECT_EQ(report.lint_findings[0].subject, "U1");
+  EXPECT_EQ(report.lint_findings[1].subject, "U2");
+  // The scan fires before any Newton work: no op phase was recorded.
+  EXPECT_EQ(report.newton.total_iterations, 0);
 }
 
 }  // namespace

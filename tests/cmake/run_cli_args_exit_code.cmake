@@ -1,0 +1,21 @@
+# Runs a CLI with an arbitrary argument list and asserts its exit code.
+# A generalization of run_cli_exit_code.cmake for tools whose contract
+# involves flags, not just one input file (e.g. the nemsim-fuzz smoke
+# corpus).
+#
+# Usage:
+#   cmake -DCMD=<exe> "-DARGS=--seed;1;--count;5" -DEXPECTED=<code> \
+#         -P run_cli_args_exit_code.cmake
+#
+# ARGS is a CMake ;-list, expanded one token per argv entry.
+execute_process(
+  COMMAND "${CMD}" ${ARGS}
+  RESULT_VARIABLE actual
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT actual EQUAL "${EXPECTED}")
+  string(REPLACE ";" " " pretty_args "${ARGS}")
+  message(FATAL_ERROR
+    "${CMD} ${pretty_args}: expected exit code ${EXPECTED}, got ${actual}\n"
+    "stdout:\n${out}\nstderr:\n${err}")
+endif()

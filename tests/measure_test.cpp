@@ -1,0 +1,137 @@
+// Waveform measurement primitives: windowed extrema at interpolated
+// boundaries, exact RMS of piecewise-linear traces, and crossing /
+// delay edge cases (regression coverage for the window-edge asymmetry
+// and coincident-crossing fixes).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nemsim/linalg/matrix.h"
+#include "nemsim/spice/measure.h"
+#include "nemsim/spice/waveform.h"
+#include "nemsim/util/error.h"
+
+namespace nemsim {
+namespace {
+
+/// Unit ramp 0 -> 1 over t = 0 .. 10, sampled at integer times.
+spice::Waveform unit_ramp() {
+  spice::Waveform w({"sig"});
+  linalg::Vector v(1);
+  for (int k = 0; k <= 10; ++k) {
+    v[0] = 0.1 * k;
+    w.append(static_cast<double>(k), v);
+  }
+  return w;
+}
+
+// ------------------------------------------------- window-edge extrema
+
+TEST(Measure, ExtremaIncludeInterpolatedWindowEndpoints) {
+  // Window boundaries fall between samples: on a monotone ramp the
+  // extrema are attained exactly at the interpolated endpoints.  Both
+  // ends must use the same interpolation the integral semantics promise
+  // (the old code saw only whole samples, clipping max and min
+  // asymmetrically depending on which side of the window they sat).
+  spice::Waveform w = unit_ramp();
+  EXPECT_DOUBLE_EQ(spice::max_value(w, "sig", 2.5, 7.5), 0.75);
+  EXPECT_DOUBLE_EQ(spice::min_value(w, "sig", 2.5, 7.5), 0.25);
+}
+
+TEST(Measure, ExtremaOnWindowNarrowerThanOneSampleInterval) {
+  // Window entirely inside one sample interval: no sample lands in it,
+  // so both extrema come from the interpolated endpoints alone.
+  spice::Waveform w = unit_ramp();
+  EXPECT_DOUBLE_EQ(spice::max_value(w, "sig", 3.25, 3.75), 0.375);
+  EXPECT_DOUBLE_EQ(spice::min_value(w, "sig", 3.25, 3.75), 0.325);
+}
+
+TEST(Measure, ExtremaWindowClampsToSampledSpan) {
+  spice::Waveform w = unit_ramp();
+  // Overhanging window clamps; extrema match the full trace.
+  EXPECT_DOUBLE_EQ(spice::max_value(w, "sig", 0.0, 99.0), 1.0);
+  // Window entirely outside the sampled span is rejected, not clamped
+  // into a silent full-trace answer.
+  EXPECT_THROW(spice::max_value(w, "sig", 20.0, 30.0), InvalidArgument);
+  EXPECT_THROW(spice::min_value(w, "sig", 20.0, 30.0), InvalidArgument);
+}
+
+// ----------------------------------------------------------------- rms
+
+TEST(Measure, RmsOfUnitRampIsOneOverSqrtThree) {
+  spice::Waveform w = unit_ramp();
+  EXPECT_NEAR(spice::rms(w, "sig", 0.0, 10.0), 1.0 / std::sqrt(3.0), 1e-12);
+}
+
+TEST(Measure, RmsIsExactOnInterpolatedSubWindow) {
+  // v(t) = t/10, so rms over [a, b] = sqrt((b^3 - a^3) / (300 (b - a))).
+  // Boundaries between samples exercise the per-segment quadrature.
+  spice::Waveform w = unit_ramp();
+  const double a = 2.5, b = 7.5;
+  const double expected = std::sqrt((b * b * b - a * a * a) / (300.0 * (b - a)));
+  EXPECT_NEAR(spice::rms(w, "sig", a, b), expected, 1e-12);
+}
+
+TEST(Measure, RmsOfConstantIsTheConstant) {
+  spice::Waveform w({"sig"});
+  linalg::Vector v(1);
+  v[0] = -0.7;
+  w.append(0.0, v);
+  w.append(5.0, v);
+  EXPECT_NEAR(spice::rms(w, "sig", 0.0, 5.0), 0.7, 1e-12);
+}
+
+// ----------------------------------------------- crossings and delays
+
+TEST(Measure, PropagationDelayOfCoincidentCrossingsIsZero) {
+  // Launch and arrival signals cross their levels at the same instant:
+  // the arrival search starts AT the launch time (closed window start),
+  // so the measured delay is exactly zero rather than skipping to a
+  // later crossing or throwing.
+  spice::Waveform w({"a", "b"});
+  linalg::Vector v(2);
+  const double va[] = {0.0, 1.0, 0.0};
+  for (int k = 0; k < 3; ++k) {
+    v[0] = va[k];
+    v[1] = va[k];
+    w.append(static_cast<double>(k), v);
+  }
+  EXPECT_DOUBLE_EQ(spice::propagation_delay(w, "a", 0.5, spice::Edge::kRising,
+                                            "b", 0.5, spice::Edge::kRising),
+                   0.0);
+}
+
+TEST(Measure, PropagationDelayAcrossEdges) {
+  // b lags a by one time unit; 50 % rising-to-rising delay is 1.
+  spice::Waveform w({"a", "b"});
+  linalg::Vector v(2);
+  const double va[] = {0.0, 1.0, 1.0, 1.0};
+  const double vb[] = {0.0, 0.0, 1.0, 1.0};
+  for (int k = 0; k < 4; ++k) {
+    v[0] = va[k];
+    v[1] = vb[k];
+    w.append(static_cast<double>(k), v);
+  }
+  EXPECT_NEAR(spice::propagation_delay(w, "a", 0.5, spice::Edge::kRising, "b",
+                                       0.5, spice::Edge::kRising),
+              1.0, 1e-12);
+}
+
+TEST(Measure, SampleLandingOnLevelCountsOnce) {
+  // 0, 0.5, 1: the sample at t=1 sits exactly on the 0.5 level.  It is
+  // the first (and only) rising crossing — the interval leaving it must
+  // not report a second one.
+  spice::Waveform w({"sig"});
+  linalg::Vector v(1);
+  const double vs[] = {0.0, 0.5, 1.0};
+  for (int k = 0; k < 3; ++k) {
+    v[0] = vs[k];
+    w.append(static_cast<double>(k), v);
+  }
+  EXPECT_NEAR(spice::cross_time(w, "sig", 0.5, spice::Edge::kRising, 1), 1.0,
+              1e-12);
+  EXPECT_FALSE(spice::has_crossing(w, "sig", 0.5, spice::Edge::kRising, 2));
+}
+
+}  // namespace
+}  // namespace nemsim

@@ -34,10 +34,20 @@ TEST(PerfSmoke, BypassHitRateOnIdleSramColumnRead) {
   EXPECT_GT(accel.newton.bypass_hit_rate(), 0.5)
       << "bypassed=" << accel.newton.bypassed_evals
       << " evals=" << accel.newton.nonlinear_evals;
-  // ...which must shrink actual nonlinear evaluations by >= 1.5x (the
-  // PR's acceptance floor) and engage the stale-Jacobian path.
+  // ...which must shrink actual nonlinear evaluations by >= 1.25x.
+  // (The floor was originally 1.5x, measured while the bypass path
+  // fast-resumed at dt/8 after source edges — a defect nemsim::check's
+  // tran/bypass contract later caught as a committed trajectory error:
+  // the reduction came partly from skipping post-edge steps the
+  // reference path resolves.  With the re-ramp restored, the honest
+  // ceiling on this workload is bounded by the converge-on-true-residual
+  // invariant: every accepted step ends with one bitwise-exact full
+  // assembly, ~steps x devices evals that no cache may absorb.
+  // Measured reduction is ~1.33x; 1.25 leaves margin without tolerating
+  // a regression back to single-slot cache behaviour, which measures
+  // ~0.9x here.)
   EXPECT_GE(static_cast<double>(base.newton.nonlinear_evals),
-            1.5 * static_cast<double>(accel.newton.nonlinear_evals));
+            1.25 * static_cast<double>(accel.newton.nonlinear_evals));
   EXPECT_GT(accel.newton.stale_jacobian_solves, 0);
 }
 

@@ -113,10 +113,19 @@ TEST(Stats, RunningStatsMatchesDirectComputation) {
   EXPECT_NEAR(rs.stddev(), stddev(xs), 1e-12);
 }
 
-TEST(Stats, VarianceOfSingleSampleIsZero) {
+TEST(Stats, VarianceUndefinedBelowTwoSamples) {
+  // A single trial has no measurable spread; the old 0.0 return made it
+  // look like a measured zero.  NaN matches the free stddev() contract.
   RunningStats rs;
+  EXPECT_FALSE(rs.has_spread());
+  EXPECT_TRUE(std::isnan(rs.variance()));
   rs.add(42.0);
-  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+  EXPECT_FALSE(rs.has_spread());
+  EXPECT_TRUE(std::isnan(rs.variance()));
+  EXPECT_TRUE(std::isnan(rs.stddev()));
+  rs.add(44.0);
+  EXPECT_TRUE(rs.has_spread());
+  EXPECT_DOUBLE_EQ(rs.variance(), 2.0);
 }
 
 TEST(Stats, PercentileInterpolates) {
