@@ -17,6 +17,12 @@
 //      kBypass         NewtonOptions::bypass on vs off
 //      kJacobianReuse  NewtonOptions::jacobian_reuse on vs off
 //      kBypassAndReuse both accelerators on vs off (transient only)
+//  - soundness: a static prediction must contain the dynamic result.
+//      kAnalyze        nemsim::analyze's DC node intervals must contain
+//                      the solved operating point (within a small slack
+//                      for the solver's gmin/reltol perturbation), and
+//                      every operating-region verdict's predicted
+//                      unknown enclosure must hold at the OP
 //
 // Every leg builds its OWN circuit from the seed — device state
 // (capacitor history, NEMS beam position) must never leak between legs.
@@ -25,6 +31,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -44,6 +51,7 @@ enum class Contract {
   kBypass,
   kJacobianReuse,
   kBypassAndReuse,
+  kAnalyze,
 };
 
 const char* to_string(Analysis a);
@@ -66,6 +74,9 @@ struct CheckOptions {
   GeneratorOptions generator;
   /// Restrict to the bitwise contracts (fast smoke tier).
   bool bitwise_only = false;
+  /// Restrict to one contract (e.g. a dedicated kAnalyze soundness
+  /// sweep); empty runs the whole matrix.
+  std::optional<Contract> only_contract;
   Sabotage sabotage = Sabotage::kNone;
   /// Reltol-contract tolerances.  OP solves share one Newton tolerance,
   /// so they agree tightly; transients accumulate step-sequence
@@ -93,6 +104,12 @@ struct CheckOptions {
   /// reference time, absorbing the few-ps step-sequence skew two
   /// legitimate adaptive integrations accumulate through a fast edge.
   double tran_time_tol = 5e-12;
+  /// kAnalyze containment slack.  The analyzer's intervals enclose the
+  /// *exact* DC solution; the solver hands back one perturbed by its
+  /// final gmin shunts (1e-15 S against conductances no smaller than the
+  /// NEMFET goff floor, worst case ~1e-5 V) and its Newton reltol.
+  double analyze_abstol = 1e-4;
+  double analyze_reltol = 1e-6;
   std::size_t sweep_points = 9;        ///< DC sweep 0..vdd point count
   std::size_t sweep_threads = 4;       ///< "N threads" leg of kParallelSweep
   /// Optional sinks: mismatches become report notes; with forensics

@@ -1,10 +1,13 @@
 #include "nemsim/check/checker.h"
 
+#include <cmath>
 #include <functional>
 #include <optional>
+#include <sstream>
 #include <utility>
 
 #include "nemsim/devices/sources.h"
+#include "nemsim/spice/analyze.h"
 #include "nemsim/spice/dcsweep.h"
 #include "nemsim/spice/engine.h"
 #include "nemsim/spice/netlist_export.h"
@@ -34,6 +37,7 @@ const char* to_string(Contract c) {
     case Contract::kBypass: return "bypass";
     case Contract::kJacobianReuse: return "jacobian-reuse";
     case Contract::kBypassAndReuse: return "bypass-and-reuse";
+    case Contract::kAnalyze: return "analyze";
   }
   return "?";
 }
@@ -62,7 +66,8 @@ Contract parse_contract(const std::string& s) {
   for (Contract c :
        {Contract::kDeterminism, Contract::kRoundTrip, Contract::kHierarchy,
         Contract::kParallelSweep, Contract::kSparseVsDense, Contract::kBypass,
-        Contract::kJacobianReuse, Contract::kBypassAndReuse}) {
+        Contract::kJacobianReuse, Contract::kBypassAndReuse,
+        Contract::kAnalyze}) {
     if (s == to_string(c)) return c;
   }
   throw InvalidArgument("unknown contract '" + s + "'");
@@ -268,11 +273,62 @@ class Runner {
       case Contract::kJacobianReuse:
         return op_variant({spice::JacobianSolver::kDense, false, true},
                           op_tol());
+      case Contract::kAnalyze:
+        return run_op_analyze();
       case Contract::kParallelSweep:
       case Contract::kBypassAndReuse:
         return std::nullopt;
     }
     return std::nullopt;
+  }
+
+  /// Soundness contract of the static analyzer: every predicted node
+  /// interval must contain the solved OP voltage, and every region
+  /// verdict's predicted unknown enclosure must hold.  The slack covers
+  /// the solver's gmin regularization and Newton reltol — the analyzer
+  /// bounds the exact solution, the solver delivers a perturbed one.
+  std::optional<CompareResult> run_op_analyze() {
+    spice::Circuit ckt = make_flat_();
+    const analyze::AnalyzeReport rpt = analyze::analyze_circuit(ckt);
+    const std::vector<NamedValue>& op = base_op();
+
+    CompareResult res;
+    std::ostringstream bad;
+    for (const NamedValue& nv : op) {
+      if (nv.name.size() > 3 && nv.name.compare(0, 2, "v(") == 0 &&
+          nv.name.back() == ')') {
+        const std::string node = nv.name.substr(2, nv.name.size() - 3);
+        if (!ckt.has_node(node)) continue;
+        const analyze::Interval iv = rpt.intervals.at(ckt.find_node(node));
+        ++res.compared;
+        const double slack =
+            opts_.analyze_abstol + opts_.analyze_reltol * std::abs(nv.value);
+        if (!iv.contains(nv.value, slack)) {
+          res.ok = false;
+          ++res.mismatched;
+          bad << "  " << nv.name << ": solved " << nv.value
+              << " V outside predicted " << iv.to_string() << " (slack "
+              << slack << ")\n";
+        }
+      }
+    }
+    for (const analyze::RegionVerdict& v : rpt.verdicts) {
+      if (v.unknown.empty()) continue;
+      for (const NamedValue& nv : op) {
+        if (nv.name != v.unknown) continue;
+        ++res.compared;
+        if (!v.predicted.contains(nv.value)) {
+          res.ok = false;
+          ++res.mismatched;
+          bad << "  " << v.region << ": predicted " << v.unknown << " in "
+              << v.predicted.to_string() << " but the OP solved "
+              << nv.value << "\n";
+        }
+        break;
+      }
+    }
+    if (!res.ok) res.detail = "analyze soundness violated:\n" + bad.str();
+    return res;
   }
 
   std::optional<CompareResult> run_tran_contract(Contract c) {
@@ -305,6 +361,7 @@ class Runner {
         return tran_variant({spice::JacobianSolver::kDense, true, true},
                             tran_tol());
       case Contract::kParallelSweep:
+      case Contract::kAnalyze:  // DC-interval contract: OP only
         return std::nullopt;
     }
     return std::nullopt;
@@ -352,6 +409,7 @@ constexpr Contract kAllContracts[] = {
     Contract::kHierarchy,     Contract::kParallelSweep,
     Contract::kSparseVsDense, Contract::kBypass,
     Contract::kJacobianReuse, Contract::kBypassAndReuse,
+    Contract::kAnalyze,
 };
 constexpr Analysis kAllAnalyses[] = {Analysis::kOp, Analysis::kTransient,
                                      Analysis::kDcSweep};
@@ -378,6 +436,7 @@ CheckCaseResult run_check_case(std::uint64_t seed, const CheckOptions& opts) {
   for (Analysis analysis : kAllAnalyses) {
     for (Contract contract : kAllContracts) {
       if (opts.bitwise_only && !contract_is_bitwise(contract)) continue;
+      if (opts.only_contract && contract != *opts.only_contract) continue;
       std::optional<CompareResult> cmp;
       try {
         cmp = runner.run(analysis, contract);

@@ -21,6 +21,8 @@ class Vcvs : public spice::Device {
   void stamp_ac(spice::AcStampContext& ctx) const override;
   bool has_ac_model() const override { return true; }
   spice::DeviceTopology topology() const override;
+  void interval_transfer(const analyze::IntervalSet& nodes,
+                         std::vector<analyze::NodeClaim>& out) const override;
   std::string netlist_line(
       const std::function<std::string(spice::NodeId)>& node_namer)
       const override;
@@ -44,6 +46,12 @@ class Vccs : public spice::Device {
   void stamp_ac(spice::AcStampContext& ctx) const override;
   bool has_ac_model() const override { return true; }
   spice::DeviceTopology topology() const override;
+  /// A current-defined branch constrains no node voltage: claim nothing.
+  void interval_transfer(const analyze::IntervalSet& nodes,
+                         std::vector<analyze::NodeClaim>& out) const override {
+    (void)nodes;
+    (void)out;
+  }
   std::string netlist_line(
       const std::function<std::string(spice::NodeId)>& node_namer)
       const override;

@@ -37,6 +37,10 @@ class Diode : public spice::Device {
     return true;
   }
   spice::DeviceTopology topology() const override;
+  void interval_transfer(const analyze::IntervalSet& nodes,
+                         std::vector<analyze::NodeClaim>& out) const override;
+  void interval_check(const analyze::IntervalSet& nodes,
+                      std::vector<analyze::RegionVerdict>& out) const override;
   void self_check(const lint::DeviceCheckContext& ctx,
                   std::vector<lint::LintFinding>& out) const override;
   std::string netlist_line(

@@ -122,6 +122,10 @@ class Nemfet : public spice::Device {
   void stamp_ac(spice::AcStampContext& ctx) const override;
   bool has_ac_model() const override { return true; }
   spice::DeviceTopology topology() const override;
+  void interval_transfer(const analyze::IntervalSet& nodes,
+                         std::vector<analyze::NodeClaim>& out) const override;
+  void interval_check(const analyze::IntervalSet& nodes,
+                      std::vector<analyze::RegionVerdict>& out) const override;
   void self_check(const lint::DeviceCheckContext& ctx,
                   std::vector<lint::LintFinding>& out) const override;
   std::string netlist_line(

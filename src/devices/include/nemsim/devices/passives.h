@@ -21,6 +21,8 @@ class Resistor : public spice::Device {
   bool has_ac_model() const override { return true; }
   bool is_linear() const override { return true; }
   spice::DeviceTopology topology() const override;
+  void interval_transfer(const analyze::IntervalSet& nodes,
+                         std::vector<analyze::NodeClaim>& out) const override;
   void self_check(const lint::DeviceCheckContext& ctx,
                   std::vector<lint::LintFinding>& out) const override;
   std::string netlist_line(
@@ -48,6 +50,12 @@ class Capacitor : public spice::Device {
   void stamp_ac(spice::AcStampContext& ctx) const override;
   bool has_ac_model() const override { return true; }
   spice::DeviceTopology topology() const override;
+  /// Open in DC: nothing to claim about node voltages.
+  void interval_transfer(const analyze::IntervalSet& nodes,
+                         std::vector<analyze::NodeClaim>& out) const override {
+    (void)nodes;
+    (void)out;
+  }
   void self_check(const lint::DeviceCheckContext& ctx,
                   std::vector<lint::LintFinding>& out) const override;
   std::string netlist_line(
@@ -78,6 +86,8 @@ class Inductor : public spice::Device {
   void stamp_ac(spice::AcStampContext& ctx) const override;
   bool has_ac_model() const override { return true; }
   spice::DeviceTopology topology() const override;
+  void interval_transfer(const analyze::IntervalSet& nodes,
+                         std::vector<analyze::NodeClaim>& out) const override;
   void self_check(const lint::DeviceCheckContext& ctx,
                   std::vector<lint::LintFinding>& out) const override;
   std::string netlist_line(

@@ -40,6 +40,10 @@ class SourceWave {
   /// by the lint pass to infer the supply rail.
   double max_abs_value() const;
 
+  /// Range {lo, hi} of value(t) over all t >= 0 (exact per waveform
+  /// kind); feeds the analyzer's DC interval relations.
+  std::pair<double, double> value_range() const;
+
  private:
   enum class Kind { kDc, kPulse, kPwl, kSine };
   SourceWave() = default;
@@ -85,6 +89,8 @@ class VoltageSource : public spice::Device {
   bool has_ac_model() const override { return true; }
   void breakpoints(double tstop, std::vector<double>& out) const override;
   spice::DeviceTopology topology() const override;
+  void interval_transfer(const analyze::IntervalSet& nodes,
+                         std::vector<analyze::NodeClaim>& out) const override;
   std::string netlist_line(
       const std::function<std::string(spice::NodeId)>& node_namer)
       const override;
@@ -119,6 +125,12 @@ class CurrentSource : public spice::Device {
   bool has_ac_model() const override { return true; }
   void breakpoints(double tstop, std::vector<double>& out) const override;
   spice::DeviceTopology topology() const override;
+  /// A current-defined branch constrains no node voltage: claim nothing.
+  void interval_transfer(const analyze::IntervalSet& nodes,
+                         std::vector<analyze::NodeClaim>& out) const override {
+    (void)nodes;
+    (void)out;
+  }
   std::string netlist_line(
       const std::function<std::string(spice::NodeId)>& node_namer)
       const override;

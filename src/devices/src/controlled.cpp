@@ -2,6 +2,7 @@
 
 #include "nemsim/spice/ac.h"
 
+#include <cmath>
 #include <sstream>
 
 namespace nemsim::devices {
@@ -51,6 +52,17 @@ spice::DeviceTopology Vcvs::topology() const {
   return topo;
 }
 
+void Vcvs::interval_transfer(const analyze::IntervalSet& nodes,
+                             std::vector<analyze::NodeClaim>& out) const {
+  // v(p) - v(n) = gain * (v(cp) - v(cn)) exactly.
+  const analyze::Interval ctrl =
+      (nodes.at(cp_) - nodes.at(cn_)).scaled(gain_);
+  out.push_back(
+      {p_, nodes.at(n_) + ctrl, analyze::NodeClaim::Kind::kRelation});
+  out.push_back(
+      {n_, nodes.at(p_) - ctrl, analyze::NodeClaim::Kind::kRelation});
+}
+
 std::string Vcvs::netlist_line(
     const std::function<std::string(spice::NodeId)>& node_namer) const {
   std::ostringstream os;
@@ -87,7 +99,8 @@ spice::DeviceTopology Vccs::topology() const {
   const std::size_t n = topo.add_terminal("n", n_);
   topo.add_terminal("cp", cp_);
   topo.add_terminal("cn", cn_);
-  topo.add_edge(spice::DeviceTopology::EdgeKind::kCurrent, p, n);
+  topo.add_edge(spice::DeviceTopology::EdgeKind::kCurrent, p, n).magnitude =
+      std::abs(gm_);
   return topo;
 }
 

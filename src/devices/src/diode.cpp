@@ -60,8 +60,41 @@ spice::DeviceTopology Diode::topology() const {
   topo.element_letter = 'D';
   const std::size_t a = topo.add_terminal("anode", anode_);
   const std::size_t c = topo.add_terminal("cathode", cathode_);
-  topo.add_edge(spice::DeviceTopology::EdgeKind::kConductive, a, c);
+  // Representative small-signal conductance near zero bias: the shunt
+  // plus the junction slope Is/(n vt).
+  topo.add_edge(spice::DeviceTopology::EdgeKind::kConductive, a, c)
+      .magnitude = params_.gmin_shunt +
+                   params_.is / (params_.n *
+                                 phys::thermal_voltage(params_.temp));
   return topo;
+}
+
+void Diode::interval_transfer(const analyze::IntervalSet& nodes,
+                              std::vector<analyze::NodeClaim>& out) const {
+  // Passive edge: sign(i) = sign(v), so each terminal obeys the maximum
+  // principle against the other.
+  out.push_back(
+      {anode_, nodes.at(cathode_), analyze::NodeClaim::Kind::kNeighbor});
+  out.push_back(
+      {cathode_, nodes.at(anode_), analyze::NodeClaim::Kind::kNeighbor});
+}
+
+void Diode::interval_check(const analyze::IntervalSet& nodes,
+                           std::vector<analyze::RegionVerdict>& out) const {
+  const analyze::Interval v = nodes.at(anode_) - nodes.at(cathode_);
+  // Far below a junction drop the exponential is off scale: the device
+  // only ever conducts its gmin shunt.
+  constexpr double kKneeVolts = 0.3;
+  if (std::isfinite(v.hi) && v.hi < kKneeVolts) {
+    std::ostringstream msg;
+    msg << "junction voltage is confined to " << v.to_string()
+        << " V, always below the ~" << kKneeVolts
+        << " V knee: the diode never forward-biases and acts as a "
+        << params_.gmin_shunt << " S shunt — if that is intentional, a "
+        << "resistor says so more cheaply";
+    out.push_back({name(), "diode-never-forward", msg.str(),
+                   lint::LintSeverity::kHint, "", {}});
+  }
 }
 
 void Diode::self_check(const lint::DeviceCheckContext& ctx,

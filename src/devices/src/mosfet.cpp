@@ -1,6 +1,7 @@
 #include "nemsim/devices/mosfet.h"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "nemsim/devices/ekv.h"
@@ -189,12 +190,54 @@ spice::DeviceTopology Mosfet::topology() const {
   const std::size_t s = topo.add_terminal("source", s_);
   // Bulk is tied to ground; the junction caps land there.
   const std::size_t b = topo.add_terminal("bulk", spice::kGround);
-  topo.add_edge(EdgeKind::kConductive, d, s);  // channel
-  topo.add_edge(EdgeKind::kCapacitive, g, d);
-  topo.add_edge(EdgeKind::kCapacitive, g, s);
-  topo.add_edge(EdgeKind::kCapacitive, d, b);
-  topo.add_edge(EdgeKind::kCapacitive, s, b);
+  // Channel magnitude: representative on-state conductance ~ KP W/L.
+  topo.add_edge(EdgeKind::kConductive, d, s).magnitude =
+      params_.kp * w_ / l_;
+  topo.add_edge(EdgeKind::kCapacitive, g, d).magnitude = cgd_.capacitance();
+  topo.add_edge(EdgeKind::kCapacitive, g, s).magnitude = cgs_.capacitance();
+  topo.add_edge(EdgeKind::kCapacitive, d, b).magnitude = cdb_.capacitance();
+  topo.add_edge(EdgeKind::kCapacitive, s, b).magnitude = csb_.capacitance();
   return topo;
+}
+
+void Mosfet::interval_transfer(const analyze::IntervalSet& nodes,
+                               std::vector<analyze::NodeClaim>& out) const {
+  // The channel (EKV + goff floor) is passive — current sign follows
+  // vds even through the source/drain swap — so the maximum principle
+  // holds between drain and source.  The gate only couples capacitively.
+  out.push_back({d_, nodes.at(s_), analyze::NodeClaim::Kind::kNeighbor});
+  out.push_back({s_, nodes.at(d_), analyze::NodeClaim::Kind::kNeighbor});
+}
+
+void Mosfet::interval_check(const analyze::IntervalSet& nodes,
+                            std::vector<analyze::RegionVerdict>& out) const {
+  const double sign = polarity_ == MosPolarity::kNmos ? 1.0 : -1.0;
+  // Canonical gate drive after the source/drain swap: the source is the
+  // lower terminal in sign-space, so vgs = max over both pairings of
+  // sign * (v(gate) - v(terminal)); interval max is endpoint-wise.
+  const analyze::Interval vgd = (nodes.at(g_) - nodes.at(d_)).scaled(sign);
+  const analyze::Interval vgs = (nodes.at(g_) - nodes.at(s_)).scaled(sign);
+  const double drive_hi = std::max(vgd.hi, vgs.hi);
+  const double drive_lo = std::max(vgd.lo, vgs.lo);
+  const double vth = params_.vth0 + vth_shift_;
+  // Guard band for the EKV interpolation's soft knee around threshold.
+  constexpr double kMarginVolts = 0.1;
+  if (std::isfinite(drive_hi) && drive_hi < vth - kMarginVolts) {
+    std::ostringstream msg;
+    msg << "gate drive can never exceed " << drive_hi << " V against a "
+        << "threshold of " << vth << " V: the channel is provably always "
+        << "subthreshold — only leakage flows, which is either the point "
+        << "(keeper, sleep transistor) or a mis-wired gate net";
+    out.push_back({name(), "mosfet-always-off", msg.str(),
+                   lint::LintSeverity::kHint, "", {}});
+  } else if (drive_lo > vth + kMarginVolts) {
+    std::ostringstream msg;
+    msg << "gate drive never falls below " << drive_lo << " V against a "
+        << "threshold of " << vth << " V: the channel is provably always "
+        << "on — the device acts as a pass resistor, never as a switch";
+    out.push_back({name(), "mosfet-always-on", msg.str(),
+                   lint::LintSeverity::kHint, "", {}});
+  }
 }
 
 void Mosfet::self_check(const lint::DeviceCheckContext& ctx,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <utility>
 
 #include "nemsim/devices/ekv.h"
@@ -411,13 +412,87 @@ spice::DeviceTopology Nemfet::topology() const {
   const std::size_t s = topo.add_terminal("source", s_);
   const std::size_t b = topo.add_terminal("bulk", spice::kGround);
   // The tunneling/Brownian floor (goff) keeps the channel conductive
-  // even with the beam up, so drain-source is a real DC path.
-  topo.add_edge(EdgeKind::kConductive, d, s);
-  topo.add_edge(EdgeKind::kCapacitive, g, s);  // beam stack + overlap
-  topo.add_edge(EdgeKind::kCapacitive, g, d);  // overlap
-  topo.add_edge(EdgeKind::kCapacitive, d, b);
-  topo.add_edge(EdgeKind::kCapacitive, s, b);
+  // even with the beam up, so drain-source is a real DC path.  The
+  // magnitude is the representative on-state conductance ~ KP W/L.
+  topo.add_edge(EdgeKind::kConductive, d, s).magnitude =
+      params_.kp * w_ / params_.l_ch;
+  topo.add_edge(EdgeKind::kCapacitive, g, s).magnitude =  // stack + overlap
+      gate_capacitance(x_state_) + params_.cov * w_;
+  topo.add_edge(EdgeKind::kCapacitive, g, d).magnitude =  // overlap
+      params_.cov * w_;
+  topo.add_edge(EdgeKind::kCapacitive, d, b).magnitude = params_.cj * w_;
+  topo.add_edge(EdgeKind::kCapacitive, s, b).magnitude = params_.cj * w_;
   return topo;
+}
+
+void Nemfet::interval_transfer(const analyze::IntervalSet& nodes,
+                               std::vector<analyze::NodeClaim>& out) const {
+  // Like the MOSFET channel: passive drain-source path (EKV + goff
+  // floor), gate couples only through the beam capacitances.
+  out.push_back({d_, nodes.at(s_), analyze::NodeClaim::Kind::kNeighbor});
+  out.push_back({s_, nodes.at(d_), analyze::NodeClaim::Kind::kNeighbor});
+}
+
+void Nemfet::interval_check(const analyze::IntervalSet& nodes,
+                            std::vector<analyze::RegionVerdict>& out) const {
+  // Actuation magnitude |vgf| = |v(gate) - v(source)| with the canonical
+  // source picked by the drain/source swap.  Which terminal ends up as
+  // source depends on the solution, so bound over both pairings: the
+  // true |vgf| can never exceed the larger upper bound nor fall below
+  // the smaller lower bound.
+  const analyze::Interval agd = (nodes.at(g_) - nodes.at(d_)).abs();
+  const analyze::Interval ags = (nodes.at(g_) - nodes.at(s_)).abs();
+  const double v_abs_hi = std::max(agd.hi, ags.hi);
+  const double v_abs_lo = std::min(agd.lo, ags.lo);
+
+  const double vpi = params_.analytic_pull_in_voltage();
+  const double vpo = params_.analytic_pull_out_voltage();
+  // The softplus-smoothed gap/contact forces shift the fold a few
+  // percent off the parallel-plate analytics; 10 % guard bands keep the
+  // verdicts sound against that modeling gap.
+  const double pull_in_floor = 0.9 * vpi;
+  const double hold_ceiling = 1.1 * vpo;
+  const bool open0 = initial_position_ < 0.5 * params_.gap0;
+  const double half_gap = 0.5 * params_.gap0;
+  const double inf = std::numeric_limits<double>::infinity();
+
+  if (open0 && std::isfinite(v_abs_hi) && v_abs_hi < pull_in_floor) {
+    std::ostringstream msg;
+    msg << "actuation |v(gate)-v(source)| is confined to [" << v_abs_lo
+        << ", " << v_abs_hi << "] V, always below 0.9 * V_PI = "
+        << pull_in_floor << " V (analytic pull-in " << vpi
+        << " V) with the beam starting open: the beam can never pull in "
+        << "and the channel stays on its deeply-off branch — raise the "
+        << "gate swing or soften the spring";
+    out.push_back({name(), "nemfet-never-actuates", msg.str(),
+                   lint::LintSeverity::kWarning, name() + ".x",
+                   analyze::Interval{-inf, half_gap}});
+  } else if (v_abs_lo > 1.1 * (open0 ? std::max(vpi, vpo) : vpo)) {
+    std::ostringstream msg;
+    msg << "actuation |v(gate)-v(source)| never falls below " << v_abs_lo
+        << " V, above 1.1 * " << (open0 ? "max(V_PI, V_PO)" : "V_PO")
+        << " = " << 1.1 * (open0 ? std::max(vpi, vpo) : vpo)
+        << " V (analytic pull-out " << vpo << " V): the beam "
+        << (open0 ? "pulls in at the first solve and " : "")
+        << "can never release — the device is a closed switch, not a "
+        << "switch";
+    out.push_back({name(), "nemfet-never-releases", msg.str(),
+                   lint::LintSeverity::kWarning, name() + ".x",
+                   analyze::Interval{half_gap, inf}});
+  }
+
+  if (std::isfinite(v_abs_hi) && v_abs_lo > hold_ceiling &&
+      v_abs_hi < pull_in_floor) {
+    std::ostringstream msg;
+    msg << "actuation |v(gate)-v(source)| stays inside the hysteresis "
+        << "window (1.1 * V_PO, 0.9 * V_PI) = (" << hold_ceiling << ", "
+        << pull_in_floor << ") V: both beam branches remain stable, so "
+        << "the device latches whichever branch it started on ("
+        << (open0 ? "open" : "closed")
+        << ") and no input in this deck can toggle it";
+    out.push_back({name(), "nemfet-hysteresis-latched", msg.str(),
+                   lint::LintSeverity::kHint, "", {}});
+  }
 }
 
 void Nemfet::self_check(const lint::DeviceCheckContext& ctx,

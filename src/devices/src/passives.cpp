@@ -37,8 +37,15 @@ spice::DeviceTopology Resistor::topology() const {
   topo.element_letter = 'R';
   const std::size_t p = topo.add_terminal("p", p_);
   const std::size_t n = topo.add_terminal("n", n_);
-  topo.add_edge(spice::DeviceTopology::EdgeKind::kConductive, p, n);
+  topo.add_edge(spice::DeviceTopology::EdgeKind::kConductive, p, n)
+      .magnitude = 1.0 / r_;
   return topo;
+}
+
+void Resistor::interval_transfer(const analyze::IntervalSet& nodes,
+                                 std::vector<analyze::NodeClaim>& out) const {
+  out.push_back({p_, nodes.at(n_), analyze::NodeClaim::Kind::kNeighbor});
+  out.push_back({n_, nodes.at(p_), analyze::NodeClaim::Kind::kNeighbor});
 }
 
 void Resistor::self_check(const lint::DeviceCheckContext& ctx,
@@ -93,7 +100,8 @@ spice::DeviceTopology Capacitor::topology() const {
   topo.element_letter = 'C';
   const std::size_t p = topo.add_terminal("p", p_);
   const std::size_t n = topo.add_terminal("n", n_);
-  topo.add_edge(spice::DeviceTopology::EdgeKind::kCapacitive, p, n);
+  topo.add_edge(spice::DeviceTopology::EdgeKind::kCapacitive, p, n)
+      .magnitude = companion_.capacitance();
   return topo;
 }
 
@@ -156,8 +164,16 @@ spice::DeviceTopology Inductor::topology() const {
   const std::size_t p = topo.add_terminal("p", p_);
   const std::size_t n = topo.add_terminal("n", n_);
   // An inductor is a DC short: a voltage-defined branch for loop checks.
-  topo.add_edge(spice::DeviceTopology::EdgeKind::kVoltage, p, n);
+  topo.add_edge(spice::DeviceTopology::EdgeKind::kVoltage, p, n).magnitude =
+      l_;
   return topo;
+}
+
+void Inductor::interval_transfer(const analyze::IntervalSet& nodes,
+                                 std::vector<analyze::NodeClaim>& out) const {
+  // DC short: both terminals share one interval (equality relation).
+  out.push_back({p_, nodes.at(n_), analyze::NodeClaim::Kind::kRelation});
+  out.push_back({n_, nodes.at(p_), analyze::NodeClaim::Kind::kRelation});
 }
 
 void Inductor::self_check(const lint::DeviceCheckContext& ctx,

@@ -177,6 +177,28 @@ double SourceWave::max_abs_value() const {
   return 0.0;
 }
 
+std::pair<double, double> SourceWave::value_range() const {
+  switch (kind_) {
+    case Kind::kDc:
+      return {v1_, v1_};
+    case Kind::kPulse:
+      return std::minmax(v1_, v2_);
+    case Kind::kSine:
+      // value(t) = v1_ for t < delay, which sits inside offset +- |amp|.
+      return {v1_ - std::abs(v2_), v1_ + std::abs(v2_)};
+    case Kind::kPwl: {
+      double lo = points_.front().second, hi = lo;
+      for (const auto& [t, v] : points_) {
+        (void)t;
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+      return {lo, hi};
+    }
+  }
+  return {0.0, 0.0};
+}
+
 // --------------------------------------------------------- VoltageSource
 
 VoltageSource::VoltageSource(std::string name, spice::NodeId p,
@@ -223,6 +245,19 @@ spice::DeviceTopology VoltageSource::topology() const {
   edge.dc_value = wave_.value(0.0);
   edge.max_abs = wave_.max_abs_value();
   return topo;
+}
+
+void VoltageSource::interval_transfer(
+    const analyze::IntervalSet& nodes,
+    std::vector<analyze::NodeClaim>& out) const {
+  // v(p) - v(n) tracks the waveform exactly, so each terminal lies in
+  // the other's interval shifted by the waveform's value range.
+  const auto [lo, hi] = wave_.value_range();
+  const analyze::Interval range{lo, hi};
+  out.push_back(
+      {p_, nodes.at(n_) + range, analyze::NodeClaim::Kind::kRelation});
+  out.push_back(
+      {n_, nodes.at(p_) - range, analyze::NodeClaim::Kind::kRelation});
 }
 
 std::string VoltageSource::netlist_line(

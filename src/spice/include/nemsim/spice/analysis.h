@@ -28,6 +28,14 @@ struct AnalysisCommon {
   /// (bitwise-identical run).  Runs once per analysis entry — embedded
   /// operating points do not lint again.
   lint::LintMode lint = lint::LintMode::kWarn;
+  /// Pre-solve semantic analysis gate (nemsim/spice/analyze.h): interval
+  /// reachability, operating regions, stiffness/conditioning, dead
+  /// cones.  Same tiering as `lint`, except strict mode rejects on
+  /// warnings too (every analyze warning is a semantic claim about the
+  /// solution, not a style concern).  Defaults to kOff: the pass walks
+  /// every device per fixpoint sweep, and the per-analysis drivers are
+  /// on hot paths (Monte-Carlo trials, sweep points).
+  lint::LintMode analyze = lint::LintMode::kOff;
 };
 
 }  // namespace nemsim::spice

@@ -1,0 +1,133 @@
+// nemsim::analyze primitive types: intervals, node claims, verdicts.
+//
+// Kept separate from the analyzer (nemsim/spice/analyze.h) for the same
+// reason lint_types.h exists: spice/device.h only needs the value types
+// to declare the per-device interval hooks, not the fixpoint engine.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "nemsim/spice/ids.h"
+#include "nemsim/spice/lint_types.h"
+
+namespace nemsim::analyze {
+
+/// A closed interval [lo, hi] of DC node voltages (volts).  The lattice
+/// the analyzer computes over: `top()` is "no information" and every
+/// operation only ever narrows, so stopping at any sweep count is sound.
+struct Interval {
+  double lo = -std::numeric_limits<double>::infinity();
+  double hi = std::numeric_limits<double>::infinity();
+
+  static Interval top() { return {}; }
+  static Interval point(double v) { return {v, v}; }
+  /// Interval spanning two values given in either order.
+  static Interval span(double a, double b) {
+    return {std::min(a, b), std::max(a, b)};
+  }
+
+  bool is_top() const { return !std::isfinite(lo) && !std::isfinite(hi); }
+  /// Both endpoints finite (the only intervals worth asserting against).
+  bool bounded() const { return std::isfinite(lo) && std::isfinite(hi); }
+  double width() const { return hi - lo; }
+
+  bool contains(double v, double slack = 0.0) const {
+    return v >= lo - slack && v <= hi + slack;
+  }
+
+  /// Smallest interval covering both (lattice join).
+  Interval hull(const Interval& o) const {
+    return {std::min(lo, o.lo), std::max(hi, o.hi)};
+  }
+
+  /// Minkowski sum / difference: x + y with x in *this, y in o.
+  Interval operator+(const Interval& o) const { return {lo + o.lo, hi + o.hi}; }
+  Interval operator-(const Interval& o) const { return {lo - o.hi, hi - o.lo}; }
+  /// k * [lo, hi] (sign-aware; k = 0 collapses to [0, 0] even for
+  /// unbounded intervals, sidestepping 0 * inf).
+  Interval scaled(double k) const {
+    if (k == 0.0) return point(0.0);
+    return k > 0.0 ? Interval{k * lo, k * hi} : Interval{k * hi, k * lo};
+  }
+  /// |x| for x in [lo, hi].
+  Interval abs() const {
+    if (lo >= 0.0) return {lo, hi};
+    if (hi <= 0.0) return {-hi, -lo};
+    return {0.0, std::max(-lo, hi)};
+  }
+
+  std::string to_string() const;
+};
+
+/// One per-node map of intervals, indexed by NodeId.  Ground (node 0) is
+/// pinned to [0, 0]; everything else starts at top and is narrowed.
+class IntervalSet {
+ public:
+  IntervalSet() = default;
+  explicit IntervalSet(std::size_t num_nodes)
+      : v_(num_nodes, Interval::top()) {
+    if (!v_.empty()) v_[0] = Interval::point(0.0);
+  }
+
+  std::size_t size() const { return v_.size(); }
+  const Interval& at(spice::NodeId n) const { return v_.at(n.index); }
+  void set(spice::NodeId n, const Interval& iv) { v_.at(n.index) = iv; }
+
+  /// Narrows node `n` to its intersection with `iv`.  An empty
+  /// intersection (contradictory constraints: the deck is unsatisfiable
+  /// and lint has almost certainly flagged it already) is skipped rather
+  /// than produced, so the stored interval stays a sound enclosure of
+  /// whatever solution the solver's regularization settles on.  Returns
+  /// true when the stored interval actually changed.
+  bool tighten(spice::NodeId n, const Interval& iv) {
+    Interval& cur = v_.at(n.index);
+    const double lo = std::max(cur.lo, iv.lo);
+    const double hi = std::min(cur.hi, iv.hi);
+    if (lo > hi) return false;
+    if (lo == cur.lo && hi == cur.hi) return false;
+    cur = {lo, hi};
+    return true;
+  }
+
+ private:
+  std::vector<Interval> v_;
+};
+
+/// One bound a device claims about a node, emitted by
+/// Device::interval_transfer.
+///
+///  - kRelation: sound unconditionally — a difference relation through a
+///    voltage-defining element ("v(p) lies in v(n) + source range").
+///    The engine intersects these into the node directly.
+///  - kNeighbor: a maximum-principle claim through one passive
+///    conductive edge ("my other terminal's interval").  Sound only at
+///    nodes whose every DC-current-carrying edge is passive, which the
+///    engine verifies from the topology before *unioning* all neighbor
+///    claims at the node and intersecting the hull in.
+struct NodeClaim {
+  spice::NodeId node;
+  Interval bound;
+  enum class Kind { kRelation, kNeighbor };
+  Kind kind = Kind::kNeighbor;
+};
+
+/// A semantic operating-region conclusion a device draws from the
+/// converged node intervals (Device::interval_check).  Verdicts become
+/// findings in the analyzer report; when `unknown` is non-empty they
+/// additionally carry a differential-testable prediction: the named MNA
+/// unknown must land inside `predicted` at the solved operating point
+/// (the soundness contract nemsim-fuzz checks per seed).
+struct RegionVerdict {
+  std::string device;    ///< instance name
+  std::string region;    ///< stable kebab-case id ("nemfet-never-actuates")
+  std::string message;   ///< human-readable text with the numbers involved
+  lint::LintSeverity severity = lint::LintSeverity::kWarning;
+  std::string unknown;   ///< display name of the predicted unknown, or ""
+  Interval predicted;    ///< predicted enclosure of that unknown at the OP
+};
+
+}  // namespace nemsim::analyze

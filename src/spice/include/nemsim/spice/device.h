@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "nemsim/spice/analyze_types.h"
 #include "nemsim/spice/ids.h"
 #include "nemsim/spice/lint_types.h"
 
@@ -56,6 +57,14 @@ struct DeviceTopology {
     bool is_source = false;
     double dc_value = 0.0;
     double max_abs = 0.0;
+    /// Nominal element magnitude in the edge's natural unit — siemens
+    /// for kConductive (a representative on-state conductance for
+    /// nonlinear channels), farads for kCapacitive, henries for an
+    /// inductor's kVoltage edge, siemens (gm) for a VCCS's kCurrent
+    /// edge; 0 when not meaningful (source branches).  Feeds the
+    /// analyzer's stiffness / conditioning predictions — order of
+    /// magnitude is what matters, not precision.
+    double magnitude = 0.0;
   };
 
   /// SPICE element letter the netlist exporter/parser dispatch on
@@ -161,6 +170,30 @@ class Device {
   virtual void self_check(const lint::DeviceCheckContext& ctx,
                           std::vector<lint::LintFinding>& out) const {
     (void)ctx;
+    (void)out;
+  }
+
+  /// Interval-transfer hook for the DC interval analysis
+  /// (nemsim/spice/analyze.h).  Given the current per-node voltage
+  /// intervals, appends the bounds this device can claim about its
+  /// terminal nodes (see analyze::NodeClaim for the two claim kinds and
+  /// their soundness conditions).  The default derives one kNeighbor
+  /// claim per direction of every kConductive topology edge — correct
+  /// for any device whose conductive edges are passive (current through
+  /// the edge has the sign of the branch voltage), which holds for every
+  /// in-tree device.  An override must cover each of its conductive
+  /// edges with claims at least as wide, or the analysis loses soundness.
+  virtual void interval_transfer(const analyze::IntervalSet& nodes,
+                                 std::vector<analyze::NodeClaim>& out) const;
+
+  /// Post-fixpoint semantic check: operating-region conclusions the
+  /// device can prove from the converged intervals (NEMFET pull-in
+  /// reachability, always-off channels, never-forward junctions).
+  /// Verdicts with a non-empty `unknown` carry an OP-testable prediction
+  /// that the differential checker verifies against a real solve.
+  virtual void interval_check(const analyze::IntervalSet& nodes,
+                              std::vector<analyze::RegionVerdict>& out) const {
+    (void)nodes;
     (void)out;
   }
 

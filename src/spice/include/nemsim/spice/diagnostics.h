@@ -103,6 +103,11 @@ struct RunReport {
   /// findings while `stages` stays empty.
   std::vector<lint::LintFinding> lint_findings;
 
+  /// Findings of the semantic analysis gate (spice/analyze.h) when the
+  /// analysis options had analyze != kOff; empty otherwise.  Same
+  /// timing contract as lint_findings: filled before any Newton work.
+  std::vector<lint::LintFinding> analyze_findings;
+
   /// Phase wall-clock ("phase.op", "phase.stepping") and free-form
   /// counters.  Mutex-guarded, so parallel workers may add to it.
   util::MetricRegistry metrics;
@@ -125,6 +130,14 @@ struct RunReport {
   /// Stable JSON rendering (consumed by bench/run_benchmarks.sh).
   void write_json(std::ostream& os) const;
 };
+
+/// Writes a findings vector as a JSON array of
+/// {"severity", "rule", "subject", "message"} objects — the one schema
+/// shared by RunReport::write_json's lint_findings / analyze_findings
+/// arrays and the `nemsim-lint --json` CLI output, kept in one function
+/// so the consumers can't drift apart.
+void write_findings_json(std::ostream& os,
+                         const std::vector<lint::LintFinding>& findings);
 
 /// Opt-in failure forensics: where and what to dump when an analysis
 /// fails.  Attached to {Op,Transient,MonteCarlo}Options.

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <numbers>
 
+#include "nemsim/spice/analyze.h"
 #include "nemsim/util/error.h"
 
 namespace nemsim::spice {
@@ -131,6 +132,7 @@ AcResult ac_analysis(MnaSystem& system, std::span<const double> frequencies,
 
   // Lint once at analysis entry; the embedded bias-point op is gated off.
   lint::lint_gate(system, options.lint, options.report);
+  analyze::analyze_gate(system.circuit(), options.analyze, options.report);
 
   // AC capability scan, before any Newton work: every device must carry a
   // small-signal model or the assembly after the (possibly expensive)

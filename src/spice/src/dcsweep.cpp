@@ -1,5 +1,6 @@
 #include "nemsim/spice/dcsweep.h"
 
+#include "nemsim/spice/analyze.h"
 #include "nemsim/spice/op.h"
 #include "nemsim/util/error.h"
 #include "nemsim/util/parallel.h"
@@ -24,6 +25,7 @@ Waveform dc_sweep(MnaSystem& system,
 
   // Lint once for the whole sweep; per-point ops must not lint again.
   lint::lint_gate(system, options.lint, report);
+  analyze::analyze_gate(system.circuit(), options.analyze, report);
 
   OpOptions op_options;
   op_options.newton = options.newton;
@@ -78,6 +80,7 @@ Waveform dc_sweep_parallel(
     Circuit reference = make_circuit();
     MnaSystem system(reference);
     lint::lint_gate(system, options.lint, report);
+    analyze::analyze_gate(system.circuit(), options.analyze, report);
     names.reserve(system.num_unknowns());
     for (std::size_t i = 0; i < system.num_unknowns(); ++i) {
       names.push_back(system.unknown_info(i).name);

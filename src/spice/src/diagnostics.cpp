@@ -92,6 +92,7 @@ void RunReport::reset() {
   failed_points = 0;
   notes.clear();
   lint_findings.clear();
+  analyze_findings.clear();
   metrics.clear();
 }
 
@@ -125,18 +126,22 @@ std::string RunReport::summary() const {
   if (points > 0) {
     os << " points=" << points << " failed=" << failed_points;
   }
-  if (!lint_findings.empty()) {
+  const auto findings_block = [&os](const char* label,
+                                    const std::vector<lint::LintFinding>& v) {
+    if (v.empty()) return;
     std::size_t errors = 0, warnings = 0, hints = 0;
-    for (const auto& f : lint_findings) {
+    for (const auto& f : v) {
       switch (f.severity) {
         case lint::LintSeverity::kError: ++errors; break;
         case lint::LintSeverity::kWarning: ++warnings; break;
         case lint::LintSeverity::kHint: ++hints; break;
       }
     }
-    os << " lint[errors=" << errors << " warnings=" << warnings
+    os << " " << label << "[errors=" << errors << " warnings=" << warnings
        << " hints=" << hints << "]";
-  }
+  };
+  findings_block("lint", lint_findings);
+  findings_block("analyze", analyze_findings);
   for (const auto& [name, entry] : metrics.snapshot()) {
     os << " " << name << "=";
     if (entry.seconds > 0.0) {
@@ -222,19 +227,10 @@ void RunReport::write_json(std::ostream& os) const {
   }
   os << "]";
 
-  os << ",\n  \"lint_findings\": [";
-  for (std::size_t i = 0; i < lint_findings.size(); ++i) {
-    const lint::LintFinding& f = lint_findings[i];
-    os << (i ? ", " : "") << "{\"severity\": \""
-       << lint::lint_severity_name(f.severity) << "\", \"rule\": ";
-    json_escape(os, f.rule);
-    os << ", \"subject\": ";
-    json_escape(os, f.subject);
-    os << ", \"message\": ";
-    json_escape(os, f.message);
-    os << "}";
-  }
-  os << "]";
+  os << ",\n  \"lint_findings\": ";
+  write_findings_json(os, lint_findings);
+  os << ",\n  \"analyze_findings\": ";
+  write_findings_json(os, analyze_findings);
 
   os << ",\n  \"metrics\": {";
   bool first = true;
@@ -247,6 +243,23 @@ void RunReport::write_json(std::ostream& os) const {
   }
   os << "}\n}\n";
   os.precision(saved_precision);
+}
+
+void write_findings_json(std::ostream& os,
+                         const std::vector<lint::LintFinding>& findings) {
+  os << "[";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const lint::LintFinding& f = findings[i];
+    os << (i ? ", " : "") << "{\"severity\": \""
+       << lint::lint_severity_name(f.severity) << "\", \"rule\": ";
+    json_escape(os, f.rule);
+    os << ", \"subject\": ";
+    json_escape(os, f.subject);
+    os << ", \"message\": ";
+    json_escape(os, f.message);
+    os << "}";
+  }
+  os << "]";
 }
 
 std::vector<std::string> write_failure_forensics(

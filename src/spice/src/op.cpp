@@ -1,5 +1,7 @@
 #include "nemsim/spice/op.h"
 
+#include "nemsim/spice/analyze.h"
+
 namespace nemsim::spice {
 
 OpResult::OpResult(const MnaSystem& system, linalg::Vector x)
@@ -59,6 +61,9 @@ OpResult operating_point_from(MnaSystem& system, const linalg::Vector& x0,
   // gmin/source homotopy ladder.
   const lint::LintReport lint_report =
       lint::lint_gate(system, options.lint, report);
+  // Semantic gate (interval reachability, operating regions); strict
+  // mode rejects on warnings here for the same fail-before-Newton reason.
+  analyze::analyze_gate(system.circuit(), options.analyze, report);
   NewtonSolver newton(system, options.newton);
   linalg::Vector x;
   try {

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdlib>
 
+#include "nemsim/spice/analyze.h"
 #include "nemsim/spice/op.h"
 #include "nemsim/util/error.h"
 #include "nemsim/util/logging.h"
@@ -67,6 +68,19 @@ Waveform transient(MnaSystem& system, const TransientOptions& options) {
   // Lint once at analysis entry; strict mode throws before any solve.
   const lint::LintReport lint_report =
       lint::lint_gate(system, options.lint, report);
+  // Semantic gate.  The recorded signals feed the observability cones:
+  // an opt-in record_signals subset means everything outside those
+  // nodes' cones provably never reaches the output waveform.
+  {
+    analyze::AnalyzeOptions analyze_options;
+    for (const std::string& s : options.record_signals) {
+      if (s.size() > 3 && s.compare(0, 2, "v(") == 0 && s.back() == ')') {
+        analyze_options.observed_nodes.push_back(s.substr(2, s.size() - 3));
+      }
+    }
+    analyze::analyze_gate(system.circuit(), options.analyze, report,
+                          analyze_options);
+  }
 
   // Bias point at t = 0 (commits device state).  The report is shared so
   // the op phase lands in the same sink ("phase.op" timing, op stage

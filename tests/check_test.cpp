@@ -162,12 +162,12 @@ CheckOptions quiet_options() {
 }
 
 TEST(CheckCase, PinnedSeedsRunCleanAcrossTheFullMatrix) {
-  // Smoke corpus: the full 16-leg matrix (6 op + 7 transient + 3 dc
+  // Smoke corpus: the full 17-leg matrix (7 op + 7 transient + 3 dc
   // sweep contracts) passes on pinned seeds.  A failure here means an
   // engine path broke a redundancy contract — see the mismatch detail.
   for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
     const CheckCaseResult r = check::run_check_case(seed, quiet_options());
-    EXPECT_EQ(r.contracts_run, 16u) << "seed " << seed;
+    EXPECT_EQ(r.contracts_run, 17u) << "seed " << seed;
     EXPECT_TRUE(r.ok()) << "seed " << seed << ": "
                         << (r.mismatches.empty()
                                 ? ""
@@ -182,6 +182,17 @@ TEST(CheckCase, BitwiseOnlySubsetRunsTheFourBitwiseContracts) {
   // determinism + round-trip + hierarchy for op and tran, determinism +
   // parallel-sweep for dc sweep: 8 legs, all bitwise.
   EXPECT_EQ(r.contracts_run, 8u);
+  EXPECT_TRUE(r.ok()) << (r.mismatches.empty() ? ""
+                                               : r.mismatches.front().detail);
+}
+
+TEST(CheckCase, OnlyContractRestrictsTheMatrixToOneLeg) {
+  CheckOptions opts = quiet_options();
+  opts.only_contract = Contract::kAnalyze;
+  const CheckCaseResult r = check::run_check_case(5, opts);
+  // kAnalyze is an op-only soundness contract: exactly one leg runs,
+  // and the predicted intervals contain the solved operating point.
+  EXPECT_EQ(r.contracts_run, 1u);
   EXPECT_TRUE(r.ok()) << (r.mismatches.empty() ? ""
                                                : r.mismatches.front().detail);
 }
@@ -245,7 +256,8 @@ TEST(CheckNames, ToStringAndParseRoundTrip) {
   for (Contract c :
        {Contract::kDeterminism, Contract::kRoundTrip, Contract::kHierarchy,
         Contract::kParallelSweep, Contract::kSparseVsDense, Contract::kBypass,
-        Contract::kJacobianReuse, Contract::kBypassAndReuse}) {
+        Contract::kJacobianReuse, Contract::kBypassAndReuse,
+        Contract::kAnalyze}) {
     EXPECT_EQ(check::parse_contract(check::to_string(c)), c);
   }
   for (Analysis a :

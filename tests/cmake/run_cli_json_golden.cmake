@@ -1,0 +1,31 @@
+# Runs a CLI with an argument list from inside WORKDIR and asserts both
+# its exit code and that stdout matches a golden file byte-for-byte.
+# Pins the machine-readable findings schema: a formatting or key-name
+# change that would break downstream JSON consumers fails this test
+# instead of their parsers.
+#
+# The CLI runs with the fixture directory as its working directory and
+# is handed a bare file name, so the "input" field in the golden file
+# stays path-independent.
+#
+# Usage:
+#   cmake -DCMD=<exe> "-DARGS=--analyze;--json;deck.sp" -DWORKDIR=<dir>
+#         -DGOLDEN=<file> -DEXPECTED=<code> -P run_cli_json_golden.cmake
+execute_process(
+  COMMAND "${CMD}" ${ARGS}
+  WORKING_DIRECTORY "${WORKDIR}"
+  RESULT_VARIABLE actual
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT actual EQUAL "${EXPECTED}")
+  string(REPLACE ";" " " pretty_args "${ARGS}")
+  message(FATAL_ERROR
+    "${CMD} ${pretty_args}: expected exit code ${EXPECTED}, got ${actual}\n"
+    "stdout:\n${out}\nstderr:\n${err}")
+endif()
+file(READ "${GOLDEN}" want)
+if(NOT out STREQUAL want)
+  message(FATAL_ERROR
+    "stdout does not match golden file ${GOLDEN}\n"
+    "--- got ---\n${out}\n--- want ---\n${want}")
+endif()

@@ -1,0 +1,9 @@
+* analyze fixture: resistive divider, nothing for the analyzer to say.
+* Intervals: v(in) pinned to [1,1] by V1, v(mid) relaxes to the hull
+* [0,1] of its neighbors; one conductance decade, no reachability or
+* stiffness findings.  Expected: nemsim-lint --analyze exits 0.
+V1 in 0 DC 1.0
+R1 in mid 1k
+R2 mid 0 2k
+.op
+.end

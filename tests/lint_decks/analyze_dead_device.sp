@@ -1,0 +1,14 @@
+* analyze fixture: a source-free island hanging off ground.
+* R3/R4 form a connected component with no voltage or current source in
+* it: structurally solvable (lint is silent — every node has two
+* connections and a DC path to ground), but nothing can ever drive it,
+* so it burns matrix rows for nothing.  Expected: plain lint exits 0;
+* --analyze adds a "dead-subcircuit" warning per island device (R3 and
+* R4) and exits 1.
+V1 in 0 DC 1.0
+R1 in mid 1k
+R2 mid 0 2k
+R3 island 0 1k
+R4 island 0 2k
+.op
+.end

@@ -1,0 +1,10 @@
+* analyze fixture: conductances thirteen decades apart in one matrix.
+* R1 = 10 mohm (100 S) and R2 = 100 Gohm (1e-11 S) are both inside the
+* lint plausibility range, but their 1e13 spread exceeds the 1e9
+* conditioning threshold: LU pivots mixing the two scales lose ~13
+* digits.  Expected: "conductance-scale-spread" warning, exit 1.
+V1 in 0 DC 1.0
+R1 in mid 0.01
+R2 mid 0 100G
+.op
+.end

@@ -1,0 +1,13 @@
+* analyze fixture: NEMFET biased inside the hysteresis window.
+* |vgf| is pinned at 0.25 V: above the 1.1 * V_PO hold ceiling
+* (~0.14 V) but below the 0.9 * V_PI pull-in floor (~0.41 V).  Neither
+* branch can switch from here, so whichever state the beam holds is
+* latched — that is how a NEMS keeper is *supposed* to be biased, and
+* the "nemfet-hysteresis-latched" hint says so.  Because netlist-built
+* beams start open, the bias also provably never reaches pull-in, so
+* the "nemfet-never-actuates" warning rides along and the exit code is
+* 1, not 0.  Expected: nemsim-lint --analyze exits 1.
+VG g 0 DC 0.25
+X1 0 g 0 NEMFET_N W=1e-6
+.op
+.end

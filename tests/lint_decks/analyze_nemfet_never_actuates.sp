@@ -1,0 +1,10 @@
+* analyze fixture: NEMFET whose gate drive can never reach pull-in.
+* The gate is biased at 0.2 V while every other terminal interval sits
+* at 0 V, so |vgf| <= 0.2 V < 0.9 * V_PI (~0.41 V): the beam provably
+* stays up and the channel never turns on.  Expected: the
+* "nemfet-never-actuates" warning, nemsim-lint --analyze exits 1.
+VG g 0 DC 0.2
+RD d 0 10k
+X1 d g 0 NEMFET_N W=1e-6
+.op
+.end

@@ -1,0 +1,9 @@
+* analyze fixture: NEMFET held above pull-in on every reachable bias.
+* Both |vgd| and |vgs| are pinned at 0.8 V > 1.1 * V_PI (~0.50 V), so
+* once (and here: as soon as) the beam closes it can never release —
+* the hysteresis loop is unreachable from this bias.  Expected: the
+* "nemfet-never-releases" warning, nemsim-lint --analyze exits 1.
+VG g 0 DC 0.8
+X1 0 g 0 NEMFET_N W=1e-6
+.op
+.end

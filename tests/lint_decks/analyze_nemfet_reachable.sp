@@ -1,0 +1,10 @@
+* analyze fixture: NEMFET common-source stage with full-rail gate drive.
+* |Vgate - Vsource| can reach 0.6 V > V_PI (~0.45 V for the default
+* card), so both operating branches are reachable and the region
+* analysis stays silent.  Expected: nemsim-lint --analyze exits 0.
+VDD vdd 0 DC 0.6
+VG g 0 DC 0.6
+RL vdd d 100k
+X1 d g 0 NEMFET_N W=1e-6
+.op
+.end

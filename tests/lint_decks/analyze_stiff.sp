@@ -1,0 +1,12 @@
+* analyze fixture: two RC poles seven decades apart.
+* tau(slow) = 1k * 1u = 1 ms, tau(fast) = 1k * 0.1p = 100 ps; the ratio
+* 1e7 exceeds the 1e6 stiffness threshold, so a transient would hold dt
+* at the fast pole while the waveform evolves on the slow one.
+* Expected: the "stiff-time-constants" warning, --analyze exits 1.
+V1 in 0 DC 1.0
+R1 in slow 1k
+C1 slow 0 1u
+R2 in fast 1k
+C2 fast 0 0.1p
+.op
+.end

@@ -39,6 +39,7 @@ int usage(const char* argv0) {
       << "    --seed N          first seed (default 1)\n"
       << "    --count N         seeds to run (default 20)\n"
       << "    --bitwise-only    only the bitwise contracts (fast smoke)\n"
+      << "    --only NAME       run a single contract (e.g. analyze)\n"
       << "    --max-stages N    generator stage ceiling (default 14)\n"
       << "    --minimize        shrink each mismatching deck\n"
       << "    --out DIR         mismatch artifact directory (default "
@@ -99,6 +100,8 @@ int main(int argc, char** argv) {
         }
       } else if (arg == "--bitwise-only") {
         opts.bitwise_only = true;
+      } else if (arg == "--only") {
+        opts.only_contract = check::parse_contract(value());
       } else if (arg == "--minimize") {
         minimize = true;
       } else if (arg == "--out") {

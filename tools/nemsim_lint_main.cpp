@@ -1,22 +1,33 @@
 // nemsim-lint: pre-simulation structural analyzer over a SPICE deck.
 //
-// Usage: nemsim-lint [--strict-names] <deck.sp | ->
+// Usage: nemsim-lint [--strict-names] [--analyze] [--json] <deck.sp | ->
 //
 // Reads the netlist, builds the circuit, runs every lint rule
 // (nemsim/spice/lint.h) and prints one line per finding plus a totals
-// line.  The exit code is the worst severity, so the tool slots into CI
-// and Makefiles directly:
+// line.  With --analyze it additionally runs the semantic static
+// analyzer (nemsim/spice/analyze.h): DC interval analysis, NEMFET
+// operating-region reachability, stiffness/conditioning prediction and
+// dead-device detection, all without solving anything.  The exit code
+// is the worst severity across every finding, so the tool slots into
+// CI and Makefiles directly:
 //   0  clean (hints allowed; suppress even those from the code with
 //      --strict-names to make hints count like warnings)
 //   1  warnings
 //   2  errors (the circuit is structurally unsolvable)
 //   3  usage / IO / parse failure
+//
+// --json replaces the human-readable listing with one JSON object on
+// stdout using the same findings schema RunReport::write_json emits
+// ({"severity","rule","subject","message"}), so CI can consume either
+// source with one parser.  The exit code is unchanged by --json.
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 
+#include "nemsim/spice/analyze.h"
 #include "nemsim/spice/circuit.h"
+#include "nemsim/spice/diagnostics.h"
 #include "nemsim/spice/lint.h"
 #include "nemsim/tech/netlist_parser.h"
 #include "nemsim/util/error.h"
@@ -25,10 +36,14 @@
 namespace {
 
 int usage(const char* argv0) {
-  std::cerr << "usage: " << argv0 << " [--strict-names] <deck.sp | ->\n"
+  std::cerr << "usage: " << argv0
+            << " [--strict-names] [--analyze] [--json] <deck.sp | ->\n"
             << "  lints a SPICE netlist without simulating it\n"
             << "  exit codes: 0 clean, 1 warnings, 2 errors, 3 parse/IO\n"
-            << "  --strict-names: name-convention hints count as warnings\n";
+            << "  --strict-names: name-convention hints count as warnings\n"
+            << "  --analyze: also run the semantic static analyzer\n"
+            << "             (intervals, regions, stiffness, dead devices)\n"
+            << "  --json: machine-readable findings on stdout\n";
   return 3;
 }
 
@@ -39,11 +54,17 @@ int main(int argc, char** argv) {
   using nemsim::lint::LintSeverity;
 
   bool strict_names = false;
+  bool analyze = false;
+  bool json = false;
   std::string input;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--strict-names") {
       strict_names = true;
+    } else if (arg == "--analyze") {
+      analyze = true;
+    } else if (arg == "--json") {
+      json = true;
     } else if (arg == "-h" || arg == "--help") {
       return usage(argv[0]);
     } else if (input.empty()) {
@@ -76,18 +97,45 @@ int main(int argc, char** argv) {
   }
 
   LintReport report;
+  LintReport analysis;
   try {
     nemsim::spice::Circuit circuit = nemsim::tech::parse_netlist(text);
     report = nemsim::lint::lint_circuit(circuit);
+    // Semantic analysis assumes a structurally well-posed circuit (the
+    // interval fixpoint needs sources to anchor against); on lint errors
+    // its verdicts would only restate the structural problem, so skip it.
+    if (analyze && !report.has_errors()) {
+      analysis = nemsim::analyze::analyze_circuit(circuit).findings;
+    }
   } catch (const nemsim::Error& e) {
     std::cerr << "nemsim-lint: " << e.what() << "\n";
     return 3;
   }
 
-  std::cout << report.summary() << "\n";
+  if (json) {
+    // Key names match RunReport::write_json so fixtures and CI share one
+    // schema regardless of which tool produced the report.
+    std::string shown = input == "-" ? "<stdin>" : input;
+    for (std::size_t p = 0; (p = shown.find_first_of("\\\"", p)) !=
+                            std::string::npos; p += 2) {
+      shown.insert(p, 1, '\\');
+    }
+    std::cout << "{\n  \"input\": \"" << shown
+              << "\",\n  \"errors\": " << (report.errors + analysis.errors)
+              << ",\n  \"warnings\": " << (report.warnings + analysis.warnings)
+              << ",\n  \"hints\": " << (report.hints + analysis.hints)
+              << ",\n  \"lint_findings\": ";
+    nemsim::spice::write_findings_json(std::cout, report.findings);
+    std::cout << ",\n  \"analyze_findings\": ";
+    nemsim::spice::write_findings_json(std::cout, analysis.findings);
+    std::cout << "\n}\n";
+  } else {
+    std::cout << report.summary() << "\n";
+    if (analyze) std::cout << analysis.summary() << "\n";
+  }
 
-  if (report.errors > 0) return 2;
-  if (report.warnings > 0) return 1;
-  if (strict_names && report.hints > 0) return 1;
+  if (report.errors > 0 || analysis.errors > 0) return 2;
+  if (report.warnings > 0 || analysis.warnings > 0) return 1;
+  if (strict_names && (report.hints > 0 || analysis.hints > 0)) return 1;
   return 0;
 }
