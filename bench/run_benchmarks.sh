@@ -77,3 +77,14 @@ for fig in fig10_fanout_sweep fig11_fanin_sweep fig15_sram_latency_leakage; do
     echo "skip: $fig_bin not built" >&2
   fi
 done
+
+# Batched Monte-Carlo benchmark: compile-once parameter-bank overlays vs
+# rebuild-per-trial on the Figure 14 hybrid butterfly (64 trials).  The
+# binary exits nonzero if the batched samples are not bitwise identical
+# to the rebuild arm, so a contract break also fails the bench run.
+mc_bin="$build_dir/bench/mc_batch_butterfly"
+if [[ -x "$mc_bin" ]]; then
+  "$mc_bin" "$repo_root/BENCH_mc_batch.json"
+else
+  echo "skip: $mc_bin not built" >&2
+fi

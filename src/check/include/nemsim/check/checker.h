@@ -11,6 +11,11 @@
 //      kHierarchy      flat twin vs subcircuit-wrapped twin (names
 //                      normalized by stripping the instance prefix)
 //      kParallelSweep  dc_sweep_parallel with 1 thread vs N threads
+//      kCompiled       compile/execute split: a CompiledCircuit's first
+//                      run vs the legacy driver, its second run vs the
+//                      first (per-run state ownership), and a parameter
+//                      bank overlay vs a rebuilt circuit with the same
+//                      values written through device setters
 //  - reltol: two legs must agree to a tolerance because they perform
 //    different arithmetic on the way to the same converged solution.
 //      kSparseVsDense  JacobianSolver::kDense vs kSparse
@@ -52,6 +57,7 @@ enum class Contract {
   kJacobianReuse,
   kBypassAndReuse,
   kAnalyze,
+  kCompiled,
 };
 
 const char* to_string(Analysis a);

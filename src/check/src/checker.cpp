@@ -6,8 +6,11 @@
 #include <sstream>
 #include <utility>
 
+#include "nemsim/devices/mosfet.h"
+#include "nemsim/devices/nemfet.h"
 #include "nemsim/devices/sources.h"
 #include "nemsim/spice/analyze.h"
+#include "nemsim/spice/compile.h"
 #include "nemsim/spice/dcsweep.h"
 #include "nemsim/spice/engine.h"
 #include "nemsim/spice/netlist_export.h"
@@ -38,6 +41,7 @@ const char* to_string(Contract c) {
     case Contract::kJacobianReuse: return "jacobian-reuse";
     case Contract::kBypassAndReuse: return "bypass-and-reuse";
     case Contract::kAnalyze: return "analyze";
+    case Contract::kCompiled: return "compiled";
   }
   return "?";
 }
@@ -48,6 +52,7 @@ bool contract_is_bitwise(Contract c) {
     case Contract::kRoundTrip:
     case Contract::kHierarchy:
     case Contract::kParallelSweep:
+    case Contract::kCompiled:
       return true;
     default:
       return false;
@@ -67,7 +72,7 @@ Contract parse_contract(const std::string& s) {
        {Contract::kDeterminism, Contract::kRoundTrip, Contract::kHierarchy,
         Contract::kParallelSweep, Contract::kSparseVsDense, Contract::kBypass,
         Contract::kJacobianReuse, Contract::kBypassAndReuse,
-        Contract::kAnalyze}) {
+        Contract::kAnalyze, Contract::kCompiled}) {
     if (s == to_string(c)) return c;
   }
   throw InvalidArgument("unknown contract '" + s + "'");
@@ -213,6 +218,175 @@ class Runner {
         pts, o, threads);
   }
 
+  spice::CompiledCircuit make_compiled() const {
+    spice::CompileOptions co;
+    co.newton = newton_for(kBaseline, opts_);
+    co.lint = lint::LintMode::kOff;
+    return spice::compile(make_flat_(), co);
+  }
+
+  /// Deterministic small per-device threshold shifts; the overlay leg
+  /// applies them through the bank, the rebuilt leg through the device
+  /// setters — both write the same doubles to the same slots.
+  static std::vector<double> compiled_shift_values(std::size_t count) {
+    std::vector<double> shifts(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      shifts[i] = 1e-3 * static_cast<double>(1 + (i % 8));
+    }
+    return shifts;
+  }
+
+  static spice::ParamPatch compiled_overlay(const spice::Circuit& ckt) {
+    std::vector<spice::ParamSlot> slots;
+    ckt.for_each<devices::Mosfet>([&](const devices::Mosfet& m) {
+      slots.push_back(m.vth_shift_slot());
+    });
+    ckt.for_each<devices::Nemfet>([&](const devices::Nemfet& x) {
+      slots.push_back(x.vth_shift_slot());
+    });
+    const std::vector<double> shifts = compiled_shift_values(slots.size());
+    spice::ParamPatch patch;
+    patch.reserve(slots.size());
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      patch.push_back({slots[i], shifts[i]});
+    }
+    return patch;
+  }
+
+  static void apply_compiled_shifts(spice::Circuit& ckt) {
+    std::size_t count = 0;
+    ckt.for_each<devices::Mosfet>([&](const devices::Mosfet&) { ++count; });
+    ckt.for_each<devices::Nemfet>([&](const devices::Nemfet&) { ++count; });
+    const std::vector<double> shifts = compiled_shift_values(count);
+    std::size_t i = 0;
+    ckt.for_each<devices::Mosfet>(
+        [&](devices::Mosfet& m) { m.set_vth_shift(shifts[i++]); });
+    ckt.for_each<devices::Nemfet>(
+        [&](devices::Nemfet& x) { x.set_vth_shift(shifts[i++]); });
+  }
+
+  static std::vector<NamedValue> op_values(const spice::MnaSystem& system,
+                                           const spice::OpResult& r) {
+    std::vector<NamedValue> out;
+    out.reserve(system.num_unknowns());
+    for (std::size_t i = 0; i < system.num_unknowns(); ++i) {
+      out.push_back({system.unknown_info(i).name, r.raw()[i]});
+    }
+    return out;
+  }
+
+  /// Prefixes the leg name onto a failed comparison's detail, and folds
+  /// the row counts of passing ones into `total`.
+  static std::optional<CompareResult> fold_leg(CompareResult& total,
+                                               CompareResult leg,
+                                               const char* name) {
+    if (!leg.ok) {
+      leg.detail = std::string(name) + ": " + leg.detail;
+      return leg;
+    }
+    total.compared += leg.compared;
+    return std::nullopt;
+  }
+
+  std::optional<CompareResult> run_op_compiled() {
+    spice::CompiledCircuit compiled = make_compiled();
+    CompareResult total;
+    const std::vector<NamedValue> first =
+        op_values(compiled.system(), compiled.run_op());
+    if (auto bad = fold_leg(total,
+                            compare_values(base_op(), first, bitwise_tol()),
+                            "compiled vs legacy")) {
+      return bad;
+    }
+    const std::vector<NamedValue> second =
+        op_values(compiled.system(), compiled.run_op());
+    if (auto bad = fold_leg(total,
+                            compare_values(first, second, bitwise_tol()),
+                            "compiled re-run")) {
+      return bad;
+    }
+    compiled.set_overlay(compiled_overlay(compiled.circuit()));
+    const std::vector<NamedValue> overlaid =
+        op_values(compiled.system(), compiled.run_op());
+    spice::Circuit rebuilt = make_flat_();
+    apply_compiled_shifts(rebuilt);
+    if (auto bad = fold_leg(
+            total,
+            compare_values(solve_op(rebuilt, kBaseline), overlaid,
+                           bitwise_tol()),
+            "overlay vs rebuilt")) {
+      return bad;
+    }
+    return total;
+  }
+
+  std::optional<CompareResult> run_tran_compiled() {
+    spice::CompiledCircuit compiled = make_compiled();
+    spice::TransientOptions o;
+    o.tstop = tstop_;
+    CompareResult total;
+    const Waveform first = compiled.run_transient(o);
+    if (auto bad = fold_leg(total,
+                            compare_waveforms(base_tran(), first,
+                                              bitwise_tol()),
+                            "compiled vs legacy")) {
+      return bad;
+    }
+    const Waveform second = compiled.run_transient(o);
+    if (auto bad = fold_leg(total,
+                            compare_waveforms(first, second, bitwise_tol()),
+                            "compiled re-run")) {
+      return bad;
+    }
+    compiled.set_overlay(compiled_overlay(compiled.circuit()));
+    const Waveform overlaid = compiled.run_transient(o);
+    spice::Circuit rebuilt = make_flat_();
+    apply_compiled_shifts(rebuilt);
+    if (auto bad = fold_leg(
+            total,
+            compare_waveforms(solve_tran(rebuilt, kBaseline), overlaid,
+                              bitwise_tol()),
+            "overlay vs rebuilt")) {
+      return bad;
+    }
+    return total;
+  }
+
+  std::optional<CompareResult> run_sweep_compiled() {
+    spice::CompiledCircuit compiled = make_compiled();
+    const std::vector<double> pts = sweep_points();
+    auto& vin = compiled.circuit().find<devices::VoltageSource>("Vin");
+    auto sweep_once = [&] {
+      return compiled.run_dc_sweep([&](double v) { vin.set_dc(v); }, pts);
+    };
+    CompareResult total;
+    const Waveform first = sweep_once();
+    if (auto bad = fold_leg(total,
+                            compare_waveforms(base_sweep(), first,
+                                              bitwise_tol()),
+                            "compiled vs legacy")) {
+      return bad;
+    }
+    const Waveform second = sweep_once();
+    if (auto bad = fold_leg(total,
+                            compare_waveforms(first, second, bitwise_tol()),
+                            "compiled re-run")) {
+      return bad;
+    }
+    compiled.set_overlay(compiled_overlay(compiled.circuit()));
+    const Waveform overlaid = sweep_once();
+    spice::Circuit rebuilt = make_flat_();
+    apply_compiled_shifts(rebuilt);
+    if (auto bad = fold_leg(
+            total,
+            compare_waveforms(solve_sweep(rebuilt, kBaseline), overlaid,
+                              bitwise_tol()),
+            "overlay vs rebuilt")) {
+      return bad;
+    }
+    return total;
+  }
+
   const std::vector<NamedValue>& base_op() {
     if (!base_op_) {
       spice::Circuit ckt = make_flat_();
@@ -275,6 +449,8 @@ class Runner {
                           op_tol());
       case Contract::kAnalyze:
         return run_op_analyze();
+      case Contract::kCompiled:
+        return run_op_compiled();
       case Contract::kParallelSweep:
       case Contract::kBypassAndReuse:
         return std::nullopt;
@@ -360,6 +536,8 @@ class Runner {
       case Contract::kBypassAndReuse:
         return tran_variant({spice::JacobianSolver::kDense, true, true},
                             tran_tol());
+      case Contract::kCompiled:
+        return run_tran_compiled();
       case Contract::kParallelSweep:
       case Contract::kAnalyze:  // DC-interval contract: OP only
         return std::nullopt;
@@ -387,6 +565,8 @@ class Runner {
             solve_sweep(ckt, {spice::JacobianSolver::kSparse, false, false}),
             op_tol());
       }
+      case Contract::kCompiled:
+        return run_sweep_compiled();
       default:
         return std::nullopt;
     }
@@ -409,7 +589,7 @@ constexpr Contract kAllContracts[] = {
     Contract::kHierarchy,     Contract::kParallelSweep,
     Contract::kSparseVsDense, Contract::kBypass,
     Contract::kJacobianReuse, Contract::kBypassAndReuse,
-    Contract::kAnalyze,
+    Contract::kAnalyze,       Contract::kCompiled,
 };
 constexpr Analysis kAllAnalyses[] = {Analysis::kOp, Analysis::kTransient,
                                      Analysis::kDcSweep};

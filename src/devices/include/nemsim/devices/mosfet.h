@@ -9,6 +9,7 @@
 #include "nemsim/devices/companion.h"
 #include "nemsim/spice/device.h"
 #include "nemsim/spice/engine.h"
+#include "nemsim/spice/parambank.h"
 
 namespace nemsim::devices {
 
@@ -37,20 +38,27 @@ class Mosfet : public spice::Device {
 
   MosPolarity polarity() const { return polarity_; }
   const MosParams& params() const { return params_; }
-  double width() const { return w_; }
+  double width() const { return w_.get(); }
   double length() const { return l_; }
 
   /// Resizes the device (keeper sweeps); updates capacitances.
   void set_width(double width);
 
   /// Monte-Carlo threshold shift, added to the threshold magnitude.
-  void set_vth_shift(double dv) { vth_shift_ = dv; }
-  double vth_shift() const { return vth_shift_; }
+  void set_vth_shift(double dv) { vth_shift_.set(dv); }
+  double vth_shift() const { return vth_shift_.get(); }
+
+  /// Bank slots of the tunable scalars ("mos.vth_shift" / "mos.w");
+  /// invalid until the device is added to a Circuit.
+  spice::ParamSlot vth_shift_slot() const { return vth_shift_.slot(); }
+  spice::ParamSlot width_slot() const { return w_.slot(); }
 
   /// Model evaluation in canonical polarity (vgs/vds as magnitudes, i.e.
   /// for PMOS pass |vgs|, |vds|).  Exposed for calibration and tests.
   double drain_current(double vgs, double vds) const;
 
+  void bind_params(spice::ParamBank& bank) override;
+  void on_params_changed() override { refresh_capacitances(); }
   void stamp(spice::StampContext& ctx) const override;
   bool bypass_signature(std::vector<double>& out) const override;
   void accept_step(const spice::AcceptContext& ctx) override;
@@ -75,8 +83,9 @@ class Mosfet : public spice::Device {
   spice::NodeId d_, g_, s_;
   MosPolarity polarity_;
   MosParams params_;
-  double w_, l_;
-  double vth_shift_ = 0.0;
+  spice::BankedParam w_;
+  double l_;
+  spice::BankedParam vth_shift_{0.0};
 
   CapCompanion cgs_, cgd_, cdb_, csb_;
 };

@@ -16,6 +16,7 @@
 #include "nemsim/devices/companion.h"
 #include "nemsim/spice/device.h"
 #include "nemsim/spice/engine.h"
+#include "nemsim/spice/parambank.h"
 
 namespace nemsim::devices {
 
@@ -76,12 +77,17 @@ class Nemfet : public spice::Device {
 
   NemsPolarity polarity() const { return polarity_; }
   const NemsParams& params() const { return params_; }
-  double width() const { return w_; }
+  double width() const { return w_.get(); }
   void set_width(double width);
 
   /// Monte-Carlo threshold shift on the channel threshold magnitude.
-  void set_vth_shift(double dv) { vth_shift_ = dv; }
-  double vth_shift() const { return vth_shift_; }
+  void set_vth_shift(double dv) { vth_shift_.set(dv); }
+  double vth_shift() const { return vth_shift_.get(); }
+
+  /// Bank slots of the tunable scalars ("nems.vth_shift" / "nems.w");
+  /// invalid until the device is added to a Circuit.
+  spice::ParamSlot vth_shift_slot() const { return vth_shift_.slot(); }
+  spice::ParamSlot width_slot() const { return w_.slot(); }
 
   /// Initial beam displacement used as the Newton cold-start guess
   /// (0 = fully up; params.gap0 = in contact).  Must be called before the
@@ -113,6 +119,9 @@ class Nemfet : public spice::Device {
   /// Gate-stack capacitance at beam position x (excludes overlaps).
   double gate_capacitance(double x) const;
 
+  void bind_params(spice::ParamBank& bank) override;
+  /// Width drives the companion capacitances; resize them from the bank.
+  void on_params_changed() override;
   void setup(spice::SetupContext& ctx) override;
   void stamp(spice::StampContext& ctx) const override;
   bool bypass_signature(std::vector<double>& out) const override;
@@ -135,7 +144,7 @@ class Nemfet : public spice::Device {
 
  private:
   /// Width scale factor for mechanical quantities.
-  double sw() const { return w_ / params_.w_ref; }
+  double sw() const { return w_.get() / params_.w_ref; }
 
   struct ChannelEval {
     double id, gm, gds, did_dx;
@@ -159,8 +168,8 @@ class Nemfet : public spice::Device {
   spice::NodeId d_, g_, s_;
   NemsPolarity polarity_;
   NemsParams params_;
-  double w_;
-  double vth_shift_ = 0.0;
+  spice::BankedParam w_;
+  spice::BankedParam vth_shift_{0.0};
   double initial_position_ = 0.0;
 
   spice::UnknownId ux_, uv_;

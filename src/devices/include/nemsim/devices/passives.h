@@ -4,6 +4,7 @@
 #include "nemsim/devices/companion.h"
 #include "nemsim/spice/device.h"
 #include "nemsim/spice/engine.h"
+#include "nemsim/spice/parambank.h"
 
 namespace nemsim::devices {
 
@@ -13,9 +14,12 @@ class Resistor : public spice::Device {
   Resistor(std::string name, spice::NodeId p, spice::NodeId n,
            double resistance);
 
-  double resistance() const { return r_; }
+  double resistance() const { return r_.get(); }
   void set_resistance(double r);
+  /// Bank slot ("r.resistance"); invalid until added to a Circuit.
+  spice::ParamSlot resistance_slot() const { return r_.slot(); }
 
+  void bind_params(spice::ParamBank& bank) override;
   void stamp(spice::StampContext& ctx) const override;
   void stamp_ac(spice::AcStampContext& ctx) const override;
   bool has_ac_model() const override { return true; }
@@ -31,7 +35,7 @@ class Resistor : public spice::Device {
 
  private:
   spice::NodeId p_, n_;
-  double r_;
+  spice::BankedParam r_;
 };
 
 /// Ideal linear capacitor; open in DC, trapezoidal companion in transient.
@@ -41,8 +45,18 @@ class Capacitor : public spice::Device {
             double capacitance);
 
   double capacitance() const { return companion_.capacitance(); }
-  void set_capacitance(double c) { companion_.set_capacitance(c); }
+  void set_capacitance(double c) {
+    c_.set(c);
+    companion_.set_capacitance(c);
+  }
+  /// Bank slot ("c.capacitance"); invalid until added to a Circuit.
+  spice::ParamSlot capacitance_slot() const { return c_.slot(); }
 
+  void bind_params(spice::ParamBank& bank) override;
+  /// The companion model mirrors the banked capacitance; resync it.
+  void on_params_changed() override {
+    companion_.set_capacitance(c_.get());
+  }
   void stamp(spice::StampContext& ctx) const override;
   bool is_linear() const override { return true; }
   void accept_step(const spice::AcceptContext& ctx) override;
@@ -65,6 +79,8 @@ class Capacitor : public spice::Device {
 
  private:
   spice::NodeId p_, n_;
+  /// Authoritative value; companion_ holds a mirror used by the stamps.
+  spice::BankedParam c_;
   CapCompanion companion_;
 };
 

@@ -6,6 +6,7 @@
 
 #include "nemsim/spice/device.h"
 #include "nemsim/spice/engine.h"
+#include "nemsim/spice/parambank.h"
 
 namespace nemsim::devices {
 
@@ -29,6 +30,12 @@ class SourceWave {
 
   /// Value at time `t`.
   double value(double t) const;
+
+  /// True for waveforms built with dc(); those mirror into the parameter
+  /// bank so sweeps can retune the level without replacing the waveform.
+  bool is_dc() const { return kind_ == Kind::kDc; }
+  /// The constant level of a DC waveform (meaningless otherwise).
+  double dc_value() const { return v1_; }
 
   /// Time points where the derivative is discontinuous, within (0, tstop].
   void breakpoints(double tstop, std::vector<double>& out) const;
@@ -68,9 +75,23 @@ class VoltageSource : public spice::Device {
                 SourceWave wave);
 
   /// Replaces the waveform (used by DC sweeps via set_dc).
-  void set_wave(SourceWave wave) { wave_ = std::move(wave); }
-  void set_dc(double value) { wave_ = SourceWave::dc(value); }
+  void set_wave(SourceWave wave) {
+    wave_ = std::move(wave);
+    if (wave_.is_dc()) dc_level_.set(wave_.dc_value());
+  }
+  void set_dc(double value) {
+    wave_ = SourceWave::dc(value);
+    dc_level_.set(value);
+  }
   double value(double t) const { return wave_.value(t); }
+  /// Bank slot ("v.dc"); tracks the level only while the wave is DC.
+  spice::ParamSlot dc_slot() const { return dc_level_.slot(); }
+
+  void bind_params(spice::ParamBank& bank) override;
+  /// A bank write retunes a DC level; shaped waveforms are untouched.
+  void on_params_changed() override {
+    if (wave_.is_dc()) wave_ = SourceWave::dc(dc_level_.get());
+  }
 
   /// Branch unknown: i(name), the current from p to n through the source.
   spice::UnknownId branch() const { return branch_; }
@@ -98,6 +119,7 @@ class VoltageSource : public spice::Device {
  private:
   spice::NodeId p_, n_;
   SourceWave wave_;
+  spice::BankedParam dc_level_{0.0};
   spice::UnknownId branch_;
   double ac_magnitude_ = 0.0;
   double ac_phase_deg_ = 0.0;
@@ -110,8 +132,21 @@ class CurrentSource : public spice::Device {
   CurrentSource(std::string name, spice::NodeId p, spice::NodeId n,
                 SourceWave wave);
 
-  void set_wave(SourceWave wave) { wave_ = std::move(wave); }
-  void set_dc(double value) { wave_ = SourceWave::dc(value); }
+  void set_wave(SourceWave wave) {
+    wave_ = std::move(wave);
+    if (wave_.is_dc()) dc_level_.set(wave_.dc_value());
+  }
+  void set_dc(double value) {
+    wave_ = SourceWave::dc(value);
+    dc_level_.set(value);
+  }
+  /// Bank slot ("i.dc"); tracks the level only while the wave is DC.
+  spice::ParamSlot dc_slot() const { return dc_level_.slot(); }
+
+  void bind_params(spice::ParamBank& bank) override;
+  void on_params_changed() override {
+    if (wave_.is_dc()) wave_ = SourceWave::dc(dc_level_.get());
+  }
 
   /// AC excitation phasor (amperes / degrees); zero by default.
   void set_ac(double magnitude, double phase_deg = 0.0) {
@@ -138,6 +173,7 @@ class CurrentSource : public spice::Device {
  private:
   spice::NodeId p_, n_;
   SourceWave wave_;
+  spice::BankedParam dc_level_{0.0};
   double ac_magnitude_ = 0.0;
   double ac_phase_deg_ = 0.0;
 };

@@ -22,27 +22,32 @@ Mosfet::Mosfet(std::string name, spice::NodeId drain, spice::NodeId gate,
   refresh_capacitances();
 }
 
+void Mosfet::bind_params(spice::ParamBank& bank) {
+  vth_shift_.bind(bank, "mos.vth_shift", name());
+  w_.bind(bank, "mos.w", name());
+}
+
 void Mosfet::set_width(double width) {
   require(width > 0.0, "Mosfet: W must be positive");
-  w_ = width;
+  w_.set(width);
   refresh_capacitances();
 }
 
 void Mosfet::refresh_capacitances() {
-  const double cgate_half = 0.5 * params_.cox_area * w_ * l_;
-  cgs_.set_capacitance(cgate_half + params_.cov * w_);
-  cgd_.set_capacitance(cgate_half + params_.cov * w_);
-  cdb_.set_capacitance(params_.cj * w_);
-  csb_.set_capacitance(params_.cj * w_);
+  const double cgate_half = 0.5 * params_.cox_area * w_.get() * l_;
+  cgs_.set_capacitance(cgate_half + params_.cov * w_.get());
+  cgd_.set_capacitance(cgate_half + params_.cov * w_.get());
+  cdb_.set_capacitance(params_.cj * w_.get());
+  csb_.set_capacitance(params_.cj * w_.get());
 }
 
 double Mosfet::drain_current(double vgs, double vds) const {
   ekv::ChannelBias bias;
   ekv::ChannelParams cp;
-  cp.vth = params_.vth0 + vth_shift_;
+  cp.vth = params_.vth0 + vth_shift_.get();
   cp.n = params_.n;
   cp.kp = params_.kp;
-  cp.w_over_l = w_ / l_;
+  cp.w_over_l = w_.get() / l_;
   cp.lambda = params_.lambda;
   cp.eta = params_.eta_dibl;
   cp.vt = phys::thermal_voltage(params_.temp);
@@ -58,7 +63,7 @@ double Mosfet::drain_current(double vgs, double vds) const {
     bias.vds = vds;
   }
   const ekv::ChannelResult r = ekv::evaluate(bias, cp);
-  return sign * (r.id + params_.goff * w_ * bias.vds);
+  return sign * (r.id + params_.goff * w_.get() * bias.vds);
 }
 
 void Mosfet::stamp(spice::StampContext& ctx) const {
@@ -77,16 +82,16 @@ void Mosfet::stamp(spice::StampContext& ctx) const {
 
   ekv::ChannelBias bias{vgs, vds};
   ekv::ChannelParams cp;
-  cp.vth = params_.vth0 + vth_shift_;
+  cp.vth = params_.vth0 + vth_shift_.get();
   cp.n = params_.n;
   cp.kp = params_.kp;
-  cp.w_over_l = w_ / l_;
+  cp.w_over_l = w_.get() / l_;
   cp.lambda = params_.lambda;
   cp.eta = params_.eta_dibl;
   cp.vt = phys::thermal_voltage(params_.temp);
   const ekv::ChannelResult r = ekv::evaluate(bias, cp);
 
-  const double gfloor = params_.goff * w_;
+  const double gfloor = params_.goff * w_.get();
   const double id = r.id + gfloor * vds;
   const double gm = r.gm;
   const double gds = r.gds + gfloor;
@@ -113,8 +118,8 @@ bool Mosfet::bypass_signature(std::vector<double>& out) const {
   // Everything the stamp reads besides the iterate: instance geometry and
   // threshold shift (mutable via keeper/Monte-Carlo sweeps) plus the four
   // companion histories.
-  out.push_back(w_);
-  out.push_back(vth_shift_);
+  out.push_back(w_.get());
+  out.push_back(vth_shift_.get());
   cgs_.append_signature(out);
   cgd_.append_signature(out);
   cdb_.append_signature(out);
@@ -156,16 +161,16 @@ void Mosfet::stamp_ac(spice::AcStampContext& ctx) const {
 
   ekv::ChannelBias bias{vgs, vds};
   ekv::ChannelParams cp;
-  cp.vth = params_.vth0 + vth_shift_;
+  cp.vth = params_.vth0 + vth_shift_.get();
   cp.n = params_.n;
   cp.kp = params_.kp;
-  cp.w_over_l = w_ / l_;
+  cp.w_over_l = w_.get() / l_;
   cp.lambda = params_.lambda;
   cp.eta = params_.eta_dibl;
   cp.vt = phys::thermal_voltage(params_.temp);
   const ekv::ChannelResult r = ekv::evaluate(bias, cp);
   const double gm = r.gm;
-  const double gds = r.gds + params_.goff * w_;
+  const double gds = r.gds + params_.goff * w_.get();
 
   // Same sign-cancelled pattern as the large-signal stamp.
   ctx.add_G(nd, g_, gm);
@@ -192,7 +197,7 @@ spice::DeviceTopology Mosfet::topology() const {
   const std::size_t b = topo.add_terminal("bulk", spice::kGround);
   // Channel magnitude: representative on-state conductance ~ KP W/L.
   topo.add_edge(EdgeKind::kConductive, d, s).magnitude =
-      params_.kp * w_ / l_;
+      params_.kp * w_.get() / l_;
   topo.add_edge(EdgeKind::kCapacitive, g, d).magnitude = cgd_.capacitance();
   topo.add_edge(EdgeKind::kCapacitive, g, s).magnitude = cgs_.capacitance();
   topo.add_edge(EdgeKind::kCapacitive, d, b).magnitude = cdb_.capacitance();
@@ -219,7 +224,7 @@ void Mosfet::interval_check(const analyze::IntervalSet& nodes,
   const analyze::Interval vgs = (nodes.at(g_) - nodes.at(s_)).scaled(sign);
   const double drive_hi = std::max(vgd.hi, vgs.hi);
   const double drive_lo = std::max(vgd.lo, vgs.lo);
-  const double vth = params_.vth0 + vth_shift_;
+  const double vth = params_.vth0 + vth_shift_.get();
   // Guard band for the EKV interpolation's soft knee around threshold.
   constexpr double kMarginVolts = 0.1;
   if (std::isfinite(drive_hi) && drive_hi < vth - kMarginVolts) {
@@ -272,8 +277,8 @@ std::string Mosfet::netlist_line(
   std::ostringstream os;
   os << name() << " " << node_namer(d_) << " " << node_namer(g_) << " "
      << node_namer(s_) << " "
-     << (polarity_ == MosPolarity::kNmos ? "NMOS" : "PMOS") << " W=" << w_
-     << " L=" << l_ << " VTH0=" << params_.vth0 + vth_shift_
+     << (polarity_ == MosPolarity::kNmos ? "NMOS" : "PMOS") << " W=" << w_.get()
+     << " L=" << l_ << " VTH0=" << params_.vth0 + vth_shift_.get()
      << " KP=" << params_.kp;
   return os.str();
 }

@@ -43,20 +43,33 @@ Nemfet::Nemfet(std::string name, spice::NodeId drain, spice::NodeId gate,
               params_.damping >= 0.0,
           "Nemfet: mechanical parameters must be positive");
   cg_gap_.set_capacitance(gate_capacitance(0.0));
-  cgd_ov_.set_capacitance(params_.cov * w_);
-  cgs_ov_.set_capacitance(params_.cov * w_);
-  cdb_.set_capacitance(params_.cj * w_);
-  csb_.set_capacitance(params_.cj * w_);
+  cgd_ov_.set_capacitance(params_.cov * w_.get());
+  cgs_ov_.set_capacitance(params_.cov * w_.get());
+  cdb_.set_capacitance(params_.cj * w_.get());
+  csb_.set_capacitance(params_.cj * w_.get());
+}
+
+void Nemfet::bind_params(spice::ParamBank& bank) {
+  vth_shift_.bind(bank, "nems.vth_shift", name());
+  w_.bind(bank, "nems.w", name());
+}
+
+void Nemfet::on_params_changed() {
+  cg_gap_.set_capacitance(gate_capacitance(x_state_));
+  cgd_ov_.set_capacitance(params_.cov * w_.get());
+  cgs_ov_.set_capacitance(params_.cov * w_.get());
+  cdb_.set_capacitance(params_.cj * w_.get());
+  csb_.set_capacitance(params_.cj * w_.get());
 }
 
 void Nemfet::set_width(double width) {
   require(width > 0.0, "Nemfet: width must be positive");
-  w_ = width;
+  w_.set(width);
   cg_gap_.set_capacitance(gate_capacitance(x_state_));
-  cgd_ov_.set_capacitance(params_.cov * w_);
-  cgs_ov_.set_capacitance(params_.cov * w_);
-  cdb_.set_capacitance(params_.cj * w_);
-  csb_.set_capacitance(params_.cj * w_);
+  cgd_ov_.set_capacitance(params_.cov * w_.get());
+  cgs_ov_.set_capacitance(params_.cov * w_.get());
+  cdb_.set_capacitance(params_.cj * w_.get());
+  csb_.set_capacitance(params_.cj * w_.get());
 }
 
 double Nemfet::air_gap(double x) const {
@@ -94,18 +107,18 @@ Nemfet::ChannelEval Nemfet::eval_channel(double vgs, double vds,
 
   ekv::ChannelBias bias{vgs, vds};
   ekv::ChannelParams cp;
-  cp.vth = params_.vth_ch + vth_shift_ +
+  cp.vth = params_.vth_ch + vth_shift_.get() +
            params_.dvth_per_alpha * (alpha - 1.0);
   cp.n = params_.n_ch * alpha;
   cp.kp = params_.kp;
-  cp.w_over_l = w_ / params_.l_ch;
+  cp.w_over_l = w_.get() / params_.l_ch;
   cp.lambda = params_.lambda;
   cp.eta = params_.eta_dibl;
   cp.vt = phys::thermal_voltage(params_.temp);
   const ekv::ChannelResult r = ekv::evaluate(bias, cp);
 
   ChannelEval out;
-  const double gfloor = params_.goff * w_;
+  const double gfloor = params_.goff * w_.get();
   out.id = r.id + gfloor * vds;
   out.gm = r.gm;
   out.gds = r.gds + gfloor;
@@ -308,8 +321,8 @@ bool Nemfet::bypass_signature(std::vector<double>& out) const {
   // Beam history drives both the transient mechanics rows and the DC
   // branch memory of static_equilibrium; the cg_gap_ companion also
   // carries the position-dependent capacitance.
-  out.push_back(w_);
-  out.push_back(vth_shift_);
+  out.push_back(w_.get());
+  out.push_back(vth_shift_.get());
   out.push_back(x_state_);
   out.push_back(v_state_);
   cg_gap_.append_signature(out);
@@ -397,10 +410,10 @@ void Nemfet::stamp_ac(spice::AcStampContext& ctx) const {
   ctx.add_G(uv_, ns, dfe_dvgf * sign);
 
   // ---- Capacitances at the bias position ------------------------------
-  ctx.stamp_capacitance(g_, s_, gate_capacitance(x) + params_.cov * w_);
-  ctx.stamp_capacitance(g_, d_, params_.cov * w_);
-  ctx.stamp_capacitance(d_, spice::kGround, params_.cj * w_);
-  ctx.stamp_capacitance(s_, spice::kGround, params_.cj * w_);
+  ctx.stamp_capacitance(g_, s_, gate_capacitance(x) + params_.cov * w_.get());
+  ctx.stamp_capacitance(g_, d_, params_.cov * w_.get());
+  ctx.stamp_capacitance(d_, spice::kGround, params_.cj * w_.get());
+  ctx.stamp_capacitance(s_, spice::kGround, params_.cj * w_.get());
 }
 
 spice::DeviceTopology Nemfet::topology() const {
@@ -415,13 +428,13 @@ spice::DeviceTopology Nemfet::topology() const {
   // even with the beam up, so drain-source is a real DC path.  The
   // magnitude is the representative on-state conductance ~ KP W/L.
   topo.add_edge(EdgeKind::kConductive, d, s).magnitude =
-      params_.kp * w_ / params_.l_ch;
+      params_.kp * w_.get() / params_.l_ch;
   topo.add_edge(EdgeKind::kCapacitive, g, s).magnitude =  // stack + overlap
-      gate_capacitance(x_state_) + params_.cov * w_;
+      gate_capacitance(x_state_) + params_.cov * w_.get();
   topo.add_edge(EdgeKind::kCapacitive, g, d).magnitude =  // overlap
-      params_.cov * w_;
-  topo.add_edge(EdgeKind::kCapacitive, d, b).magnitude = params_.cj * w_;
-  topo.add_edge(EdgeKind::kCapacitive, s, b).magnitude = params_.cj * w_;
+      params_.cov * w_.get();
+  topo.add_edge(EdgeKind::kCapacitive, d, b).magnitude = params_.cj * w_.get();
+  topo.add_edge(EdgeKind::kCapacitive, s, b).magnitude = params_.cj * w_.get();
   return topo;
 }
 
@@ -548,7 +561,7 @@ std::string Nemfet::netlist_line(
   os << name() << " " << node_namer(d_) << " " << node_namer(g_) << " "
      << node_namer(s_) << " "
      << (polarity_ == NemsPolarity::kN ? "NEMFET_N" : "NEMFET_P")
-     << " W=" << w_ << " GAP0=" << params_.gap0 << " K=" << params_.spring_k
+     << " W=" << w_.get() << " GAP0=" << params_.gap0 << " K=" << params_.spring_k
      << " M=" << params_.mass << " VPI="
      << params_.analytic_pull_in_voltage();
   return os.str();

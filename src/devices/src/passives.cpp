@@ -19,17 +19,21 @@ Resistor::Resistor(std::string name, spice::NodeId p, spice::NodeId n,
 
 void Resistor::set_resistance(double r) {
   require(r > 0.0, "Resistor: resistance must be positive");
-  r_ = r;
+  r_.set(r);
+}
+
+void Resistor::bind_params(spice::ParamBank& bank) {
+  r_.bind(bank, "r.resistance", name());
 }
 
 void Resistor::stamp_ac(spice::AcStampContext& ctx) const {
-  ctx.stamp_conductance(p_, n_, 1.0 / r_);
+  ctx.stamp_conductance(p_, n_, 1.0 / r_.get());
 }
 
 std::string Resistor::netlist_line(
     const std::function<std::string(spice::NodeId)>& node_namer) const {
   return name() + " " + node_namer(p_) + " " + node_namer(n_) + " " +
-         std::to_string(r_);
+         std::to_string(r_.get());
 }
 
 spice::DeviceTopology Resistor::topology() const {
@@ -38,7 +42,7 @@ spice::DeviceTopology Resistor::topology() const {
   const std::size_t p = topo.add_terminal("p", p_);
   const std::size_t n = topo.add_terminal("n", n_);
   topo.add_edge(spice::DeviceTopology::EdgeKind::kConductive, p, n)
-      .magnitude = 1.0 / r_;
+      .magnitude = 1.0 / r_.get();
   return topo;
 }
 
@@ -53,11 +57,12 @@ void Resistor::self_check(const lint::DeviceCheckContext& ctx,
   (void)ctx;
   // Positivity is enforced at construction; what remains constructible
   // but non-physical are the extremes that wreck Jacobian conditioning.
-  if (r_ < 1e-3 || r_ > 1e12) {
+  const double r = r_.get();
+  if (r < 1e-3 || r > 1e12) {
     std::ostringstream msg;
-    msg << "resistance " << r_ << " Ohm is outside the physically "
+    msg << "resistance " << r << " Ohm is outside the physically "
         << "sensible range [1 mOhm, 1 TOhm]; expect a near-"
-        << (r_ < 1e-3 ? "short" : "open")
+        << (r < 1e-3 ? "short" : "open")
         << " and poor Jacobian conditioning";
     out.push_back({lint::LintSeverity::kWarning, "nonphysical-parameter", "",
                    msg.str()});
@@ -65,7 +70,7 @@ void Resistor::self_check(const lint::DeviceCheckContext& ctx,
 }
 
 void Resistor::stamp(spice::StampContext& ctx) const {
-  const double g = 1.0 / r_;
+  const double g = 1.0 / r_.get();
   const double i = g * (ctx.v(p_) - ctx.v(n_));
   ctx.add_f(p_, i);
   ctx.add_f(n_, -i);
@@ -79,8 +84,16 @@ void Resistor::stamp(spice::StampContext& ctx) const {
 
 Capacitor::Capacitor(std::string name, spice::NodeId p, spice::NodeId n,
                      double capacitance)
-    : Device(std::move(name)), p_(p), n_(n), companion_(capacitance) {
+    : Device(std::move(name)),
+      p_(p),
+      n_(n),
+      c_(capacitance),
+      companion_(capacitance) {
   require(capacitance >= 0.0, "Capacitor: capacitance must be non-negative");
+}
+
+void Capacitor::bind_params(spice::ParamBank& bank) {
+  c_.bind(bank, "c.capacitance", name());
 }
 
 void Capacitor::stamp_ac(spice::AcStampContext& ctx) const {

@@ -203,7 +203,13 @@ std::pair<double, double> SourceWave::value_range() const {
 
 VoltageSource::VoltageSource(std::string name, spice::NodeId p,
                              spice::NodeId n, SourceWave wave)
-    : Device(std::move(name)), p_(p), n_(n), wave_(std::move(wave)) {}
+    : Device(std::move(name)), p_(p), n_(n), wave_(std::move(wave)) {
+  if (wave_.is_dc()) dc_level_.set(wave_.dc_value());
+}
+
+void VoltageSource::bind_params(spice::ParamBank& bank) {
+  dc_level_.bind(bank, "v.dc", name());
+}
 
 void VoltageSource::setup(spice::SetupContext& ctx) {
   branch_ = ctx.add_branch_current(name());
@@ -270,7 +276,13 @@ std::string VoltageSource::netlist_line(
 
 CurrentSource::CurrentSource(std::string name, spice::NodeId p,
                              spice::NodeId n, SourceWave wave)
-    : Device(std::move(name)), p_(p), n_(n), wave_(std::move(wave)) {}
+    : Device(std::move(name)), p_(p), n_(n), wave_(std::move(wave)) {
+  if (wave_.is_dc()) dc_level_.set(wave_.dc_value());
+}
+
+void CurrentSource::bind_params(spice::ParamBank& bank) {
+  dc_level_.bind(bank, "i.dc", name());
+}
 
 void CurrentSource::stamp(spice::StampContext& ctx) const {
   const double i = wave_.value(ctx.time()) * ctx.source_factor();

@@ -11,6 +11,7 @@
 
 #include "nemsim/spice/device.h"
 #include "nemsim/spice/ids.h"
+#include "nemsim/spice/parambank.h"
 #include "nemsim/util/error.h"
 
 namespace nemsim::spice {
@@ -157,6 +158,29 @@ class Circuit {
   /// different definition already holds the name).
   void register_subckt_def(std::shared_ptr<const Subcircuit> def);
 
+  // --- Parameter bank (see nemsim/spice/parambank.h) -------------------
+
+  /// The structure-of-arrays bank holding every tunable device scalar, in
+  /// device-registration order per column.  Owned behind a stable pointer
+  /// so device-held handles survive moves of the Circuit.
+  ParamBank& param_bank() { return *param_bank_; }
+  const ParamBank& param_bank() const { return *param_bank_; }
+
+  /// Broadcasts Device::on_params_changed so devices resync any state
+  /// derived from banked parameters.  Call after writing bank values
+  /// directly (ParamBank::apply/restore); the per-device setter methods
+  /// keep derived state in sync themselves.
+  void notify_params_changed();
+
+  // --- Compile-time freeze (see nemsim/spice/compile.h) ----------------
+
+  /// Once frozen, structural mutation (adding devices or nodes,
+  /// elaborating instances) throws NetlistError: a compiled program's
+  /// device list and unknown table must stay valid.  Parameter writes
+  /// (bank overlays, setters) remain allowed.
+  void freeze_structure() { frozen_ = true; }
+  bool structure_frozen() const { return frozen_; }
+
  private:
   friend class SubcircuitScope;
 
@@ -166,6 +190,9 @@ class Circuit {
   void instantiate_impl(const Subcircuit& def, const std::string& full_name,
                         const std::vector<NodeId>& actuals,
                         const SubcktParams& overrides, std::ptrdiff_t parent);
+
+  /// Throws NetlistError when the structure is frozen.
+  void require_mutable(const char* what) const;
 
   std::vector<std::string> node_names_;
   std::unordered_map<std::string, std::size_t> node_index_;
@@ -182,6 +209,9 @@ class Circuit {
   std::vector<std::ptrdiff_t> device_owner_;
   /// Innermost instance currently elaborating (-1 outside elaboration).
   std::ptrdiff_t open_instance_ = -1;
+  /// Stable home of the parameter bank (devices hold pointers into it).
+  std::unique_ptr<ParamBank> param_bank_;
+  bool frozen_ = false;
 };
 
 }  // namespace nemsim::spice

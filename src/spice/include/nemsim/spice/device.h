@@ -20,6 +20,7 @@ class SetupContext;
 class StampContext;
 class AcceptContext;
 class AcStampContext;
+class ParamBank;
 
 /// Which analysis the stamp is being evaluated for.
 enum class AnalysisMode {
@@ -100,6 +101,21 @@ class Device {
   /// Requests extra unknowns (branch currents, internal states) and caches
   /// their ids.  Called once per analysis setup.
   virtual void setup(SetupContext& ctx) { (void)ctx; }
+
+  /// Registers the device's tunable scalar parameters in the circuit's
+  /// structure-of-arrays bank (nemsim/spice/parambank.h).  Called exactly
+  /// once, by Circuit::register_device; afterwards the registered values
+  /// live in the bank and the device reads them through its BankedParam
+  /// handles.  Free-standing devices are never bound and keep the values
+  /// inline.  The default registers nothing.
+  virtual void bind_params(ParamBank& bank) { (void)bank; }
+
+  /// Called after a bank overlay was applied or reverted
+  /// (Circuit::notify_params_changed).  Devices that cache state derived
+  /// from a banked parameter (companion capacitances sized from C or W, a
+  /// source waveform mirroring its banked DC level) resync here; devices
+  /// that read the bank directly at stamp time need nothing.
+  virtual void on_params_changed() {}
 
   /// Adds residual and Jacobian contributions at the context's iterate.
   /// Must be side-effect free with respect to device state.

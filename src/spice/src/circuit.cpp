@@ -2,14 +2,23 @@
 
 namespace nemsim::spice {
 
-Circuit::Circuit() {
+Circuit::Circuit() : param_bank_(std::make_unique<ParamBank>()) {
   node_names_.push_back("0");
   node_index_.emplace("0", 0);
   node_internal_.push_back(false);
 }
 
+void Circuit::require_mutable(const char* what) const {
+  if (frozen_) {
+    throw NetlistError(std::string(what) +
+                       ": circuit structure is frozen (a CompiledCircuit owns "
+                       "it); parameter writes are allowed, structure is not");
+  }
+}
+
 NodeId Circuit::node(const std::string& name) {
   require(!name.empty(), "Circuit::node: empty node name");
+  if (!node_index_.count(name)) require_mutable("Circuit::node");
   auto [it, inserted] = node_index_.try_emplace(name, node_names_.size());
   if (inserted) {
     node_names_.push_back(name);
@@ -59,9 +68,15 @@ void Circuit::require_unique_device_name(const std::string& name) const {
 }
 
 void Circuit::register_device(std::unique_ptr<Device> device) {
+  require_mutable("Circuit::add");
+  device->bind_params(*param_bank_);
   device_index_.emplace(device->name(), devices_.size());
   devices_.push_back(std::move(device));
   device_owner_.push_back(open_instance_);
+}
+
+void Circuit::notify_params_changed() {
+  for (auto& device : devices_) device->on_params_changed();
 }
 
 Device& Circuit::find_device(const std::string& name) {

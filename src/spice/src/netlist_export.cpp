@@ -1,6 +1,9 @@
 #include "nemsim/spice/netlist_export.h"
 
+#include <cctype>
+#include <cmath>
 #include <cstddef>
+#include <cstdlib>
 #include <functional>
 #include <map>
 #include <ostream>
@@ -9,6 +12,7 @@
 #include <vector>
 
 #include "nemsim/spice/subcircuit.h"
+#include "nemsim/util/error.h"
 
 namespace nemsim::spice {
 
@@ -74,25 +78,163 @@ void emit_scope_body(std::ostream& os, const Circuit& ckt,
   }
 }
 
-/// Renders a definition body.  Deck-defined subcircuits carry their
-/// source text verbatim (so "{KEY}" placeholders survive the round
-/// trip); builder-defined ones are expanded at default parameters into a
-/// scratch circuit and localized.
-void emit_def_body(std::ostream& os, const Subcircuit& def) {
-  if (!def.body_text().empty()) {
-    for (const std::string& line : def.body_text()) os << line << "\n";
-    return;
-  }
+/// Elaborates `def` at `overrides` (over its defaults) into a scratch
+/// circuit and returns the localized body lines.  Propagates whatever
+/// the builder throws.
+std::vector<std::string> render_body_lines(const Subcircuit& def,
+                                           const SubcktParams& overrides) {
   Circuit scratch;
   std::vector<NodeId> ports;
   ports.reserve(def.num_ports());
   for (const std::string& p : def.ports()) ports.push_back(scratch.node(p));
-  scratch.instantiate(def, "Xbody", ports);
+  scratch.instantiate(def, "Xbody", ports, overrides);
+  std::ostringstream os;
   emit_scope_body(os, scratch, /*scope_rec=*/0,
                   scratch.instances()[0].first_device,
                   scratch.instances()[0].first_device +
                       scratch.instances()[0].num_devices,
                   "Xbody.");
+  std::vector<std::string> lines;
+  std::string line;
+  std::istringstream is(os.str());
+  while (std::getline(is, line)) lines.push_back(line);
+  return lines;
+}
+
+std::vector<std::string> split_tokens(const std::string& line) {
+  std::istringstream is(line);
+  std::vector<std::string> tokens;
+  std::string tok;
+  while (is >> tok) tokens.push_back(tok);
+  return tokens;
+}
+
+std::string to_upper(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::toupper(c));
+  return s;
+}
+
+/// Splits a card token into prefix and numeric tail: "W=4e-07" ->
+/// {"W=", 4e-7}, "1000.0" -> {"", 1000.0}.  Returns false when the tail
+/// is not a complete number.
+bool split_numeric_token(const std::string& tok, std::string& prefix,
+                         double& value) {
+  const std::size_t eq = tok.find('=');
+  const std::size_t start = eq == std::string::npos ? 0 : eq + 1;
+  prefix = tok.substr(0, start);
+  const std::string tail = tok.substr(start);
+  if (tail.empty()) return false;
+  char* end = nullptr;
+  value = std::strtod(tail.c_str(), &end);
+  return end == tail.c_str() + tail.size();
+}
+
+/// Equal up to the exporter's 6-significant-digit number formatting.
+bool approx(double formatted, double exact) {
+  if (exact == 0.0) return formatted == 0.0;
+  return std::abs(formatted - exact) <=
+         1e-5 * std::max(std::abs(formatted), std::abs(exact));
+}
+
+/// Attempts a `{KEY}`-parameterized body for a builder-defined cell by
+/// two-point probing: the body is rendered at defaults and once more
+/// per parameter with that parameter perturbed; a token that tracks the
+/// parameter's value verbatim in both renders becomes its placeholder.
+/// Returns empty (caller falls back to the expanded-at-defaults body)
+/// whenever any parameter's effect is not a plain token substitution:
+/// the builder branches on it (line/token structure changes), derives
+/// other values from it, shares a token with another parameter, or
+/// rejects the perturbed value outright.
+std::vector<std::string> parameterized_body_lines(const Subcircuit& def) {
+  std::vector<std::string> base;
+  try {
+    base = render_body_lines(def, {});
+  } catch (const Error&) {
+    return {};
+  }
+  std::vector<std::vector<std::string>> tokens;
+  tokens.reserve(base.size());
+  for (const std::string& line : base) tokens.push_back(split_tokens(line));
+
+  // placeholder_key[i][j]: parameter owning token j of line i, if any.
+  std::vector<std::vector<std::string>> placeholder_key(tokens.size());
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    placeholder_key[i].resize(tokens[i].size());
+  }
+
+  for (const auto& [key, value] : def.defaults()) {
+    const double perturbed = value == 0.0 ? 1.0 : 2.0 * value;
+    std::vector<std::string> probe;
+    try {
+      probe = render_body_lines(def, {{key, perturbed}});
+    } catch (const Error&) {
+      return {};
+    }
+    if (probe.size() != base.size()) return {};
+    bool used = false;
+    for (std::size_t i = 0; i < base.size(); ++i) {
+      const std::vector<std::string> ptok = split_tokens(probe[i]);
+      if (ptok.size() != tokens[i].size()) return {};
+      for (std::size_t j = 0; j < ptok.size(); ++j) {
+        if (ptok[j] == tokens[i][j]) continue;
+        std::string base_prefix, probe_prefix;
+        double base_value = 0.0, probe_value = 0.0;
+        if (!split_numeric_token(tokens[i][j], base_prefix, base_value) ||
+            !split_numeric_token(ptok[j], probe_prefix, probe_value)) {
+          return {};
+        }
+        if (base_prefix != probe_prefix || !approx(base_value, value) ||
+            !approx(probe_value, perturbed)) {
+          return {};
+        }
+        if (!placeholder_key[i][j].empty()) return {};  // shared token
+        placeholder_key[i][j] = key;
+        used = true;
+      }
+    }
+    // A parameter the builder never reads is fine (it stays on the
+    // defaults line without a placeholder); `used` exists only to make
+    // that explicit.
+    (void)used;
+  }
+
+  std::vector<std::string> lines;
+  lines.reserve(tokens.size());
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    std::string line;
+    for (std::size_t j = 0; j < tokens[i].size(); ++j) {
+      if (j > 0) line += " ";
+      if (!placeholder_key[i][j].empty()) {
+        std::string prefix;
+        double ignored = 0.0;
+        split_numeric_token(tokens[i][j], prefix, ignored);
+        // The parser uppercases parameter keys from the defaults line,
+        // so the placeholder must be uppercase to resolve.
+        line += prefix + "{" + to_upper(placeholder_key[i][j]) + "}";
+      } else {
+        line += tokens[i][j];
+      }
+    }
+    lines.push_back(std::move(line));
+  }
+  return lines;
+}
+
+/// Renders a definition body.  Deck-defined subcircuits carry their
+/// source text verbatim (so "{KEY}" placeholders survive the round
+/// trip).  Builder-defined ones get placeholders synthesized by the
+/// two-point probe above, so non-default instance parameters survive an
+/// export -> parse round trip too; bodies the probe cannot express fall
+/// back to expansion at default parameters (the DESIGN.md 7d caveat
+/// then still applies to that definition only).
+void emit_def_body(std::ostream& os, const Subcircuit& def) {
+  if (!def.body_text().empty()) {
+    for (const std::string& line : def.body_text()) os << line << "\n";
+    return;
+  }
+  std::vector<std::string> lines = parameterized_body_lines(def);
+  if (lines.empty()) lines = render_body_lines(def, {});
+  for (const std::string& line : lines) os << line << "\n";
 }
 
 /// Orders definition names so that every definition precedes its users

@@ -1,5 +1,7 @@
 #include "nemsim/spice/transient.h"
 
+#include <optional>
+
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
@@ -135,10 +137,15 @@ Waveform transient(MnaSystem& system, const TransientOptions& options) {
   };
   record(0.0, op.raw());
 
-  std::vector<double> breakpoints = system.breakpoints(options.tstop);
+  std::vector<double> breakpoints = options.precomputed_breakpoints
+                                        ? *options.precomputed_breakpoints
+                                        : system.breakpoints(options.tstop);
   std::size_t next_bp = 0;
 
-  NewtonSolver newton(system, options.newton);
+  std::optional<NewtonSolver> local_newton;
+  if (!options.shared_solver) local_newton.emplace(system, options.newton);
+  NewtonSolver& newton =
+      options.shared_solver ? *options.shared_solver : *local_newton;
 
   // Rolling history of the last few accepted points for the predictor.
   std::vector<double> hist_t{0.0};

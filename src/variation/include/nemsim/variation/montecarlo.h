@@ -7,7 +7,9 @@
 #include <vector>
 
 #include "nemsim/spice/circuit.h"
+#include "nemsim/spice/compile.h"
 #include "nemsim/spice/diagnostics.h"
+#include "nemsim/spice/parambank.h"
 #include "nemsim/util/rng.h"
 #include "nemsim/util/stats.h"
 
@@ -21,6 +23,16 @@ void apply_vth_variation(spice::Circuit& circuit, double sigma_fraction,
 
 /// Restores all threshold shifts to zero.
 void clear_vth_variation(spice::Circuit& circuit);
+
+/// The same variation draw as apply_vth_variation, expressed as a bank
+/// overlay patch instead of device mutation.  Draws from `rng` in the
+/// identical order (all MOSFETs, then all NEMFETs, in registration
+/// order), and each entry targets the device's vth-shift bank slot —
+/// so applying the patch to a CompiledCircuit produces bitwise the same
+/// parameters as apply_vth_variation on the same circuit with the same
+/// RNG stream.
+spice::ParamPatch vth_variation_patch(const spice::Circuit& circuit,
+                                      double sigma_fraction, Rng& rng);
 
 struct MonteCarloOptions {
   std::size_t trials = 100;
@@ -82,6 +94,20 @@ MonteCarloResult monte_carlo(
 MonteCarloResult monte_carlo_parallel(
     const std::function<spice::Circuit()>& make_circuit,
     const std::function<double(spice::Circuit&)>& metric,
+    const MonteCarloOptions& options);
+
+/// Batched Monte-Carlo over one compiled circuit: compile once, then per
+/// trial install the variation draw as a bank overlay and evaluate
+/// `metric(compiled)`.  No circuit or MnaSystem is rebuilt between
+/// trials — the per-trial cost is the patch write plus the solves the
+/// metric runs.  Trials draw from the same per-trial child RNG streams
+/// as monte_carlo (seed + trial index) and samples are folded in trial
+/// order, so with a metric equivalent to the rebuild-per-trial one the
+/// result is bitwise identical to the sequential driver.  The overlay is
+/// cleared before returning.
+MonteCarloResult monte_carlo_batch(
+    spice::CompiledCircuit& compiled,
+    const std::function<double(spice::CompiledCircuit&)>& metric,
     const MonteCarloOptions& options);
 
 }  // namespace nemsim::variation

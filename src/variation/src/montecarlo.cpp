@@ -61,6 +61,23 @@ void clear_vth_variation(spice::Circuit& circuit) {
       [](devices::Nemfet& x) { x.set_vth_shift(0.0); });
 }
 
+spice::ParamPatch vth_variation_patch(const spice::Circuit& circuit,
+                                      double sigma_fraction, Rng& rng) {
+  require(sigma_fraction >= 0.0, "vth_variation_patch: sigma must be >= 0");
+  spice::ParamPatch patch;
+  // Draw order must match apply_vth_variation exactly so the same RNG
+  // stream yields the same per-device shifts.
+  circuit.for_each<devices::Mosfet>([&](const devices::Mosfet& m) {
+    const double sigma = sigma_fraction * std::abs(m.params().vth0);
+    patch.push_back({m.vth_shift_slot(), rng.normal(0.0, sigma)});
+  });
+  circuit.for_each<devices::Nemfet>([&](const devices::Nemfet& x) {
+    const double sigma = sigma_fraction * std::abs(x.params().vth_ch);
+    patch.push_back({x.vth_shift_slot(), rng.normal(0.0, sigma)});
+  });
+  return patch;
+}
+
 MonteCarloResult monte_carlo(
     spice::Circuit& circuit,
     const std::function<double(spice::Circuit&)>& metric,
@@ -101,6 +118,51 @@ MonteCarloResult monte_carlo(
   if (report && result.stats.count() < 2) {
     report->add_note(
         "monte_carlo: fewer than two successful trials — spread "
+        "(variance/stddev) is undefined and reported as NaN");
+  }
+  return result;
+}
+
+MonteCarloResult monte_carlo_batch(
+    spice::CompiledCircuit& compiled,
+    const std::function<double(spice::CompiledCircuit&)>& metric,
+    const MonteCarloOptions& options) {
+  require(options.trials > 0, "monte_carlo_batch: need at least one trial");
+  spice::RunReport* report = options.report;
+  if (report && report->analysis.empty()) report->analysis = "monte_carlo";
+  MonteCarloResult result;
+  result.samples.reserve(options.trials);
+  Rng root(options.seed);
+  for (std::size_t trial = 0; trial < options.trials; ++trial) {
+    Rng stream = root.child(trial);
+    compiled.set_overlay(
+        vth_variation_patch(compiled.circuit(), options.sigma_fraction,
+                            stream));
+    if (report) ++report->points;
+    try {
+      const double value = metric(compiled);
+      result.stats.add(value);
+      result.samples.push_back(value);
+    } catch (const Error& e) {
+      const std::string note =
+          record_trial_failure(options, compiled.circuit(), trial, e);
+      if (report) {
+        ++report->failed_points;
+        report->add_note("monte_carlo_batch: " + note);
+      }
+      if (!options.tolerate_failures) {
+        compiled.clear_overlay();
+        throw;
+      }
+      ++result.failures;
+      log_warn("monte_carlo_batch: " + note);
+    }
+  }
+  compiled.clear_overlay();
+  require(result.stats.count() > 0, "monte_carlo_batch: all trials failed");
+  if (report && result.stats.count() < 2) {
+    report->add_note(
+        "monte_carlo_batch: fewer than two successful trials — spread "
         "(variance/stddev) is undefined and reported as NaN");
   }
   return result;

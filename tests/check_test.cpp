@@ -162,12 +162,12 @@ CheckOptions quiet_options() {
 }
 
 TEST(CheckCase, PinnedSeedsRunCleanAcrossTheFullMatrix) {
-  // Smoke corpus: the full 17-leg matrix (7 op + 7 transient + 3 dc
+  // Smoke corpus: the full 20-leg matrix (8 op + 8 transient + 4 dc
   // sweep contracts) passes on pinned seeds.  A failure here means an
   // engine path broke a redundancy contract — see the mismatch detail.
   for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
     const CheckCaseResult r = check::run_check_case(seed, quiet_options());
-    EXPECT_EQ(r.contracts_run, 17u) << "seed " << seed;
+    EXPECT_EQ(r.contracts_run, 20u) << "seed " << seed;
     EXPECT_TRUE(r.ok()) << "seed " << seed << ": "
                         << (r.mismatches.empty()
                                 ? ""
@@ -175,13 +175,14 @@ TEST(CheckCase, PinnedSeedsRunCleanAcrossTheFullMatrix) {
   }
 }
 
-TEST(CheckCase, BitwiseOnlySubsetRunsTheFourBitwiseContracts) {
+TEST(CheckCase, BitwiseOnlySubsetRunsTheBitwiseContracts) {
   CheckOptions opts = quiet_options();
   opts.bitwise_only = true;
   const CheckCaseResult r = check::run_check_case(4, opts);
-  // determinism + round-trip + hierarchy for op and tran, determinism +
-  // parallel-sweep for dc sweep: 8 legs, all bitwise.
-  EXPECT_EQ(r.contracts_run, 8u);
+  // determinism + round-trip + hierarchy + compiled for op and tran,
+  // determinism + parallel-sweep + compiled for dc sweep: 11 legs, all
+  // bitwise.
+  EXPECT_EQ(r.contracts_run, 11u);
   EXPECT_TRUE(r.ok()) << (r.mismatches.empty() ? ""
                                                : r.mismatches.front().detail);
 }

@@ -2,6 +2,7 @@
 // through the exporter, and error reporting.
 #include <gtest/gtest.h>
 
+#include "nemsim/core/cells.h"
 #include "nemsim/devices/diode.h"
 #include "nemsim/devices/mosfet.h"
 #include "nemsim/devices/nemfet.h"
@@ -166,6 +167,40 @@ TEST(Parser, RoundTripThroughExporter) {
   const double v1 = spice::operating_point(s1).v("mid");
   const double v2 = spice::operating_point(s2).v("mid");
   EXPECT_NEAR(v1, v2, 1e-6);
+}
+
+TEST(Parser, ParameterizedSubcktRoundTripKeepsOverrides) {
+  // A builder-defined cell instantiated with NON-default parameters must
+  // survive export -> parse: the exporter synthesizes {KEY} placeholders
+  // for the cell body, so the instance card's overrides reapply on the
+  // way back in.
+  spice::Circuit original;
+  spice::NodeId in = original.node("in");
+  spice::NodeId out = original.node("out");
+  spice::NodeId vdd = original.node("vdd");
+  original.add<devices::VoltageSource>("Vdd", vdd, original.gnd(),
+                                       devices::SourceWave::dc(1.2));
+  original.add<devices::VoltageSource>("Vin", in, original.gnd(),
+                                       devices::SourceWave::dc(0.55));
+  original.instantiate(core::inverter_cell(), "X1",
+                       {in, out, vdd, original.gnd()},
+                       {{"WP", 0.55e-6}, {"WN", 0.3e-6}});
+  original.add<devices::Resistor>("Rl", out, original.gnd(), 1e9);
+
+  const std::string text = spice::netlist_string(original);
+  // The definition body must carry placeholders, not baked-in defaults.
+  EXPECT_NE(text.find("{WP}"), std::string::npos) << text;
+  EXPECT_NE(text.find("{WN}"), std::string::npos) << text;
+
+  spice::Circuit reparsed = parse_netlist(text);
+  ASSERT_EQ(reparsed.num_devices(), original.num_devices());
+  EXPECT_DOUBLE_EQ(reparsed.find<devices::Mosfet>("X1.MP").width(), 0.55e-6);
+  EXPECT_DOUBLE_EQ(reparsed.find<devices::Mosfet>("X1.MN").width(), 0.3e-6);
+
+  spice::MnaSystem s1(original), s2(reparsed);
+  const double v1 = spice::operating_point(s1).v("out");
+  const double v2 = spice::operating_point(s2).v("out");
+  EXPECT_NEAR(v1, v2, 1e-9);
 }
 
 // ---------------------------------------------------------------- errors
