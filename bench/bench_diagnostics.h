@@ -34,21 +34,34 @@ inline DiagnosticsFlag parse_diagnostics_flag(int argc, char** argv) {
   return flag;
 }
 
-/// Variant of the flag that writes next to the baseline JSON with an
-/// "_accel" suffix ("..._diagnostics.json" -> "..._diagnostics_accel.json").
-/// Used by benches that re-run their representative instance with the
-/// quiescent-bypass + Jacobian-reuse accelerators enabled.
-inline DiagnosticsFlag accel_variant(const DiagnosticsFlag& flag) {
-  DiagnosticsFlag accel = flag;
-  if (!accel.path.empty()) {
-    const std::size_t dot = accel.path.rfind('.');
+/// Variant of the flag that writes next to the baseline JSON with a
+/// suffix before the extension ("..._diagnostics.json" ->
+/// "..._diagnostics<suffix>.json").
+inline DiagnosticsFlag suffix_variant(const DiagnosticsFlag& flag,
+                                      const std::string& suffix) {
+  DiagnosticsFlag out = flag;
+  if (!out.path.empty()) {
+    const std::size_t dot = out.path.rfind('.');
     if (dot == std::string::npos) {
-      accel.path += "_accel";
+      out.path += suffix;
     } else {
-      accel.path.insert(dot, "_accel");
+      out.path.insert(dot, suffix);
     }
   }
-  return accel;
+  return out;
+}
+
+/// "_accel": the representative instance re-run with the quiescent-bypass
+/// + Jacobian-reuse accelerators enabled.
+inline DiagnosticsFlag accel_variant(const DiagnosticsFlag& flag) {
+  return suffix_variant(flag, "_accel");
+}
+
+/// "_kernels": the representative instance re-run with the type-bucketed
+/// kernel lanes (NewtonOptions::kernels) enabled — the before/after pair
+/// behind the EXPERIMENTS.md stamp-throughput table.
+inline DiagnosticsFlag kernels_variant(const DiagnosticsFlag& flag) {
+  return suffix_variant(flag, "_kernels");
 }
 
 inline void emit_report(const DiagnosticsFlag& flag,

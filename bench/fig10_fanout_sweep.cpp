@@ -94,6 +94,16 @@ int main(int argc, char** argv) {
     spice::RunReport accel_report;
     measure_dynamic_or(accel_gate, &accel_report);
     bench::emit_report(bench::accel_variant(diag), accel_report);
+
+    // And with the type-bucketed kernel lanes alone, so the EXPERIMENTS
+    // stamp-throughput table isolates the lane win from the bypass win.
+    c.newton.bypass = false;
+    c.newton.jacobian_reuse = false;
+    c.newton.kernels = true;
+    DynamicOrGate kernel_gate = build_dynamic_or(c);
+    spice::RunReport kernel_report;
+    measure_dynamic_or(kernel_gate, &kernel_report);
+    bench::emit_report(bench::kernels_variant(diag), kernel_report);
   }
   return 0;
 }

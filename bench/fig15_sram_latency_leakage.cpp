@@ -101,6 +101,15 @@ int main(int argc, char** argv) {
     spice::RunReport accel_report;
     measure_read_latency(c, 0.1, &accel_report);
     bench::emit_report(bench::accel_variant(diag), accel_report);
+
+    // Kernel-lane re-run (NewtonOptions::kernels only) for the same
+    // table's stamp-throughput column.
+    c.newton.bypass = false;
+    c.newton.jacobian_reuse = false;
+    c.newton.kernels = true;
+    spice::RunReport kernel_report;
+    measure_read_latency(c, 0.1, &kernel_report);
+    bench::emit_report(bench::kernels_variant(diag), kernel_report);
   }
   return 0;
 }

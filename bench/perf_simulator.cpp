@@ -168,11 +168,16 @@ void BM_MnaAssemblyDense(benchmark::State& state) {
 BENCHMARK(BM_MnaAssemblyDense);
 
 void BM_MnaAssemblySparse(benchmark::State& state) {
-  // Pattern-frozen CSR assembly of the same system.
+  // Pattern-frozen CSR assembly of the same system; arg 1 re-runs it
+  // through the type-bucketed kernel lanes (NewtonOptions::kernels) so
+  // the virtual-dispatch vs scatter-map stamp throughput is tracked
+  // side by side.
   core::DynamicOrConfig c;
   c.fanin = 16;
   core::DynamicOrGate gate = core::build_dynamic_or(c);
   spice::MnaSystem system(gate.ckt());
+  const bool kernels = state.range(0) != 0;
+  system.configure_kernels(kernels);
   const linalg::Vector x = system.initial_guess();
   linalg::CsrMatrix j = system.make_sparse_jacobian();
   linalg::Vector f, scale;
@@ -184,10 +189,11 @@ void BM_MnaAssemblySparse(benchmark::State& state) {
     }
     benchmark::DoNotOptimize(j);
   }
-  state.SetLabel("n=" + std::to_string(system.num_unknowns()) +
+  state.SetLabel(std::string(kernels ? "kernels" : "virtual") +
+                 " n=" + std::to_string(system.num_unknowns()) +
                  " nnz=" + std::to_string(j.nonzeros()));
 }
-BENCHMARK(BM_MnaAssemblySparse);
+BENCHMARK(BM_MnaAssemblySparse)->Arg(0)->Arg(1);
 
 void BM_DynamicOrOperatingPoint(benchmark::State& state) {
   core::DynamicOrConfig c;
@@ -301,6 +307,35 @@ void BM_TransientAccel(benchmark::State& state) {
 }
 BENCHMARK(BM_TransientAccel)->Arg(0)->Arg(1);
 
+void BM_TransientKernels(benchmark::State& state) {
+  // Type-bucketed kernel lanes off vs on, end to end, on the fan-in 16
+  // hybrid dynamic OR transient (the largest per-figure system).  The
+  // label carries the per-bucket lane eval totals of the last run.
+  core::DynamicOrConfig c;
+  c.fanin = 16;
+  c.fanout = 3;
+  c.hybrid = true;
+  const bool kernels = state.range(0) != 0;
+  core::DynamicOrGate gate = core::build_dynamic_or(c);
+  spice::NewtonStats ns;
+  for (auto _ : state) {
+    spice::MnaSystem system(gate.ckt());
+    spice::TransientOptions options;
+    options.tstop = 1.5e-9;
+    options.newton.kernels = kernels;
+    ns = spice::NewtonStats{};
+    options.newton_stats = &ns;
+    benchmark::DoNotOptimize(spice::transient(system, options));
+  }
+  std::ostringstream label;
+  label << (kernels ? "kernels" : "virtual");
+  for (const auto& [bucket, evals] : ns.kernel_lane_evals) {
+    label << " " << bucket << "=" << evals;
+  }
+  state.SetLabel(label.str());
+}
+BENCHMARK(BM_TransientKernels)->Arg(0)->Arg(1);
+
 void BM_SramReadAccel(benchmark::State& state) {
   // Same off/on pair on the hybrid SRAM read transient (the NEMS beams
   // and idle half of the cell are quiescent for most of the run).
@@ -356,6 +391,12 @@ BENCHMARK(BM_FaninSweepParallel)
 #ifndef NEMSIM_BUILD_TYPE
 #define NEMSIM_BUILD_TYPE ""
 #endif
+#ifndef NEMSIM_GIT_SHA
+#define NEMSIM_GIT_SHA "unknown"
+#endif
+#ifndef NEMSIM_BENCHMARK_PROVIDER
+#define NEMSIM_BENCHMARK_PROVIDER "unknown"
+#endif
 
 // Custom main instead of BENCHMARK_MAIN(): timings from a non-Release
 // nemsim build are meaningless for the tracked BENCH_*.json trajectory,
@@ -380,6 +421,23 @@ int main(int argc, char** argv) {
   }
   benchmark::AddCustomContext("nemsim_build_type",
                               build_type.empty() ? "unset" : build_type);
+  // Commit attribution + library provenance: "system" means the distro
+  // libbenchmark, whose own "library_build_type" context reads "debug"
+  // regardless of how nemsim was compiled (see the top-level CMakeLists
+  // for the vendored-Release alternative).
+  benchmark::AddCustomContext("nemsim_git_sha", NEMSIM_GIT_SHA);
+  benchmark::AddCustomContext("nemsim_benchmark_library",
+                              NEMSIM_BENCHMARK_PROVIDER);
+  // Accelerator defaults of this build: every benchmark that does not
+  // say otherwise in its label ran with exactly these NewtonOptions
+  // knobs.  The accel/kernels benches toggle them per-arg.
+  const nemsim::spice::NewtonOptions defaults;
+  const auto onoff = [](bool v) { return v ? "on" : "off"; };
+  benchmark::AddCustomContext(
+      "nemsim_newton_accel_defaults",
+      std::string("bypass=") + onoff(defaults.bypass) +
+          " jacobian_reuse=" + onoff(defaults.jacobian_reuse) +
+          " kernels=" + onoff(defaults.kernels));
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -50,6 +50,16 @@ if [[ "${NEMSIM_BENCH_SKIP_CHECK:-0}" != "1" ]]; then
       echo "$build_dir/fuzz_bench_gate)." >&2
       exit 1
     fi
+    # The kernel-lane contract guards the numbers this script exists to
+    # record: if the fast stamp path disagrees with the virtual path,
+    # its benchmarks are measuring a different circuit.
+    echo "Running kernel-lane contract sweep..." >&2
+    if ! "$fuzz_bin" --seed 1 --count 150 --only kernels \
+        --out "$build_dir/fuzz_bench_gate_kernels" >&2; then
+      echo "error: kernel-lane contract sweep FAILED (decks under" >&2
+      echo "$build_dir/fuzz_bench_gate_kernels)." >&2
+      exit 1
+    fi
   else
     echo "warning: $fuzz_bin not built; publishing WITHOUT the" >&2
     echo "differential-check gate." >&2

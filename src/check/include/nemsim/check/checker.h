@@ -22,6 +22,10 @@
 //      kBypass         NewtonOptions::bypass on vs off
 //      kJacobianReuse  NewtonOptions::jacobian_reuse on vs off
 //      kBypassAndReuse both accelerators on vs off (transient only)
+//      kKernels        NewtonOptions::kernels on vs off, exercised
+//                      against both the dense and the sparse Jacobian
+//                      sink (lanes accumulate in bucket order, so the
+//                      contract is reltol, not bitwise)
 //  - soundness: a static prediction must contain the dynamic result.
 //      kAnalyze        nemsim::analyze's DC node intervals must contain
 //                      the solved operating point (within a small slack
@@ -58,6 +62,7 @@ enum class Contract {
   kBypassAndReuse,
   kAnalyze,
   kCompiled,
+  kKernels,
 };
 
 const char* to_string(Analysis a);

@@ -42,6 +42,7 @@ const char* to_string(Contract c) {
     case Contract::kBypassAndReuse: return "bypass-and-reuse";
     case Contract::kAnalyze: return "analyze";
     case Contract::kCompiled: return "compiled";
+    case Contract::kKernels: return "kernels";
   }
   return "?";
 }
@@ -72,7 +73,7 @@ Contract parse_contract(const std::string& s) {
        {Contract::kDeterminism, Contract::kRoundTrip, Contract::kHierarchy,
         Contract::kParallelSweep, Contract::kSparseVsDense, Contract::kBypass,
         Contract::kJacobianReuse, Contract::kBypassAndReuse,
-        Contract::kAnalyze, Contract::kCompiled}) {
+        Contract::kAnalyze, Contract::kCompiled, Contract::kKernels}) {
     if (s == to_string(c)) return c;
   }
   throw InvalidArgument("unknown contract '" + s + "'");
@@ -87,6 +88,7 @@ struct LegConfig {
   spice::JacobianSolver solver = spice::JacobianSolver::kDense;
   bool bypass = false;
   bool reuse = false;
+  bool kernels = false;
 };
 
 spice::NewtonOptions newton_for(const LegConfig& leg,
@@ -95,6 +97,7 @@ spice::NewtonOptions newton_for(const LegConfig& leg,
   n.solver = leg.solver;
   n.bypass = leg.bypass;
   n.jacobian_reuse = leg.reuse;
+  n.kernels = leg.kernels;
   if (leg.reuse && opts.sabotage == Sabotage::kStaleJacobian) {
     // A broken refresh gate: any stale-LU solve is accepted and the
     // convergence test is loosened far past the contract tolerance, so
@@ -451,6 +454,17 @@ class Runner {
         return run_op_analyze();
       case Contract::kCompiled:
         return run_op_compiled();
+      case Contract::kKernels: {
+        // Lane assembly against both Jacobian sinks: dense offsets and
+        // frozen CSR scatter slots are separate code paths.
+        auto dense = op_variant(
+            {spice::JacobianSolver::kDense, false, false, true}, op_tol());
+        if (!dense || !dense->ok) return dense;
+        auto sparse = op_variant(
+            {spice::JacobianSolver::kSparse, false, false, true}, op_tol());
+        if (sparse) sparse->compared += dense->compared;
+        return sparse;
+      }
       case Contract::kParallelSweep:
       case Contract::kBypassAndReuse:
         return std::nullopt;
@@ -538,6 +552,15 @@ class Runner {
                             tran_tol());
       case Contract::kCompiled:
         return run_tran_compiled();
+      case Contract::kKernels: {
+        auto dense = tran_variant(
+            {spice::JacobianSolver::kDense, false, false, true}, tran_tol());
+        if (!dense || !dense->ok) return dense;
+        auto sparse = tran_variant(
+            {spice::JacobianSolver::kSparse, false, false, true}, tran_tol());
+        if (sparse) sparse->compared += dense->compared;
+        return sparse;
+      }
       case Contract::kParallelSweep:
       case Contract::kAnalyze:  // DC-interval contract: OP only
         return std::nullopt;
@@ -567,6 +590,14 @@ class Runner {
       }
       case Contract::kCompiled:
         return run_sweep_compiled();
+      case Contract::kKernels: {
+        spice::Circuit ckt = make_flat_();
+        return compare_waveforms(
+            base_sweep(),
+            solve_sweep(ckt,
+                        {spice::JacobianSolver::kSparse, false, false, true}),
+            op_tol());
+      }
       default:
         return std::nullopt;
     }
@@ -590,6 +621,7 @@ constexpr Contract kAllContracts[] = {
     Contract::kSparseVsDense, Contract::kBypass,
     Contract::kJacobianReuse, Contract::kBypassAndReuse,
     Contract::kAnalyze,       Contract::kCompiled,
+    Contract::kKernels,
 };
 constexpr Analysis kAllAnalyses[] = {Analysis::kOp, Analysis::kTransient,
                                      Analysis::kDcSweep};

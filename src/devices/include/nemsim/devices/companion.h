@@ -7,6 +7,7 @@
 #pragma once
 
 #include "nemsim/spice/engine.h"
+#include "nemsim/spice/kernels.h"
 
 namespace nemsim::devices {
 
@@ -49,6 +50,24 @@ class CapCompanion {
     ctx.add_J(p, n, -g);
     ctx.add_J(n, p, -g);
     ctx.add_J(n, n, g);
+  }
+
+  /// Kernel-path twin of stamp(): same arithmetic, role-indexed sink
+  /// (role -1 = grounded terminal).  Declare the 2x2 (p, n) Jacobian
+  /// block in the owner's descriptor for every non-ground role pair.
+  void kernel_stamp(const spice::KernelSink& k, int p_role,
+                    int n_role) const {
+    if (k.dc()) return;
+    const double dt = k.dt();
+    const double g = use_be_ ? c_ / dt : 2.0 * c_ / dt;
+    const double v = k.xr(p_role) - k.xr(n_role);
+    const double i = g * (v - v0_) - (use_be_ ? 0.0 : i0_);
+    k.f(p_role, i);
+    k.f(n_role, -i);
+    k.J(p_role, p_role, g);
+    k.J(p_role, n_role, -g);
+    k.J(n_role, p_role, -g);
+    k.J(n_role, n_role, g);
   }
 
   /// Commits state after a converged solve at branch voltage `v`.

@@ -3,6 +3,7 @@
 
 #include "nemsim/spice/device.h"
 #include "nemsim/spice/engine.h"
+#include "nemsim/spice/kernels.h"
 
 namespace nemsim::devices {
 
@@ -17,6 +18,11 @@ class Vcvs : public spice::Device {
 
   void setup(spice::SetupContext& ctx) override;
   void stamp(spice::StampContext& ctx) const override;
+  void kernel_descriptor(const spice::KernelLayout& layout,
+                         spice::KernelDescriptor& out) const override;
+  /// Kernel twin of stamp(); roles: 0 = p, 1 = n, 2 = cp, 3 = cn,
+  /// 4 = branch current.
+  void kernel_eval(const spice::KernelSink& k) const;
   bool is_linear() const override { return true; }
   void stamp_ac(spice::AcStampContext& ctx) const override;
   bool has_ac_model() const override { return true; }
@@ -42,6 +48,10 @@ class Vccs : public spice::Device {
   void set_gm(double gm) { gm_ = gm; }
 
   void stamp(spice::StampContext& ctx) const override;
+  void kernel_descriptor(const spice::KernelLayout& layout,
+                         spice::KernelDescriptor& out) const override;
+  /// Kernel twin of stamp(); roles: 0 = p, 1 = n, 2 = cp, 3 = cn.
+  void kernel_eval(const spice::KernelSink& k) const;
   bool is_linear() const override { return true; }
   void stamp_ac(spice::AcStampContext& ctx) const override;
   bool has_ac_model() const override { return true; }

@@ -3,6 +3,7 @@
 
 #include "nemsim/spice/device.h"
 #include "nemsim/spice/engine.h"
+#include "nemsim/spice/kernels.h"
 
 namespace nemsim::devices {
 
@@ -28,6 +29,10 @@ class Diode : public spice::Device {
   void evaluate(double v, double& i, double& g) const;
 
   void stamp(spice::StampContext& ctx) const override;
+  void kernel_descriptor(const spice::KernelLayout& layout,
+                         spice::KernelDescriptor& out) const override;
+  /// Kernel twin of stamp(); roles: 0 = anode, 1 = cathode.
+  void kernel_eval(const spice::KernelSink& k) const;
   void stamp_ac(spice::AcStampContext& ctx) const override;
   bool has_ac_model() const override { return true; }
   /// The stamp is a pure function of the junction voltage: an empty

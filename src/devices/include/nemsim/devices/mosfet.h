@@ -60,6 +60,10 @@ class Mosfet : public spice::Device {
   void bind_params(spice::ParamBank& bank) override;
   void on_params_changed() override { refresh_capacitances(); }
   void stamp(spice::StampContext& ctx) const override;
+  void kernel_descriptor(const spice::KernelLayout& layout,
+                         spice::KernelDescriptor& out) const override;
+  /// Kernel twin of stamp(); roles: 0 = drain, 1 = gate, 2 = source.
+  void kernel_eval(const spice::KernelSink& k) const;
   bool bypass_signature(std::vector<double>& out) const override;
   void accept_step(const spice::AcceptContext& ctx) override;
   void reset_state() override;

@@ -124,6 +124,11 @@ class Nemfet : public spice::Device {
   void on_params_changed() override;
   void setup(spice::SetupContext& ctx) override;
   void stamp(spice::StampContext& ctx) const override;
+  void kernel_descriptor(const spice::KernelLayout& layout,
+                         spice::KernelDescriptor& out) const override;
+  /// Kernel twin of stamp(); roles: 0 = drain, 1 = gate, 2 = source,
+  /// 3 = beam displacement, 4 = beam velocity.
+  void kernel_eval(const spice::KernelSink& k) const;
   bool bypass_signature(std::vector<double>& out) const override;
   void begin_step(double time, double dt) override;
   void accept_step(const spice::AcceptContext& ctx) override;

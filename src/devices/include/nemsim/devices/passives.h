@@ -4,6 +4,7 @@
 #include "nemsim/devices/companion.h"
 #include "nemsim/spice/device.h"
 #include "nemsim/spice/engine.h"
+#include "nemsim/spice/kernels.h"
 #include "nemsim/spice/parambank.h"
 
 namespace nemsim::devices {
@@ -21,6 +22,10 @@ class Resistor : public spice::Device {
 
   void bind_params(spice::ParamBank& bank) override;
   void stamp(spice::StampContext& ctx) const override;
+  void kernel_descriptor(const spice::KernelLayout& layout,
+                         spice::KernelDescriptor& out) const override;
+  /// Kernel twin of stamp(); roles: 0 = p, 1 = n.
+  void kernel_eval(const spice::KernelSink& k) const;
   void stamp_ac(spice::AcStampContext& ctx) const override;
   bool has_ac_model() const override { return true; }
   bool is_linear() const override { return true; }
@@ -58,6 +63,12 @@ class Capacitor : public spice::Device {
     companion_.set_capacitance(c_.get());
   }
   void stamp(spice::StampContext& ctx) const override;
+  void kernel_descriptor(const spice::KernelLayout& layout,
+                         spice::KernelDescriptor& out) const override;
+  /// Kernel twin of stamp(); roles: 0 = p, 1 = n.
+  void kernel_eval(const spice::KernelSink& k) const {
+    companion_.kernel_stamp(k, 0, 1);
+  }
   bool is_linear() const override { return true; }
   void accept_step(const spice::AcceptContext& ctx) override;
   void reset_state() override;
@@ -96,6 +107,10 @@ class Inductor : public spice::Device {
 
   void setup(spice::SetupContext& ctx) override;
   void stamp(spice::StampContext& ctx) const override;
+  void kernel_descriptor(const spice::KernelLayout& layout,
+                         spice::KernelDescriptor& out) const override;
+  /// Kernel twin of stamp(); roles: 0 = p, 1 = n, 2 = branch current.
+  void kernel_eval(const spice::KernelSink& k) const;
   bool is_linear() const override { return true; }
   void accept_step(const spice::AcceptContext& ctx) override;
   void reset_state() override;

@@ -6,6 +6,7 @@
 
 #include "nemsim/spice/device.h"
 #include "nemsim/spice/engine.h"
+#include "nemsim/spice/kernels.h"
 #include "nemsim/spice/parambank.h"
 
 namespace nemsim::devices {
@@ -105,6 +106,10 @@ class VoltageSource : public spice::Device {
 
   void setup(spice::SetupContext& ctx) override;
   void stamp(spice::StampContext& ctx) const override;
+  void kernel_descriptor(const spice::KernelLayout& layout,
+                         spice::KernelDescriptor& out) const override;
+  /// Kernel twin of stamp(); roles: 0 = p, 1 = n, 2 = branch current.
+  void kernel_eval(const spice::KernelSink& k) const;
   bool is_linear() const override { return true; }
   void stamp_ac(spice::AcStampContext& ctx) const override;
   bool has_ac_model() const override { return true; }
@@ -155,6 +160,10 @@ class CurrentSource : public spice::Device {
   }
 
   void stamp(spice::StampContext& ctx) const override;
+  void kernel_descriptor(const spice::KernelLayout& layout,
+                         spice::KernelDescriptor& out) const override;
+  /// Kernel twin of stamp(); roles: 0 = p, 1 = n.
+  void kernel_eval(const spice::KernelSink& k) const;
   bool is_linear() const override { return true; }
   void stamp_ac(spice::AcStampContext& ctx) const override;
   bool has_ac_model() const override { return true; }

@@ -30,6 +30,36 @@ void Vcvs::stamp(spice::StampContext& ctx) const {
   ctx.add_J(branch_, cn_, gain_);
 }
 
+void Vcvs::kernel_descriptor(const spice::KernelLayout& layout,
+                             spice::KernelDescriptor& out) const {
+  out.supported = true;
+  out.bucket = "vcvs";
+  out.batch = &spice::kernel_batch_eval<Vcvs>;
+  out.roles = 5;
+  out.role_unknowns = {layout.of(p_), layout.of(n_), layout.of(cp_),
+                       layout.of(cn_), spice::KernelLayout::of(branch_)};
+  out.add_j(0, 4);
+  out.add_j(1, 4);
+  out.add_j(4, 0);
+  out.add_j(4, 1);
+  out.add_j(4, 2);
+  out.add_j(4, 3);
+}
+
+void Vcvs::kernel_eval(const spice::KernelSink& k) const {
+  const double i = k.xr(4);
+  k.f(0, i);
+  k.f(1, -i);
+  k.J(0, 4, 1.0);
+  k.J(1, 4, -1.0);
+
+  k.f(4, k.xr(0) - k.xr(1) - gain_ * (k.xr(2) - k.xr(3)));
+  k.J(4, 0, 1.0);
+  k.J(4, 1, -1.0);
+  k.J(4, 2, -gain_);
+  k.J(4, 3, gain_);
+}
+
 void Vcvs::stamp_ac(spice::AcStampContext& ctx) const {
   ctx.add_G(p_, branch_, 1.0);
   ctx.add_G(n_, branch_, -1.0);
@@ -83,6 +113,30 @@ void Vccs::stamp(spice::StampContext& ctx) const {
   ctx.add_J(p_, cn_, -gm_);
   ctx.add_J(n_, cp_, -gm_);
   ctx.add_J(n_, cn_, gm_);
+}
+
+void Vccs::kernel_descriptor(const spice::KernelLayout& layout,
+                             spice::KernelDescriptor& out) const {
+  out.supported = true;
+  out.bucket = "vccs";
+  out.batch = &spice::kernel_batch_eval<Vccs>;
+  out.roles = 4;
+  out.role_unknowns = {layout.of(p_), layout.of(n_), layout.of(cp_),
+                       layout.of(cn_)};
+  out.add_j(0, 2);
+  out.add_j(0, 3);
+  out.add_j(1, 2);
+  out.add_j(1, 3);
+}
+
+void Vccs::kernel_eval(const spice::KernelSink& k) const {
+  const double i = gm_ * (k.xr(2) - k.xr(3));
+  k.f(0, i);
+  k.f(1, -i);
+  k.J(0, 2, gm_);
+  k.J(0, 3, -gm_);
+  k.J(1, 2, -gm_);
+  k.J(1, 3, gm_);
 }
 
 void Vccs::stamp_ac(spice::AcStampContext& ctx) const {

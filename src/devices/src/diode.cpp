@@ -48,6 +48,30 @@ void Diode::stamp(spice::StampContext& ctx) const {
   ctx.add_J(cathode_, cathode_, g);
 }
 
+void Diode::kernel_descriptor(const spice::KernelLayout& layout,
+                              spice::KernelDescriptor& out) const {
+  out.supported = true;
+  out.bucket = "diode";
+  out.batch = &spice::kernel_batch_eval<Diode>;
+  out.roles = 2;
+  out.role_unknowns = {layout.of(anode_), layout.of(cathode_)};
+  for (int e = 0; e < 2; ++e) {
+    for (int v = 0; v < 2; ++v) out.add_j(e, v);
+  }
+}
+
+void Diode::kernel_eval(const spice::KernelSink& k) const {
+  const double v = k.xr(0) - k.xr(1);
+  double i = 0.0, g = 0.0;
+  evaluate(v, i, g);
+  k.f(0, i);
+  k.f(1, -i);
+  k.J(0, 0, g);
+  k.J(0, 1, -g);
+  k.J(1, 0, -g);
+  k.J(1, 1, g);
+}
+
 void Diode::stamp_ac(spice::AcStampContext& ctx) const {
   const double v = ctx.v(anode_) - ctx.v(cathode_);
   double i = 0.0, g = 0.0;

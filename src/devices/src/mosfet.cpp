@@ -114,6 +114,62 @@ void Mosfet::stamp(spice::StampContext& ctx) const {
   csb_.stamp(ctx, s_, spice::kGround);
 }
 
+void Mosfet::kernel_descriptor(const spice::KernelLayout& layout,
+                               spice::KernelDescriptor& out) const {
+  out.supported = true;
+  out.bucket = "mosfet";
+  out.batch = &spice::kernel_batch_eval<Mosfet>;
+  out.roles = 3;
+  out.role_unknowns = {layout.of(d_), layout.of(g_), layout.of(s_)};
+  // Full 3x3: the source/drain swap plus the companion caps reach every
+  // cell across runtime orientations.
+  for (int e = 0; e < 3; ++e) {
+    for (int v = 0; v < 3; ++v) out.add_j(e, v);
+  }
+}
+
+void Mosfet::kernel_eval(const spice::KernelSink& k) const {
+  const double sign = polarity_ == MosPolarity::kNmos ? 1.0 : -1.0;
+
+  int nd = 0, ns = 2;  // drain/source roles before the symmetric swap
+  double vds = sign * (k.xr(nd) - k.xr(ns));
+  if (vds < 0.0) {
+    std::swap(nd, ns);
+    vds = -vds;
+  }
+  const double vgs = sign * (k.xr(1) - k.xr(ns));
+
+  ekv::ChannelBias bias{vgs, vds};
+  ekv::ChannelParams cp;
+  cp.vth = params_.vth0 + vth_shift_.get();
+  cp.n = params_.n;
+  cp.kp = params_.kp;
+  cp.w_over_l = w_.get() / l_;
+  cp.lambda = params_.lambda;
+  cp.eta = params_.eta_dibl;
+  cp.vt = phys::thermal_voltage(params_.temp);
+  const ekv::ChannelResult r = ekv::evaluate(bias, cp);
+
+  const double gfloor = params_.goff * w_.get();
+  const double id = r.id + gfloor * vds;
+  const double gm = r.gm;
+  const double gds = r.gds + gfloor;
+
+  k.f(nd, sign * id);
+  k.f(ns, -sign * id);
+  k.J(nd, 1, gm);
+  k.J(nd, nd, gds);
+  k.J(nd, ns, -(gm + gds));
+  k.J(ns, 1, -gm);
+  k.J(ns, nd, -gds);
+  k.J(ns, ns, gm + gds);
+
+  cgs_.kernel_stamp(k, 1, 2);
+  cgd_.kernel_stamp(k, 1, 0);
+  cdb_.kernel_stamp(k, 0, -1);
+  csb_.kernel_stamp(k, 2, -1);
+}
+
 bool Mosfet::bypass_signature(std::vector<double>& out) const {
   // Everything the stamp reads besides the iterate: instance geometry and
   // threshold shift (mutable via keeper/Monte-Carlo sweeps) plus the four

@@ -310,6 +310,107 @@ void Nemfet::stamp(spice::StampContext& ctx) const {
   csb_.stamp(ctx, s_, spice::kGround);
 }
 
+void Nemfet::kernel_descriptor(const spice::KernelLayout& layout,
+                               spice::KernelDescriptor& out) const {
+  out.supported = true;
+  out.bucket = "nemfet";
+  out.batch = &spice::kernel_batch_eval<Nemfet>;
+  out.roles = 5;
+  out.role_unknowns = {layout.of(d_), layout.of(g_), layout.of(s_),
+                       spice::KernelLayout::of(ux_),
+                       spice::KernelLayout::of(uv_)};
+  // Channel rows (drain/source under the symmetric swap) couple to all
+  // three terminals and the beam position; the gate row only carries the
+  // companion caps; the mechanical rows couple to themselves and to the
+  // actuation terminals.
+  for (int e : {0, 2}) {
+    for (int v : {0, 1, 2, 3}) out.add_j(e, v);
+  }
+  out.add_j(1, 0);
+  out.add_j(1, 1);
+  out.add_j(1, 2);
+  out.add_j(3, 3);
+  out.add_j(3, 4);
+  out.add_j(4, 0);
+  out.add_j(4, 1);
+  out.add_j(4, 2);
+  out.add_j(4, 3);
+  out.add_j(4, 4);
+}
+
+void Nemfet::kernel_eval(const spice::KernelSink& kk) const {
+  const double sign = polarity_ == NemsPolarity::kN ? 1.0 : -1.0;
+  const double x = kk.xr(3);
+  const double vel = kk.xr(4);
+
+  // Channel current, mirroring stamp() with roles 0 = d, 1 = g, 2 = s.
+  int nd = 0, ns = 2;
+  double vds = sign * (kk.xr(nd) - kk.xr(ns));
+  if (vds < 0.0) {
+    std::swap(nd, ns);
+    vds = -vds;
+  }
+  const double vgs = sign * (kk.xr(1) - kk.xr(ns));
+  const ChannelEval ch = eval_channel(vgs, vds, x);
+
+  kk.f(nd, sign * ch.id);
+  kk.f(ns, -sign * ch.id);
+  kk.J(nd, 1, ch.gm);
+  kk.J(nd, nd, ch.gds);
+  kk.J(nd, ns, -(ch.gm + ch.gds));
+  kk.J(ns, 1, -ch.gm);
+  kk.J(ns, nd, -ch.gds);
+  kk.J(ns, ns, ch.gm + ch.gds);
+  kk.J(nd, 3, sign * ch.did_dx);
+  kk.J(ns, 3, -sign * ch.did_dx);
+
+  const double vgf = sign * (kk.xr(1) - kk.xr(ns));
+
+  if (kk.dc()) {
+    kk.f(3, vel);
+    kk.J(3, 4, 1.0);
+
+    const StaticEq eq = static_equilibrium(std::abs(vgf));
+    const double dsign = sign * (vgf >= 0.0 ? 1.0 : -1.0);
+    kk.f(4, x - eq.x);
+    kk.J(4, 3, 1.0);
+    kk.J(4, 1, -eq.dx_dv * dsign);
+    kk.J(4, ns, eq.dx_dv * dsign);
+  } else {
+    const double d_el = air_gap(x) + params_.tox / params_.eps_ox;
+    const double a = params_.area * sw();
+    const double fe = 0.5 * phys::kEps0 * a * vgf * vgf / (d_el * d_el);
+    const double dga_dx = -sigmoid((params_.gap0 - x) / params_.gap_softness);
+    const double dfe_dx = -2.0 * fe / d_el * dga_dx;
+    const double dfe_dvgf = phys::kEps0 * a * vgf / (d_el * d_el);
+
+    const double k = params_.spring_k * sw();
+    const double fc = contact_force(x);
+    const double dfc_dx =
+        params_.contact_k * sw() *
+        sigmoid((x - params_.gap0) / params_.contact_softness);
+
+    const double dt = kk.dt();
+    kk.f(3, (x - x_state_) / dt - vel);
+    kk.J(3, 3, 1.0 / dt);
+    kk.J(3, 4, -1.0);
+
+    const double m = params_.mass * sw();
+    const double c = params_.damping * sw();
+    kk.f(4, m * (vel - v_state_) / dt + c * vel + k * x + fc - fe);
+    kk.J(4, 4, m / dt + c);
+    kk.J(4, 3, k + dfc_dx - dfe_dx);
+    kk.J(4, 1, -dfe_dvgf * sign);
+    kk.J(4, ns, dfe_dvgf * sign);
+  }
+
+  cg_gap_.kernel_stamp(kk, 1, 2);
+  cgs_ov_.kernel_stamp(kk, 1, 2);
+  cgd_ov_.kernel_stamp(kk, 1, 0);
+  cdb_.kernel_stamp(kk, 0, -1);
+  csb_.kernel_stamp(kk, 2, -1);
+}
+
 void Nemfet::begin_step(double time, double dt) {
   (void)time;
   (void)dt;

@@ -80,6 +80,29 @@ void Resistor::stamp(spice::StampContext& ctx) const {
   ctx.add_J(n_, n_, g);
 }
 
+void Resistor::kernel_descriptor(const spice::KernelLayout& layout,
+                                 spice::KernelDescriptor& out) const {
+  out.supported = true;
+  out.bucket = "resistor";
+  out.batch = &spice::kernel_batch_eval<Resistor>;
+  out.roles = 2;
+  out.role_unknowns = {layout.of(p_), layout.of(n_)};
+  for (int e = 0; e < 2; ++e) {
+    for (int v = 0; v < 2; ++v) out.add_j(e, v);
+  }
+}
+
+void Resistor::kernel_eval(const spice::KernelSink& k) const {
+  const double g = 1.0 / r_.get();
+  const double i = g * (k.xr(0) - k.xr(1));
+  k.f(0, i);
+  k.f(1, -i);
+  k.J(0, 0, g);
+  k.J(0, 1, -g);
+  k.J(1, 0, -g);
+  k.J(1, 1, g);
+}
+
 // ------------------------------------------------------------- Capacitor
 
 Capacitor::Capacitor(std::string name, spice::NodeId p, spice::NodeId n,
@@ -137,6 +160,18 @@ void Capacitor::self_check(const lint::DeviceCheckContext& ctx,
 
 void Capacitor::stamp(spice::StampContext& ctx) const {
   companion_.stamp(ctx, p_, n_);
+}
+
+void Capacitor::kernel_descriptor(const spice::KernelLayout& layout,
+                                  spice::KernelDescriptor& out) const {
+  out.supported = true;
+  out.bucket = "capacitor";
+  out.batch = &spice::kernel_batch_eval<Capacitor>;
+  out.roles = 2;
+  out.role_unknowns = {layout.of(p_), layout.of(n_)};
+  for (int e = 0; e < 2; ++e) {
+    for (int v = 0; v < 2; ++v) out.add_j(e, v);
+  }
 }
 
 void Capacitor::accept_step(const spice::AcceptContext& ctx) {
@@ -235,6 +270,49 @@ void Inductor::stamp(spice::StampContext& ctx) const {
     ctx.add_J(branch_, p_, 0.5);
     ctx.add_J(branch_, n_, -0.5);
     ctx.add_J(branch_, branch_, -l_ / dt);
+  }
+}
+
+void Inductor::kernel_descriptor(const spice::KernelLayout& layout,
+                                 spice::KernelDescriptor& out) const {
+  out.supported = true;
+  out.bucket = "inductor";
+  out.batch = &spice::kernel_batch_eval<Inductor>;
+  out.roles = 3;
+  out.role_unknowns = {layout.of(p_), layout.of(n_),
+                       spice::KernelLayout::of(branch_)};
+  out.add_j(0, 2);
+  out.add_j(1, 2);
+  out.add_j(2, 0);
+  out.add_j(2, 1);
+  out.add_j(2, 2);
+}
+
+void Inductor::kernel_eval(const spice::KernelSink& k) const {
+  const double i = k.xr(2);
+  k.f(0, i);
+  k.f(1, -i);
+  k.J(0, 2, 1.0);
+  k.J(1, 2, -1.0);
+
+  const double v = k.xr(0) - k.xr(1);
+  if (k.dc()) {
+    k.f(2, v);
+    k.J(2, 0, 1.0);
+    k.J(2, 1, -1.0);
+    return;
+  }
+  const double dt = k.dt();
+  if (use_be_) {
+    k.f(2, v - l_ * (i - i0_) / dt);
+    k.J(2, 0, 1.0);
+    k.J(2, 1, -1.0);
+    k.J(2, 2, -l_ / dt);
+  } else {
+    k.f(2, 0.5 * (v + vl0_) - l_ * (i - i0_) / dt);
+    k.J(2, 0, 0.5);
+    k.J(2, 1, -0.5);
+    k.J(2, 2, -l_ / dt);
   }
 }
 

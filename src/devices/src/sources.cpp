@@ -228,6 +228,33 @@ void VoltageSource::stamp(spice::StampContext& ctx) const {
   ctx.add_J(branch_, n_, -1.0);
 }
 
+void VoltageSource::kernel_descriptor(const spice::KernelLayout& layout,
+                                      spice::KernelDescriptor& out) const {
+  out.supported = true;
+  out.bucket = "vsource";
+  out.batch = &spice::kernel_batch_eval<VoltageSource>;
+  out.roles = 3;
+  out.role_unknowns = {layout.of(p_), layout.of(n_),
+                       spice::KernelLayout::of(branch_)};
+  out.add_j(0, 2);
+  out.add_j(1, 2);
+  out.add_j(2, 0);
+  out.add_j(2, 1);
+}
+
+void VoltageSource::kernel_eval(const spice::KernelSink& k) const {
+  const double i = k.xr(2);
+  k.f(0, i);
+  k.f(1, -i);
+  k.J(0, 2, 1.0);
+  k.J(1, 2, -1.0);
+
+  const double target = wave_.value(k.time()) * k.source_factor();
+  k.f(2, k.xr(0) - k.xr(1) - target);
+  k.J(2, 0, 1.0);
+  k.J(2, 1, -1.0);
+}
+
 void VoltageSource::breakpoints(double tstop, std::vector<double>& out) const {
   wave_.breakpoints(tstop, out);
 }
@@ -290,6 +317,22 @@ void CurrentSource::stamp(spice::StampContext& ctx) const {
   // circuit) into n; at node p the device removes +i.
   ctx.add_f(p_, i);
   ctx.add_f(n_, -i);
+}
+
+void CurrentSource::kernel_descriptor(const spice::KernelLayout& layout,
+                                      spice::KernelDescriptor& out) const {
+  out.supported = true;
+  out.bucket = "isource";
+  out.batch = &spice::kernel_batch_eval<CurrentSource>;
+  out.roles = 2;
+  out.role_unknowns = {layout.of(p_), layout.of(n_)};
+  // No Jacobian cells: the excitation is iterate-independent.
+}
+
+void CurrentSource::kernel_eval(const spice::KernelSink& k) const {
+  const double i = wave_.value(k.time()) * k.source_factor();
+  k.f(0, i);
+  k.f(1, -i);
 }
 
 void CurrentSource::breakpoints(double tstop, std::vector<double>& out) const {

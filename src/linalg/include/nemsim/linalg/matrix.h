@@ -90,6 +90,10 @@ class Matrix {
   double& at(std::size_t r, std::size_t c);
   double at(std::size_t r, std::size_t c) const;
 
+  /// Raw row-major storage: entry (r, c) lives at data()[r * cols() + c].
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
   void fill(double value);
   /// Resets to rows x cols, all zero (reuses storage when shape matches).
   void reset(std::size_t rows, std::size_t cols);

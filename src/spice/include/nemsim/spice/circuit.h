@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
@@ -166,10 +167,14 @@ class Circuit {
   ParamBank& param_bank() { return *param_bank_; }
   const ParamBank& param_bank() const { return *param_bank_; }
 
-  /// Broadcasts Device::on_params_changed so devices resync any state
-  /// derived from banked parameters.  Call after writing bank values
-  /// directly (ParamBank::apply/restore); the per-device setter methods
-  /// keep derived state in sync themselves.
+  /// Resyncs devices whose banked parameters changed since the last
+  /// call: each device is resynced only when a bank column it bound in
+  /// bind_params is dirty (see ParamBank::column_dirty), then the dirty
+  /// flags are cleared.  Derived device state is a pure function of the
+  /// current bank values, so skipping untouched devices is exact, not an
+  /// approximation.  Call after writing bank values directly
+  /// (ParamBank::apply/restore); the per-device setter methods keep
+  /// derived state in sync themselves.
   void notify_params_changed();
 
   // --- Compile-time freeze (see nemsim/spice/compile.h) ----------------
@@ -211,6 +216,9 @@ class Circuit {
   std::ptrdiff_t open_instance_ = -1;
   /// Stable home of the parameter bank (devices hold pointers into it).
   std::unique_ptr<ParamBank> param_bank_;
+  /// Bank columns each device bound in bind_params (parallel to
+  /// devices_); drives the dirty-column filter in notify_params_changed.
+  std::vector<std::vector<std::uint32_t>> device_bound_columns_;
   bool frozen_ = false;
 };
 

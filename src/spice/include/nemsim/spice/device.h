@@ -21,6 +21,8 @@ class StampContext;
 class AcceptContext;
 class AcStampContext;
 class ParamBank;
+class KernelLayout;
+struct KernelDescriptor;
 
 /// Which analysis the stamp is being evaluated for.
 enum class AnalysisMode {
@@ -126,6 +128,17 @@ class Device {
   /// engine stamps linear devices' Jacobian once per solve and reuses the
   /// values across iterations; residuals are always re-stamped.
   virtual bool is_linear() const { return false; }
+
+  /// Type-bucketed kernel support (nemsim/spice/kernels.h).  A device
+  /// that can be evaluated by a batch kernel fills `out` with its bucket
+  /// key, batch function, role unknowns and declared Jacobian cells; the
+  /// engine then assembles it through the lane path when
+  /// NewtonOptions::kernels is on.  The declared cells must cover every
+  /// position the device can ever stamp (union over modes and runtime
+  /// orientations) — undeclared cells drop writes silently.  The default
+  /// leaves `out` unsupported: the device always stamps virtually.
+  virtual void kernel_descriptor(const KernelLayout& layout,
+                                 KernelDescriptor& out) const;
 
   /// Quiescent-bypass support (nonlinear devices only).  A device that
   /// returns true appends every piece of committed state its stamp reads

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -21,6 +22,7 @@
 namespace nemsim::spice {
 
 class MnaSystem;
+struct KernelPlan;
 
 /// Handed to Device::setup so devices can claim extra unknowns.
 class SetupContext {
@@ -250,6 +252,20 @@ class StampContext {
   /// for CSR sinks a matching pattern epoch).
   void apply_cached(const DeviceBypassCache& cache);
 
+  // --- Kernel plumbing (engine-internal, not for devices) --------------
+  // Raw views over the attached sinks so the batched lane path
+  // (nemsim/spice/kernels.h) can scatter directly into storage.
+
+  bool pattern_recording() const { return pattern_ != nullptr; }
+  const double* iterate_data() const { return x_.data(); }
+  linalg::Matrix* dense_sink() const { return dense_jacobian_; }
+  linalg::CsrMatrix* sparse_sink() const { return sparse_jacobian_; }
+  std::vector<std::pair<std::size_t, std::size_t>>* missed_sink() const {
+    return missed_;
+  }
+  double* residual_data() { return residual_.data(); }
+  double* residual_scale_data() { return residual_scale_.data(); }
+
  private:
   void raw_f(UnknownId eq, double value);
   void raw_J(UnknownId eq, UnknownId var, double value);
@@ -302,6 +318,7 @@ class MnaSystem {
  public:
   /// Builds the unknown table by running Device::setup on every device.
   explicit MnaSystem(Circuit& circuit);
+  ~MnaSystem();  // out-of-line: KernelPlan is incomplete here
 
   Circuit& circuit() { return circuit_; }
   const Circuit& circuit() const { return circuit_; }
@@ -424,6 +441,29 @@ class MnaSystem {
   void invalidate_bypass_caches();
   const BypassCounters& bypass_counters() const { return bypass_counters_; }
 
+  // --- Type-bucketed evaluation kernels (nemsim/spice/kernels.h) -------
+  //
+  // Off by default; NewtonSolver::solve_plain configures them from
+  // NewtonOptions::kernels on every solve.  When enabled, devices with a
+  // kernel descriptor are evaluated in type-bucketed lanes that scatter
+  // f/J straight into CSR/dense storage through frozen slot maps; with
+  // kernels disabled the assembly control flow is unchanged
+  // (bitwise-identical results).
+
+  /// Enables/disables lane assembly.  The plan (lanes + scatter maps) is
+  /// built once on first enable and kept across toggles; the first
+  /// enable also pre-grows the Jacobian pattern with every declared
+  /// cell, which may bump the pattern epoch.
+  void configure_kernels(bool enabled);
+  bool kernels_enabled() const { return kernels_enabled_; }
+  /// The frozen plan (null until the first enable).  Exposed for tests
+  /// and per-bucket counters.
+  const KernelPlan* kernel_plan() const { return kernel_plan_.get(); }
+  /// Cumulative per-bucket device evaluations through the lane path
+  /// (empty when no plan exists).
+  std::vector<std::pair<std::string, std::uint64_t>> kernel_lane_evals()
+      const;
+
   /// Calls begin_step on every device.
   void begin_step(double time, double dt);
   /// Calls accept_step on every device.
@@ -447,8 +487,31 @@ class MnaSystem {
   /// pattern passes stamp plainly (hot = false).
   void stamp_devices(StampContext& ctx, DeviceSet set,
                      bool hot = false) const;
+  /// The classic per-device virtual dispatch loop (always used for
+  /// pattern-recording passes and with kernels off).
+  void stamp_devices_virtual(StampContext& ctx, DeviceSet set,
+                             bool hot) const;
+  /// Lane-batched assembly through the kernel plan; devices without a
+  /// descriptor (and bypass-managed devices in hot passes) fall back to
+  /// stamp_one.
+  void stamp_devices_kernels(StampContext& ctx, DeviceSet set,
+                             bool hot) const;
   void stamp_one(StampContext& ctx, std::size_t device_index,
                  bool hot) const;
+  /// Builds the kernel plan (lanes, rows, declared cells, dense slots).
+  void build_kernel_plan();
+  /// Resolves every lane's CSR slots against `csr`; on success stamps the
+  /// plan with the current pattern epoch.  Unresolvable cells are
+  /// appended to `missed` (pattern grows, caller retries).
+  void resolve_kernel_sparse_slots(
+      KernelPlan& plan, const linalg::CsrMatrix& csr,
+      std::vector<std::pair<std::size_t, std::size_t>>* missed) const;
+  /// Grows the pattern with whichever of `cells` it lacks; bumps the
+  /// epoch only when something was genuinely new.  No-op when the
+  /// pattern has not been built yet (ensure_pattern folds the kernel
+  /// plan's declared cells in at build time instead).
+  void ensure_pattern_contains(
+      const std::vector<std::pair<std::size_t, std::size_t>>& cells) const;
   /// True when `cache` can stand in for re-evaluating the device whose
   /// stamp it recorded, given the context's iterate/scalars/sinks.
   /// With `exact` set, inputs and signature must match bitwise (the
@@ -505,6 +568,11 @@ class MnaSystem {
   mutable std::vector<std::pair<std::size_t, std::size_t>> pattern_;
   mutable bool pattern_built_ = false;
   mutable std::uint64_t pattern_epoch_ = 0;
+  // Type-bucketed kernel plan (built on first enable, kept across
+  // toggles; lane counters and sparse-slot resolution mutate through the
+  // pointer during const assembly).
+  bool kernels_enabled_ = false;
+  std::unique_ptr<KernelPlan> kernel_plan_;
 };
 
 }  // namespace nemsim::spice

@@ -1,0 +1,223 @@
+// Type-bucketed SoA evaluation kernels with frozen scatter maps.
+//
+// The generic assembly path walks the device list making one virtual
+// Device::stamp call per device per Newton iteration, and every sparse
+// Jacobian write pays a per-entry binary search (CsrMatrix::slot) inside
+// StampContext::raw_J.  For the transient sweeps that dominate the
+// paper's figures this is the hot loop.  This header provides the
+// alternative: at configure time the engine buckets devices by concrete
+// type into *lanes* — contiguous arrays of unknown indices plus a
+// per-device *scatter map* of direct value-array offsets (CSR nzval
+// slots, or dense row-major offsets) — and each bucket supplies one
+// batch function that evaluates the whole lane in a tight loop, writing
+// f/J contributions straight into the sink storage.  No virtual call per
+// device, no NodeId-to-unknown hashing, no slot search per entry: those
+// are all resolved once per pattern epoch and frozen into the plan.
+//
+// Opt-in via NewtonOptions::kernels (accel contract: default off is
+// bitwise-identical to the virtual path; on is a reltol contract because
+// lanes accumulate in bucket order, not circuit order — see DESIGN.md
+// §7i and Contract::kKernels).
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "nemsim/spice/device.h"
+#include "nemsim/spice/ids.h"
+
+namespace nemsim::spice {
+
+class MnaSystem;
+
+/// Sentinel for "no row / no slot".  Roles bound to ground (and Jacobian
+/// cells touching them) carry this: reads yield 0, writes are dropped —
+/// exactly the ground-row semantics of StampContext.
+inline constexpr std::size_t kKernelAbsent = static_cast<std::size_t>(-1);
+
+/// Unknown-table lookups handed to Device::kernel_descriptor, so devices
+/// can translate their terminals into role unknowns without depending on
+/// MnaSystem directly.
+class KernelLayout {
+ public:
+  explicit KernelLayout(const MnaSystem& system) : system_(system) {}
+
+  /// Unknown carrying a node's voltage; kNoUnknown for ground.
+  UnknownId of(NodeId node) const;
+  /// Identity overload so descriptors can list node and internal
+  /// unknowns uniformly.
+  static UnknownId of(UnknownId unknown) { return unknown; }
+
+ private:
+  const MnaSystem& system_;
+};
+
+/// Raw sinks + scalars of one assembly pass, shared by every lane the
+/// pass evaluates.  Built by the engine from the active StampContext.
+struct KernelEvalContext {
+  const double* x = nullptr;              ///< Newton iterate
+  double* residual = nullptr;             ///< null: Jacobian-only pass
+  double* residual_scale = nullptr;       ///< accumulates sum(|f|) per row
+  /// Jacobian value storage — CSR nzval or dense row-major data; which
+  /// one is already encoded in the lane's slot table.  Null: residual-
+  /// only pass (damping trials), J writes are dropped.
+  double* jacobian = nullptr;
+  AnalysisMode mode = AnalysisMode::kDcOperatingPoint;
+  double time = 0.0;
+  double dt = 0.0;
+  double gmin = 0.0;
+  double source_factor = 1.0;
+};
+
+/// Role-indexed writer for one device inside a batch loop.  A *role* is
+/// the device type's fixed terminal/unknown index (e.g. MOSFET: 0 = d,
+/// 1 = g, 2 = s); role -1 addresses ground explicitly (companion models
+/// with a grounded terminal).  All guards compile down to one compare
+/// per access; with constant roles the -1 checks fold away entirely.
+class KernelSink {
+ public:
+  KernelSink(const KernelEvalContext& ctx, const std::size_t* rows,
+             const std::size_t* slots, int roles)
+      : ctx_(ctx), rows_(rows), slots_(slots), roles_(roles) {}
+
+  /// Iterate value of a role's unknown (0 for ground-tied roles).
+  double xr(int role) const {
+    if (role < 0) return 0.0;
+    const std::size_t u = rows_[static_cast<std::size_t>(role)];
+    return u == kKernelAbsent ? 0.0 : ctx_.x[u];
+  }
+
+  bool dc() const { return ctx_.mode == AnalysisMode::kDcOperatingPoint; }
+  AnalysisMode mode() const { return ctx_.mode; }
+  double time() const { return ctx_.time; }
+  double dt() const { return ctx_.dt; }
+  double gmin() const { return ctx_.gmin; }
+  double source_factor() const { return ctx_.source_factor; }
+
+  /// Adds `value` to the role's residual row (and its scale), mirroring
+  /// StampContext::raw_f.  Dropped for ground roles / residual-less pass.
+  void f(int role, double value) const {
+    if (role < 0 || ctx_.residual == nullptr) return;
+    const std::size_t u = rows_[static_cast<std::size_t>(role)];
+    if (u == kKernelAbsent) return;
+    ctx_.residual[u] += value;
+    ctx_.residual_scale[u] += std::abs(value);
+  }
+
+  /// Adds d f(eq_role) / d x(var_role) through the frozen scatter map.
+  void J(int eq_role, int var_role, double value) const {
+    if (eq_role < 0 || var_role < 0 || ctx_.jacobian == nullptr) return;
+    const std::size_t s =
+        slots_[static_cast<std::size_t>(eq_role) *
+                   static_cast<std::size_t>(roles_) +
+               static_cast<std::size_t>(var_role)];
+    if (s == kKernelAbsent) return;
+    ctx_.jacobian[s] += value;
+  }
+
+ private:
+  const KernelEvalContext& ctx_;
+  const std::size_t* rows_;   ///< roles entries: unknown index or absent
+  const std::size_t* slots_;  ///< roles*roles entries: value offsets
+  int roles_;
+};
+
+/// One lane's view handed to its batch function: parallel arrays over
+/// `count` devices of the same concrete type.
+struct KernelLaneView {
+  const Device* const* devices = nullptr;
+  std::size_t count = 0;
+  int roles = 0;
+  const std::size_t* rows = nullptr;   ///< count * roles
+  const std::size_t* slots = nullptr;  ///< count * roles * roles
+};
+
+using KernelBatchFn = void (*)(const KernelLaneView&,
+                               const KernelEvalContext&);
+
+/// The canonical batch function: a tight loop of direct (devirtualized)
+/// per-device evaluations.  Each device type T exposes
+/// `void kernel_eval(const KernelSink&) const` and registers
+/// `&kernel_batch_eval<T>` in its descriptor.
+template <typename DeviceT>
+void kernel_batch_eval(const KernelLaneView& lane,
+                       const KernelEvalContext& ctx) {
+  const std::size_t r = static_cast<std::size_t>(lane.roles);
+  const std::size_t rr = r * r;
+  for (std::size_t i = 0; i < lane.count; ++i) {
+    const KernelSink sink(ctx, lane.rows + i * r, lane.slots + i * rr,
+                          lane.roles);
+    static_cast<const DeviceT*>(lane.devices[i])->kernel_eval(sink);
+  }
+}
+
+/// Filled by Device::kernel_descriptor.  Devices sharing a bucket key
+/// must share `batch` and `roles` (the plan builder verifies and demotes
+/// mismatches to the per-device fallback path).
+struct KernelDescriptor {
+  bool supported = false;
+  /// Stable bucket key ("resistor", "mosfet", ...) — also the label the
+  /// per-bucket eval counters report under.
+  const char* bucket = "";
+  KernelBatchFn batch = nullptr;
+  int roles = 0;
+  /// Unknown behind each role (kNoUnknown for ground-tied terminals).
+  std::vector<UnknownId> role_unknowns;
+  /// Declared union of Jacobian (eq_role, var_role) cells over all
+  /// analysis modes AND runtime orientations (e.g. the MOSFET
+  /// source/drain swap).  Undeclared cells have no slot and silently
+  /// drop writes — a device must declare every cell it can ever stamp.
+  std::vector<std::pair<std::uint8_t, std::uint8_t>> j_positions;
+
+  void add_j(int eq_role, int var_role) {
+    j_positions.emplace_back(static_cast<std::uint8_t>(eq_role),
+                             static_cast<std::uint8_t>(var_role));
+  }
+};
+
+/// One type bucket: SoA arrays over its member devices, in circuit
+/// (registration) order.
+struct KernelLane {
+  std::string bucket;
+  KernelBatchFn batch = nullptr;
+  int roles = 0;
+  bool linear = false;      ///< device_class 0 (vs nonlinear lanes)
+  bool bypassable = false;  ///< any member supports quiescent bypass
+  std::vector<const Device*> devices;
+  std::vector<std::size_t> device_indices;  ///< MnaSystem device index
+  std::vector<std::size_t> rows;            ///< count * roles
+  /// Declared (row, col) per Jacobian cell — (absent, absent) for
+  /// undeclared or ground-dropped cells.  count * roles * roles.
+  std::vector<std::pair<std::size_t, std::size_t>> rowcol;
+  std::vector<std::size_t> dense_slots;   ///< row * n + col
+  std::vector<std::size_t> sparse_slots;  ///< CSR nzval slots (per epoch)
+  std::uint64_t evals = 0;  ///< cumulative device evaluations via kernels
+
+  KernelLaneView view(const std::size_t* slot_table) const {
+    return {devices.data(), devices.size(), roles, rows.data(), slot_table};
+  }
+};
+
+/// The frozen evaluation plan for one MnaSystem: built once at the first
+/// kernels-enabled solve, CSR slots re-resolved whenever the Jacobian
+/// pattern epoch moves.
+struct KernelPlan {
+  std::vector<KernelLane> lanes;  ///< bucket creation order
+  /// Devices with no (usable) descriptor, stamped via the virtual path
+  /// after the lanes; split by linearity to serve DeviceSet passes.
+  std::vector<std::size_t> leftover_linear;
+  std::vector<std::size_t> leftover_nonlinear;
+  /// Union of all lanes' declared (row, col) cells, deduplicated — the
+  /// positions the Jacobian pattern is pre-grown to contain.
+  std::vector<std::pair<std::size_t, std::size_t>> declared_cells;
+  /// Pattern epoch `sparse_slots` were resolved against; kNoEpoch when
+  /// never resolved (or resolution failed and must be retried).
+  static constexpr std::uint64_t kNoEpoch = ~std::uint64_t{0};
+  std::uint64_t sparse_epoch = kNoEpoch;
+};
+
+}  // namespace nemsim::spice

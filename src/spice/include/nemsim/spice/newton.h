@@ -14,6 +14,8 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "nemsim/linalg/lu.h"
@@ -92,6 +94,17 @@ struct NewtonOptions {
   /// Maximum dt growth/shrink ratio across steps before the cross-step
   /// LU is considered stale beyond use.
   double reuse_dt_ratio = 2.0;
+  /// Type-bucketed SoA evaluation kernels (nemsim/spice/kernels.h):
+  /// devices with a kernel descriptor assemble through per-type lanes
+  /// that scatter f/J into the Jacobian through frozen slot maps instead
+  /// of per-device virtual stamps with per-entry CSR slot searches.
+  /// Off: bitwise identical to the baseline engine.  On: lanes
+  /// accumulate in bucket order rather than circuit order, so results
+  /// match the baseline to solver tolerance, not bitwise (reltol
+  /// contract, Contract::kKernels).  Composes with bypass — kernels own
+  /// cold full assemblies, bypass keeps owning hot replay of quiescent
+  /// nonlinear devices.
+  bool kernels = false;
 };
 
 struct NewtonStats {
@@ -120,6 +133,10 @@ struct NewtonStats {
   std::int64_t forced_refreshes = 0;     ///< stale state abandoned (slow
                                          ///< contraction or converged-
                                          ///< iteration verification)
+  /// Per-bucket device evaluations through the kernel lane path
+  /// (NewtonOptions::kernels), keyed by bucket label; empty when kernels
+  /// never ran.
+  std::vector<std::pair<std::string, std::uint64_t>> kernel_lane_evals;
 
   /// Fraction of nonlinear stamp requests served from the bypass cache.
   double bypass_hit_rate() const {
@@ -146,6 +163,22 @@ struct NewtonStats {
     bypassed_evals += other.bypassed_evals;
     stale_jacobian_solves += other.stale_jacobian_solves;
     forced_refreshes += other.forced_refreshes;
+    for (const auto& [bucket, count] : other.kernel_lane_evals) {
+      add_kernel_lane_evals(bucket, count);
+    }
+  }
+
+  /// Adds `count` evaluations to `bucket`'s kernel counter (merge by
+  /// label, insertion-ordered).
+  void add_kernel_lane_evals(const std::string& bucket, std::uint64_t count) {
+    if (count == 0) return;
+    for (auto& [name, total] : kernel_lane_evals) {
+      if (name == bucket) {
+        total += count;
+        return;
+      }
+    }
+    kernel_lane_evals.emplace_back(bucket, count);
   }
 };
 

@@ -52,8 +52,15 @@ class ParamBank {
   double value(ParamSlot slot) const {
     return columns_[slot.column].values[slot.row];
   }
+  /// Writes mark the column dirty only when the stored value actually
+  /// changes, so Circuit::notify_params_changed can skip resyncing
+  /// devices whose parameters a restore+apply round trip left untouched.
   void set_value(ParamSlot slot, double v) {
-    columns_[slot.column].values[slot.row] = v;
+    Column& col = columns_[slot.column];
+    if (col.values[slot.row] != v) {
+      col.values[slot.row] = v;
+      col.dirty = true;
+    }
   }
 
   std::size_t num_columns() const { return columns_.size(); }
@@ -85,11 +92,24 @@ class ParamBank {
     for (const ParamPatchEntry& e : patch) set_value(e.slot, e.value);
   }
 
+  // --- Dirty-column tracking -------------------------------------------
+  // Consumed by Circuit::notify_params_changed to resync only the
+  // devices bound to columns whose values changed since the last sweep.
+
+  /// True when any value in `column` changed since the last clear_dirty.
+  bool column_dirty(std::size_t column) const {
+    return columns_[column].dirty;
+  }
+  void clear_dirty() {
+    for (Column& col : columns_) col.dirty = false;
+  }
+
  private:
   struct Column {
     std::string name;
     std::vector<double> values;
     std::vector<std::string> owners;
+    bool dirty = false;
   };
   std::vector<Column> columns_;
 };

@@ -69,14 +69,46 @@ void Circuit::require_unique_device_name(const std::string& name) const {
 
 void Circuit::register_device(std::unique_ptr<Device> device) {
   require_mutable("Circuit::add");
+  // Diff the bank around bind_params: any column that appeared or grew
+  // was bound by this device.
+  std::vector<std::size_t> sizes(param_bank_->num_columns());
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    sizes[i] = param_bank_->column_values(i).size();
+  }
   device->bind_params(*param_bank_);
+  std::vector<std::uint32_t> bound;
+  for (std::size_t i = 0; i < param_bank_->num_columns(); ++i) {
+    const std::size_t before = i < sizes.size() ? sizes[i] : 0;
+    if (param_bank_->column_values(i).size() > before) {
+      bound.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+  device_bound_columns_.push_back(std::move(bound));
   device_index_.emplace(device->name(), devices_.size());
   devices_.push_back(std::move(device));
   device_owner_.push_back(open_instance_);
 }
 
 void Circuit::notify_params_changed() {
-  for (auto& device : devices_) device->on_params_changed();
+  // Latch the dirty set, then clear before the callbacks run: a resync
+  // that writes bank values (none do today) would re-dirty its columns
+  // for the next sweep instead of being silently swallowed.
+  std::vector<bool> dirty(param_bank_->num_columns());
+  bool any = false;
+  for (std::size_t i = 0; i < dirty.size(); ++i) {
+    dirty[i] = param_bank_->column_dirty(i);
+    any = any || dirty[i];
+  }
+  param_bank_->clear_dirty();
+  if (!any) return;
+  for (std::size_t di = 0; di < devices_.size(); ++di) {
+    for (std::uint32_t col : device_bound_columns_[di]) {
+      if (dirty[col]) {
+        devices_[di]->on_params_changed();
+        break;
+      }
+    }
+  }
 }
 
 Device& Circuit::find_device(const std::string& name) {

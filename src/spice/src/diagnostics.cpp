@@ -111,6 +111,14 @@ std::string RunReport::summary() const {
        << " stale_solves=" << newton.stale_jacobian_solves
        << " forced_refreshes=" << newton.forced_refreshes;
   }
+  if (!newton.kernel_lane_evals.empty()) {
+    os << " kernels[";
+    for (std::size_t i = 0; i < newton.kernel_lane_evals.size(); ++i) {
+      os << (i ? " " : "") << newton.kernel_lane_evals[i].first << "="
+         << newton.kernel_lane_evals[i].second;
+    }
+    os << "]";
+  }
   if (!stages.empty()) {
     os << " stages[plain=" << stage_count(SteppingStageRecord::Kind::kPlain)
        << " gmin=" << stage_count(SteppingStageRecord::Kind::kGminStep)
@@ -173,7 +181,13 @@ void RunReport::write_json(std::ostream& os) const {
      << ", \"stale_jacobian_solves\": " << newton.stale_jacobian_solves
      << ", \"forced_refreshes\": " << newton.forced_refreshes
      << ", \"used_sparse\": " << (newton.used_sparse ? "true" : "false")
-     << "}";
+     << ", \"kernel_lane_evals\": {";
+  for (std::size_t i = 0; i < newton.kernel_lane_evals.size(); ++i) {
+    os << (i ? ", " : "");
+    json_escape(os, newton.kernel_lane_evals[i].first);
+    os << ": " << newton.kernel_lane_evals[i].second;
+  }
+  os << "}}";
 
   os << ",\n  \"stages\": [";
   for (std::size_t i = 0; i < stages.size(); ++i) {

@@ -3,7 +3,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <unordered_map>
 
+#include "nemsim/spice/kernels.h"
 #include "nemsim/util/error.h"
 
 namespace nemsim::spice {
@@ -243,6 +245,8 @@ MnaSystem::MnaSystem(Circuit& circuit) : circuit_(circuit) {
     }
   }
 }
+
+MnaSystem::~MnaSystem() = default;
 
 UnknownId MnaSystem::unknown_of(NodeId node) const {
   if (node.is_ground()) return kNoUnknown;
@@ -533,6 +537,18 @@ void MnaSystem::stamp_one(StampContext& ctx, std::size_t device_index,
 
 void MnaSystem::stamp_devices(StampContext& ctx, DeviceSet set,
                               bool hot) const {
+  // Pattern-recording passes always use the virtual path: the recorder
+  // captures exactly what the devices stamp, and the kernel plan's own
+  // declared cells are merged into the pattern separately.
+  if (kernels_enabled_ && kernel_plan_ != nullptr && !ctx.pattern_recording()) {
+    stamp_devices_kernels(ctx, set, hot);
+    return;
+  }
+  stamp_devices_virtual(ctx, set, hot);
+}
+
+void MnaSystem::stamp_devices_virtual(StampContext& ctx, DeviceSet set,
+                                      bool hot) const {
   switch (set) {
     case DeviceSet::kAll:
       // Circuit order, linear and nonlinear interleaved: with bypass off
@@ -548,6 +564,213 @@ void MnaSystem::stamp_devices(StampContext& ctx, DeviceSet set,
     case DeviceSet::kNonlinear:
       for (std::size_t i : nonlinear_devices_) stamp_one(ctx, i, hot);
       break;
+  }
+}
+
+// ------------------------------------------- type-bucketed kernels
+
+void MnaSystem::configure_kernels(bool enabled) {
+  if (enabled && kernel_plan_ == nullptr) build_kernel_plan();
+  kernels_enabled_ = enabled && kernel_plan_ != nullptr;
+}
+
+void MnaSystem::build_kernel_plan() {
+  auto plan = std::make_unique<KernelPlan>();
+  const KernelLayout layout(*this);
+  const std::size_t n = num_unknowns();
+  std::unordered_map<std::string, std::size_t> lane_of_bucket;
+  for (std::size_t di = 0; di < circuit_.num_devices(); ++di) {
+    const Device& device = circuit_.device(di);
+    KernelDescriptor desc;
+    device.kernel_descriptor(layout, desc);
+    const bool linear = device_class_[di] == 0;
+    const std::size_t roles = static_cast<std::size_t>(desc.roles);
+    bool usable = desc.supported && desc.batch != nullptr && desc.roles > 0 &&
+                  desc.role_unknowns.size() == roles;
+    if (usable) {
+      for (const auto& [er, vr] : desc.j_positions) {
+        if (er >= desc.roles || vr >= desc.roles) usable = false;
+      }
+    }
+    std::size_t lane_index = 0;
+    if (usable) {
+      // Linearity is part of the key so a (hypothetical) bucket spanning
+      // both device classes still lands in homogeneous lanes.
+      const std::string key =
+          std::string(desc.bucket) + (linear ? "#l" : "#n");
+      auto [it, inserted] =
+          lane_of_bucket.try_emplace(key, plan->lanes.size());
+      if (inserted) {
+        KernelLane lane;
+        lane.bucket = desc.bucket;
+        lane.batch = desc.batch;
+        lane.roles = desc.roles;
+        lane.linear = linear;
+        plan->lanes.push_back(std::move(lane));
+      }
+      lane_index = it->second;
+      const KernelLane& lane = plan->lanes[lane_index];
+      if (lane.batch != desc.batch || lane.roles != desc.roles) {
+        usable = false;  // bucket key collision across types
+      }
+    }
+    if (!usable) {
+      (linear ? plan->leftover_linear : plan->leftover_nonlinear)
+          .push_back(di);
+      continue;
+    }
+    KernelLane& lane = plan->lanes[lane_index];
+    lane.bypassable = lane.bypassable || device_class_[di] == 2;
+    lane.devices.push_back(&device);
+    lane.device_indices.push_back(di);
+    const std::size_t base = lane.rows.size();
+    for (std::size_t r = 0; r < roles; ++r) {
+      const UnknownId u = desc.role_unknowns[r];
+      lane.rows.push_back(u.valid() ? u.index : kKernelAbsent);
+    }
+    const std::size_t cell_base = lane.rowcol.size();
+    lane.rowcol.resize(cell_base + roles * roles,
+                       {kKernelAbsent, kKernelAbsent});
+    lane.dense_slots.resize(cell_base + roles * roles, kKernelAbsent);
+    lane.sparse_slots.resize(cell_base + roles * roles, kKernelAbsent);
+    for (const auto& [er, vr] : desc.j_positions) {
+      const std::size_t row = lane.rows[base + er];
+      const std::size_t col = lane.rows[base + vr];
+      if (row == kKernelAbsent || col == kKernelAbsent) continue;  // ground
+      const std::size_t cell = cell_base + er * roles + vr;
+      lane.rowcol[cell] = {row, col};
+      lane.dense_slots[cell] = row * n + col;
+      plan->declared_cells.emplace_back(row, col);
+    }
+  }
+  std::sort(plan->declared_cells.begin(), plan->declared_cells.end());
+  plan->declared_cells.erase(
+      std::unique(plan->declared_cells.begin(), plan->declared_cells.end()),
+      plan->declared_cells.end());
+  kernel_plan_ = std::move(plan);
+  // The sparse pattern must contain every declared cell so slot
+  // resolution can freeze the scatter maps; when the pattern does not
+  // exist yet, ensure_pattern folds the cells in at build time instead
+  // (no extra epoch bump).
+  if (pattern_built_) ensure_pattern_contains(kernel_plan_->declared_cells);
+}
+
+void MnaSystem::ensure_pattern_contains(
+    const std::vector<std::pair<std::size_t, std::size_t>>& cells) const {
+  if (!pattern_built_) return;
+  // pattern_ is sorted and unique; collect only the genuinely new cells
+  // so the epoch is not bumped (skeletons not invalidated) for no-ops.
+  std::vector<std::pair<std::size_t, std::size_t>> missing;
+  for (const auto& cell : cells) {
+    if (!std::binary_search(pattern_.begin(), pattern_.end(), cell)) {
+      missing.push_back(cell);
+    }
+  }
+  grow_pattern(missing);
+}
+
+void MnaSystem::resolve_kernel_sparse_slots(
+    KernelPlan& plan, const linalg::CsrMatrix& csr,
+    std::vector<std::pair<std::size_t, std::size_t>>* missed) const {
+  bool complete = true;
+  for (KernelLane& lane : plan.lanes) {
+    for (std::size_t cell = 0; cell < lane.rowcol.size(); ++cell) {
+      const auto& [row, col] = lane.rowcol[cell];
+      if (row == kKernelAbsent) {
+        lane.sparse_slots[cell] = kKernelAbsent;
+        continue;
+      }
+      const std::size_t slot = csr.slot(row, col);
+      if (slot == linalg::CsrMatrix::npos) {
+        lane.sparse_slots[cell] = kKernelAbsent;
+        complete = false;
+        if (missed != nullptr) missed->emplace_back(row, col);
+      } else {
+        lane.sparse_slots[cell] = slot;
+      }
+    }
+  }
+  plan.sparse_epoch = complete ? pattern_epoch_ : KernelPlan::kNoEpoch;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+MnaSystem::kernel_lane_evals() const {
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  if (kernel_plan_ == nullptr) return out;
+  out.reserve(kernel_plan_->lanes.size());
+  for (const KernelLane& lane : kernel_plan_->lanes) {
+    out.emplace_back(lane.bucket, lane.evals);
+  }
+  return out;
+}
+
+void MnaSystem::stamp_devices_kernels(StampContext& ctx, DeviceSet set,
+                                      bool hot) const {
+  KernelPlan& plan = *kernel_plan_;
+  KernelEvalContext ectx;
+  ectx.x = ctx.iterate_data();
+  if (ctx.wants_residual()) {
+    ectx.residual = ctx.residual_data();
+    ectx.residual_scale = ctx.residual_scale_data();
+  }
+  bool sparse = false;
+  if (linalg::Matrix* dense = ctx.dense_sink()) {
+    ectx.jacobian = dense->data();
+  } else if (linalg::CsrMatrix* csr = ctx.sparse_sink()) {
+    sparse = true;
+    if (plan.sparse_epoch != pattern_epoch_) {
+      resolve_kernel_sparse_slots(plan, *csr, ctx.missed_sink());
+    }
+    if (plan.sparse_epoch != pattern_epoch_) {
+      // Declared cells missing from this skeleton (resolution failed):
+      // the misses were reported above, the caller grows the pattern and
+      // retries.  Complete this pass through the virtual path so its
+      // (discarded) residual stays well-formed.
+      stamp_devices_virtual(ctx, set, hot);
+      return;
+    }
+    ectx.jacobian = csr->values().data();
+  }
+  ectx.mode = ctx.mode();
+  ectx.time = ctx.time();
+  ectx.dt = ctx.dt();
+  ectx.gmin = ctx.gmin();
+  ectx.source_factor = ctx.source_factor();
+
+  const bool bypass_hot = hot && bypass_enabled_;
+  auto run_lane = [&](KernelLane& lane) {
+    if (lane.devices.empty()) return;
+    if (bypass_hot && !lane.linear && lane.bypassable) {
+      // Bypass owns hot replay for these devices: route them through the
+      // per-device path so capture/replay (and its counters) work
+      // unchanged.
+      for (std::size_t di : lane.device_indices) stamp_one(ctx, di, hot);
+      return;
+    }
+    lane.batch(lane.view(sparse ? lane.sparse_slots.data()
+                                : lane.dense_slots.data()),
+               ectx);
+    lane.evals += lane.devices.size();
+    if (hot && !lane.linear) {
+      bypass_counters_.evals += static_cast<std::int64_t>(lane.devices.size());
+    }
+  };
+
+  // Deterministic kernels-on order: linear lanes, linear leftovers,
+  // nonlinear lanes, nonlinear leftovers — each in bucket-creation /
+  // circuit order.  This differs from the virtual path's interleaved
+  // circuit order, which is why kernels are a reltol contract.
+  if (set != DeviceSet::kNonlinear) {
+    for (KernelLane& lane : plan.lanes) {
+      if (lane.linear) run_lane(lane);
+    }
+    for (std::size_t di : plan.leftover_linear) stamp_one(ctx, di, hot);
+  }
+  if (set != DeviceSet::kLinear) {
+    for (KernelLane& lane : plan.lanes) {
+      if (!lane.linear) run_lane(lane);
+    }
+    for (std::size_t di : plan.leftover_nonlinear) stamp_one(ctx, di, hot);
   }
 }
 
@@ -629,6 +852,15 @@ void MnaSystem::ensure_pattern() const {
   // Every diagonal: gmin shunts stamp (i, i) on node rows, and keeping
   // the full diagonal structurally present helps the LU pivot search.
   for (std::size_t i = 0; i < n; ++i) pattern_.emplace_back(i, i);
+
+  // The kernel plan's declared scatter cells are part of the pattern by
+  // construction (orientation unions the symbolic passes cannot see),
+  // folded in here so enabling kernels before the first sparse solve
+  // costs no extra epoch bump.
+  if (kernel_plan_ != nullptr) {
+    pattern_.insert(pattern_.end(), kernel_plan_->declared_cells.begin(),
+                    kernel_plan_->declared_cells.end());
+  }
 
   std::sort(pattern_.begin(), pattern_.end());
   pattern_.erase(std::unique(pattern_.begin(), pattern_.end()),

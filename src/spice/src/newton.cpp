@@ -138,19 +138,28 @@ linalg::Vector NewtonSolver::solve_plain(const linalg::Vector& x0,
           "NewtonSolver: initial guess size mismatch");
   system_.configure_bypass(options_.bypass, options_.bypass_reltol,
                            options_.bypass_abstol);
+  system_.configure_kernels(options_.kernels);
   // A failed converged-iteration verification in a previous solve leaves
   // replay suspended (see the guard below); every solve starts trusting
   // its caches again.
   system_.set_bypass_replay_suspended(false);
   system_.set_bypass_exact_only(false);
-  // Fold the system's eval/bypass deltas into the stats block even when
-  // the solve throws — homotopy ladder retries must not lose counts.
+  // Fold the system's eval/bypass/kernel deltas into the stats block even
+  // when the solve throws — homotopy ladder retries must not lose counts.
   const MnaSystem::BypassCounters before = system_.bypass_counters();
+  const auto kernel_before = system_.kernel_lane_evals();
   auto record = [&]() {
     if (stats == nullptr) return;
     const MnaSystem::BypassCounters& after = system_.bypass_counters();
     stats->nonlinear_evals += after.evals - before.evals;
     stats->bypassed_evals += after.bypassed - before.bypassed;
+    const auto kernel_after = system_.kernel_lane_evals();
+    for (std::size_t i = 0; i < kernel_after.size(); ++i) {
+      const std::uint64_t prior =
+          i < kernel_before.size() ? kernel_before[i].second : 0;
+      stats->add_kernel_lane_evals(kernel_after[i].first,
+                                   kernel_after[i].second - prior);
+    }
   };
   try {
     linalg::Vector x;

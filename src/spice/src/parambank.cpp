@@ -44,7 +44,13 @@ void ParamBank::restore(const Snapshot& snap) {
   for (std::size_t i = 0; i < columns_.size(); ++i) {
     require(snap[i].size() == columns_[i].values.size(),
             "ParamBank::restore: column size changed since snapshot");
-    columns_[i].values = snap[i];
+    Column& col = columns_[i];
+    for (std::size_t r = 0; r < col.values.size(); ++r) {
+      if (col.values[r] != snap[i][r]) {
+        col.values[r] = snap[i][r];
+        col.dirty = true;
+      }
+    }
   }
 }
 

@@ -162,12 +162,13 @@ CheckOptions quiet_options() {
 }
 
 TEST(CheckCase, PinnedSeedsRunCleanAcrossTheFullMatrix) {
-  // Smoke corpus: the full 20-leg matrix (8 op + 8 transient + 4 dc
-  // sweep contracts) passes on pinned seeds.  A failure here means an
-  // engine path broke a redundancy contract — see the mismatch detail.
+  // Smoke corpus: the full 23-leg matrix (9 op + 9 transient + 5 dc
+  // sweep contracts, counting the kernel-lane legs) passes on pinned
+  // seeds.  A failure here means an engine path broke a redundancy
+  // contract — see the mismatch detail.
   for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
     const CheckCaseResult r = check::run_check_case(seed, quiet_options());
-    EXPECT_EQ(r.contracts_run, 20u) << "seed " << seed;
+    EXPECT_EQ(r.contracts_run, 23u) << "seed " << seed;
     EXPECT_TRUE(r.ok()) << "seed " << seed << ": "
                         << (r.mismatches.empty()
                                 ? ""

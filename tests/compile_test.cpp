@@ -191,6 +191,68 @@ TEST(Compile, OverlayResyncsDerivedState) {
   EXPECT_EQ(cl.capacitance(), 2e-15);
 }
 
+/// Minimal bank-backed device whose resync calls are countable: proves
+/// the dirty-column filter in Circuit::notify_params_changed skips
+/// devices none of whose columns changed.
+class ResyncProbe final : public spice::Device {
+ public:
+  ResyncProbe(std::string name, spice::NodeId p, spice::NodeId n,
+              const char* column)
+      : Device(std::move(name)), p_(p), n_(n), column_(column) {}
+
+  void bind_params(spice::ParamBank& bank) override {
+    value_.bind(bank, column_, name());
+  }
+  void on_params_changed() override { ++resyncs; }
+  void stamp(spice::StampContext& ctx) const override {
+    const double g = 1.0 / 1e6;
+    const double i = g * (ctx.v(p_) - ctx.v(n_));
+    ctx.add_f(p_, i);
+    ctx.add_f(n_, -i);
+    ctx.add_J(p_, p_, g);
+    ctx.add_J(p_, n_, -g);
+    ctx.add_J(n_, p_, -g);
+    ctx.add_J(n_, n_, g);
+  }
+  bool is_linear() const override { return true; }
+
+  spice::ParamSlot slot() const { return value_.slot(); }
+  int resyncs = 0;
+
+ private:
+  spice::NodeId p_, n_;
+  const char* column_;
+  spice::BankedParam value_{1.0};
+};
+
+TEST(ParamBank, NotifyResyncsOnlyDevicesOnDirtyColumns) {
+  Circuit ckt;
+  spice::NodeId a = ckt.node("a");
+  ckt.add<VoltageSource>("V1", a, ckt.gnd(), SourceWave::dc(1.0));
+  auto& touched = ckt.add<ResyncProbe>("P1", a, ckt.gnd(), "probe.alpha");
+  auto& untouched = ckt.add<ResyncProbe>("P2", a, ckt.gnd(), "probe.beta");
+
+  // A write that changes a value dirties only its own column.
+  ckt.param_bank().set_value(touched.slot(), 2.5);
+  ckt.notify_params_changed();
+  EXPECT_EQ(touched.resyncs, 1);
+  EXPECT_EQ(untouched.resyncs, 0);
+
+  // A write of the value already stored is not a change at all.
+  ckt.param_bank().set_value(touched.slot(), 2.5);
+  ckt.notify_params_changed();
+  EXPECT_EQ(touched.resyncs, 1);
+  EXPECT_EQ(untouched.resyncs, 0);
+
+  // restore() marks exactly the columns whose values it moves back.
+  const spice::ParamBank::Snapshot snap = ckt.param_bank().snapshot();
+  ckt.param_bank().set_value(untouched.slot(), -3.0);
+  ckt.param_bank().restore(snap);
+  ckt.notify_params_changed();
+  EXPECT_EQ(touched.resyncs, 1);
+  EXPECT_EQ(untouched.resyncs, 1);
+}
+
 TEST(Compile, ReuseNewtonWorkspaceConvergesClose) {
   // Shared-solver mode is a perf feature, not a bitwise one: assert the
   // answers agree to solver tolerance across repeated variant runs.
